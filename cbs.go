@@ -1,0 +1,216 @@
+// Package cbs computes complex band structures (CBS) of z-periodic
+// materials from first principles on a real-space grid, reproducing
+// Iwase, Futamura, Imakura, Sakurai and Ono, "Efficient and Scalable
+// Calculation of Complex Band Structure using Sakurai-Sugiura Method"
+// (SC'17, DOI 10.1145/3126908.3126942).
+//
+// The Kohn-Sham equation of one bulk unit cell is cast as the quadratic
+// eigenvalue problem
+//
+//	[ -lambda^{-1} H- + (E - H0) - lambda H+ ] psi = 0,  lambda = e^{ika},
+//
+// and only the physically relevant solutions lambda_min < |lambda| <
+// 1/lambda_min are computed with the Sakurai-Sugiura contour-integral
+// method, using matrix-free BiCG solves (with the dual-system halving
+// P(z)^dagger = P(1/conj z)) and three layers of hierarchical parallelism.
+// The conventional transfer-matrix baseline (OBM) and the ordinary band
+// structure are included for comparison and validation.
+//
+// # Quick start
+//
+//	st, _ := cbs.AlBulk100(1)
+//	model, _ := cbs.NewModel(st, cbs.GridConfig{Nx: 12, Ny: 12, Nz: 12, Nf: 4})
+//	ef, _ := model.FermiLevel(4)
+//	res, _ := model.SolveCBS(ef, cbs.DefaultOptions())
+//	for _, p := range res.Pairs {
+//	    fmt.Println(p.Lambda, p.K)
+//	}
+//
+// All internal computation is in Hartree atomic units; the units subpackage
+// converts to eV and angstrom.
+package cbs
+
+import (
+	"cbs/internal/bandstructure"
+	"cbs/internal/core"
+	"cbs/internal/hamiltonian"
+	"cbs/internal/lattice"
+	"cbs/internal/obm"
+	"cbs/internal/qep"
+	"cbs/internal/scf"
+	"cbs/internal/transport"
+)
+
+// Re-exported types: the public surface of the library.
+type (
+	// Structure is an orthorhombic unit cell with atoms (bohr), periodic
+	// along z.
+	Structure = lattice.Structure
+	// Atom is one nucleus.
+	Atom = lattice.Atom
+	// GridConfig selects the real-space discretization (grid points and
+	// finite-difference half-width; Nf=4 is the paper's 9-point stencil).
+	GridConfig = hamiltonian.Config
+	// Options are the Sakurai-Sugiura solver parameters (paper Sec. 4).
+	Options = core.Options
+	// Parallel configures the three hierarchy layers.
+	Parallel = core.Parallel
+	// Result is one CBS solve at a fixed energy.
+	Result = core.Result
+	// Eigenpair is one complex band solution.
+	Eigenpair = core.Eigenpair
+	// OBMOptions configures the transfer-matrix baseline.
+	OBMOptions = obm.Options
+	// OBMResult is the baseline's output.
+	OBMResult = obm.Result
+	// SCFOptions configures the optional self-consistency loop.
+	SCFOptions = scf.Options
+	// SCFResult is its outcome.
+	SCFResult = scf.Result
+)
+
+// DefaultOptions returns the paper's parameter set (Nint=32, Nmm=8,
+// Nrh=16, delta=1e-10, lambda_min=0.5, BiCG tolerance 1e-10).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultOBMOptions returns the baseline's defaults.
+func DefaultOBMOptions() OBMOptions { return obm.DefaultOptions() }
+
+// Structure generators (see internal/lattice for details).
+
+// AlBulk100 builds nz conventional cells of fcc aluminum stacked along
+// <100> (4 atoms per cell).
+func AlBulk100(nz int) (*Structure, error) { return lattice.AlBulk100(nz) }
+
+// CNT builds a single-wall (n,m) carbon nanotube in a box with the given
+// vacuum margin (bohr).
+func CNT(n, m int, vacuum float64) (*Structure, error) { return lattice.CNT(n, m, vacuum) }
+
+// Repeat stacks a structure nz times along z.
+func Repeat(s *Structure, nz int) (*Structure, error) { return lattice.Repeat(s, nz) }
+
+// BNDope substitutes nPairs boron/nitrogen pairs for random carbon atoms
+// (deterministic in seed).
+func BNDope(s *Structure, nPairs int, seed int64) (*Structure, error) {
+	return lattice.BNDope(s, nPairs, seed)
+}
+
+// Bundle7 arranges seven tubes hexagonally (the paper's "7 bundle").
+func Bundle7(tube *Structure, vacuum float64) (*Structure, error) {
+	return lattice.Bundle7(tube, vacuum)
+}
+
+// CrystallineBundle builds the periodic triangular bundle (2 tubes per
+// rectangular cell).
+func CrystallineBundle(tube *Structure) (*Structure, error) {
+	return lattice.CrystallineBundle(tube)
+}
+
+// Model is a discretized system: the Kohn-Sham Hamiltonian blocks of one
+// unit cell, ready for CBS, band-structure and baseline calculations.
+type Model struct {
+	Op *hamiltonian.Operator
+}
+
+// NewModel discretizes the structure on the requested grid, building the
+// local potential and Kleinman-Bylander projectors.
+func NewModel(st *Structure, cfg GridConfig) (*Model, error) {
+	op, err := hamiltonian.Build(st, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Op: op}, nil
+}
+
+// N returns the Hamiltonian dimension (grid points per unit cell).
+func (m *Model) N() int { return m.Op.N() }
+
+// CellLength returns the 1D lattice constant a (bohr).
+func (m *Model) CellLength() float64 { return m.Op.G.Lz() }
+
+// FermiLevel estimates the Fermi energy (hartree) from an nk-point band
+// sum.
+func (m *Model) FermiLevel(nk int) (float64, error) {
+	return bandstructure.FermiLevel(m.Op, nk)
+}
+
+// Bands returns the conventional band structure: nk wave vectors in
+// [0, pi/a] and the nbands lowest energies at each (hartree). Large cells
+// with a band cap use the sparse (Chebyshev-filtered) eigensolver; small
+// cells or nbands <= 0 (all bands) diagonalize densely.
+func (m *Model) Bands(nk, nbands int) ([]float64, [][]float64, error) {
+	ks := bandstructure.UniformK(m.Op, nk)
+	if nbands > 0 && m.Op.N() > 1200 {
+		bs, err := bandstructure.LowestBands(m.Op, ks, nbands)
+		return ks, bs, err
+	}
+	bs, err := bandstructure.Bands(m.Op, ks, nbands)
+	return ks, bs, err
+}
+
+// SolveCBS computes the complex band structure at energy e (hartree) with
+// the Sakurai-Sugiura method.
+func (m *Model) SolveCBS(e float64, opts Options) (*Result, error) {
+	return core.Solve(qep.New(m.Op, e), opts)
+}
+
+// ScanCBS runs SolveCBS over a list of energies (hartree).
+func (m *Model) ScanCBS(es []float64, opts Options) ([]*Result, error) {
+	return core.EnergyScan(qep.New(m.Op, 0), es, opts)
+}
+
+// ScanCBSParallel runs the energy scan with concurrent energies -- the
+// outermost trivially-parallel level of the paper's application section.
+func (m *Model) ScanCBSParallel(es []float64, opts Options, workers int) ([]*Result, error) {
+	return core.EnergyScanParallel(qep.New(m.Op, 0), es, opts, workers)
+}
+
+// SolveOBM runs the transfer-matrix baseline at energy e (hartree).
+func (m *Model) SolveOBM(e float64, opts OBMOptions) (*OBMResult, error) {
+	return obm.Solve(m.Op, e, opts)
+}
+
+// RunSCF iterates the model's local potential to self-consistency (small
+// cells only; see the scf package).
+func (m *Model) RunSCF(opts SCFOptions) (*SCFResult, error) {
+	return scf.Run(m.Op, opts)
+}
+
+// CBSMemoryBytes estimates the Sakurai-Sugiura solve's memory footprint.
+func (m *Model) CBSMemoryBytes(opts Options) int64 {
+	return core.MemoryEstimate(qep.New(m.Op, 0), opts)
+}
+
+// OBMMemoryBytes estimates the baseline's memory footprint.
+func (m *Model) OBMMemoryBytes() int64 {
+	return obm.MemoryEstimate(m.Op)
+}
+
+// Transport post-processing (tunneling analysis of CBS scans).
+type (
+	// DecayPoint is the dominant tunneling decay constant at one energy.
+	DecayPoint = transport.Point
+)
+
+// DecayProfile reduces a CBS energy scan to beta(E) = min |Im k|, the
+// dominant tunneling decay constant (the complex-band loop of Fig. 11).
+func DecayProfile(results []*Result) []DecayPoint {
+	return transport.DecayProfile(results)
+}
+
+// Transmission estimates the WKB tunneling transmission exp(-2*beta*d)
+// through a barrier of the given thickness (bohr).
+func Transmission(p DecayPoint, thickness float64) float64 {
+	return transport.Transmission(p, thickness)
+}
+
+// ComplexBandGap locates the maximum of beta(E) inside the gap.
+func ComplexBandGap(profile []DecayPoint) (eAt, betaMax float64, ok bool) {
+	return transport.ComplexBandGap(profile)
+}
+
+// BranchPoints returns the energies where evanescent branches merge (the
+// red dot of the paper's Fig. 11a).
+func BranchPoints(profile []DecayPoint) []float64 {
+	return transport.BranchPoints(profile)
+}

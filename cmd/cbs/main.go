@@ -1,0 +1,151 @@
+// cbs is the command-line driver: compute the complex band structure of a
+// built-in system at one energy or over an energy window.
+//
+// Examples:
+//
+//	cbs -system al -e 0.0
+//	cbs -system cnt -n 8 -m 0 -emin -1 -emax 1 -ne 20
+//	cbs -system bundle7 -e 0.1 -top 2 -mid 4 -ndm 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"cbs"
+	"cbs/internal/units"
+)
+
+func main() {
+	sys := flag.String("system", "al", "system: al | cnt | bundle7 | crystalline | bncnt")
+	n := flag.Int("n", 8, "CNT chiral index n")
+	m := flag.Int("m", 0, "CNT chiral index m")
+	cells := flag.Int("cells", 1, "cells stacked along z (supercell)")
+	bnPairs := flag.Int("bn-pairs", 0, "BN dopant pairs (bncnt)")
+	seed := flag.Int64("seed", 2017, "doping seed")
+
+	nxy := flag.Int("nxy", 16, "transverse grid points")
+	nz := flag.Int("nz", 10, "axial grid points per cell")
+	nf := flag.Int("nf", 4, "finite-difference half-width")
+
+	eFlag := flag.Float64("e", math.NaN(), "energy relative to EF (eV); NaN = scan")
+	emin := flag.Float64("emin", -1, "scan window start (eV, relative to EF)")
+	emax := flag.Float64("emax", 1, "scan window end (eV)")
+	nE := flag.Int("ne", 11, "scan points")
+
+	nint := flag.Int("nint", 32, "quadrature points per circle")
+	nmm := flag.Int("nmm", 8, "moment blocks")
+	nrh := flag.Int("nrh", 16, "right-hand sides")
+	lmin := flag.Float64("lambda-min", 0.5, "annulus inner radius")
+	top := flag.Int("top", 1, "top-layer workers (right-hand sides)")
+	mid := flag.Int("mid", 1, "middle-layer workers (quadrature points)")
+	ndm := flag.Int("ndm", 1, "bottom-layer domains")
+	balance := flag.Bool("balance", false, "enable the majority early-stop rule")
+	scfFlag := flag.Bool("scf", false, "run a small SCF before the CBS")
+	flag.Parse()
+
+	st := buildSystem(*sys, *n, *m, *cells, *bnPairs, *seed)
+	model, err := cbs.NewModel(st, cbs.GridConfig{Nx: *nxy, Ny: *nxy, Nz: *nz * *cells, Nf: *nf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d atoms, N = %d grid points\n", st.Name, st.NumAtoms(), model.N())
+	if *scfFlag {
+		res, err := model.RunSCF(cbs.SCFOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "SCF: %d iterations, converged=%v, deltaV=%.2e\n",
+			res.Iterations, res.Converged, res.DeltaV)
+	}
+	ef, err := model.FermiLevel(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "EF = %.4f hartree (%.3f eV)\n", ef, units.HartreeToEV(ef))
+
+	opts := cbs.DefaultOptions()
+	opts.Nint = *nint
+	opts.Nmm = *nmm
+	opts.Nrh = *nrh
+	opts.LambdaMin = *lmin
+	opts.LoadBalanceStop = *balance
+	opts.Parallel = cbs.Parallel{Top: *top, Mid: *mid, Ndm: *ndm}
+
+	var energies []float64
+	if !math.IsNaN(*eFlag) {
+		energies = []float64{ef + units.EVToHartree(*eFlag)}
+	} else {
+		for i := 0; i < *nE; i++ {
+			f := float64(i) / math.Max(1, float64(*nE-1))
+			energies = append(energies, ef+units.EVToHartree(*emin+(*emax-*emin)*f))
+		}
+	}
+
+	a := model.CellLength()
+	fmt.Printf("# E-EF(eV)\tRe(k)a/pi\tIm(k)a/pi\t|lambda|\tresidual\n")
+	for _, e := range energies {
+		res, err := model.SolveCBS(e, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range res.Pairs {
+			fmt.Printf("%.6f\t%+.6f\t%+.6f\t%.6f\t%.2e\n",
+				units.HartreeToEV(e-ef),
+				real(p.K)*a/math.Pi, imag(p.K)*a/math.Pi,
+				math.Hypot(real(p.Lambda), imag(p.Lambda)), p.Residual)
+		}
+		fmt.Fprintf(os.Stderr, "E-EF = %+.3f eV: %d states, solve %v\n",
+			units.HartreeToEV(e-ef), len(res.Pairs), res.Timings.SolveLinear.Round(1e6))
+	}
+}
+
+func buildSystem(sys string, n, m, cells, bnPairs int, seed int64) *cbs.Structure {
+	vac := units.AngstromToBohr(3.5)
+	fail := func(err error) *cbs.Structure {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return nil
+	}
+	switch sys {
+	case "al":
+		st, err := cbs.AlBulk100(cells)
+		fail(err)
+		return st
+	case "cnt":
+		st, err := cbs.CNT(n, m, vac)
+		fail(err)
+		if cells > 1 {
+			st, err = cbs.Repeat(st, cells)
+			fail(err)
+		}
+		return st
+	case "bundle7":
+		tube, err := cbs.CNT(n, m, vac)
+		fail(err)
+		st, err := cbs.Bundle7(tube, vac)
+		fail(err)
+		return st
+	case "crystalline":
+		tube, err := cbs.CNT(n, m, vac)
+		fail(err)
+		st, err := cbs.CrystallineBundle(tube)
+		fail(err)
+		return st
+	case "bncnt":
+		tube, err := cbs.CNT(n, m, vac)
+		fail(err)
+		super, err := cbs.Repeat(tube, cells)
+		fail(err)
+		st, err := cbs.BNDope(super, bnPairs, seed)
+		fail(err)
+		return st
+	default:
+		log.Fatalf("unknown system %q", sys)
+		return nil
+	}
+}

@@ -1,0 +1,3 @@
+module cbs
+
+go 1.22

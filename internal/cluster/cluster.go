@@ -1,0 +1,227 @@
+// Package cluster is an analytic performance model of a many-core cluster
+// (an Oakforest-PACS-like machine: Xeon Phi KNL nodes, fat-tree network)
+// that replays the paper's hierarchical solve schedule at process counts
+// far beyond one host. The machine is described by a handful of alpha-beta
+// parameters; the workload (flops per BiCG iteration, halo volume,
+// allreduce sizes, iteration-count spread across quadrature points) is
+// extracted from the real Hamiltonian operator. The model regenerates the
+// *shapes* of Fig. 8, 9, 10 (strong scaling of the three layers) and
+// Table 2 (in-node OpenMP x domain split), as documented in DESIGN.md under
+// the hardware substitution.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"cbs/internal/hamiltonian"
+)
+
+// Machine holds the hardware model parameters.
+type Machine struct {
+	Name           string
+	CoresPerNode   int
+	CoreFlops      float64 // sustained flop/s per core on stencil code
+	AlphaSec       float64 // point-to-point message latency (s)
+	BetaSecPerByte float64 // inverse bandwidth per link (s/byte)
+	// OmpSerialFrac and OmpQuadFrac model thread efficiency
+	// 1 / (1 + s1*(t-1) + s2*(t-1)^2): the quadratic term captures the
+	// KNL tile/NUMA degradation at high thread counts the paper observes
+	// in Table 2.
+	OmpSerialFrac float64
+	OmpQuadFrac   float64
+	// GlobalAllreducePenalty scales collective latency at large process
+	// counts (the "global communication in the nonlocal
+	// pseudopotential-vector products" the paper identifies).
+	GlobalAllreducePenalty float64
+}
+
+// OakforestPACS returns parameters representative of the paper's machine:
+// 68-core Knights Landing nodes (1.4 GHz), Omni-Path fabric.
+func OakforestPACS() Machine {
+	return Machine{
+		Name:                   "Oakforest-PACS (model)",
+		CoresPerNode:           68,
+		CoreFlops:              1.2e9, // sustained, memory-bound stencil
+		AlphaSec:               2.5e-6,
+		BetaSecPerByte:         1.0 / 9.0e9,
+		OmpSerialFrac:          0.012,
+		OmpQuadFrac:            0.0004,
+		GlobalAllreducePenalty: 1.15,
+	}
+}
+
+// Workload describes one CBS solve's inner loop, extracted from the real
+// operator.
+type Workload struct {
+	N                  int     // Hamiltonian dimension
+	NzPlanes           int     // grid planes along the decomposed axis
+	StencilNf          int     // FD half-width (halo thickness)
+	FlopsPerApply      float64 // one operator application
+	HaloBytes          int     // one halo exchange (both directions)
+	ProjAllreduceBytes int     // projector coefficient reduction
+	BaseIters          int     // typical BiCG iterations per system
+	Nint               int     // quadrature points
+	Nrh                int     // right-hand sides
+}
+
+// FromOperator extracts the workload of the operator with the given solver
+// parameters.
+func FromOperator(op *hamiltonian.Operator, nint, nrh, baseIters int) Workload {
+	return Workload{
+		N:                  op.N(),
+		NzPlanes:           op.G.Nz,
+		StencilNf:          op.St.Nf,
+		FlopsPerApply:      op.FlopsPerApply(),
+		HaloBytes:          op.G.HaloBytes(op.St.Nf),
+		ProjAllreduceBytes: 3 * len(op.Projs) * 16,
+		BaseIters:          baseIters,
+		Nint:               nint,
+		Nrh:                nrh,
+	}
+}
+
+// IterTime models one dual-BiCG iteration on ndm domains with the given
+// thread count per process.
+func (m Machine) IterTime(w Workload, ndm, threads int) float64 {
+	if ndm < 1 {
+		ndm = 1
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	// Compute: 2 applies (primal + dual) plus ~10 vector ops of 8 flops.
+	flops := 2*w.FlopsPerApply + 10*8*float64(w.N)
+	tm := float64(threads - 1)
+	ompEff := 1 / (1 + m.OmpSerialFrac*tm + m.OmpQuadFrac*tm*tm)
+	compute := flops / float64(ndm) / (m.CoreFlops * float64(threads) * ompEff)
+	if ndm == 1 {
+		return compute
+	}
+	logP := math.Log2(float64(ndm))
+	// 2 halo exchanges (primal + dual applies). When the z slabs would be
+	// thinner than the stencil half-width the decomposition must go 2D/3D
+	// and the per-rank surface (and with it the exchanged volume) grows.
+	haloFactor := 1.0
+	if w.NzPlanes > 0 {
+		if over := float64(ndm*w.StencilNf) / float64(w.NzPlanes); over > 1 {
+			haloFactor = over
+		}
+	}
+	halo := 2 * (m.AlphaSec + float64(w.HaloBytes)*haloFactor*m.BetaSecPerByte)
+	// 2 batched inner-product allreduces + 2 projector reductions.
+	small := 4 * 16.0
+	allred := 2*(m.AlphaSec+small*m.BetaSecPerByte)*logP +
+		2*(m.AlphaSec+float64(w.ProjAllreduceBytes)*m.BetaSecPerByte)*logP*m.GlobalAllreducePenalty
+	return compute + halo + allred
+}
+
+// pointIters returns the deterministic per-quadrature-point iteration
+// counts, reproducing the paper's mild convergence spread (Fig. 5): most
+// points converge alike, a few lag by up to ~35%.
+func pointIters(w Workload) []int {
+	its := make([]int, w.Nint)
+	for j := range its {
+		// Deterministic quasi-random factor in [0.85, 1.35].
+		f := 0.85 + 0.5*frac(float64(j)*0.6180339887498949+0.17)
+		its[j] = int(float64(w.BaseIters) * f)
+	}
+	return its
+}
+
+func frac(x float64) float64 { return x - math.Floor(x) }
+
+// Hierarchy is a process assignment of the three layers.
+type Hierarchy struct {
+	Top, Mid, Ndm, Threads int
+}
+
+// Processes returns the MPI process count of the assignment.
+func (h Hierarchy) Processes() int { return h.Top * h.Mid * h.Ndm }
+
+// SolveTime models the wall-clock of the full step-1 linear solve phase
+// under the hierarchy: the Nrh right-hand sides split over Top groups
+// (embarrassingly parallel), quadrature points split over Mid workers
+// (makespan of the iteration-count spread -- the paper's middle-layer
+// degradation), each solve domain-decomposed over Ndm processes.
+func (m Machine) SolveTime(w Workload, h Hierarchy) float64 {
+	if h.Top < 1 {
+		h.Top = 1
+	}
+	if h.Mid < 1 {
+		h.Mid = 1
+	}
+	its := pointIters(w)
+	iterT := m.IterTime(w, h.Ndm, h.Threads)
+	// Middle layer: round-robin points over Mid workers, makespan = max.
+	workers := make([]float64, h.Mid)
+	for j, it := range its {
+		workers[j%h.Mid] += float64(it) * iterT
+	}
+	var mid float64
+	for _, t := range workers {
+		if t > mid {
+			mid = t
+		}
+	}
+	// Top layer: ceil(Nrh/Top) sequential right-hand sides per group.
+	perGroup := math.Ceil(float64(w.Nrh) / float64(h.Top))
+	return perGroup * mid
+}
+
+// ScalingPoint is one point of a strong-scaling curve.
+type ScalingPoint struct {
+	Workers int
+	Time    float64
+	Speedup float64
+}
+
+// LayerScaling produces the strong-scaling curve of one layer ("top",
+// "mid", "ndm") while the other layers stay at the base assignment --
+// the protocol of Fig. 8/9/10.
+func (m Machine) LayerScaling(w Workload, base Hierarchy, layer string, counts []int) ([]ScalingPoint, error) {
+	out := make([]ScalingPoint, 0, len(counts))
+	for _, c := range counts {
+		h := base
+		switch layer {
+		case "top":
+			h.Top = c
+		case "mid":
+			h.Mid = c
+		case "ndm":
+			h.Ndm = c
+		default:
+			return nil, fmt.Errorf("cluster: unknown layer %q", layer)
+		}
+		out = append(out, ScalingPoint{Workers: c, Time: m.SolveTime(w, h)})
+	}
+	// Speedup relative to the first point, scaled to its worker count so
+	// ideal scaling reads Speedup == Workers.
+	for i := range out {
+		out[i].Speedup = out[0].Time / out[i].Time * float64(counts[0])
+	}
+	return out, nil
+}
+
+// SplitTime is one row of the Table 2 experiment.
+type SplitTime struct {
+	Threads int
+	Ndm     int
+	Seconds float64
+}
+
+// Table2 models the elapsed time of nIters BiCG iterations with a fixed
+// core budget split between OpenMP threads and bottom-layer domains
+// (threads * ndm = cores), the paper's Table 2.
+func (m Machine) Table2(w Workload, cores, nIters int) []SplitTime {
+	var out []SplitTime
+	for threads := 1; threads <= cores; threads *= 2 {
+		ndm := cores / threads
+		if ndm < 1 {
+			break
+		}
+		t := m.IterTime(w, ndm, threads) * float64(nIters)
+		out = append(out, SplitTime{Threads: threads, Ndm: ndm, Seconds: t})
+	}
+	return out
+}

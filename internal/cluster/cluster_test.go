@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"testing"
+
+	"cbs/internal/hamiltonian"
+	"cbs/internal/lattice"
+)
+
+func testWorkload(t *testing.T) Workload {
+	t.Helper()
+	st, err := lattice.CNT(8, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := hamiltonian.Build(st, hamiltonian.Config{Nx: 24, Ny: 24, Nz: 10, Nf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromOperator(op, 32, 64, 2000)
+}
+
+func TestTopLayerNearIdeal(t *testing.T) {
+	// Fig. 8(a): the top (right-hand-side) layer scales almost ideally.
+	m := OakforestPACS()
+	w := testWorkload(t)
+	base := Hierarchy{Top: 1, Mid: 2, Ndm: 1, Threads: 64}
+	counts := []int{1, 2, 4, 8, 16, 32, 64}
+	pts, err := m.LayerScaling(w, base, "top", counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := pts[len(pts)-1]
+	eff := last.Speedup / float64(last.Workers)
+	if eff < 0.95 {
+		t.Errorf("top layer efficiency %.2f at %d workers, want near-ideal", eff, last.Workers)
+	}
+}
+
+func TestMiddleLayerSlightlyDegraded(t *testing.T) {
+	// Fig. 8(b): the middle layer scales almost linearly but below the top
+	// layer (iteration-count imbalance); paper: about 21x at 32 workers.
+	m := OakforestPACS()
+	w := testWorkload(t)
+	base := Hierarchy{Top: 2, Mid: 1, Ndm: 1, Threads: 64}
+	pts, err := m.LayerScaling(w, base, "mid", []int{1, 2, 4, 8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := pts[len(pts)-1]
+	if last.Speedup >= 31.5 {
+		t.Errorf("middle layer speedup %.1f at 32: should be visibly below ideal", last.Speedup)
+	}
+	if last.Speedup < 15 {
+		t.Errorf("middle layer speedup %.1f at 32: paper observes about 21x", last.Speedup)
+	}
+}
+
+func TestBottomLayerWorstForSmallSystem(t *testing.T) {
+	// Fig. 8(c): domain decomposition of a small system scales worst
+	// (communication per iteration).
+	m := OakforestPACS()
+	w := testWorkload(t)
+	base := Hierarchy{Top: 1, Mid: 2, Ndm: 1, Threads: 4}
+	counts := []int{1, 2, 4, 8, 16}
+	bottom, err := m.LayerScaling(w, base, "ndm", counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := m.LayerScaling(w, Hierarchy{Top: 1, Mid: 2, Ndm: 1, Threads: 4}, "top", counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bEff := bottom[len(bottom)-1].Speedup / 16
+	tEff := top[len(top)-1].Speedup / 16
+	if bEff >= tEff {
+		t.Errorf("bottom-layer efficiency %.2f not below top-layer %.2f", bEff, tEff)
+	}
+}
+
+func TestBottomLayerImprovesWithSystemSize(t *testing.T) {
+	// Fig. 9 vs Fig. 8: for the large system the bottom layer scales well
+	// (compute per domain grows, communication amortizes).
+	m := OakforestPACS()
+	small := testWorkload(t)
+	large := small
+	large.N *= 32 // the 1024-atom cell: 32x more planes
+	large.FlopsPerApply *= 32
+	large.ProjAllreduceBytes *= 32
+	counts := []int{1, 2, 4, 8, 16}
+	base := Hierarchy{Top: 1, Mid: 1, Ndm: 1, Threads: 4}
+	sp, err := m.LayerScaling(small, base, "ndm", counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := m.LayerScaling(large, base, "ndm", counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp[len(lp)-1].Speedup <= sp[len(sp)-1].Speedup {
+		t.Errorf("large-system bottom speedup %.1f not above small-system %.1f",
+			lp[len(lp)-1].Speedup, sp[len(sp)-1].Speedup)
+	}
+}
+
+func TestTable2UShape(t *testing.T) {
+	// Table 2: with 64 cores the time vs (threads x ndm) split is
+	// U-shaped, with neither extreme optimal for the small system.
+	m := OakforestPACS()
+	w := testWorkload(t)
+	rows := m.Table2(w, 64, 1000)
+	if len(rows) != 7 { // threads = 1,2,4,8,16,32,64
+		t.Fatalf("%d rows, want 7", len(rows))
+	}
+	best := 0
+	for i, r := range rows {
+		if r.Threads*r.Ndm != 64 {
+			t.Errorf("row %d: %dx%d != 64", i, r.Threads, r.Ndm)
+		}
+		if r.Seconds < rows[best].Seconds {
+			best = i
+		}
+	}
+	if best == 0 || best == len(rows)-1 {
+		t.Errorf("optimum at an extreme split (%d threads); paper finds an interior optimum", rows[best].Threads)
+	}
+}
+
+func TestTable2OptimumShiftsWithSize(t *testing.T) {
+	// Paper: best split 16 threads x 4 domains for 32 atoms, but 4 x 16
+	// for 1024/10240 atoms -- more domains pay off for larger systems.
+	m := OakforestPACS()
+	small := testWorkload(t)
+	large := small
+	large.N *= 320
+	large.FlopsPerApply *= 320
+	large.ProjAllreduceBytes *= 320
+	optOf := func(rows []SplitTime) int {
+		best := 0
+		for i, r := range rows {
+			if r.Seconds < rows[best].Seconds {
+				best = i
+			}
+		}
+		return rows[best].Ndm
+	}
+	ndmSmall := optOf(m.Table2(small, 64, 1000))
+	ndmLarge := optOf(m.Table2(large, 64, 1000))
+	if ndmLarge < ndmSmall {
+		t.Errorf("optimal Ndm %d (large) < %d (small); paper sees the opposite trend", ndmLarge, ndmSmall)
+	}
+}
+
+func TestIterTimeMonotoneInCompute(t *testing.T) {
+	m := OakforestPACS()
+	w := testWorkload(t)
+	if m.IterTime(w, 1, 1) <= m.IterTime(w, 1, 64)*0.99 {
+		t.Error("more threads should not be slower than one thread for this workload")
+	}
+	if m.IterTime(w, 0, 0) <= 0 {
+		t.Error("degenerate arguments must still give positive time")
+	}
+}
+
+func TestLayerScalingUnknownLayer(t *testing.T) {
+	m := OakforestPACS()
+	w := testWorkload(t)
+	if _, err := m.LayerScaling(w, Hierarchy{}, "bogus", []int{1}); err == nil {
+		t.Error("unknown layer should fail")
+	}
+}

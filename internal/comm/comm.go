@@ -1,0 +1,198 @@
+// Package comm is an in-process message-passing layer modelled on the MPI
+// subset the paper's code uses for its bottom parallel layer: point-to-point
+// sends between ranks (halo exchange of z-slab boundaries) and allreduce
+// (BiCG inner products, nonlocal projector coefficients). Ranks are
+// goroutines; channels carry the messages. Traffic statistics are recorded
+// so experiments can report communication volume.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// World is a fixed-size group of ranks sharing a communication fabric.
+type World struct {
+	size int
+	// p2p[src*size+dst] carries messages from src to dst.
+	p2p []chan []complex128
+
+	// allreduce state: a simple two-phase (gather + broadcast) reducer.
+	reduceIn  chan reduceMsg
+	reduceOut []chan []complex128
+
+	barrierIn  chan struct{}
+	barrierOut []chan struct{}
+
+	// statistics
+	messages atomic.Int64
+	bytes    atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+}
+
+type reduceMsg struct {
+	rank int
+	data []complex128
+}
+
+// chanDepth buffers point-to-point links so symmetric exchanges do not
+// deadlock.
+const chanDepth = 4
+
+// NewWorld creates a world of the given size and starts its reduction
+// coordinator. Call Close when done.
+func NewWorld(size int) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("comm: world size %d < 1", size)
+	}
+	w := &World{
+		size:       size,
+		p2p:        make([]chan []complex128, size*size),
+		reduceIn:   make(chan reduceMsg, size),
+		reduceOut:  make([]chan []complex128, size),
+		barrierIn:  make(chan struct{}, size),
+		barrierOut: make([]chan struct{}, size),
+		stop:       make(chan struct{}),
+	}
+	for i := range w.p2p {
+		w.p2p[i] = make(chan []complex128, chanDepth)
+	}
+	for i := range w.reduceOut {
+		w.reduceOut[i] = make(chan []complex128, 1)
+		w.barrierOut[i] = make(chan struct{}, 1)
+	}
+	go w.reducer()
+	go w.barrierKeeper()
+	return w, nil
+}
+
+// Close shuts down the world's coordinators.
+func (w *World) Close() {
+	w.stopOnce.Do(func() { close(w.stop) })
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Messages returns the total point-to-point message count so far.
+func (w *World) Messages() int64 { return w.messages.Load() }
+
+// Bytes returns the total point-to-point traffic in bytes so far.
+func (w *World) Bytes() int64 { return w.bytes.Load() }
+
+func (w *World) reducer() {
+	for {
+		acc := make([]complex128, 0)
+		got := 0
+		for got < w.size {
+			select {
+			case m := <-w.reduceIn:
+				if got == 0 {
+					acc = append(acc[:0], m.data...)
+				} else {
+					if len(m.data) != len(acc) {
+						panic("comm: allreduce length mismatch across ranks")
+					}
+					for i := range acc {
+						acc[i] += m.data[i]
+					}
+				}
+				got++
+			case <-w.stop:
+				return
+			}
+		}
+		for r := 0; r < w.size; r++ {
+			out := make([]complex128, len(acc))
+			copy(out, acc)
+			select {
+			case w.reduceOut[r] <- out:
+			case <-w.stop:
+				return
+			}
+		}
+	}
+}
+
+func (w *World) barrierKeeper() {
+	for {
+		for got := 0; got < w.size; got++ {
+			select {
+			case <-w.barrierIn:
+			case <-w.stop:
+				return
+			}
+		}
+		for r := 0; r < w.size; r++ {
+			select {
+			case w.barrierOut[r] <- struct{}{}:
+			case <-w.stop:
+				return
+			}
+		}
+	}
+}
+
+// Comm returns the endpoint of one rank.
+func (w *World) Comm(rank int) (*Communicator, error) {
+	if rank < 0 || rank >= w.size {
+		return nil, fmt.Errorf("comm: rank %d out of range [0,%d)", rank, w.size)
+	}
+	return &Communicator{w: w, rank: rank}, nil
+}
+
+// Communicator is one rank's endpoint in a World.
+type Communicator struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Communicator) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Communicator) Size() int { return c.w.size }
+
+// Send transmits data to dst (the slice is copied).
+func (c *Communicator) Send(dst int, data []complex128) {
+	buf := make([]complex128, len(data))
+	copy(buf, data)
+	c.w.messages.Add(1)
+	c.w.bytes.Add(int64(len(data) * 16))
+	c.w.p2p[c.rank*c.w.size+dst] <- buf
+}
+
+// Recv blocks until a message from src arrives.
+func (c *Communicator) Recv(src int) []complex128 {
+	return <-c.w.p2p[src*c.w.size+c.rank]
+}
+
+// SendRecv performs a deadlock-free paired exchange: send to dst, receive
+// from src. (The buffered links make send-first safe for ring exchanges.)
+func (c *Communicator) SendRecv(dst int, data []complex128, src int) []complex128 {
+	c.Send(dst, data)
+	return c.Recv(src)
+}
+
+// AllreduceSum sums the data element-wise across all ranks; every rank
+// receives the result. All ranks must call it with equal lengths.
+func (c *Communicator) AllreduceSum(data []complex128) []complex128 {
+	in := make([]complex128, len(data))
+	copy(in, data)
+	c.w.reduceIn <- reduceMsg{rank: c.rank, data: in}
+	return <-c.w.reduceOut[c.rank]
+}
+
+// AllreduceSumScalar is AllreduceSum for a single value.
+func (c *Communicator) AllreduceSumScalar(v complex128) complex128 {
+	return c.AllreduceSum([]complex128{v})[0]
+}
+
+// Barrier blocks until every rank has reached it.
+func (c *Communicator) Barrier() {
+	c.w.barrierIn <- struct{}{}
+	<-c.w.barrierOut[c.rank]
+}

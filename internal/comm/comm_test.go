@@ -1,0 +1,138 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSendRecv(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got := c1.Recv(0)
+		if len(got) != 3 || got[0] != 1 || got[2] != 3i {
+			t.Errorf("recv got %v", got)
+		}
+	}()
+	data := []complex128{1, 2, 3i}
+	c0.Send(1, data)
+	data[0] = 99 // mutation after send must not affect the message
+	<-done
+	if w.Messages() != 1 || w.Bytes() != 48 {
+		t.Errorf("stats: %d msgs %d bytes", w.Messages(), w.Bytes())
+	}
+}
+
+func TestRingExchange(t *testing.T) {
+	// Every rank sends to (rank+1) mod P and receives from (rank-1+P) mod P
+	// simultaneously: must not deadlock.
+	const p = 8
+	w, err := NewWorld(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, _ := w.Comm(rank)
+			up := (rank + 1) % p
+			down := (rank - 1 + p) % p
+			got := c.SendRecv(up, []complex128{complex(float64(rank), 0)}, down)
+			if got[0] != complex(float64(down), 0) {
+				t.Errorf("rank %d received %v, want %d", rank, got[0], down)
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestAllreduceSum(t *testing.T) {
+	const p = 5
+	w, err := NewWorld(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, _ := w.Comm(rank)
+			// Two consecutive reductions must stay ordered.
+			got := c.AllreduceSum([]complex128{complex(float64(rank), 0), 1})
+			if got[0] != complex(0+1+2+3+4, 0) || got[1] != 5 {
+				t.Errorf("rank %d: first reduce got %v", rank, got)
+			}
+			got2 := c.AllreduceSumScalar(complex(0, float64(rank)))
+			if got2 != complex(0, 10) {
+				t.Errorf("rank %d: second reduce got %v", rank, got2)
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestBarrier(t *testing.T) {
+	const p = 4
+	w, err := NewWorld(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var phase [p]int
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, _ := w.Comm(rank)
+			phase[rank] = 1
+			c.Barrier()
+			// After the barrier every rank must have set phase.
+			for i := 0; i < p; i++ {
+				if phase[i] != 1 {
+					t.Errorf("rank %d: barrier passed before rank %d arrived", rank, i)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Error("world of size 0 should fail")
+	}
+	w, _ := NewWorld(2)
+	defer w.Close()
+	if _, err := w.Comm(2); err == nil {
+		t.Error("rank out of range should fail")
+	}
+	if _, err := w.Comm(-1); err == nil {
+		t.Error("negative rank should fail")
+	}
+}
+
+func TestSingleRankWorld(t *testing.T) {
+	w, err := NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c, _ := w.Comm(0)
+	if got := c.AllreduceSumScalar(7); got != 7 {
+		t.Errorf("self reduce got %v", got)
+	}
+	c.Barrier()
+}

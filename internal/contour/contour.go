@@ -1,0 +1,91 @@
+// Package contour builds the numerical quadrature of the Sakurai-Sugiura
+// contour integrals. The target region of the CBS problem is the ring
+// lambda_min < |lambda| < 1/lambda_min (paper Eq. 5); its boundary is two
+// circles centred at the origin (Fig. 2), handled with the subtraction
+// extension of Miyata et al. for multiply connected regions.
+package contour
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Point is one quadrature node z with its (signed) weight w, such that
+// (1/2*pi*i) * contour integral of f(z) dz ~= sum_j w_j f(z_j).
+type Point struct {
+	Z complex128
+	W complex128
+}
+
+// Circle returns the N-point trapezoidal rule on the circle of the given
+// center and radius, using the paper's half-offset angles
+// theta_j = 2*pi*(j - 1/2)/N (which keeps nodes off the real axis). The
+// weights are w_j = (z_j - center)/N, the exact trapezoidal weights of the
+// Cauchy integral.
+func Circle(center complex128, radius float64, n int) ([]Point, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("contour: need at least one quadrature point, got %d", n)
+	}
+	if radius <= 0 {
+		return nil, fmt.Errorf("contour: radius %g must be positive", radius)
+	}
+	pts := make([]Point, n)
+	for j := 0; j < n; j++ {
+		theta := 2 * math.Pi * (float64(j) + 0.5) / float64(n)
+		e := cmplx.Exp(complex(0, theta))
+		pts[j] = Point{
+			Z: center + complex(radius, 0)*e,
+			W: complex(radius/float64(n), 0) * e,
+		}
+	}
+	return pts, nil
+}
+
+// Ring is the two-circle contour of the CBS target annulus.
+type Ring struct {
+	LambdaMin float64
+	Outer     []Point // radius 1/lambda_min, positive orientation
+	Inner     []Point // radius lambda_min, weights negated (subtraction)
+}
+
+// NewRing builds the ring contour with n quadrature points per circle
+// (2n linear solves before the dual-system halving).
+func NewRing(lambdaMin float64, n int) (*Ring, error) {
+	if lambdaMin <= 0 || lambdaMin >= 1 {
+		return nil, fmt.Errorf("contour: lambdaMin = %g must be in (0,1)", lambdaMin)
+	}
+	outer, err := Circle(0, 1/lambdaMin, n)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := Circle(0, lambdaMin, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range inner {
+		inner[i].W = -inner[i].W
+	}
+	return &Ring{LambdaMin: lambdaMin, Outer: outer, Inner: inner}, nil
+}
+
+// Points returns all nodes of the ring (outer then inner) with their signed
+// weights.
+func (r *Ring) Points() []Point {
+	out := make([]Point, 0, len(r.Outer)+len(r.Inner))
+	out = append(out, r.Outer...)
+	out = append(out, r.Inner...)
+	return out
+}
+
+// Contains reports whether lambda lies inside the target annulus.
+func (r *Ring) Contains(lambda complex128) bool {
+	a := cmplx.Abs(lambda)
+	return a > r.LambdaMin && a < 1/r.LambdaMin
+}
+
+// DualIndex verifies the structural pairing used by the halving trick: the
+// inner node j is 1/conj(outer node j).
+func (r *Ring) DualIndex(j int) complex128 {
+	return 1 / cmplx.Conj(r.Outer[j].Z)
+}

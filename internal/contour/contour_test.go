@@ -1,0 +1,154 @@
+package contour
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestCircleCauchyIntegral(t *testing.T) {
+	// (1/2pi*i) integral of 1/(z-a) dz over a circle containing a is 1;
+	// 0 when a is outside; z^k integrates to 0 for k >= 0.
+	pts, err := Circle(0, 2.0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(f func(z complex128) complex128) complex128 {
+		var s complex128
+		for _, p := range pts {
+			s += p.W * f(p.Z)
+		}
+		return s
+	}
+	inside := complex(0.5, 0.3)
+	if d := cmplx.Abs(sum(func(z complex128) complex128 { return 1 / (z - inside) }) - 1); d > 1e-12 {
+		t.Errorf("pole inside: integral error %g", d)
+	}
+	// Trapezoid error decays like (r/|a|)^N for an outside pole:
+	// (2/sqrt(10))^32 ~ 6e-7.
+	outside := complex(3.0, 1.0)
+	if d := cmplx.Abs(sum(func(z complex128) complex128 { return 1 / (z - outside) })); d > 1e-5 {
+		t.Errorf("pole outside: integral error %g", d)
+	}
+	for k := 0; k <= 3; k++ {
+		kk := k
+		if d := cmplx.Abs(sum(func(z complex128) complex128 { return cmplx.Pow(z, complex(float64(kk), 0)) })); d > 1e-10 {
+			t.Errorf("z^%d: integral error %g", k, d)
+		}
+	}
+	// First moment: z/(z-a) integrates to a.
+	if d := cmplx.Abs(sum(func(z complex128) complex128 { return z / (z - inside) }) - inside); d > 1e-12 {
+		t.Errorf("first moment error %g", d)
+	}
+}
+
+func TestRingSelectsAnnulus(t *testing.T) {
+	r, err := NewRing(0.5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(f func(z complex128) complex128) complex128 {
+		var s complex128
+		for _, p := range r.Points() {
+			s += p.W * f(p.Z)
+		}
+		return s
+	}
+	// Pole inside the annulus: counted once (error set by the geometric
+	// trapezoid rate of the closest circle).
+	inAnnulus := complex(1.2, 0.4)
+	if d := cmplx.Abs(sum(func(z complex128) complex128 { return 1 / (z - inAnnulus) }) - 1); d > 1e-5 {
+		t.Errorf("annulus pole: error %g", d)
+	}
+	// Pole inside the inner circle: excluded by the subtraction.
+	inInner := complex(0.2, 0.1)
+	if d := cmplx.Abs(sum(func(z complex128) complex128 { return 1 / (z - inInner) })); d > 1e-8 {
+		t.Errorf("inner pole not cancelled: error %g", d)
+	}
+	// Pole outside everything: zero.
+	outer := complex(3.0, 0.5)
+	if d := cmplx.Abs(sum(func(z complex128) complex128 { return 1 / (z - outer) })); d > 1e-4 {
+		t.Errorf("outside pole: error %g", d)
+	}
+}
+
+func TestQuadratureGeometricConvergence(t *testing.T) {
+	// Doubling the node count must square the relative error (geometric
+	// convergence of the trapezoid rule on a circle).
+	pole := complex(3.0, 0)
+	errAt := func(n int) float64 {
+		pts, err := Circle(0, 2.0, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s complex128
+		for _, p := range pts {
+			s += p.W / (p.Z - pole)
+		}
+		return cmplx.Abs(s)
+	}
+	e16, e32 := errAt(16), errAt(32)
+	if e32 > e16*e16*10+1e-14 {
+		t.Errorf("no geometric convergence: e16=%g e32=%g", e16, e32)
+	}
+}
+
+func TestRingDualPairing(t *testing.T) {
+	// Inner node j must equal 1/conj(outer node j): the paper's halving
+	// identity z2 = 1/conj(z1).
+	r, err := NewRing(0.5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range r.Outer {
+		if d := cmplx.Abs(r.Inner[j].Z - r.DualIndex(j)); d > 1e-14 {
+			t.Errorf("node %d: inner %v, 1/conj(outer) %v", j, r.Inner[j].Z, r.DualIndex(j))
+		}
+	}
+}
+
+func TestRingContains(t *testing.T) {
+	r, _ := NewRing(0.5, 8)
+	cases := []struct {
+		z    complex128
+		want bool
+	}{
+		{complex(1, 0), true},
+		{complex(0.6, 0), true},
+		{complex(1.9, 0), true},
+		{complex(0.4, 0), false},
+		{complex(2.1, 0), false},
+		{complex(0, 1.5), true},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.z); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNodesAvoidRealAxis(t *testing.T) {
+	// The half-offset angles must keep every node off the real axis, where
+	// propagating-state eigenvalues accumulate.
+	r, _ := NewRing(0.5, 32)
+	for _, p := range r.Points() {
+		if math.Abs(imag(p.Z)) < 1e-6 {
+			t.Errorf("node %v is (nearly) on the real axis", p.Z)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Circle(0, 1, 0); err == nil {
+		t.Error("zero quadrature points should fail")
+	}
+	if _, err := Circle(0, -1, 4); err == nil {
+		t.Error("negative radius should fail")
+	}
+	if _, err := NewRing(0, 8); err == nil {
+		t.Error("lambdaMin = 0 should fail")
+	}
+	if _, err := NewRing(1.5, 8); err == nil {
+		t.Error("lambdaMin > 1 should fail")
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"sync"
+
+	"cbs/internal/qep"
+)
+
+// MemoryEstimate returns the resident bytes of a CBS solve with the given
+// options: the matrix-free operator (O(N)), the moment accumulator
+// (O(M*N), M = Nrh*Nmm), the probe block, the per-worker Krylov vectors and
+// the small dense Hankel work. This is the quantity compared against the
+// OBM baseline in Fig. 4(b).
+func MemoryEstimate(q *qep.Problem, opts Options) int64 {
+	opts.Parallel = opts.Parallel.normalize()
+	n := int64(q.Dim())
+	nrh := int64(opts.Nrh)
+	nmm := int64(opts.Nmm)
+	m := nrh * nmm
+
+	var b int64
+	b += q.Op.MemoryBytes()     // operator (potential + projectors + tables)
+	b += 2 * nmm * n * nrh * 16 // moment accumulator
+	b += n * nrh * 16           // probe block V
+	b += 3 * m * m * 16         // Hankel pair + SVD work
+	workers := int64(opts.Parallel.Top * opts.Parallel.Mid)
+	b += workers * 10 * n * 16 // BiCG vectors (x, xd, r, rd, p, pd, q, qd, 2 scratch)
+	return b
+}
+
+// EnergyScan solves the CBS at every energy in es (hartree), sequentially
+// reusing the operator. The paper's Fig. 6 and Fig. 11 are scans of 200
+// equidistant energies.
+func EnergyScan(q *qep.Problem, es []float64, opts Options) ([]*Result, error) {
+	out := make([]*Result, 0, len(es))
+	for _, e := range es {
+		qe := qep.New(q.Op, e)
+		r, err := Solve(qe, opts)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// EnergyScanParallel runs the scan with workers concurrent energies: the
+// outermost trivially-parallel level of the paper's Sec. 5 application
+// ("200 independent calculations at equidistant energies"). Results are
+// returned in energy order; the first error aborts remaining work.
+func EnergyScanParallel(q *qep.Problem, es []float64, opts Options, workers int) ([]*Result, error) {
+	if workers < 2 || len(es) < 2 {
+		return EnergyScan(q, es, opts)
+	}
+	out := make([]*Result, len(es))
+	errs := make([]error, len(es))
+	jobs := make(chan int, len(es))
+	for i := range es {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				qe := qep.New(q.Op, es[i])
+				out[i], errs[i] = Solve(qe, opts)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

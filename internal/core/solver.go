@@ -1,0 +1,363 @@
+// Package core is the paper's primary contribution: the complex band
+// structure (CBS) solver that expresses the real-space-grid Kohn-Sham
+// equation of a bulk unit cell as a quadratic eigenvalue problem and
+// computes only the annulus eigenvalues lambda_min < |lambda| < 1/lambda_min
+// with the Sakurai-Sugiura method (Algorithm 1), the ring contour of Fig. 2,
+// the dual-system BiCG halving of Sec. 3.2, and the three layers of
+// hierarchical parallelism of Sec. 3.3 (right-hand sides / quadrature
+// points / domain decomposition).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cbs/internal/contour"
+	"cbs/internal/dist"
+	"cbs/internal/linsolve"
+	"cbs/internal/qep"
+	"cbs/internal/ssm"
+	"cbs/internal/zlinalg"
+)
+
+// Parallel configures the three layers of the hierarchy. Each field is a
+// worker count; 1 means serial at that layer.
+type Parallel struct {
+	Top int // concurrent right-hand-side blocks (no communication)
+	Mid int // concurrent quadrature points (no communication)
+	Ndm int // domains of the z-slab decomposition (halo + allreduce traffic)
+}
+
+// normalize fills zero fields with 1.
+func (p Parallel) normalize() Parallel {
+	if p.Top < 1 {
+		p.Top = 1
+	}
+	if p.Mid < 1 {
+		p.Mid = 1
+	}
+	if p.Ndm < 1 {
+		p.Ndm = 1
+	}
+	return p
+}
+
+// Options collects the solver parameters in the paper's notation; the
+// defaults (via DefaultOptions) are the paper's Sec. 4 settings.
+type Options struct {
+	Nint      int     // quadrature points per circle (paper: 32)
+	Nmm       int     // moment blocks (paper: 8)
+	Nrh       int     // right-hand sides (paper: 16 or 64)
+	Delta     float64 // Hankel SVD threshold (paper: 1e-10)
+	LambdaMin float64 // annulus inner radius (paper: 0.5)
+	BiCGTol   float64 // linear-solve tolerance (paper: 1e-10)
+	MaxIter   int     // BiCG iteration cap (0: dimension-derived)
+
+	// ResidualTol filters extracted eigenpairs by the relative QEP
+	// residual ||P(lambda) psi|| / ||psi||.
+	ResidualTol float64
+
+	// LoadBalanceStop enables the majority stopping rule across quadrature
+	// points (paper Sec. 3.3).
+	LoadBalanceStop bool
+
+	// TrackHistories records the BiCG residual history of the first
+	// right-hand side at every quadrature point (Fig. 5 data).
+	TrackHistories bool
+
+	Seed     int64 // probe block seed (deterministic runs)
+	Parallel Parallel
+
+	// AutoExpand re-runs the solve with doubled Nrh when the Hankel rank
+	// saturates the subspace (rank == Nrh*Nmm), which signals that more
+	// eigenvalues live in the annulus than the moment space can represent
+	// and some are being missed. At most MaxExpand doublings (default 2
+	// when AutoExpand is set).
+	AutoExpand bool
+	MaxExpand  int
+}
+
+// DefaultOptions returns the paper's parameter set.
+func DefaultOptions() Options {
+	return Options{
+		Nint:        32,
+		Nmm:         8,
+		Nrh:         16,
+		Delta:       1e-10,
+		LambdaMin:   0.5,
+		BiCGTol:     1e-10,
+		ResidualTol: 1e-5,
+		Seed:        1,
+		Parallel:    Parallel{Top: 1, Mid: 1, Ndm: 1},
+	}
+}
+
+// Eigenpair is one CBS solution at the solved energy.
+type Eigenpair struct {
+	Lambda   complex128   // Bloch factor e^{ika}
+	K        complex128   // complex wave vector (1/bohr)
+	Psi      []complex128 // unit-cell eigenvector (unit norm)
+	Residual float64      // relative QEP residual
+}
+
+// Timings is the paper's Table 1 cost breakdown.
+type Timings struct {
+	Setup       time.Duration // contour + probe preparation ("read matrix data" analog)
+	SolveLinear time.Duration // step 1: the 2*Nint*Nrh linear systems
+	Extract     time.Duration // steps 2-3: moments, Hankel, small EVP
+}
+
+// PointStats records the linear-solve behaviour at one quadrature point.
+type PointStats struct {
+	Z            complex128
+	Iterations   int       // BiCG iterations summed over this point's columns
+	Converged    int       // converged columns
+	StoppedEarly int       // columns halted by the majority rule
+	History      []float64 // first column's residual history (optional)
+}
+
+// Result is the outcome of one CBS solve at a fixed energy.
+type Result struct {
+	Energy float64 // hartree
+
+	Pairs    []Eigenpair // annulus eigenpairs passing the residual filter
+	AllPairs []Eigenpair // every extracted pair (diagnostics)
+	Rank     int         // Hankel numerical rank m-hat
+	Sigma    []float64   // Hankel singular values
+
+	Points    []PointStats // per outer-circle quadrature point
+	Timings   Timings
+	MatVecs   int   // operator applications across all solves
+	CommBytes int64 // bottom-layer traffic (0 when Ndm = 1)
+	Expanded  int   // the Nrh actually used (grows under AutoExpand)
+}
+
+// Solve computes the CBS eigenpairs of the QEP at its energy. With
+// AutoExpand set it retries with a larger probe block when the moment
+// subspace saturates.
+func Solve(q *qep.Problem, opts Options) (*Result, error) {
+	expands := opts.MaxExpand
+	if opts.AutoExpand && expands <= 0 {
+		expands = 2
+	}
+	for {
+		res, err := solveOnce(q, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Expanded = opts.Nrh
+		if !opts.AutoExpand || expands == 0 || res.Rank < opts.Nrh*opts.Nmm {
+			return res, nil
+		}
+		if 2*opts.Nrh*opts.Nmm > q.Dim() {
+			return res, nil // cannot grow further
+		}
+		opts.Nrh *= 2
+		expands--
+	}
+}
+
+// solveOnce is a single pass of Algorithm 1.
+func solveOnce(q *qep.Problem, opts Options) (*Result, error) {
+	opts.Parallel = opts.Parallel.normalize()
+	if opts.Nint < 1 || opts.Nmm < 1 || opts.Nrh < 1 {
+		return nil, fmt.Errorf("core: Nint/Nmm/Nrh must be positive, got %d/%d/%d", opts.Nint, opts.Nmm, opts.Nrh)
+	}
+	if opts.Nrh*opts.Nmm > q.Dim() {
+		return nil, fmt.Errorf("core: subspace size Nrh*Nmm = %d exceeds problem dimension %d", opts.Nrh*opts.Nmm, q.Dim())
+	}
+	tSetup := time.Now()
+	ring, err := contour.NewRing(opts.LambdaMin, opts.Nint)
+	if err != nil {
+		return nil, err
+	}
+	n := q.Dim()
+	v := probeBlock(n, opts.Nrh, opts.Seed)
+	acc, err := ssm.NewAccumulator(n, opts.Nrh, opts.Nmm)
+	if err != nil {
+		return nil, err
+	}
+	var distSolver *dist.Solver
+	if opts.Parallel.Ndm > 1 {
+		distSolver, err = dist.NewSolver(q, opts.Parallel.Ndm)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Energy: q.E}
+	res.Points = make([]PointStats, opts.Nint)
+	for j := range res.Points {
+		res.Points[j].Z = ring.Outer[j].Z
+	}
+	res.Timings.Setup = time.Since(tSetup)
+
+	// ---- Step 1: the linear systems, hierarchically parallel ------------
+	tSolve := time.Now()
+	if err := solveAll(q, ring, v, acc, distSolver, opts, res); err != nil {
+		return nil, err
+	}
+	res.Timings.SolveLinear = time.Since(tSolve)
+
+	// ---- Steps 2-3: extraction -------------------------------------------
+	tExtract := time.Now()
+	ext, err := ssm.ExtractFromMoments(acc.Moments(), v, ssm.Options{Nmm: opts.Nmm, Delta: opts.Delta})
+	if err != nil {
+		return nil, err
+	}
+	res.Rank = ext.Rank
+	res.Sigma = ext.SingularValues
+	a := q.Op.G.Lz()
+	for j, lam := range ext.Lambdas {
+		psi := ext.Vectors.Col(j)
+		pair := Eigenpair{
+			Lambda:   lam,
+			K:        qep.KFromLambda(lam, a),
+			Psi:      psi,
+			Residual: q.Residual(lam, psi),
+		}
+		res.AllPairs = append(res.AllPairs, pair)
+		if ring.Contains(lam) && pair.Residual <= opts.ResidualTol {
+			res.Pairs = append(res.Pairs, pair)
+		}
+	}
+	res.Timings.Extract = time.Since(tExtract)
+	return res, nil
+}
+
+// probeBlock builds the deterministic random probe V.
+func probeBlock(n, nrh int, seed int64) *zlinalg.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	v := zlinalg.NewMatrix(n, nrh)
+	for i := range v.Data {
+		v.Data[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return v
+}
+
+// solveAll runs the 2*Nint*Nrh linear systems (halved to Nint*Nrh actual
+// BiCG solves by the dual trick) under the top/middle/bottom hierarchy.
+func solveAll(q *qep.Problem, ring *contour.Ring, v *zlinalg.Matrix, acc *ssm.Accumulator, distSolver *dist.Solver, opts Options, res *Result) error {
+	n := q.Dim()
+	nint := opts.Nint
+	par := opts.Parallel
+
+	// Per-column majority controllers across the quadrature points.
+	groups := make([]*linsolve.GroupStop, opts.Nrh)
+	for c := range groups {
+		groups[c] = linsolve.NewGroupStop(nint, opts.LoadBalanceStop)
+	}
+
+	// Top layer: split the Nrh columns into contiguous blocks.
+	blocks := splitRange(opts.Nrh, par.Top)
+	var (
+		mu       sync.Mutex // guards res.Points, res.MatVecs, firstErr
+		firstErr error
+		topWG    sync.WaitGroup
+	)
+	for _, blk := range blocks {
+		topWG.Add(1)
+		go func(c0, c1 int) {
+			defer topWG.Done()
+			// Middle layer: quadrature points from a shared queue.
+			points := make(chan int, nint)
+			for j := 0; j < nint; j++ {
+				points <- j
+			}
+			close(points)
+			var midWG sync.WaitGroup
+			for w := 0; w < par.Mid; w++ {
+				midWG.Add(1)
+				go func() {
+					defer midWG.Done()
+					// Per-worker scratch for the serial bottom layer.
+					x := make([]complex128, n)
+					xd := make([]complex128, n)
+					scratch1 := make([]complex128, n)
+					scratch2 := make([]complex128, n)
+					for j := range points {
+						zOut := ring.Outer[j].Z
+						wOut := ring.Outer[j].W
+						zIn := ring.Inner[j].Z
+						wIn := ring.Inner[j].W
+						for c := c0; c < c1; c++ {
+							b := v.Col(c)
+							lopts := linsolve.Options{
+								Tol:     opts.BiCGTol,
+								MaxIter: opts.MaxIter,
+								Group:   groups[c],
+								History: opts.TrackHistories && c == 0,
+							}
+							var r linsolve.Result
+							if distSolver != nil {
+								var stats dist.Stats
+								var err error
+								r, stats, err = distSolver.SolveDual(zOut, b, b, x, xd, lopts)
+								if err != nil {
+									mu.Lock()
+									if firstErr == nil {
+										firstErr = err
+									}
+									mu.Unlock()
+									return
+								}
+								mu.Lock()
+								res.CommBytes += stats.Bytes
+								mu.Unlock()
+							} else {
+								for i := range x {
+									x[i] = 0
+									xd[i] = 0
+								}
+								apply := func(vv, out []complex128) { q.Apply(zOut, vv, out, scratch1) }
+								applyD := func(vv, out []complex128) { q.ApplyDagger(zOut, vv, out, scratch2) }
+								r = linsolve.BiCGDual(apply, applyD, b, b, x, xd, lopts)
+							}
+							// Accumulate: primal -> outer node, dual -> the
+							// paired inner node (P(zOut)^dagger = P(zIn)).
+							acc.Add(zOut, wOut, c, x)
+							acc.Add(zIn, wIn, c, xd)
+							mu.Lock()
+							ps := &res.Points[j]
+							ps.Iterations += r.Iterations
+							if r.Converged {
+								ps.Converged++
+							}
+							if r.StoppedEarly {
+								ps.StoppedEarly++
+							}
+							if lopts.History && ps.History == nil {
+								ps.History = r.History
+							}
+							res.MatVecs += r.MatVecApplied
+							mu.Unlock()
+						}
+					}
+				}()
+			}
+			midWG.Wait()
+		}(blk[0], blk[1])
+	}
+	topWG.Wait()
+	return firstErr
+}
+
+// splitRange divides [0,n) into at most p contiguous non-empty blocks.
+func splitRange(n, p int) [][2]int {
+	if p > n {
+		p = n
+	}
+	out := make([][2]int, 0, p)
+	base, extra := n/p, n%p
+	at := 0
+	for i := 0; i < p; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		out = append(out, [2]int{at, at + sz})
+		at += sz
+	}
+	return out
+}

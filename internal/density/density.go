@@ -1,0 +1,174 @@
+// Package density builds and manipulates electron densities on the
+// real-space grid: the superposition of atomic valence densities that seeds
+// the SCF loop, and the density synthesized from occupied Kohn-Sham
+// orbitals.
+package density
+
+import (
+	"fmt"
+	"math"
+
+	"cbs/internal/grid"
+	"cbs/internal/lattice"
+	"cbs/internal/pseudo"
+)
+
+// atomicWidth returns the Gaussian width (bohr) of the model valence
+// density of a species, tied to its screening radius.
+func atomicWidth(sp pseudo.Species) float64 { return 0.8 * sp.RScr }
+
+// Superposition builds the starting density as a sum of normalized atomic
+// Gaussians, n_a(r) = Z (alpha/pi)^{3/2} exp(-alpha r^2), over all periodic
+// images, then rescales so the grid integral equals the total valence
+// charge exactly.
+func Superposition(g *grid.Grid, st *lattice.Structure) ([]float64, error) {
+	n := make([]float64, g.N())
+	var ztot float64
+	for _, at := range st.Atoms {
+		sp, err := pseudo.Lookup(at.Species)
+		if err != nil {
+			return nil, err
+		}
+		ztot += sp.Zval
+		w := atomicWidth(sp)
+		alpha := 1 / (2 * w * w)
+		pref := sp.Zval * math.Pow(alpha/math.Pi, 1.5)
+		rc := 6 * w
+		nxI := int(math.Ceil(rc/g.Lx())) + 1
+		nyI := int(math.Ceil(rc/g.Ly())) + 1
+		nzI := int(math.Ceil(rc/g.Lz())) + 1
+		for mx := -nxI; mx <= nxI; mx++ {
+			for my := -nyI; my <= nyI; my++ {
+				for mz := -nzI; mz <= nzI; mz++ {
+					ax := at.X + float64(mx)*g.Lx()
+					ay := at.Y + float64(my)*g.Ly()
+					az := at.Z + float64(mz)*g.Lz()
+					addGaussian(g, n, ax, ay, az, alpha, pref, rc)
+				}
+			}
+		}
+	}
+	// Exact renormalization to the valence charge.
+	var sum float64
+	for _, v := range n {
+		sum += v
+	}
+	sum *= g.DV()
+	if sum <= 0 {
+		return nil, fmt.Errorf("density: superposition integrated to %g", sum)
+	}
+	scale := ztot / sum
+	for i := range n {
+		n[i] *= scale
+	}
+	return n, nil
+}
+
+func addGaussian(g *grid.Grid, n []float64, ax, ay, az, alpha, pref, rc float64) {
+	ix0 := int(math.Floor((ax - rc) / g.Hx))
+	ix1 := int(math.Ceil((ax + rc) / g.Hx))
+	iy0 := int(math.Floor((ay - rc) / g.Hy))
+	iy1 := int(math.Ceil((ay + rc) / g.Hy))
+	iz0 := int(math.Floor((az - rc) / g.Hz))
+	iz1 := int(math.Ceil((az + rc) / g.Hz))
+	clip := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	ix0, ix1 = clip(ix0, 0, g.Nx-1), clip(ix1, 0, g.Nx-1)
+	iy0, iy1 = clip(iy0, 0, g.Ny-1), clip(iy1, 0, g.Ny-1)
+	iz0, iz1 = clip(iz0, 0, g.Nz-1), clip(iz1, 0, g.Nz-1)
+	rc2 := rc * rc
+	for iz := iz0; iz <= iz1; iz++ {
+		dz := float64(iz)*g.Hz - az
+		for iy := iy0; iy <= iy1; iy++ {
+			dy := float64(iy)*g.Hy - ay
+			base := (iz*g.Ny + iy) * g.Nx
+			for ix := ix0; ix <= ix1; ix++ {
+				dx := float64(ix)*g.Hx - ax
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > rc2 {
+					continue
+				}
+				n[base+ix] += pref * math.Exp(-alpha*r2)
+			}
+		}
+	}
+}
+
+// FromOrbitals accumulates n(r) = sum_i occ_i |psi_i(r)|^2 / dV from
+// orbitals normalized to unit discrete 2-norm (so each integrates to its
+// occupation).
+func FromOrbitals(g *grid.Grid, orbitals [][]complex128, occ []float64) ([]float64, error) {
+	if len(orbitals) != len(occ) {
+		return nil, fmt.Errorf("density: %d orbitals vs %d occupations", len(orbitals), len(occ))
+	}
+	n := make([]float64, g.N())
+	inv := 1 / g.DV()
+	for i, psi := range orbitals {
+		if len(psi) != g.N() {
+			return nil, fmt.Errorf("density: orbital %d has length %d", i, len(psi))
+		}
+		f := occ[i] * inv
+		for j, v := range psi {
+			n[j] += f * (real(v)*real(v) + imag(v)*imag(v))
+		}
+	}
+	return n, nil
+}
+
+// Integrate returns the total electron count of a density.
+func Integrate(g *grid.Grid, n []float64) float64 {
+	var s float64
+	for _, v := range n {
+		s += v
+	}
+	return s * g.DV()
+}
+
+// IonicBackground builds the Gaussian-smeared ionic charge density (positive
+// charge Z per atom, width tied to the species screening radius) used to
+// neutralize the electron density in the Hartree solve.
+func IonicBackground(g *grid.Grid, st *lattice.Structure) ([]float64, error) {
+	n := make([]float64, g.N())
+	var ztot float64
+	for _, at := range st.Atoms {
+		sp, err := pseudo.Lookup(at.Species)
+		if err != nil {
+			return nil, err
+		}
+		ztot += sp.Zval
+		w := 0.5 * sp.RScr
+		alpha := 1 / (2 * w * w)
+		pref := sp.Zval * math.Pow(alpha/math.Pi, 1.5)
+		rc := 6 * w
+		nxI := int(math.Ceil(rc/g.Lx())) + 1
+		nyI := int(math.Ceil(rc/g.Ly())) + 1
+		nzI := int(math.Ceil(rc/g.Lz())) + 1
+		for mx := -nxI; mx <= nxI; mx++ {
+			for my := -nyI; my <= nyI; my++ {
+				for mz := -nzI; mz <= nzI; mz++ {
+					addGaussian(g, n,
+						at.X+float64(mx)*g.Lx(),
+						at.Y+float64(my)*g.Ly(),
+						at.Z+float64(mz)*g.Lz(), alpha, pref, rc)
+				}
+			}
+		}
+	}
+	var sum float64
+	for _, v := range n {
+		sum += v
+	}
+	sum *= g.DV()
+	scale := ztot / sum
+	for i := range n {
+		n[i] *= scale
+	}
+	return n, nil
+}

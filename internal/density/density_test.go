@@ -1,0 +1,96 @@
+package density
+
+import (
+	"math"
+	"testing"
+
+	"cbs/internal/grid"
+	"cbs/internal/lattice"
+)
+
+func alSetup(t *testing.T) (*grid.Grid, *lattice.Structure) {
+	t.Helper()
+	st, err := lattice.AlBulk100(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid.New(10, 10, 10, st.Lx, st.Ly, st.Lz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, st
+}
+
+func TestSuperpositionIntegratesToValence(t *testing.T) {
+	g, st := alSetup(t)
+	n, err := Superposition(g, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Integrate(g, n)
+	if math.Abs(got-12) > 1e-9 { // 4 Al x 3 electrons
+		t.Errorf("density integrates to %g, want 12", got)
+	}
+	for i, v := range n {
+		if v < 0 {
+			t.Fatalf("negative density at %d: %g", i, v)
+		}
+	}
+}
+
+func TestIonicBackgroundNeutralizes(t *testing.T) {
+	g, st := alSetup(t)
+	ne, err := Superposition(g, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni, err := IonicBackground(g, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(Integrate(g, ne) - Integrate(g, ni)); d > 1e-9 {
+		t.Errorf("electron and ionic charges differ by %g", d)
+	}
+}
+
+func TestFromOrbitals(t *testing.T) {
+	g, _ := alSetup(t)
+	n := g.N()
+	// One uniform normalized orbital occupied by 2 electrons.
+	psi := make([]complex128, n)
+	a := complex(1/math.Sqrt(float64(n)), 0)
+	for i := range psi {
+		psi[i] = a
+	}
+	rho, err := FromOrbitals(g, [][]complex128{psi}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Integrate(g, rho); math.Abs(got-2) > 1e-10 {
+		t.Errorf("orbital density integrates to %g, want 2", got)
+	}
+	if _, err := FromOrbitals(g, [][]complex128{psi}, []float64{1, 2}); err == nil {
+		t.Error("mismatched occupations should fail")
+	}
+	if _, err := FromOrbitals(g, [][]complex128{psi[:3]}, []float64{1}); err == nil {
+		t.Error("short orbital should fail")
+	}
+}
+
+func TestDensityPeaksAtAtoms(t *testing.T) {
+	g, st := alSetup(t)
+	n, err := Superposition(g, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := st.Atoms[0]
+	ix := int(math.Round(at.X/g.Hx)) % g.Nx
+	iy := int(math.Round(at.Y/g.Hy)) % g.Ny
+	iz := int(math.Round(at.Z/g.Hz)) % g.Nz
+	atAtom := n[g.Index(ix, iy, iz)]
+	// Farthest point from any atom in the fcc cell: (1/4,1/4,1/4)-ish.
+	far := n[g.Index(ix+g.Nx/4, iy+g.Ny/4, iz+g.Nz/4)]
+	if atAtom <= far {
+		t.Errorf("density at atom %g not above interstitial %g", atAtom, far)
+	}
+}

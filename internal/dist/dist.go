@@ -1,0 +1,292 @@
+// Package dist implements the bottom layer of the paper's hierarchical
+// parallelism: the BiCG solve of one quadrature-point system P(z) Y = V is
+// domain-decomposed into z-slabs, one SPMD goroutine ("rank") per domain,
+// communicating through the comm package exactly as the MPI code does --
+// ring halo exchange of the stencil boundary planes with a Bloch phase
+// twist at the cell seam, and allreduce for the BiCG inner products and the
+// nonlocal projector coefficients (the global communication the paper
+// identifies as the large-scale bottleneck).
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cbs/internal/comm"
+	"cbs/internal/grid"
+	"cbs/internal/linsolve"
+	"cbs/internal/qep"
+	"cbs/internal/zlinalg"
+)
+
+// Solver holds the per-domain precomputation for one QEP.
+type Solver struct {
+	Q     *qep.Problem
+	Ndm   int
+	slabs []grid.Slab
+	ranks []*rankState
+}
+
+// rankState is the static per-rank data.
+type rankState struct {
+	slab   grid.Slab
+	n      int // local vector length
+	offset int // global flat offset of the slab
+	// Projector support segments restricted to this slab, indices localized.
+	segs []projSeg
+}
+
+type projSeg struct {
+	proj int // projector index (for the coefficient exchange layout)
+	off  int // cell offset slot 0..2
+	idx  []int32
+	val  []float64
+}
+
+// NewSolver prepares an ndm-domain decomposition of the QEP.
+func NewSolver(q *qep.Problem, ndm int) (*Solver, error) {
+	g := q.Op.G
+	if ndm < 1 {
+		return nil, fmt.Errorf("dist: ndm = %d < 1", ndm)
+	}
+	slabs, err := g.Decompose(ndm)
+	if err != nil {
+		return nil, err
+	}
+	nf := q.Op.St.Nf
+	for _, s := range slabs {
+		if s.NPlanes() < nf {
+			return nil, fmt.Errorf("dist: slab with %d planes is thinner than the stencil half-width %d", s.NPlanes(), nf)
+		}
+	}
+	sv := &Solver{Q: q, Ndm: ndm, slabs: slabs}
+	plane := g.PlaneSize()
+	for r := 0; r < ndm; r++ {
+		rs := &rankState{slab: slabs[r], offset: slabs[r].Z0 * plane}
+		rs.n = slabs[r].NPlanes() * plane
+		for pi := range q.Op.Projs {
+			p := &q.Op.Projs[pi]
+			for off := 0; off < 3; off++ {
+				s := &p.Supp[off]
+				var seg projSeg
+				for i, gidx := range s.Idx {
+					iz := int(gidx) / plane
+					if iz >= slabs[r].Z0 && iz < slabs[r].Z1 {
+						seg.idx = append(seg.idx, gidx-int32(rs.offset))
+						seg.val = append(seg.val, s.Val[i])
+					}
+				}
+				if len(seg.idx) > 0 {
+					seg.proj = pi
+					seg.off = off
+					rs.segs = append(rs.segs, seg)
+				}
+			}
+		}
+		sv.ranks = append(sv.ranks, rs)
+	}
+	return sv, nil
+}
+
+// Stats reports the communication traffic of one solve.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// SolveDual runs the distributed dual BiCG: P(z) x = b and P(z)^dagger
+// xd = bd. b, bd, x, xd are full-length (N) vectors; x and xd are
+// overwritten (zero initial guess).
+func (s *Solver) SolveDual(z complex128, b, bd, x, xd []complex128, opts linsolve.Options) (linsolve.Result, Stats, error) {
+	n := s.Q.Dim()
+	if len(b) != n || len(bd) != n || len(x) != n || len(xd) != n {
+		return linsolve.Result{}, Stats{}, fmt.Errorf("dist: vector length mismatch")
+	}
+	world, err := comm.NewWorld(s.Ndm)
+	if err != nil {
+		return linsolve.Result{}, Stats{}, err
+	}
+	defer world.Close()
+	results := make([]linsolve.Result, s.Ndm)
+	var wg sync.WaitGroup
+	for r := 0; r < s.Ndm; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, _ := world.Comm(rank)
+			results[rank] = s.rankSolve(c, rank, z, b, bd, x, xd, opts)
+		}(r)
+	}
+	wg.Wait()
+	return results[0], Stats{Messages: world.Messages(), Bytes: world.Bytes()}, nil
+}
+
+// ApplyOnce performs one distributed operator application out = P(z) v on
+// the full vector (used by tests and the scaling experiments to measure a
+// single halo-exchange + allreduce round).
+func (s *Solver) ApplyOnce(z complex128, v []complex128) ([]complex128, error) {
+	n := s.Q.Dim()
+	if len(v) != n {
+		return nil, fmt.Errorf("dist: ApplyOnce length mismatch")
+	}
+	world, err := comm.NewWorld(s.Ndm)
+	if err != nil {
+		return nil, err
+	}
+	defer world.Close()
+	out := make([]complex128, n)
+	var wg sync.WaitGroup
+	for r := 0; r < s.Ndm; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, _ := world.Comm(rank)
+			rs := s.ranks[rank]
+			ax := newApplyCtx(s, rank)
+			ax.apply(c, z, v[rs.offset:rs.offset+rs.n], out[rs.offset:rs.offset+rs.n])
+		}(r)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// rankSolve is the SPMD body executed by every rank.
+func (s *Solver) rankSolve(c *comm.Communicator, rank int, z complex128, b, bd, x, xd []complex128, opts linsolve.Options) linsolve.Result {
+	rs := s.ranks[rank]
+	n := rs.n
+	res := linsolve.Result{}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10*s.Q.Dim() + 100
+	}
+	zd := 1 / conj(z) // dagger apply is P(zd)
+
+	// Local views of the global output slices (disjoint across ranks).
+	xl := x[rs.offset : rs.offset+n]
+	xdl := xd[rs.offset : rs.offset+n]
+	for i := range xl {
+		xl[i] = 0
+		xdl[i] = 0
+	}
+	r := append([]complex128(nil), b[rs.offset:rs.offset+n]...)
+	rd := append([]complex128(nil), bd[rs.offset:rs.offset+n]...)
+	p := append([]complex128(nil), r...)
+	pd := append([]complex128(nil), rd...)
+	q := make([]complex128, n)
+	qd := make([]complex128, n)
+
+	ax := newApplyCtx(s, rank)
+
+	// Initial reductions: rho, |b|^2, |bd|^2.
+	init := c.AllreduceSum([]complex128{
+		zlinalg.Dot(rd, r),
+		complex(norm2sq(r), 0),
+		complex(norm2sq(rd), 0),
+	})
+	rho := init[0]
+	nb := sqrtRe(init[1])
+	nbd := sqrtRe(init[2])
+	if nb == 0 {
+		nb = 1
+	}
+	if nbd == 0 {
+		nbd = 1
+	}
+	rel := sqrtRe(init[1]) / nb
+	relD := sqrtRe(init[2]) / nbd
+	if opts.History {
+		res.History = append(res.History, rel)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		if rel <= opts.Tol && relD <= opts.Tol {
+			res.Converged = true
+			break
+		}
+		if cabs2(rho) < 1e-290 {
+			res.Breakdown = true
+			break
+		}
+		// Group early stop: rank 0 reads the shared controller (guarded by
+		// the loose straggler tolerance, see linsolve.Options) and the
+		// decision rides along with the next reduction so every rank
+		// breaks at the same iteration.
+		loose := opts.LooseTol
+		if loose <= 0 {
+			loose = 100 * opts.Tol
+		}
+		var stopFlag complex128
+		if rank == 0 && opts.Group != nil && rel <= loose && relD <= loose && opts.Group.ShouldStop() {
+			stopFlag = 1
+		}
+		ax.apply(c, z, p, q)
+		ax.applyDagger(c, zd, pd, qd)
+		res.MatVecApplied += 2
+		out := c.AllreduceSum([]complex128{zlinalg.Dot(pd, q), stopFlag})
+		den := out[0]
+		if real(out[1]) > 0.5 {
+			res.StoppedEarly = true
+			break
+		}
+		if cabs2(den) < 1e-290 {
+			res.Breakdown = true
+			break
+		}
+		alpha := rho / den
+		alphaC := conj(alpha)
+		for i := 0; i < n; i++ {
+			xl[i] += alpha * p[i]
+			xdl[i] += alphaC * pd[i]
+			r[i] -= alpha * q[i]
+			rd[i] -= alphaC * qd[i]
+		}
+		red := c.AllreduceSum([]complex128{
+			zlinalg.Dot(rd, r),
+			complex(norm2sq(r), 0),
+			complex(norm2sq(rd), 0),
+		})
+		rhoNew := red[0]
+		beta := rhoNew / rho
+		betaC := conj(beta)
+		for i := 0; i < n; i++ {
+			p[i] = r[i] + beta*p[i]
+			pd[i] = rd[i] + betaC*pd[i]
+		}
+		rho = rhoNew
+		rel = sqrtRe(red[1]) / nb
+		relD = sqrtRe(red[2]) / nbd
+		res.Iterations++
+		if opts.History {
+			res.History = append(res.History, rel)
+		}
+	}
+	if rel <= opts.Tol && relD <= opts.Tol {
+		res.Converged = true
+	}
+	res.Residual = rel
+	res.DualResidual = relD
+	if res.Converged && opts.Group != nil && rank == 0 {
+		opts.Group.MarkConverged()
+	}
+	return res
+}
+
+func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }
+
+func cabs2(z complex128) float64 { return real(z)*real(z) + imag(z)*imag(z) }
+
+func norm2sq(v []complex128) float64 {
+	var s float64
+	for _, x := range v {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return s
+}
+
+func sqrtRe(z complex128) float64 {
+	r := real(z)
+	if r < 0 {
+		return 0
+	}
+	return math.Sqrt(r)
+}

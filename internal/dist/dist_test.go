@@ -1,0 +1,194 @@
+package dist
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"cbs/internal/hamiltonian"
+	"cbs/internal/lattice"
+	"cbs/internal/linsolve"
+	"cbs/internal/qep"
+	"cbs/internal/zlinalg"
+)
+
+// testProblem builds a small physical QEP (bulk Al on a coarse grid).
+func testProblem(t *testing.T) *qep.Problem {
+	t.Helper()
+	st, err := lattice.AlBulk100(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := hamiltonian.Build(st, hamiltonian.Config{Nx: 6, Ny: 6, Nz: 16, Nf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qep.New(op, 0.25)
+}
+
+func randVec(rng *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return v
+}
+
+// TestDistributedApplyMatchesSerial: the SPMD apply with any domain count
+// must reproduce the serial qep.Apply bit-for-bit up to reduction rounding.
+func TestDistributedApplyMatchesSerial(t *testing.T) {
+	q := testProblem(t)
+	n := q.Dim()
+	rng := rand.New(rand.NewSource(1))
+	v := randVec(rng, n)
+	z := complex(1.3, 0.7)
+
+	want := make([]complex128, n)
+	scratch := make([]complex128, n)
+	q.Apply(z, v, want, scratch)
+
+	for _, ndm := range []int{1, 2, 4} {
+		s, err := NewSolver(q, ndm)
+		if err != nil {
+			t.Fatalf("ndm=%d: %v", ndm, err)
+		}
+		got, err := s.ApplyOnce(z, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxd float64
+		for i := range got {
+			if d := cmplx.Abs(got[i] - want[i]); d > maxd {
+				maxd = d
+			}
+		}
+		if maxd > 1e-11 {
+			t.Errorf("ndm=%d: distributed apply deviates by %g", ndm, maxd)
+		}
+	}
+}
+
+// TestDistributedDaggerIdentity: P(z)^dagger v computed distributedly must
+// equal the serial dagger apply.
+func TestDistributedDaggerIdentity(t *testing.T) {
+	q := testProblem(t)
+	n := q.Dim()
+	rng := rand.New(rand.NewSource(2))
+	v := randVec(rng, n)
+	z := complex(0.4, -0.9)
+	want := make([]complex128, n)
+	scratch := make([]complex128, n)
+	q.ApplyDagger(z, v, want, scratch)
+	s, err := NewSolver(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ApplyOnce(1/cmplx.Conj(z), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if cmplx.Abs(got[i]-want[i]) > 1e-11 {
+			t.Fatalf("dagger mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDistributedSolveMatchesSerialBiCG: the distributed dual BiCG must
+// solve both the primal and the dual system.
+func TestDistributedSolveMatchesSerialBiCG(t *testing.T) {
+	q := testProblem(t)
+	n := q.Dim()
+	rng := rand.New(rand.NewSource(3))
+	b := randVec(rng, n)
+	bd := randVec(rng, n)
+	z := complex(1.1, 1.0) // well inside the resolvent set
+
+	for _, ndm := range []int{1, 2, 4} {
+		s, err := NewSolver(q, ndm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]complex128, n)
+		xd := make([]complex128, n)
+		res, stats, err := s.SolveDual(z, b, bd, x, xd, linsolve.Options{Tol: 1e-10, MaxIter: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("ndm=%d: no convergence after %d iterations (res %g)", ndm, res.Iterations, res.Residual)
+		}
+		// Verify against the serial operator.
+		out := make([]complex128, n)
+		scratch := make([]complex128, n)
+		q.Apply(z, x, out, scratch)
+		for i := range out {
+			out[i] -= b[i]
+		}
+		if r := zlinalg.Norm2(out) / zlinalg.Norm2(b); r > 1e-8 {
+			t.Errorf("ndm=%d: primal residual %g", ndm, r)
+		}
+		q.ApplyDagger(z, xd, out, scratch)
+		for i := range out {
+			out[i] -= bd[i]
+		}
+		if r := zlinalg.Norm2(out) / zlinalg.Norm2(bd); r > 1e-8 {
+			t.Errorf("ndm=%d: dual residual %g", ndm, r)
+		}
+		if ndm > 1 && stats.Messages == 0 {
+			t.Errorf("ndm=%d: no messages recorded", ndm)
+		}
+		if ndm == 1 && stats.Messages != 0 {
+			t.Errorf("ndm=1: unexpected point-to-point traffic (%d msgs)", stats.Messages)
+		}
+	}
+}
+
+func TestSolverValidation(t *testing.T) {
+	q := testProblem(t)
+	if _, err := NewSolver(q, 0); err == nil {
+		t.Error("ndm=0 should fail")
+	}
+	// 16 planes with Nf=4: 5 domains would give slabs of 3 < 4 planes.
+	if _, err := NewSolver(q, 5); err == nil {
+		t.Error("slabs thinner than the stencil must be rejected")
+	}
+	s, _ := NewSolver(q, 2)
+	short := make([]complex128, 3)
+	if _, err := s.ApplyOnce(1, short); err == nil {
+		t.Error("short vector should fail")
+	}
+	full := make([]complex128, q.Dim())
+	if _, _, err := s.SolveDual(1, short, full, full, full, linsolve.Options{}); err == nil {
+		t.Error("short vector should fail in SolveDual")
+	}
+}
+
+// TestGroupStopPropagation: a pre-tripped group controller must stop the
+// distributed solve on every rank without deadlock.
+func TestGroupStopPropagation(t *testing.T) {
+	q := testProblem(t)
+	n := q.Dim()
+	rng := rand.New(rand.NewSource(4))
+	b := randVec(rng, n)
+	g := linsolve.NewGroupStop(2, true)
+	g.MarkConverged()
+	g.MarkConverged()
+	s, err := NewSolver(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, n)
+	xd := make([]complex128, n)
+	res, _, err := s.SolveDual(complex(1.2, 0.8), b, b, x, xd,
+		linsolve.Options{Tol: 1e-14, LooseTol: 1e30, MaxIter: 100, Group: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StoppedEarly {
+		t.Errorf("expected early stop, got %+v", res)
+	}
+	if res.Iterations > 1 {
+		t.Errorf("stopped after %d iterations, want at most 1", res.Iterations)
+	}
+}

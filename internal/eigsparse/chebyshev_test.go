@@ -1,0 +1,99 @@
+package eigsparse
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"cbs/internal/zlinalg"
+)
+
+func TestChebyshevMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n, nev := 80, 6
+	a := randHermitian(rng, n)
+	apply := func(v, out []complex128) { copy(out, zlinalg.MulVec(a, v)) }
+	res, err := LowestChebyshev(apply, n, nev, ChebOptions{Tol: 1e-7, MaxOuter: 200, Degree: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: residuals %v", res.Residuals)
+	}
+	dense, _, err := zlinalg.EigHermitian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < nev; j++ {
+		if math.Abs(res.Values[j]-dense[j]) > 1e-6 {
+			t.Errorf("eigenvalue %d: %g vs dense %g", j, res.Values[j], dense[j])
+		}
+	}
+}
+
+func TestChebyshevLaplacian1D(t *testing.T) {
+	// Periodic 1D Laplacian: eigenvalues 2-2cos(2*pi*m/n), lowest are
+	// 0, then doubly degenerate pairs -- a stiff test of subspace methods.
+	n := 120
+	apply := func(v, out []complex128) {
+		for i := 0; i < n; i++ {
+			out[i] = 2*v[i] - v[(i+1)%n] - v[(i-1+n)%n]
+		}
+	}
+	res, err := LowestChebyshev(apply, n, 5, ChebOptions{Tol: 1e-6, MaxOuter: 300, Degree: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{
+		0,
+		2 - 2*math.Cos(2*math.Pi/float64(n)),
+		2 - 2*math.Cos(2*math.Pi/float64(n)),
+		2 - 2*math.Cos(4*math.Pi/float64(n)),
+		2 - 2*math.Cos(4*math.Pi/float64(n)),
+	}
+	for j, w := range want {
+		if math.Abs(res.Values[j]-w) > 1e-5 {
+			t.Errorf("eigenvalue %d = %g, want %g (converged=%v)", j, res.Values[j], w, res.Converged)
+		}
+	}
+}
+
+func TestChebyshevEigenvectorResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 60
+	a := randHermitian(rng, n)
+	apply := func(v, out []complex128) { copy(out, zlinalg.MulVec(a, v)) }
+	res, err := LowestChebyshev(apply, n, 4, ChebOptions{Tol: 1e-8, MaxOuter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		if r := zlinalg.EigResidual(a, complex(res.Values[j], 0), res.Vectors[j]); r > 1e-7 {
+			t.Errorf("pair %d residual %g", j, r)
+		}
+	}
+	// Orthonormal wanted block.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			d := zlinalg.Dot(res.Vectors[i], res.Vectors[j])
+			want := complex(0, 0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(d-want) > 1e-7 {
+				t.Errorf("vectors %d,%d: %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestChebyshevValidation(t *testing.T) {
+	apply := func(v, out []complex128) { copy(out, v) }
+	if _, err := LowestChebyshev(apply, 10, 0, ChebOptions{}); err == nil {
+		t.Error("nev=0 should fail")
+	}
+	if _, err := LowestChebyshev(apply, 10, 11, ChebOptions{}); err == nil {
+		t.Error("nev>n should fail")
+	}
+}

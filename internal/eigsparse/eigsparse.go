@@ -1,0 +1,170 @@
+// Package eigsparse provides a blocked LOBPCG-style eigensolver for the
+// lowest eigenpairs of a Hermitian matrix-free operator -- the workhorse of
+// the SCF substrate (lowest occupied Kohn-Sham states) where dense
+// diagonalization would be wasteful.
+package eigsparse
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cbs/internal/zlinalg"
+)
+
+// Apply computes out = H*v for the Hermitian operator.
+type Apply func(v, out []complex128)
+
+// Options controls the iteration.
+type Options struct {
+	Tol     float64 // residual target per eigenpair (default 1e-6)
+	MaxIter int     // outer iterations (default 200)
+	Seed    int64   // initial block seed
+}
+
+// Result holds the lowest eigenpairs, ascending.
+type Result struct {
+	Values     []float64
+	Vectors    [][]complex128
+	Residuals  []float64
+	Iterations int
+	Converged  bool
+}
+
+// Lowest computes the nev lowest eigenpairs of the Hermitian operator of
+// dimension n by a LOBPCG-type iteration: Rayleigh-Ritz in the subspace
+// spanned by the current block X, the residual block R and the previous
+// search directions P.
+func Lowest(a Apply, n, nev int, opts Options) (*Result, error) {
+	if nev < 1 || nev > n {
+		return nil, fmt.Errorf("eigsparse: nev = %d out of range [1,%d]", nev, n)
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 200
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+	// Block size slightly larger than nev guards against slow convergence
+	// of clustered eigenvalues.
+	bs := nev + 2
+	if bs > n {
+		bs = n
+	}
+	x := zlinalg.NewMatrix(n, bs)
+	for i := range x.Data {
+		x.Data[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	var err error
+	if x, err = zlinalg.OrthonormalizeColumns(x); err != nil {
+		return nil, err
+	}
+	var p *zlinalg.Matrix // previous directions
+	res := &Result{}
+
+	hx := applyBlock(a, x)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		// Ritz values of the current block.
+		xhx := zlinalg.Mul(x.ConjTranspose(), hx)
+		vals, vecs, err := zlinalg.EigHermitian(xhx)
+		if err != nil {
+			return nil, err
+		}
+		x = zlinalg.Mul(x, vecs)
+		hx = zlinalg.Mul(hx, vecs)
+		// Residual block R = HX - X diag(vals).
+		r := hx.Clone()
+		for j := 0; j < bs; j++ {
+			for i := 0; i < n; i++ {
+				r.Set(i, j, r.At(i, j)-complex(vals[j], 0)*x.At(i, j))
+			}
+		}
+		// Convergence of the wanted eigenpairs.
+		resNorms := make([]float64, bs)
+		done := true
+		for j := 0; j < bs; j++ {
+			resNorms[j] = zlinalg.Norm2(r.Col(j))
+			if j < nev && resNorms[j] > opts.Tol {
+				done = false
+			}
+		}
+		if done {
+			res.Converged = true
+			res.Values = vals[:nev]
+			res.Residuals = resNorms[:nev]
+			for j := 0; j < nev; j++ {
+				res.Vectors = append(res.Vectors, x.Col(j))
+			}
+			return res, nil
+		}
+		// Subspace [X, R, P], orthonormalized.
+		cols := 2 * bs
+		if p != nil {
+			cols += bs
+		}
+		s := zlinalg.NewMatrix(n, cols)
+		s.SetSlice(0, 0, x)
+		s.SetSlice(0, bs, r)
+		if p != nil {
+			s.SetSlice(0, 2*bs, p)
+		}
+		q, err := zlinalg.OrthonormalizeColumns(s)
+		if err != nil {
+			return nil, err
+		}
+		hq := applyBlock(a, q)
+		shs := zlinalg.Mul(q.ConjTranspose(), hq)
+		// Enforce exact Hermiticity against rounding.
+		for i := 0; i < shs.Rows; i++ {
+			for j := i; j < shs.Cols; j++ {
+				av := (shs.At(i, j) + conj(shs.At(j, i))) / 2
+				shs.Set(i, j, av)
+				shs.Set(j, i, conj(av))
+			}
+		}
+		_, svecs, err := zlinalg.EigHermitian(shs)
+		if err != nil {
+			return nil, err
+		}
+		pick := svecs.Slice(0, svecs.Rows, 0, bs)
+		xNew := zlinalg.Mul(q, pick)
+		hxNew := zlinalg.Mul(hq, pick)
+		// New search directions: the component of xNew outside span(x).
+		proj := zlinalg.Mul(x, zlinalg.Mul(x.ConjTranspose(), xNew))
+		p = zlinalg.Sub(xNew, proj)
+		x = xNew
+		hx = hxNew
+	}
+	// Not converged: report the best current estimates.
+	xhx := zlinalg.Mul(x.ConjTranspose(), hx)
+	vals, vecs, err := zlinalg.EigHermitian(xhx)
+	if err != nil {
+		return nil, err
+	}
+	x = zlinalg.Mul(x, vecs)
+	hx = zlinalg.Mul(hx, vecs)
+	res.Values = vals[:nev]
+	for j := 0; j < nev; j++ {
+		col := x.Col(j)
+		res.Vectors = append(res.Vectors, col)
+		hcol := hx.Col(j)
+		zlinalg.Axpy(complex(-vals[j], 0), col, hcol)
+		res.Residuals = append(res.Residuals, zlinalg.Norm2(hcol))
+	}
+	return res, nil
+}
+
+func applyBlock(a Apply, x *zlinalg.Matrix) *zlinalg.Matrix {
+	out := zlinalg.NewMatrix(x.Rows, x.Cols)
+	in := make([]complex128, x.Rows)
+	o := make([]complex128, x.Rows)
+	for j := 0; j < x.Cols; j++ {
+		copy(in, x.Col(j))
+		a(in, o)
+		out.SetCol(j, o)
+	}
+	return out
+}
+
+func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }

@@ -1,0 +1,109 @@
+package eigsparse
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cbs/internal/zlinalg"
+)
+
+func randHermitian(rng *rand.Rand, n int) *zlinalg.Matrix {
+	m := zlinalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, complex(rng.Float64()*4-2, 0))
+		for j := i + 1; j < n; j++ {
+			v := complex(rng.Float64()-0.5, rng.Float64()-0.5)
+			m.Set(i, j, v)
+			m.Set(j, i, cmplx.Conj(v))
+		}
+	}
+	return m
+}
+
+func TestLowestMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, nev := 60, 5
+	a := randHermitian(rng, n)
+	apply := func(v, out []complex128) { copy(out, zlinalg.MulVec(a, v)) }
+	res, err := Lowest(apply, n, nev, Options{Tol: 1e-8, MaxIter: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: residuals %v", res.Residuals)
+	}
+	dense, _, err := zlinalg.EigHermitian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < nev; j++ {
+		if math.Abs(res.Values[j]-dense[j]) > 1e-7 {
+			t.Errorf("eigenvalue %d: %g vs dense %g", j, res.Values[j], dense[j])
+		}
+		if r := zlinalg.EigResidual(a, complex(res.Values[j], 0), res.Vectors[j]); r > 1e-6 {
+			t.Errorf("pair %d residual %g", j, r)
+		}
+	}
+	// Ascending order.
+	if !sort.Float64sAreSorted(res.Values) {
+		t.Error("eigenvalues not ascending")
+	}
+}
+
+func TestLowestDiagonalOperator(t *testing.T) {
+	// Matrix-free diagonal operator: lowest values known exactly.
+	n := 100
+	apply := func(v, out []complex128) {
+		for i := range v {
+			out[i] = complex(float64(i), 0) * v[i]
+		}
+	}
+	res, err := Lowest(apply, n, 3, Options{Tol: 1e-9, MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %v", res.Residuals)
+	}
+	for j, want := range []float64{0, 1, 2} {
+		if math.Abs(res.Values[j]-want) > 1e-7 {
+			t.Errorf("eigenvalue %d = %g, want %g", j, res.Values[j], want)
+		}
+	}
+}
+
+func TestLowestValidation(t *testing.T) {
+	apply := func(v, out []complex128) { copy(out, v) }
+	if _, err := Lowest(apply, 10, 0, Options{}); err == nil {
+		t.Error("nev=0 should fail")
+	}
+	if _, err := Lowest(apply, 10, 11, Options{}); err == nil {
+		t.Error("nev>n should fail")
+	}
+}
+
+func TestOrthonormalEigenvectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 40
+	a := randHermitian(rng, n)
+	apply := func(v, out []complex128) { copy(out, zlinalg.MulVec(a, v)) }
+	res, err := Lowest(apply, n, 4, Options{Tol: 1e-8, MaxIter: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			d := zlinalg.Dot(res.Vectors[i], res.Vectors[j])
+			want := complex(0, 0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(d-want) > 1e-6 {
+				t.Errorf("vectors %d,%d inner product %v", i, j, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package fd provides central finite-difference coefficients for the
+// Laplacian of the real-space grid scheme. The paper uses the "nine-point"
+// approximation, i.e. half-width Nf = 4 (8th order) in each direction; lower
+// orders are provided for convergence studies and fast tests.
+//
+// Coefficients are generated with Fornberg's recursion for arbitrary
+// half-width and cross-checked against the classical closed-form tables in
+// the tests.
+package fd
+
+import "fmt"
+
+// MaxHalfWidth is the largest supported stencil half-width.
+const MaxHalfWidth = 8
+
+// Stencil holds central second-derivative coefficients: f”(x) ~
+// (1/h^2) * [ C[0]*f(x) + sum_{d=1..Nf} C[d]*(f(x+dh) + f(x-dh)) ].
+type Stencil struct {
+	Nf int       // half-width (paper: order of the FD approximation)
+	C  []float64 // len Nf+1; C[0] central, C[d] symmetric tails
+}
+
+// NewStencil returns the central second-derivative stencil of half-width nf
+// (accuracy order 2*nf).
+func NewStencil(nf int) (*Stencil, error) {
+	if nf < 1 || nf > MaxHalfWidth {
+		return nil, fmt.Errorf("fd: half-width %d out of range [1,%d]", nf, MaxHalfWidth)
+	}
+	w := fornberg(nf, 2)
+	c := make([]float64, nf+1)
+	c[0] = w[nf]
+	for d := 1; d <= nf; d++ {
+		// Central stencils of even derivatives are symmetric.
+		c[d] = w[nf+d]
+	}
+	return &Stencil{Nf: nf, C: c}, nil
+}
+
+// MustStencil is NewStencil that panics on invalid input (for package-level
+// defaults with known-valid arguments).
+func MustStencil(nf int) *Stencil {
+	s, err := NewStencil(nf)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// fornberg computes the weights of the m-th derivative at x=0 on the grid
+// nodes {-nf..nf} (unit spacing) using Fornberg's algorithm
+// (Math. Comp. 51, 1988). Returns weights indexed by node+nf.
+func fornberg(nf, m int) []float64 {
+	n := 2*nf + 1
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(i - nf)
+	}
+	// delta[j][k] = weight of node j for the k-th derivative, built
+	// incrementally over nodes.
+	delta := make([][]float64, n)
+	for j := range delta {
+		delta[j] = make([]float64, m+1)
+	}
+	delta[0][0] = 1
+	var c1 float64 = 1
+	prev := make([]float64, m+1) // copy of row i-1 before this sweep updates it
+	for i := 1; i < n; i++ {
+		c2 := 1.0
+		mn := i
+		if m < mn {
+			mn = m
+		}
+		copy(prev, delta[i-1])
+		for j := 0; j < i; j++ {
+			c3 := x[i] - x[j]
+			c2 *= c3
+			for k := mn; k >= 0; k-- {
+				d := delta[j][k]
+				var dPrev float64
+				if k > 0 {
+					dPrev = delta[j][k-1]
+				}
+				delta[j][k] = (x[i]*d - float64(k)*dPrev) / c3
+			}
+		}
+		for k := mn; k >= 0; k-- {
+			var dPrev float64
+			if k > 0 {
+				dPrev = prev[k-1]
+			}
+			delta[i][k] = c1 / c2 * (float64(k)*dPrev - x[i-1]*prev[k])
+		}
+		c1 = c2
+	}
+	out := make([]float64, n)
+	for j := 0; j < n; j++ {
+		out[j] = delta[j][m]
+	}
+	return out
+}
+
+// Weights exposes the raw Fornberg weights of the m-th derivative on the
+// symmetric node set {-nf..nf}; index by node+nf.
+func Weights(nf, m int) ([]float64, error) {
+	if nf < 1 || nf > MaxHalfWidth {
+		return nil, fmt.Errorf("fd: half-width %d out of range [1,%d]", nf, MaxHalfWidth)
+	}
+	if m < 0 || m > 2*nf {
+		return nil, fmt.Errorf("fd: derivative order %d out of range [0,%d]", m, 2*nf)
+	}
+	return fornberg(nf, m), nil
+}

@@ -1,0 +1,117 @@
+package fd
+
+import (
+	"math"
+	"testing"
+)
+
+// Classical closed-form central second-derivative coefficients.
+var classical = map[int][]float64{
+	1: {-2, 1},
+	2: {-5.0 / 2, 4.0 / 3, -1.0 / 12},
+	3: {-49.0 / 18, 3.0 / 2, -3.0 / 20, 1.0 / 90},
+	4: {-205.0 / 72, 8.0 / 5, -1.0 / 5, 8.0 / 315, -1.0 / 560},
+}
+
+func TestStencilMatchesClassicalTables(t *testing.T) {
+	for nf, want := range classical {
+		s, err := NewStencil(nf)
+		if err != nil {
+			t.Fatalf("nf=%d: %v", nf, err)
+		}
+		if len(s.C) != nf+1 {
+			t.Fatalf("nf=%d: len(C) = %d", nf, len(s.C))
+		}
+		for d, w := range want {
+			if math.Abs(s.C[d]-w) > 1e-12 {
+				t.Errorf("nf=%d: C[%d] = %.15g, want %.15g", nf, d, s.C[d], w)
+			}
+		}
+	}
+}
+
+func TestStencilSumZero(t *testing.T) {
+	// A second-derivative stencil annihilates constants: C0 + 2*sum(Cd) = 0.
+	for nf := 1; nf <= MaxHalfWidth; nf++ {
+		s := MustStencil(nf)
+		sum := s.C[0]
+		for d := 1; d <= nf; d++ {
+			sum += 2 * s.C[d]
+		}
+		if math.Abs(sum) > 1e-11 {
+			t.Errorf("nf=%d: stencil sum = %g, want 0", nf, sum)
+		}
+	}
+}
+
+func TestStencilDifferentiatesPolynomialsExactly(t *testing.T) {
+	// The stencil of half-width nf must be exact on x^p for p <= 2*nf+1.
+	h := 0.1
+	for nf := 1; nf <= 4; nf++ {
+		s := MustStencil(nf)
+		for p := 0; p <= 2*nf+1; p++ {
+			f := func(x float64) float64 { return math.Pow(x, float64(p)) }
+			x0 := 0.7
+			got := s.C[0] * f(x0)
+			for d := 1; d <= nf; d++ {
+				got += s.C[d] * (f(x0+float64(d)*h) + f(x0-float64(d)*h))
+			}
+			got /= h * h
+			want := 0.0
+			if p >= 2 {
+				want = float64(p*(p-1)) * math.Pow(x0, float64(p-2))
+			}
+			if math.Abs(got-want) > 1e-7*(1+math.Abs(want)) {
+				t.Errorf("nf=%d p=%d: d2 = %g, want %g", nf, p, got, want)
+			}
+		}
+	}
+}
+
+func TestStencilConvergenceOrder(t *testing.T) {
+	// Error on sin(x) must shrink like h^{2nf}.
+	for _, nf := range []int{1, 2, 3, 4} {
+		s := MustStencil(nf)
+		errAt := func(h float64) float64 {
+			x0 := 0.3
+			got := s.C[0] * math.Sin(x0)
+			for d := 1; d <= nf; d++ {
+				got += s.C[d] * (math.Sin(x0+float64(d)*h) + math.Sin(x0-float64(d)*h))
+			}
+			got /= h * h
+			return math.Abs(got + math.Sin(x0))
+		}
+		e1 := errAt(0.2)
+		e2 := errAt(0.1)
+		order := math.Log2(e1 / e2)
+		if order < float64(2*nf)-0.7 {
+			t.Errorf("nf=%d: observed order %.2f, want about %d", nf, order, 2*nf)
+		}
+	}
+}
+
+func TestWeightsFirstDerivative(t *testing.T) {
+	// nf=1 first derivative: [-1/2, 0, 1/2].
+	w, err := Weights(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-0.5, 0, 0.5}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-14 {
+			t.Errorf("w[%d] = %g, want %g", i, w[i], want[i])
+		}
+	}
+}
+
+func TestInvalidArgs(t *testing.T) {
+	if _, err := NewStencil(0); err == nil {
+		t.Error("NewStencil(0) should fail")
+	}
+	if _, err := NewStencil(MaxHalfWidth + 1); err == nil {
+		t.Error("NewStencil(too large) should fail")
+	}
+	if _, err := Weights(2, -1); err == nil {
+		t.Error("Weights(2,-1) should fail")
+	}
+}

@@ -1,0 +1,141 @@
+// Package grid defines the 3D uniform real-space grid of the
+// finite-difference Kohn-Sham scheme, its flattened indexing, and the
+// z-slab domain decomposition used by the bottom layer of the hierarchical
+// parallelism (the paper decomposes "at the grid points along the z
+// direction to minimize communications").
+package grid
+
+import "fmt"
+
+// Grid is a uniform orthorhombic real-space grid over one unit cell. The
+// cell is periodic in x and y (bulk directions or vacuum-padded box) and the
+// z direction is the 1D transport/periodicity axis of the complex band
+// structure problem. Lengths are in bohr.
+type Grid struct {
+	Nx, Ny, Nz int     // grid points per direction
+	Hx, Hy, Hz float64 // grid spacings (bohr)
+}
+
+// New builds a grid with the given point counts and cell edge lengths
+// (bohr). The spacing is L/N in each direction (periodic convention).
+func New(nx, ny, nz int, lx, ly, lz float64) (*Grid, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("grid: invalid point counts %dx%dx%d", nx, ny, nz)
+	}
+	if lx <= 0 || ly <= 0 || lz <= 0 {
+		return nil, fmt.Errorf("grid: invalid cell lengths %g %g %g", lx, ly, lz)
+	}
+	return &Grid{
+		Nx: nx, Ny: ny, Nz: nz,
+		Hx: lx / float64(nx), Hy: ly / float64(ny), Hz: lz / float64(nz),
+	}, nil
+}
+
+// N returns the total number of grid points (the dimension of the KS
+// Hamiltonian block).
+func (g *Grid) N() int { return g.Nx * g.Ny * g.Nz }
+
+// Lx, Ly, Lz return the cell edge lengths in bohr.
+func (g *Grid) Lx() float64 { return g.Hx * float64(g.Nx) }
+func (g *Grid) Ly() float64 { return g.Hy * float64(g.Ny) }
+func (g *Grid) Lz() float64 { return g.Hz * float64(g.Nz) }
+
+// Volume returns the unit-cell volume in bohr^3.
+func (g *Grid) Volume() float64 { return g.Lx() * g.Ly() * g.Lz() }
+
+// DV returns the volume element per grid point.
+func (g *Grid) DV() float64 { return g.Hx * g.Hy * g.Hz }
+
+// Index flattens (ix,iy,iz) with x fastest and z slowest, so that a z-slab
+// is a contiguous range of the flattened vector (cheap halo exchange).
+func (g *Grid) Index(ix, iy, iz int) int {
+	return (iz*g.Ny+iy)*g.Nx + ix
+}
+
+// Coords inverts Index.
+func (g *Grid) Coords(idx int) (ix, iy, iz int) {
+	ix = idx % g.Nx
+	idx /= g.Nx
+	iy = idx % g.Ny
+	iz = idx / g.Ny
+	return
+}
+
+// Position returns the Cartesian position (bohr) of grid point (ix,iy,iz).
+func (g *Grid) Position(ix, iy, iz int) (x, y, z float64) {
+	return float64(ix) * g.Hx, float64(iy) * g.Hy, float64(iz) * g.Hz
+}
+
+// WrapX returns ix modulo Nx (periodic boundary).
+func (g *Grid) WrapX(ix int) int { return wrap(ix, g.Nx) }
+
+// WrapY returns iy modulo Ny (periodic boundary).
+func (g *Grid) WrapY(iy int) int { return wrap(iy, g.Ny) }
+
+// WrapZ returns iz modulo Nz together with the cell offset (... -1, 0, +1 ...)
+// the point fell into. It is the key primitive for splitting stencil and
+// projector couplings into the H-, H0, H+ blocks.
+func (g *Grid) WrapZ(iz int) (int, int) {
+	off := 0
+	for iz < 0 {
+		iz += g.Nz
+		off--
+	}
+	for iz >= g.Nz {
+		iz -= g.Nz
+		off++
+	}
+	return iz, off
+}
+
+func wrap(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// Slab is a contiguous range of z planes [Z0, Z1) owned by one domain of the
+// bottom-layer decomposition.
+type Slab struct {
+	Z0, Z1 int
+}
+
+// NPlanes returns the number of planes in the slab.
+func (s Slab) NPlanes() int { return s.Z1 - s.Z0 }
+
+// Decompose splits the Nz planes into n z-slabs as evenly as possible.
+// Slabs never straddle and cover [0, Nz) exactly. An error is returned when
+// there are more domains than planes.
+func (g *Grid) Decompose(n int) ([]Slab, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("grid: invalid domain count %d", n)
+	}
+	if n > g.Nz {
+		return nil, fmt.Errorf("grid: %d domains exceed %d z planes", n, g.Nz)
+	}
+	slabs := make([]Slab, n)
+	base := g.Nz / n
+	extra := g.Nz % n
+	z := 0
+	for i := 0; i < n; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		slabs[i] = Slab{Z0: z, Z1: z + sz}
+		z += sz
+	}
+	return slabs, nil
+}
+
+// PlaneSize returns the number of grid points per z plane.
+func (g *Grid) PlaneSize() int { return g.Nx * g.Ny }
+
+// HaloBytes returns the per-exchange halo message size in bytes for a
+// stencil half-width nf (complex128 values, both directions): the surface
+// communication volume of the bottom-layer parallelism.
+func (g *Grid) HaloBytes(nf int) int {
+	return 2 * nf * g.PlaneSize() * 16
+}

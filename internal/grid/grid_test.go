@@ -1,0 +1,165 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustGrid(t *testing.T, nx, ny, nz int, lx, ly, lz float64) *Grid {
+	t.Helper()
+	g, err := New(nx, ny, nz, lx, ly, lz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	g := mustGrid(t, 4, 5, 6, 4, 5, 6)
+	seen := make(map[int]bool)
+	for iz := 0; iz < g.Nz; iz++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for ix := 0; ix < g.Nx; ix++ {
+				idx := g.Index(ix, iy, iz)
+				if idx < 0 || idx >= g.N() {
+					t.Fatalf("index %d out of range", idx)
+				}
+				if seen[idx] {
+					t.Fatalf("duplicate index %d", idx)
+				}
+				seen[idx] = true
+				jx, jy, jz := g.Coords(idx)
+				if jx != ix || jy != iy || jz != iz {
+					t.Fatalf("Coords(%d) = (%d,%d,%d), want (%d,%d,%d)", idx, jx, jy, jz, ix, iy, iz)
+				}
+			}
+		}
+	}
+	if len(seen) != g.N() {
+		t.Fatalf("covered %d indices, want %d", len(seen), g.N())
+	}
+}
+
+func TestZSlabContiguity(t *testing.T) {
+	// The flattened layout must keep each z plane contiguous so z-slab halo
+	// exchange is a single copy.
+	g := mustGrid(t, 3, 4, 5, 1, 1, 1)
+	for iz := 0; iz < g.Nz; iz++ {
+		lo := g.Index(0, 0, iz)
+		hi := g.Index(g.Nx-1, g.Ny-1, iz)
+		if hi-lo+1 != g.PlaneSize() {
+			t.Fatalf("plane %d is not contiguous: [%d,%d]", iz, lo, hi)
+		}
+	}
+}
+
+func TestWrapZ(t *testing.T) {
+	g := mustGrid(t, 2, 2, 5, 1, 1, 1)
+	cases := []struct {
+		in, wantIz, wantOff int
+	}{
+		{0, 0, 0}, {4, 4, 0}, {5, 0, 1}, {9, 4, 1}, {10, 0, 2},
+		{-1, 4, -1}, {-5, 0, -1}, {-6, 4, -2},
+	}
+	for _, c := range cases {
+		iz, off := g.WrapZ(c.in)
+		if iz != c.wantIz || off != c.wantOff {
+			t.Errorf("WrapZ(%d) = (%d,%d), want (%d,%d)", c.in, iz, off, c.wantIz, c.wantOff)
+		}
+	}
+}
+
+func TestWrapXY(t *testing.T) {
+	g := mustGrid(t, 4, 3, 2, 1, 1, 1)
+	if g.WrapX(-1) != 3 || g.WrapX(4) != 0 || g.WrapX(2) != 2 {
+		t.Error("WrapX incorrect")
+	}
+	if g.WrapY(-4) != 2 || g.WrapY(3) != 0 {
+		t.Error("WrapY incorrect")
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	g := mustGrid(t, 2, 2, 10, 1, 1, 1)
+	for n := 1; n <= 10; n++ {
+		slabs, err := g.Decompose(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(slabs) != n {
+			t.Fatalf("n=%d: got %d slabs", n, len(slabs))
+		}
+		z := 0
+		for _, s := range slabs {
+			if s.Z0 != z {
+				t.Fatalf("n=%d: slab starts at %d, want %d", n, s.Z0, z)
+			}
+			if s.NPlanes() < 1 {
+				t.Fatalf("n=%d: empty slab", n)
+			}
+			z = s.Z1
+		}
+		if z != g.Nz {
+			t.Fatalf("n=%d: coverage ends at %d, want %d", n, z, g.Nz)
+		}
+		// Balance: sizes differ by at most one plane.
+		minP, maxP := g.Nz, 0
+		for _, s := range slabs {
+			if p := s.NPlanes(); p < minP {
+				minP = p
+			}
+			if p := s.NPlanes(); p > maxP {
+				maxP = p
+			}
+		}
+		if maxP-minP > 1 {
+			t.Fatalf("n=%d: slab imbalance %d vs %d", n, minP, maxP)
+		}
+	}
+	if _, err := g.Decompose(11); err == nil {
+		t.Error("Decompose with more domains than planes should fail")
+	}
+	if _, err := g.Decompose(0); err == nil {
+		t.Error("Decompose(0) should fail")
+	}
+}
+
+func TestWrapZProperty(t *testing.T) {
+	g := mustGrid(t, 2, 2, 7, 1, 1, 1)
+	f := func(iz int16) bool {
+		z, off := g.WrapZ(int(iz))
+		return z >= 0 && z < g.Nz && z+off*g.Nz == int(iz)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	g := mustGrid(t, 10, 20, 40, 5, 10, 20)
+	if g.Hx != 0.5 || g.Hy != 0.5 || g.Hz != 0.5 {
+		t.Fatalf("spacings = %g %g %g, want 0.5", g.Hx, g.Hy, g.Hz)
+	}
+	if g.Volume() != 1000 {
+		t.Fatalf("Volume = %g, want 1000", g.Volume())
+	}
+	if g.DV() != 0.125 {
+		t.Fatalf("DV = %g, want 0.125", g.DV())
+	}
+	x, y, z := g.Position(1, 2, 3)
+	if x != 0.5 || y != 1.0 || z != 1.5 {
+		t.Fatalf("Position = %g %g %g", x, y, z)
+	}
+	if g.HaloBytes(4) != 2*4*200*16 {
+		t.Fatalf("HaloBytes = %d", g.HaloBytes(4))
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(0, 1, 1, 1, 1, 1); err == nil {
+		t.Error("zero point count should fail")
+	}
+	if _, err := New(1, 1, 1, 0, 1, 1); err == nil {
+		t.Error("zero length should fail")
+	}
+}

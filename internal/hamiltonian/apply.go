@@ -1,0 +1,357 @@
+package hamiltonian
+
+import (
+	"math/cmplx"
+
+	"cbs/internal/zlinalg"
+)
+
+// ApplyH0 computes out = H0*v (overwrites out): in-cell Laplacian, local
+// potential and the offset-diagonal part of the nonlocal term.
+func (op *Operator) ApplyH0(v, out []complex128) {
+	op.checkLen(v, out)
+	g := op.G
+	nf := op.St.Nf
+	nx, ny, nz := g.Nx, g.Ny, g.Nz
+	// Diagonal: kinetic center + local potential.
+	for i := range out {
+		out[i] = complex(op.diag+op.VLoc[i], 0) * v[i]
+	}
+	// x-direction tails (periodic wrap).
+	for iz := 0; iz < nz; iz++ {
+		for iy := 0; iy < ny; iy++ {
+			base := (iz*ny + iy) * nx
+			row := v[base : base+nx]
+			orow := out[base : base+nx]
+			for d := 1; d <= nf; d++ {
+				c := complex(op.kx[d], 0)
+				xp, xm := op.xp[d-1], op.xm[d-1]
+				for ix := 0; ix < nx; ix++ {
+					orow[ix] += c * (row[xp[ix]] + row[xm[ix]])
+				}
+			}
+		}
+	}
+	// y-direction tails (periodic wrap).
+	for iz := 0; iz < nz; iz++ {
+		planeBase := iz * ny * nx
+		for d := 1; d <= nf; d++ {
+			c := complex(op.ky[d], 0)
+			yp, ym := op.yp[d-1], op.ym[d-1]
+			for iy := 0; iy < ny; iy++ {
+				base := planeBase + iy*nx
+				bp := planeBase + int(yp[iy])*nx
+				bm := planeBase + int(ym[iy])*nx
+				for ix := 0; ix < nx; ix++ {
+					out[base+ix] += c * (v[bp+ix] + v[bm+ix])
+				}
+			}
+		}
+	}
+	// z-direction tails, in-cell part only (no wrap: crossing terms belong
+	// to H+ and H-).
+	plane := nx * ny
+	for d := 1; d <= nf; d++ {
+		c := complex(op.kz[d], 0)
+		for iz := 0; iz < nz; iz++ {
+			base := iz * plane
+			if izp := iz + d; izp < nz {
+				bp := izp * plane
+				for i := 0; i < plane; i++ {
+					out[base+i] += c * v[bp+i]
+				}
+			}
+			if izm := iz - d; izm >= 0 {
+				bm := izm * plane
+				for i := 0; i < plane; i++ {
+					out[base+i] += c * v[bm+i]
+				}
+			}
+		}
+	}
+	// Nonlocal, offset-diagonal: sum_j p^j h <p^j, v>.
+	for pi := range op.Projs {
+		p := &op.Projs[pi]
+		for j := 0; j < 3; j++ {
+			s := &p.Supp[j]
+			if len(s.Idx) == 0 {
+				continue
+			}
+			accumProjector(out, s, complex(p.H, 0)*dotSupport(s, v))
+		}
+	}
+}
+
+// ApplyHp computes out = H+*v = H_{n,n+1}*v (overwrites out): the Laplacian
+// tails crossing the upper cell boundary plus the projector overlap
+// sum_{j=-1,0} p^j h <p^{j+1}, v>.
+func (op *Operator) ApplyHp(v, out []complex128) {
+	op.checkLen(v, out)
+	g := op.G
+	nf := op.St.Nf
+	plane := g.Nx * g.Ny
+	nz := g.Nz
+	for i := range out {
+		out[i] = 0
+	}
+	for d := 1; d <= nf; d++ {
+		c := complex(op.kz[d], 0)
+		// Rows with iz+d >= nz couple to plane iz+d-nz of the next cell.
+		for iz := nz - d; iz < nz; iz++ {
+			base := iz * plane
+			bp := (iz + d - nz) * plane
+			for i := 0; i < plane; i++ {
+				out[base+i] += c * v[bp+i]
+			}
+		}
+	}
+	for pi := range op.Projs {
+		p := &op.Projs[pi]
+		for j := -1; j <= 0; j++ {
+			row := &p.Supp[j+1]
+			col := &p.Supp[j+2]
+			if len(row.Idx) == 0 || len(col.Idx) == 0 {
+				continue
+			}
+			accumProjector(out, row, complex(p.H, 0)*dotSupport(col, v))
+		}
+	}
+}
+
+// ApplyHm computes out = H-*v = H_{n,n-1}*v = (H+)^dagger * v.
+func (op *Operator) ApplyHm(v, out []complex128) {
+	op.checkLen(v, out)
+	g := op.G
+	nf := op.St.Nf
+	plane := g.Nx * g.Ny
+	nz := g.Nz
+	for i := range out {
+		out[i] = 0
+	}
+	for d := 1; d <= nf; d++ {
+		c := complex(op.kz[d], 0)
+		// Rows with iz-d < 0 couple to plane iz-d+nz of the previous cell.
+		for iz := 0; iz < d; iz++ {
+			base := iz * plane
+			bm := (iz - d + nz) * plane
+			for i := 0; i < plane; i++ {
+				out[base+i] += c * v[bm+i]
+			}
+		}
+	}
+	for pi := range op.Projs {
+		p := &op.Projs[pi]
+		for j := 0; j <= 1; j++ {
+			row := &p.Supp[j+1]
+			col := &p.Supp[j]
+			if len(row.Idx) == 0 || len(col.Idx) == 0 {
+				continue
+			}
+			accumProjector(out, row, complex(p.H, 0)*dotSupport(col, v))
+		}
+	}
+}
+
+// ApplyBloch computes out = H(lambda)*v = lambda^{-1} H- v + H0 v +
+// lambda H+ v, using the provided scratch buffer (length N).
+func (op *Operator) ApplyBloch(lambda complex128, v, out, scratch []complex128) {
+	op.ApplyH0(v, out)
+	op.ApplyHp(v, scratch)
+	zlinalg.Axpy(lambda, scratch, out)
+	op.ApplyHm(v, scratch)
+	zlinalg.Axpy(1/lambda, scratch, out)
+}
+
+// ApplyBlochGamma applies the Gamma-point Hamiltonian H(lambda=1) managing
+// its own scratch buffer (convenience for eigensolver callbacks).
+func (op *Operator) ApplyBlochGamma(v, out []complex128) {
+	op.ApplyBloch(1, v, out, make([]complex128, op.N()))
+}
+
+// BlochMatrix assembles the dense Bloch Hamiltonian H(lambda) (for small
+// systems: conventional band structure and validation).
+func (op *Operator) BlochMatrix(lambda complex128) *zlinalg.Matrix {
+	n := op.N()
+	h := zlinalg.NewMatrix(n, n)
+	v := make([]complex128, n)
+	out := make([]complex128, n)
+	scratch := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		v[j] = 1
+		op.ApplyBloch(lambda, v, out, scratch)
+		h.SetCol(j, out)
+		v[j] = 0
+	}
+	return h
+}
+
+// DenseBlock assembles one of the blocks ("H0", "H+", "H-") densely.
+func (op *Operator) DenseBlock(which string) *zlinalg.Matrix {
+	n := op.N()
+	h := zlinalg.NewMatrix(n, n)
+	v := make([]complex128, n)
+	out := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		v[j] = 1
+		switch which {
+		case "H0":
+			op.ApplyH0(v, out)
+		case "H+":
+			op.ApplyHp(v, out)
+		case "H-":
+			op.ApplyHm(v, out)
+		default:
+			panic("hamiltonian: unknown block " + which)
+		}
+		h.SetCol(j, out)
+		v[j] = 0
+	}
+	return h
+}
+
+// InterfaceThickness returns the number of boundary z planes through which
+// H+ (equivalently H-) reads its neighbour-cell input: the FD stencil
+// half-width plus any projector support that crosses a cell boundary. The
+// OBM baseline's interface blocks must span this many planes to capture the
+// full coupling.
+func (op *Operator) InterfaceThickness() int {
+	g := op.G
+	plane := g.PlaneSize()
+	t := op.St.Nf
+	grow := func(p int) {
+		if p+1 > t {
+			t = p + 1
+		}
+	}
+	for _, pr := range op.Projs {
+		hasM := len(pr.Supp[0].Idx) > 0 // offset -1
+		hasP := len(pr.Supp[2].Idx) > 0 // offset +1
+		// Columns of B_R: p^{+1} supports (measured from the cell bottom)
+		// and, when p^{-1} exists, the home support p^0 from the bottom.
+		for _, idx := range pr.Supp[2].Idx {
+			grow(int(idx) / plane)
+		}
+		if hasM {
+			for _, idx := range pr.Supp[1].Idx {
+				grow(int(idx) / plane)
+			}
+		}
+		// Columns of B_L: p^{-1} supports measured from the cell top and,
+		// when p^{+1} exists, the home support from the top.
+		for _, idx := range pr.Supp[0].Idx {
+			grow(g.Nz - 1 - int(idx)/plane)
+		}
+		if hasP {
+			for _, idx := range pr.Supp[1].Idx {
+				grow(g.Nz - 1 - int(idx)/plane)
+			}
+		}
+	}
+	if t > g.Nz {
+		t = g.Nz
+	}
+	return t
+}
+
+// Diag returns the kinetic diagonal (the d=0 stencil term of all three
+// directions), exposed for the distributed operator in package dist.
+func (op *Operator) Diag() float64 { return op.diag }
+
+// Kx, Ky, Kz return the signed kinetic tail coefficient -0.5*C[d]/h^2 of
+// offset d in the given direction.
+func (op *Operator) Kx(d int) float64 { return op.kx[d] }
+func (op *Operator) Ky(d int) float64 { return op.ky[d] }
+func (op *Operator) Kz(d int) float64 { return op.kz[d] }
+
+// NeighborX returns the periodic wrapped index tables (ix+d, ix-d) for
+// offset d.
+func (op *Operator) NeighborX(d int) (plus, minus []int32) {
+	return op.xp[d-1], op.xm[d-1]
+}
+
+// NeighborY returns the periodic wrapped index tables (iy+d, iy-d) for
+// offset d.
+func (op *Operator) NeighborY(d int) (plus, minus []int32) {
+	return op.yp[d-1], op.ym[d-1]
+}
+
+func dotSupport(s *Support, v []complex128) complex128 {
+	var sum complex128
+	for i, idx := range s.Idx {
+		sum += complex(s.Val[i], 0) * v[idx]
+	}
+	return sum
+}
+
+func accumProjector(out []complex128, s *Support, coef complex128) {
+	if coef == 0 {
+		return
+	}
+	for i, idx := range s.Idx {
+		out[idx] += coef * complex(s.Val[i], 0)
+	}
+}
+
+func (op *Operator) checkLen(v, out []complex128) {
+	if len(v) != op.N() || len(out) != op.N() {
+		panic("hamiltonian: vector length mismatch")
+	}
+}
+
+// MemoryBytes estimates the resident bytes of the matrix-free operator:
+// local potential, neighbour tables and projector supports. This is the
+// O(N) footprint the paper contrasts with the OBM baseline's O(N^2).
+func (op *Operator) MemoryBytes() int64 {
+	var b int64
+	b += int64(len(op.VLoc)) * 8
+	for _, p := range op.Projs {
+		for _, s := range p.Supp {
+			b += int64(len(s.Idx))*4 + int64(len(s.Val))*8
+		}
+	}
+	for d := range op.xp {
+		b += int64(len(op.xp[d])+len(op.xm[d])+len(op.yp[d])+len(op.ym[d])) * 4
+	}
+	b += int64(len(op.kx)+len(op.ky)+len(op.kz)) * 8
+	return b
+}
+
+// FlopsPerApply estimates floating-point operations of one H0 application
+// (used by the cluster performance model): stencil tails in 3 directions
+// plus projector work.
+func (op *Operator) FlopsPerApply() float64 {
+	n := float64(op.N())
+	nf := float64(op.St.Nf)
+	fl := n * (3*nf*2*8 + 8) // complex mul-add per tail pair, diag
+	for _, p := range op.Projs {
+		for _, s := range p.Supp {
+			fl += float64(len(s.Idx)) * 16
+		}
+	}
+	return fl
+}
+
+// HermitianResidual returns a cheap probe of the Hermiticity of the full
+// Bloch Hamiltonian at |lambda| = 1: |<u, H v> - conj(<v, H u>)| for random
+// fixed probe vectors; useful as a sanity check on larger grids where dense
+// assembly is infeasible.
+func (op *Operator) HermitianResidual(lambda complex128) float64 {
+	n := op.N()
+	u := make([]complex128, n)
+	v := make([]complex128, n)
+	// Deterministic quasi-random probes.
+	s := 1.0
+	for i := 0; i < n; i++ {
+		s = s*997.0 + 13
+		s -= float64(int64(s/2048)) * 2048
+		u[i] = complex(s/2048, float64((i*37)%101)/101)
+		v[i] = complex(float64((i*61)%127)/127, s/4096)
+	}
+	hu := make([]complex128, n)
+	hv := make([]complex128, n)
+	scratch := make([]complex128, n)
+	op.ApplyBloch(lambda, v, hv, scratch)
+	op.ApplyBloch(lambda, u, hu, scratch)
+	d := zlinalg.Dot(u, hv) - cmplx.Conj(zlinalg.Dot(v, hu))
+	return cmplx.Abs(d)
+}

@@ -1,0 +1,339 @@
+// Package lattice generates the atomic structures used in the paper's
+// experiments: bulk fcc Al(100), (n,m) carbon nanotubes, boron/nitrogen
+// random doping, and nanotube bundles (7-tube and crystalline). All
+// coordinates are Cartesian in bohr inside an orthorhombic cell that is
+// periodic along z (the CBS axis).
+package lattice
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cbs/internal/units"
+)
+
+// Atom is one nucleus: a species symbol and a Cartesian position in bohr.
+type Atom struct {
+	Species string
+	X, Y, Z float64
+}
+
+// Structure is one periodic unit cell: atoms plus orthorhombic cell edges
+// (bohr). The z edge is the CBS periodicity length a of the paper.
+type Structure struct {
+	Name    string
+	Atoms   []Atom
+	Lx, Ly  float64
+	Lz      float64 // the 1D lattice constant a
+	Species []string
+}
+
+// collectSpecies records the distinct species in first-seen order.
+func (s *Structure) collectSpecies() {
+	seen := map[string]bool{}
+	s.Species = s.Species[:0]
+	for _, a := range s.Atoms {
+		if !seen[a.Species] {
+			seen[a.Species] = true
+			s.Species = append(s.Species, a.Species)
+		}
+	}
+}
+
+// NumAtoms returns the number of atoms in the cell.
+func (s *Structure) NumAtoms() int { return len(s.Atoms) }
+
+// CountSpecies returns the number of atoms of the given species.
+func (s *Structure) CountSpecies(sym string) int {
+	n := 0
+	for _, a := range s.Atoms {
+		if a.Species == sym {
+			n++
+		}
+	}
+	return n
+}
+
+// fccLatticeAl is the cubic lattice constant of aluminum in angstrom.
+const fccLatticeAl = 4.05
+
+// AlBulk100 builds bulk fcc aluminum with the z axis along <100>: the
+// conventional cubic cell holds 4 atoms (the paper's Al(100) test system);
+// nz cells are stacked along z.
+func AlBulk100(nz int) (*Structure, error) {
+	if nz < 1 {
+		return nil, fmt.Errorf("lattice: nz = %d < 1", nz)
+	}
+	a := units.AngstromToBohr(fccLatticeAl)
+	basis := [][3]float64{
+		{0, 0, 0},
+		{0.5, 0.5, 0},
+		{0.5, 0, 0.5},
+		{0, 0.5, 0.5},
+	}
+	s := &Structure{
+		Name: fmt.Sprintf("Al(100) x%d", nz),
+		Lx:   a, Ly: a, Lz: a * float64(nz),
+	}
+	for c := 0; c < nz; c++ {
+		for _, b := range basis {
+			s.Atoms = append(s.Atoms, Atom{
+				Species: "Al",
+				X:       b[0] * a,
+				Y:       b[1] * a,
+				Z:       (b[2] + float64(c)) * a,
+			})
+		}
+	}
+	s.collectSpecies()
+	return s, nil
+}
+
+// grapheneA is the graphene lattice constant in angstrom.
+const grapheneA = 2.46
+
+// CNT builds a single-wall (n,m) carbon nanotube, axis along z, centered in
+// an orthorhombic box with the given vacuum margin (bohr) on each side in x
+// and y. The cell contains exactly one translational period
+// |T| = sqrt(3)*|Ch|/dR.
+func CNT(n, m int, vacuum float64) (*Structure, error) {
+	if n < 1 || m < 0 || m > n {
+		return nil, fmt.Errorf("lattice: invalid chirality (%d,%d)", n, m)
+	}
+	a := units.AngstromToBohr(grapheneA)
+	// Graphene lattice vectors (2D sheet coordinates).
+	a1 := [2]float64{math.Sqrt(3) / 2 * a, a / 2}
+	a2 := [2]float64{math.Sqrt(3) / 2 * a, -a / 2}
+	// Chiral and translation vectors.
+	ch := [2]float64{float64(n)*a1[0] + float64(m)*a2[0], float64(n)*a1[1] + float64(m)*a2[1]}
+	dr := gcd(2*m+n, 2*n+m)
+	t1, t2 := (2*m+n)/dr, -(2*n+m)/dr
+	tv := [2]float64{float64(t1)*a1[0] + float64(t2)*a2[0], float64(t1)*a1[1] + float64(t2)*a2[1]}
+	chLen2 := ch[0]*ch[0] + ch[1]*ch[1]
+	tLen2 := tv[0]*tv[0] + tv[1]*tv[1]
+	chLen := math.Sqrt(chLen2)
+	tLen := math.Sqrt(tLen2)
+	radius := chLen / (2 * math.Pi)
+	// Expected atoms: 2 per hexagon, N = 2(n^2+nm+m^2)/dR hexagons.
+	nHex := 2 * (n*n + n*m + m*m) / dr
+	wantAtoms := 2 * nHex
+
+	// Enumerate graphene cells in a window guaranteed to cover the tube
+	// unit cell rectangle, fold into it, and deduplicate.
+	basis := [][2]float64{
+		{0, 0},
+		{(a1[0] + a2[0]) / 3, (a1[1] + a2[1]) / 3},
+	}
+	type key struct{ s, t int }
+	seen := map[key][2]float64{}
+	lim := 2 * (n + m + intAbs(t1) + intAbs(t2) + 2)
+	for u := -lim; u <= lim; u++ {
+		for v := -lim; v <= lim; v++ {
+			for _, b := range basis {
+				px := float64(u)*a1[0] + float64(v)*a2[0] + b[0]
+				py := float64(u)*a1[1] + float64(v)*a2[1] + b[1]
+				// Fractional coordinates along Ch and T.
+				sf := (px*ch[0] + py*ch[1]) / chLen2
+				tf := (px*tv[0] + py*tv[1]) / tLen2
+				sf -= math.Floor(sf)
+				tf -= math.Floor(tf)
+				// Round to a fine lattice for dedup (atoms are separated by
+				// >> 1e-6 in fractional coordinates).
+				k := key{int(math.Round(sf * 1e6)), int(math.Round(tf * 1e6))}
+				// Handle the wrap seam: 1e6 is equivalent to 0.
+				if k.s == 1000000 {
+					k.s = 0
+				}
+				if k.t == 1000000 {
+					k.t = 0
+				}
+				if _, ok := seen[k]; !ok {
+					seen[k] = [2]float64{sf, tf}
+				}
+			}
+		}
+	}
+	if len(seen) != wantAtoms {
+		return nil, fmt.Errorf("lattice: CNT(%d,%d) produced %d atoms, want %d", n, m, len(seen), wantAtoms)
+	}
+
+	box := 2*radius + 2*vacuum
+	cx, cy := box/2, box/2
+	s := &Structure{
+		Name: fmt.Sprintf("(%d,%d) CNT", n, m),
+		Lx:   box, Ly: box, Lz: tLen,
+	}
+	frac := make([][2]float64, 0, wantAtoms)
+	for _, f := range seen {
+		frac = append(frac, f)
+	}
+	// Deterministic ordering (by t then s) for reproducible doping.
+	sort.Slice(frac, func(i, j int) bool {
+		if frac[i][1] != frac[j][1] {
+			return frac[i][1] < frac[j][1]
+		}
+		return frac[i][0] < frac[j][0]
+	})
+	for _, f := range frac {
+		theta := 2 * math.Pi * f[0]
+		s.Atoms = append(s.Atoms, Atom{
+			Species: "C",
+			X:       cx + radius*math.Cos(theta),
+			Y:       cy + radius*math.Sin(theta),
+			Z:       f[1] * tLen,
+		})
+	}
+	s.collectSpecies()
+	return s, nil
+}
+
+// Repeat stacks the structure nz times along z (supercell), as used to build
+// the 1024- and 10240-atom systems from the 32-atom (8,0) CNT cell.
+func Repeat(s *Structure, nz int) (*Structure, error) {
+	if nz < 1 {
+		return nil, fmt.Errorf("lattice: Repeat count %d < 1", nz)
+	}
+	out := &Structure{
+		Name: fmt.Sprintf("%s x%d", s.Name, nz),
+		Lx:   s.Lx, Ly: s.Ly, Lz: s.Lz * float64(nz),
+	}
+	for c := 0; c < nz; c++ {
+		for _, a := range s.Atoms {
+			a.Z += float64(c) * s.Lz
+			out.Atoms = append(out.Atoms, a)
+		}
+	}
+	out.collectSpecies()
+	return out, nil
+}
+
+// BNDope replaces nPairs random distinct carbon atoms by boron and nPairs by
+// nitrogen (the paper's BN-doped CNTs are "made by randomly inserting boron
+// and nitrogen into pristine (8,0) CNT"). The seed makes the doping
+// deterministic and reproducible.
+func BNDope(s *Structure, nPairs int, seed int64) (*Structure, error) {
+	carbons := []int{}
+	for i, a := range s.Atoms {
+		if a.Species == "C" {
+			carbons = append(carbons, i)
+		}
+	}
+	if 2*nPairs > len(carbons) {
+		return nil, fmt.Errorf("lattice: %d BN pairs exceed %d carbon atoms", nPairs, len(carbons))
+	}
+	out := &Structure{
+		Name: fmt.Sprintf("BN-doped %s", s.Name),
+		Lx:   s.Lx, Ly: s.Ly, Lz: s.Lz,
+		Atoms: append([]Atom(nil), s.Atoms...),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(carbons))
+	for p := 0; p < nPairs; p++ {
+		out.Atoms[carbons[perm[2*p]]].Species = "B"
+		out.Atoms[carbons[perm[2*p+1]]].Species = "N"
+	}
+	out.collectSpecies()
+	return out, nil
+}
+
+// tubeGapAngstrom is the inter-tube van der Waals wall gap in bundles.
+const tubeGapAngstrom = 3.35
+
+// Bundle7 arranges seven copies of the tube hexagonally (one center, six
+// around) inside one box, the paper's "7 bundle" (7 x 32 = 224 atoms for
+// (8,0)). The tube argument must be a structure from CNT (one tube centered
+// in its box).
+func Bundle7(tube *Structure, vacuum float64) (*Structure, error) {
+	r := tubeRadius(tube)
+	if r <= 0 {
+		return nil, fmt.Errorf("lattice: cannot infer tube radius")
+	}
+	d := 2*r + units.AngstromToBohr(tubeGapAngstrom) // center-to-center distance
+	box := 2*d + 2*r + 2*vacuum
+	cx, cy := box/2, box/2
+	out := &Structure{
+		Name: fmt.Sprintf("7-bundle of %s", tube.Name),
+		Lx:   box, Ly: box, Lz: tube.Lz,
+	}
+	centers := [][2]float64{{0, 0}}
+	for i := 0; i < 6; i++ {
+		ang := math.Pi / 3 * float64(i)
+		centers = append(centers, [2]float64{d * math.Cos(ang), d * math.Sin(ang)})
+	}
+	ocx, ocy := tube.Lx/2, tube.Ly/2
+	for _, c := range centers {
+		for _, a := range tube.Atoms {
+			out.Atoms = append(out.Atoms, Atom{
+				Species: a.Species,
+				X:       cx + c[0] + (a.X - ocx),
+				Y:       cy + c[1] + (a.Y - ocy),
+				Z:       a.Z,
+			})
+		}
+	}
+	out.collectSpecies()
+	return out, nil
+}
+
+// CrystallineBundle builds the periodic triangular-lattice bundle in its
+// rectangular (2-tube) representation: tubes at (0,0) and (1/2,1/2) of a
+// cell with Ly = sqrt(3)*Lx, periodic in x and y (64 atoms for (8,0)).
+func CrystallineBundle(tube *Structure) (*Structure, error) {
+	r := tubeRadius(tube)
+	if r <= 0 {
+		return nil, fmt.Errorf("lattice: cannot infer tube radius")
+	}
+	d := 2*r + units.AngstromToBohr(tubeGapAngstrom)
+	lx := d
+	ly := d * math.Sqrt(3)
+	out := &Structure{
+		Name: fmt.Sprintf("crystalline bundle of %s", tube.Name),
+		Lx:   lx, Ly: ly, Lz: tube.Lz,
+	}
+	ocx, ocy := tube.Lx/2, tube.Ly/2
+	for _, c := range [][2]float64{{0, 0}, {lx / 2, ly / 2}} {
+		for _, a := range tube.Atoms {
+			x := c[0] + (a.X - ocx)
+			y := c[1] + (a.Y - ocy)
+			// Fold into the periodic cell.
+			x -= lx * math.Floor(x/lx)
+			y -= ly * math.Floor(y/ly)
+			out.Atoms = append(out.Atoms, Atom{Species: a.Species, X: x, Y: y, Z: a.Z})
+		}
+	}
+	out.collectSpecies()
+	return out, nil
+}
+
+// tubeRadius estimates the tube radius as the mean distance of atoms from
+// the box center in the xy plane.
+func tubeRadius(tube *Structure) float64 {
+	if len(tube.Atoms) == 0 {
+		return 0
+	}
+	cx, cy := tube.Lx/2, tube.Ly/2
+	var sum float64
+	for _, a := range tube.Atoms {
+		sum += math.Hypot(a.X-cx, a.Y-cy)
+	}
+	return sum / float64(len(tube.Atoms))
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func intAbs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

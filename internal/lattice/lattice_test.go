@@ -1,0 +1,269 @@
+package lattice
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"cbs/internal/units"
+)
+
+func TestAlBulk100(t *testing.T) {
+	s, err := AlBulk100(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAtoms() != 4 {
+		t.Fatalf("Al(100) cell has %d atoms, want 4 (paper)", s.NumAtoms())
+	}
+	a := units.AngstromToBohr(4.05)
+	if math.Abs(s.Lz-a) > 1e-12 {
+		t.Fatalf("Lz = %g, want %g", s.Lz, a)
+	}
+	s3, err := AlBulk100(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.NumAtoms() != 12 || math.Abs(s3.Lz-3*a) > 1e-12 {
+		t.Fatalf("x3 supercell wrong: %d atoms, Lz=%g", s3.NumAtoms(), s3.Lz)
+	}
+	if _, err := AlBulk100(0); err == nil {
+		t.Error("AlBulk100(0) should fail")
+	}
+}
+
+func TestCNTAtomCounts(t *testing.T) {
+	// 2N with N = 2(n^2+nm+m^2)/dR; the paper's systems:
+	cases := []struct {
+		n, m, want int
+	}{
+		{8, 0, 32}, // pristine (8,0): 32 atoms (paper Sec. 4.2)
+		{6, 6, 24}, // (6,6): 24 atoms (paper Sec. 4.1)
+		{5, 5, 20},
+		{10, 0, 40},
+		{4, 2, 56},
+	}
+	for _, c := range cases {
+		s, err := CNT(c.n, c.m, units.AngstromToBohr(4))
+		if err != nil {
+			t.Fatalf("CNT(%d,%d): %v", c.n, c.m, err)
+		}
+		if s.NumAtoms() != c.want {
+			t.Errorf("CNT(%d,%d) has %d atoms, want %d", c.n, c.m, s.NumAtoms(), c.want)
+		}
+	}
+}
+
+func TestCNTPeriodLengths(t *testing.T) {
+	// Zigzag period sqrt(3)*a, armchair period a.
+	a := units.AngstromToBohr(2.46)
+	zig, err := CNT(8, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(zig.Lz-math.Sqrt(3)*a) > 1e-9 {
+		t.Errorf("zigzag period %g, want %g", zig.Lz, math.Sqrt(3)*a)
+	}
+	arm, err := CNT(6, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(arm.Lz-a) > 1e-9 {
+		t.Errorf("armchair period %g, want %g", arm.Lz, a)
+	}
+}
+
+func TestCNTBondLengths(t *testing.T) {
+	// Every atom must have exactly 3 neighbours at about 1.42 A (allowing a
+	// few percent curvature distortion), counting z-periodic images.
+	s, err := CNT(8, 0, units.AngstromToBohr(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bond := units.AngstromToBohr(1.42)
+	for i, ai := range s.Atoms {
+		n := 0
+		for j, aj := range s.Atoms {
+			if i == j {
+				continue
+			}
+			for _, dz := range []float64{-s.Lz, 0, s.Lz} {
+				d := dist(ai, aj, dz)
+				if d < bond*1.1 {
+					if d < bond*0.85 {
+						t.Fatalf("atoms %d,%d too close: %g bohr", i, j, d)
+					}
+					n++
+				}
+			}
+		}
+		if n != 3 {
+			t.Errorf("atom %d has %d bonded neighbours, want 3", i, n)
+		}
+	}
+}
+
+func dist(a, b Atom, dz float64) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	dzz := a.Z - (b.Z + dz)
+	return math.Sqrt(dx*dx + dy*dy + dzz*dzz)
+}
+
+func TestRepeatBuildsPaperSupercells(t *testing.T) {
+	s, err := CNT(8, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s32, err := Repeat(s, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s32.NumAtoms() != 1024 {
+		t.Errorf("32x supercell has %d atoms, want 1024 (paper medium system)", s32.NumAtoms())
+	}
+	s320, err := Repeat(s, 320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s320.NumAtoms() != 10240 {
+		t.Errorf("320x supercell has %d atoms, want 10240 (paper large system)", s320.NumAtoms())
+	}
+	if math.Abs(s32.Lz-32*s.Lz) > 1e-9 {
+		t.Error("supercell Lz wrong")
+	}
+}
+
+func TestBNDopeDeterministicAndBalanced(t *testing.T) {
+	s, err := CNT(8, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Repeat(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doped, err := BNDope(sc, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doped.CountSpecies("B") != 8 || doped.CountSpecies("N") != 8 {
+		t.Fatalf("B=%d N=%d, want 8 each", doped.CountSpecies("B"), doped.CountSpecies("N"))
+	}
+	if doped.CountSpecies("C") != sc.NumAtoms()-16 {
+		t.Fatalf("C count wrong: %d", doped.CountSpecies("C"))
+	}
+	// Determinism.
+	doped2, err := BNDope(sc, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range doped.Atoms {
+		if doped.Atoms[i].Species != doped2.Atoms[i].Species {
+			t.Fatal("BNDope not deterministic for equal seeds")
+		}
+	}
+	// Different seed gives a different pattern (overwhelmingly likely).
+	doped3, err := BNDope(sc, 8, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range doped.Atoms {
+		if doped.Atoms[i].Species != doped3.Atoms[i].Species {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical doping")
+	}
+	// Original untouched.
+	if sc.CountSpecies("B") != 0 {
+		t.Error("BNDope mutated its input")
+	}
+	if _, err := BNDope(s, 1000, 1); err == nil {
+		t.Error("over-doping should fail")
+	}
+}
+
+func TestBundle7(t *testing.T) {
+	tube, err := CNT(8, 0, units.AngstromToBohr(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bundle7(tube, units.AngstromToBohr(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumAtoms() != 7*32 {
+		t.Fatalf("7-bundle has %d atoms, want 224 (7x32, paper Sec. 5)", b.NumAtoms())
+	}
+	// No atom pair from different tubes closer than a bond length.
+	minD := math.Inf(1)
+	for i := 0; i < 32; i++ {
+		for j := 32; j < b.NumAtoms(); j++ {
+			if d := dist(b.Atoms[i], b.Atoms[j], 0); d < minD {
+				minD = d
+			}
+		}
+	}
+	if minD < units.AngstromToBohr(2.5) {
+		t.Errorf("inter-tube clash: min distance %g angstrom", units.BohrToAngstrom(minD))
+	}
+}
+
+func TestCrystallineBundle(t *testing.T) {
+	tube, err := CNT(8, 0, units.AngstromToBohr(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CrystallineBundle(tube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumAtoms() != 64 {
+		t.Fatalf("crystalline bundle has %d atoms, want 64 (2x32, paper Sec. 5)", c.NumAtoms())
+	}
+	if math.Abs(c.Ly-math.Sqrt(3)*c.Lx) > 1e-9 {
+		t.Errorf("cell aspect Ly/Lx = %g, want sqrt(3)", c.Ly/c.Lx)
+	}
+	for i, a := range c.Atoms {
+		if a.X < 0 || a.X >= c.Lx || a.Y < 0 || a.Y >= c.Ly {
+			t.Errorf("atom %d outside the periodic cell: (%g,%g)", i, a.X, a.Y)
+		}
+	}
+}
+
+func TestWriteXYZ(t *testing.T) {
+	s, err := AlBulk100(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteXYZ(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2+4 {
+		t.Fatalf("XYZ has %d lines, want 6", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "4") {
+		t.Errorf("first line %q, want atom count", lines[0])
+	}
+	if !strings.Contains(lines[1], "Lattice=") {
+		t.Errorf("missing lattice header: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "Al") {
+		t.Errorf("atom line %q", lines[2])
+	}
+}
+
+func TestCNTInvalid(t *testing.T) {
+	if _, err := CNT(0, 0, 1); err == nil {
+		t.Error("CNT(0,0) should fail")
+	}
+	if _, err := CNT(4, 5, 1); err == nil {
+		t.Error("m > n should fail")
+	}
+}

@@ -1,0 +1,33 @@
+package lattice
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"cbs/internal/units"
+)
+
+// WriteXYZ writes the structure in extended-XYZ format (angstrom), the
+// format used to regenerate the structural models of Fig. 7.
+func WriteXYZ(w io.Writer, s *Structure) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\n", len(s.Atoms)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw,
+		"Lattice=\"%.6f 0 0 0 %.6f 0 0 0 %.6f\" Properties=species:S:1:pos:R:3 name=%q\n",
+		units.BohrToAngstrom(s.Lx), units.BohrToAngstrom(s.Ly), units.BohrToAngstrom(s.Lz), s.Name); err != nil {
+		return err
+	}
+	for _, a := range s.Atoms {
+		if _, err := fmt.Fprintf(bw, "%-2s %12.6f %12.6f %12.6f\n",
+			a.Species,
+			units.BohrToAngstrom(a.X),
+			units.BohrToAngstrom(a.Y),
+			units.BohrToAngstrom(a.Z)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

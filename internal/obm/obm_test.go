@@ -1,0 +1,180 @@
+package obm
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"cbs/internal/bandstructure"
+	"cbs/internal/core"
+	"cbs/internal/hamiltonian"
+	"cbs/internal/lattice"
+	"cbs/internal/qep"
+)
+
+func smallAl(t *testing.T) *hamiltonian.Operator {
+	t.Helper()
+	st, err := lattice.AlBulk100(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := hamiltonian.Build(st, hamiltonian.Config{Nx: 6, Ny: 6, Nz: 10, Nf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+// TestOBMRecoversPropagatingState mirrors the core solver's Fig. 6 check:
+// at a band energy the OBM spectrum must contain lambda = e^{i k0 a}.
+func TestOBMRecoversPropagatingState(t *testing.T) {
+	op := smallAl(t)
+	a := op.G.Lz()
+	k0 := 0.55 * math.Pi / a
+	bands, err := bandstructure.Bands(op, []float64{k0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := bands[0][2]
+	res, err := Solve(op, e, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("OBM found no annulus eigenpairs")
+	}
+	want := qep.LambdaFromK(complex(k0, 0), a)
+	best := math.Inf(1)
+	for _, p := range res.Pairs {
+		if d := cmplx.Abs(p.Lambda - want); d < best {
+			best = d
+		}
+	}
+	if best > 1e-5 {
+		t.Errorf("propagating state missed by %g", best)
+	}
+	if res.Timings.Inversion <= 0 || res.Timings.Eigen <= 0 {
+		t.Error("timings not recorded")
+	}
+}
+
+// TestOBMAgreesWithSakuraiSugiura is the paper's equivalence claim: "the
+// solutions within lambda_min < |lambda| < 1/lambda_min obtained by our
+// method correspond to the OBM solutions".
+func TestOBMAgreesWithSakuraiSugiura(t *testing.T) {
+	op := smallAl(t)
+	ef, err := bandstructure.FermiLevel(op, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift away from EF: for this model EF sits exactly at a band
+	// extremum, where the QEP is near-defective (a lambda ~ 1 quadruplet
+	// with square-root conditioning) and *no* dense pencil solver can
+	// resolve the fine structure; the coarse cluster agreement is checked
+	// separately below.
+	e := ef + 0.05
+	obmRes, err := Solve(op, e, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssOpts := core.DefaultOptions()
+	ssOpts.Nint = 24
+	ssOpts.Nmm = 8
+	ssOpts.Nrh = 8
+	ssRes, err := core.Solve(qep.New(op, e), ssOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ssRes.Pairs) == 0 {
+		t.Skip("no annulus states at E on this coarse grid")
+	}
+	// Every SS eigenvalue must appear in the OBM spectrum.
+	for _, p := range ssRes.Pairs {
+		best := math.Inf(1)
+		for _, o := range obmRes.Pairs {
+			if d := cmplx.Abs(o.Lambda - p.Lambda); d < best {
+				best = d
+			}
+		}
+		if best > 1e-4 {
+			t.Errorf("SS eigenvalue %v missing from OBM spectrum (closest %g)", p.Lambda, best)
+		}
+	}
+}
+
+func TestOBMClusterAgreementAtBandEdge(t *testing.T) {
+	// At a band extremum the eigenvalues cluster at |lambda| = 1 with
+	// square-root conditioning; OBM must still find the cluster, if not
+	// its 1e-5 fine structure.
+	op := smallAl(t)
+	ef, err := bandstructure.FermiLevel(op, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obmRes, err := Solve(op, ef, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssOpts := core.DefaultOptions()
+	ssOpts.Nint = 24
+	ssOpts.Nmm = 8
+	ssOpts.Nrh = 8
+	ssRes, err := core.Solve(qep.New(op, ef), ssOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ssRes.Pairs {
+		best := math.Inf(1)
+		for _, o := range obmRes.Pairs {
+			if d := cmplx.Abs(o.Lambda - p.Lambda); d < best {
+				best = d
+			}
+		}
+		if best > 3e-2 {
+			t.Errorf("SS eigenvalue %v has no OBM counterpart within the cluster radius (closest %g)", p.Lambda, best)
+		}
+	}
+}
+
+func TestOBMResidualsSmall(t *testing.T) {
+	op := smallAl(t)
+	res, err := Solve(op, 0.2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Pairs {
+		if p.Residual > 1e-5 {
+			t.Errorf("reconstructed state %v has QEP residual %g", p.Lambda, p.Residual)
+		}
+	}
+}
+
+func TestOBMMemoryQuadraticScaling(t *testing.T) {
+	st, _ := lattice.AlBulk100(1)
+	op1, err := hamiltonian.Build(st, hamiltonian.Config{Nx: 6, Ny: 6, Nz: 10, Nf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2, err := hamiltonian.Build(st, hamiltonian.Config{Nx: 12, Ny: 12, Nz: 10, Nf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := MemoryEstimate(op1)
+	m2 := MemoryEstimate(op2)
+	// Quadrupling the plane quadruples both N and q: the N*q term grows
+	// 16x, unlike the O(N) footprint of the SS method.
+	if ratio := float64(m2) / float64(m1); ratio < 8 {
+		t.Errorf("OBM memory grew only %.1fx for 4x plane size; expected O(N*q) growth", ratio)
+	}
+}
+
+func TestInterfaceThickness(t *testing.T) {
+	op := smallAl(t)
+	th := op.InterfaceThickness()
+	if th < op.St.Nf {
+		t.Errorf("interface thickness %d below the stencil half-width %d", th, op.St.Nf)
+	}
+	if th > op.G.Nz {
+		t.Errorf("interface thickness %d exceeds the cell (%d planes)", th, op.G.Nz)
+	}
+}

@@ -1,0 +1,172 @@
+// Package poisson solves the periodic Poisson equation of the Hartree
+// potential, Laplacian(V) = -4*pi*rho, on the real-space grid with the same
+// finite-difference stencil as the Hamiltonian, using conjugate gradients in
+// the zero-mean subspace (the periodic Laplacian's nullspace is the
+// constants; charge neutrality fixes the gauge).
+package poisson
+
+import (
+	"fmt"
+	"math"
+
+	"cbs/internal/fd"
+	"cbs/internal/grid"
+	"cbs/internal/linsolve"
+)
+
+// Solver holds the periodic Laplacian of one grid.
+type Solver struct {
+	g  *grid.Grid
+	st *fd.Stencil
+
+	kx, ky, kz []float64
+	xp, xm     [][]int32
+	yp, ym     [][]int32
+	zp, zm     [][]int32
+}
+
+// NewSolver builds a periodic FD Laplacian of half-width nf on g.
+func NewSolver(g *grid.Grid, nf int) (*Solver, error) {
+	st, err := fd.NewStencil(nf)
+	if err != nil {
+		return nil, err
+	}
+	if g.Nz < nf || g.Nx < nf || g.Ny < nf {
+		return nil, fmt.Errorf("poisson: grid smaller than the stencil half-width")
+	}
+	s := &Solver{g: g, st: st}
+	s.kx = make([]float64, nf+1)
+	s.ky = make([]float64, nf+1)
+	s.kz = make([]float64, nf+1)
+	for d := 0; d <= nf; d++ {
+		s.kx[d] = st.C[d] / (g.Hx * g.Hx)
+		s.ky[d] = st.C[d] / (g.Hy * g.Hy)
+		s.kz[d] = st.C[d] / (g.Hz * g.Hz)
+	}
+	wrapTables := func(n int) (p, m [][]int32) {
+		p = make([][]int32, nf)
+		m = make([][]int32, nf)
+		for d := 1; d <= nf; d++ {
+			p[d-1] = make([]int32, n)
+			m[d-1] = make([]int32, n)
+			for i := 0; i < n; i++ {
+				p[d-1][i] = int32(mod(i+d, n))
+				m[d-1][i] = int32(mod(i-d, n))
+			}
+		}
+		return
+	}
+	s.xp, s.xm = wrapTables(g.Nx)
+	s.yp, s.ym = wrapTables(g.Ny)
+	s.zp, s.zm = wrapTables(g.Nz)
+	return s, nil
+}
+
+func mod(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// ApplyLaplacian computes out = Laplacian(v) with full periodic wrap.
+func (s *Solver) ApplyLaplacian(v, out []complex128) {
+	g := s.g
+	nf := s.st.Nf
+	nx, ny, nz := g.Nx, g.Ny, g.Nz
+	diag := complex(s.kx[0]+s.ky[0]+s.kz[0], 0)
+	for i := range out {
+		out[i] = diag * v[i]
+	}
+	for iz := 0; iz < nz; iz++ {
+		for iy := 0; iy < ny; iy++ {
+			base := (iz*ny + iy) * nx
+			row := v[base : base+nx]
+			orow := out[base : base+nx]
+			for d := 1; d <= nf; d++ {
+				c := complex(s.kx[d], 0)
+				xp, xm := s.xp[d-1], s.xm[d-1]
+				for ix := 0; ix < nx; ix++ {
+					orow[ix] += c * (row[xp[ix]] + row[xm[ix]])
+				}
+			}
+		}
+		planeBase := iz * ny * nx
+		for d := 1; d <= nf; d++ {
+			c := complex(s.ky[d], 0)
+			yp, ym := s.yp[d-1], s.ym[d-1]
+			for iy := 0; iy < ny; iy++ {
+				base := planeBase + iy*nx
+				bp := planeBase + int(yp[iy])*nx
+				bm := planeBase + int(ym[iy])*nx
+				for ix := 0; ix < nx; ix++ {
+					out[base+ix] += c * (v[bp+ix] + v[bm+ix])
+				}
+			}
+		}
+	}
+	plane := nx * ny
+	for d := 1; d <= nf; d++ {
+		c := complex(s.kz[d], 0)
+		zp, zm := s.zp[d-1], s.zm[d-1]
+		for iz := 0; iz < nz; iz++ {
+			base := iz * plane
+			bp := int(zp[iz]) * plane
+			bm := int(zm[iz]) * plane
+			for i := 0; i < plane; i++ {
+				out[base+i] += c * (v[bp+i] + v[bm+i])
+			}
+		}
+	}
+}
+
+// Hartree solves Laplacian(V) = -4*pi*(rho - mean(rho)) and returns V with
+// zero mean. The mean subtraction imposes the compensating background of a
+// charged cell (for neutral density + ionic background models the caller
+// subtracts the ionic charge first).
+func (s *Solver) Hartree(rho []float64, tol float64, maxIter int) ([]float64, error) {
+	n := s.g.N()
+	if len(rho) != n {
+		return nil, fmt.Errorf("poisson: density length %d, want %d", len(rho), n)
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	mean := 0.0
+	for _, r := range rho {
+		mean += r
+	}
+	mean /= float64(n)
+	b := make([]complex128, n)
+	for i, r := range rho {
+		b[i] = complex(-4*math.Pi*(r-mean), 0)
+	}
+	x := make([]complex128, n)
+	// The negated Laplacian is positive semidefinite; CG in the mean-zero
+	// subspace converges. Solve (-L)x = -b.
+	apply := func(v, out []complex128) {
+		s.ApplyLaplacian(v, out)
+		for i := range out {
+			out[i] = -out[i]
+		}
+	}
+	for i := range b {
+		b[i] = -b[i]
+	}
+	res := linsolve.CG(apply, b, x, linsolve.Options{Tol: tol, MaxIter: maxIter})
+	if !res.Converged {
+		return nil, fmt.Errorf("poisson: CG did not converge (residual %g after %d iterations)", res.Residual, res.Iterations)
+	}
+	out := make([]float64, n)
+	var vm float64
+	for i := range x {
+		out[i] = real(x[i])
+		vm += out[i]
+	}
+	vm /= float64(n)
+	for i := range out {
+		out[i] -= vm
+	}
+	return out, nil
+}

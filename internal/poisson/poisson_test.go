@@ -1,0 +1,132 @@
+package poisson
+
+import (
+	"math"
+	"testing"
+
+	"cbs/internal/grid"
+)
+
+func mustGrid(t *testing.T, nx, ny, nz int, l float64) *grid.Grid {
+	t.Helper()
+	g, err := grid.New(nx, ny, nz, l, l, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestLaplacianPlaneWave: discrete plane waves are exact eigenfunctions of
+// the periodic FD Laplacian.
+func TestLaplacianPlaneWave(t *testing.T) {
+	g := mustGrid(t, 8, 8, 8, 6.0)
+	s, err := NewSolver(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]complex128, g.N())
+	kx := 2 * math.Pi / g.Lx() // one full period in x
+	for iz := 0; iz < g.Nz; iz++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for ix := 0; ix < g.Nx; ix++ {
+				x := float64(ix) * g.Hx
+				v[g.Index(ix, iy, iz)] = complex(math.Cos(kx*x), math.Sin(kx*x))
+			}
+		}
+	}
+	out := make([]complex128, g.N())
+	s.ApplyLaplacian(v, out)
+	// Discrete eigenvalue: sum_d C_d (2cos(d theta) - handled via stencil
+	// sum at theta = kx*hx).
+	theta := kx * g.Hx
+	lam := s.kx[0]
+	for d := 1; d <= s.st.Nf; d++ {
+		lam += 2 * s.kx[d] * math.Cos(float64(d)*theta)
+	}
+	for i := range out {
+		want := complex(lam, 0) * v[i]
+		if d := absC(out[i] - want); d > 1e-10 {
+			t.Fatalf("plane wave not an eigenfunction: out=%v want=%v", out[i], want)
+		}
+	}
+}
+
+func absC(z complex128) float64 {
+	return math.Hypot(real(z), imag(z))
+}
+
+// TestHartreeSinusoidalCharge: for rho = A cos(G.r), the periodic solution
+// is V = 4 pi A cos(G.r)/G_d^2 with G_d the discrete eigenvalue.
+func TestHartreeSinusoidalCharge(t *testing.T) {
+	g := mustGrid(t, 10, 8, 8, 7.0)
+	s, err := NewSolver(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kx := 2 * math.Pi / g.Lx()
+	rho := make([]float64, g.N())
+	for iz := 0; iz < g.Nz; iz++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for ix := 0; ix < g.Nx; ix++ {
+				rho[g.Index(ix, iy, iz)] = 0.3 * math.Cos(kx*float64(ix)*g.Hx)
+			}
+		}
+	}
+	v, err := s.Hartree(rho, 1e-11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := kx * g.Hx
+	lam := s.kx[0]
+	for d := 1; d <= s.st.Nf; d++ {
+		lam += 2 * s.kx[d] * math.Cos(float64(d)*theta)
+	}
+	for iz := 0; iz < g.Nz; iz++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for ix := 0; ix < g.Nx; ix++ {
+				want := -4 * math.Pi * 0.3 * math.Cos(kx*float64(ix)*g.Hx) / lam
+				got := v[g.Index(ix, iy, iz)]
+				if math.Abs(got-want) > 1e-7 {
+					t.Fatalf("V(%d,%d,%d) = %g, want %g", ix, iy, iz, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHartreeZeroMeanAndNeutralization(t *testing.T) {
+	g := mustGrid(t, 6, 6, 6, 5.0)
+	s, err := NewSolver(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A non-neutral density: the solver subtracts the mean (jellium
+	// background) and must still converge with a zero-mean potential.
+	rho := make([]float64, g.N())
+	for i := range rho {
+		rho[i] = 1.0 + 0.1*math.Sin(float64(i))
+	}
+	v, err := s.Hartree(rho, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	if math.Abs(mean) > 1e-10 {
+		t.Errorf("potential mean %g, want 0", mean)
+	}
+}
+
+func TestSolverValidation(t *testing.T) {
+	g := mustGrid(t, 6, 6, 6, 5.0)
+	if _, err := NewSolver(g, 8); err == nil {
+		t.Error("stencil wider than grid should fail")
+	}
+	s, _ := NewSolver(g, 2)
+	if _, err := s.Hartree(make([]float64, 5), 1e-8, 0); err == nil {
+		t.Error("wrong density length should fail")
+	}
+}

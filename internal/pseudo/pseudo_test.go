@@ -1,0 +1,138 @@
+package pseudo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLookupKnown(t *testing.T) {
+	for _, sym := range Known() {
+		s, err := Lookup(sym)
+		if err != nil {
+			t.Fatalf("%s: %v", sym, err)
+		}
+		if s.Symbol != sym || s.Zval <= 0 || s.RLoc <= 0 || s.RScr <= 0 {
+			t.Errorf("%s: implausible parameters %+v", sym, s)
+		}
+	}
+	if _, err := Lookup("Xx"); err == nil {
+		t.Error("unknown species should fail")
+	}
+}
+
+func TestVLocalLimits(t *testing.T) {
+	c, _ := Lookup("C")
+	// Continuity at r -> 0: the explicit limit must match small-r values.
+	v0 := c.VLocal(0)
+	v1 := c.VLocal(1e-7)
+	if math.Abs(v0-v1) > 1e-5 {
+		t.Errorf("VLocal discontinuous at origin: %g vs %g", v0, v1)
+	}
+	// Large-r tail approaches -Z/r (norm conservation of the local part).
+	for _, r := range []float64{4, 6, 8} {
+		got := c.VLocal(r)
+		want := -c.Zval / r
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("VLocal(%g) = %g, want about %g", r, got, want)
+		}
+	}
+	// Attractive core.
+	if c.VLocal(0) >= 0 {
+		t.Errorf("VLocal(0) = %g, want negative", c.VLocal(0))
+	}
+}
+
+func TestVScreenedShortRanged(t *testing.T) {
+	for _, sym := range Known() {
+		s, _ := Lookup(sym)
+		rc := s.ScreenedCutoff()
+		if v := math.Abs(s.VScreened(rc)); v > 1e-9 {
+			t.Errorf("%s: |VScreened(cutoff)| = %g, want < 1e-9", sym, v)
+		}
+		if v := math.Abs(s.VScreened(rc * 1.5)); v > 1e-12 {
+			t.Errorf("%s: screened tail survives beyond cutoff: %g", sym, v)
+		}
+		// Still attractive in the bonding region.
+		if s.VScreened(1.0) >= 0.5 {
+			t.Errorf("%s: VScreened(1) = %g seems unphysical", sym, s.VScreened(1.0))
+		}
+	}
+}
+
+func TestVScreenedContinuityAtOrigin(t *testing.T) {
+	for _, sym := range Known() {
+		s, _ := Lookup(sym)
+		if d := math.Abs(s.VScreened(0) - s.VScreened(1e-7)); d > 1e-5 {
+			t.Errorf("%s: VScreened discontinuous at origin by %g", sym, d)
+		}
+	}
+}
+
+func TestChannels(t *testing.T) {
+	al, _ := Lookup("Al")
+	ch := al.Channels()
+	if len(ch) != 2 {
+		t.Fatalf("Al has %d channels, want 2 (s and p)", len(ch))
+	}
+	if ch[0].L != 0 || ch[0].NumProjectors() != 1 {
+		t.Error("first channel should be s with 1 projector")
+	}
+	if ch[1].L != 1 || ch[1].NumProjectors() != 3 {
+		t.Error("second channel should be p with 3 projectors")
+	}
+	c, _ := Lookup("C")
+	if got := len(c.Channels()); got != 1 {
+		t.Errorf("C has %d channels, want 1 (s only)", got)
+	}
+}
+
+func TestRadialShapes(t *testing.T) {
+	ch := Channel{L: 0, R: 0.5}
+	if math.Abs(ch.Radial(0)-1) > 1e-14 {
+		t.Error("s radial at origin should be 1")
+	}
+	if ch.Radial(3*0.5) >= ch.Radial(0.5) {
+		t.Error("s radial must decay")
+	}
+	chp := Channel{L: 1, R: 0.5}
+	if chp.Radial(0) != 0 {
+		t.Error("p radial must vanish at origin")
+	}
+	// p radial peaks at r = R.
+	if chp.Radial(0.5) <= chp.Radial(0.1) || chp.Radial(0.5) <= chp.Radial(2.0) {
+		t.Error("p radial should peak near r = R")
+	}
+}
+
+func TestAngularFactors(t *testing.T) {
+	s := Channel{L: 0}
+	if s.Angular(0, 1, 2, 3, math.Sqrt(14)) != 1 {
+		t.Error("s angular factor should be 1")
+	}
+	p := Channel{L: 1}
+	r := math.Sqrt(14.0)
+	sum := 0.0
+	for m := 0; m < 3; m++ {
+		v := p.Angular(m, 1, 2, 3, r)
+		sum += v * v
+	}
+	// Direction cosines are normalized: sum of squares = 1.
+	if math.Abs(sum-1) > 1e-14 {
+		t.Errorf("p angular normalization = %g, want 1", sum)
+	}
+	if p.Angular(0, 1, 0, 0, 0) != 0 {
+		t.Error("p angular at origin should be 0")
+	}
+}
+
+func TestProjectorCutoffCoversGaussian(t *testing.T) {
+	for _, sym := range Known() {
+		s, _ := Lookup(sym)
+		for _, ch := range s.Channels() {
+			v := ch.Radial(ch.Cutoff)
+			if v > 2e-4 {
+				t.Errorf("%s L=%d: radial at cutoff = %g, want < 2e-4", sym, ch.L, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package qep
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cbs/internal/hamiltonian"
+	"cbs/internal/lattice"
+	"cbs/internal/zlinalg"
+)
+
+func testProblem(t *testing.T) *Problem {
+	t.Helper()
+	st, err := lattice.AlBulk100(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := hamiltonian.Build(st, hamiltonian.Config{Nx: 6, Ny: 6, Nz: 8, Nf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(op, 0.3)
+}
+
+// TestDaggerIdentity verifies the paper's halving identity P(z)^dagger =
+// P(1/conj(z)) on the dense assembled operator.
+func TestDaggerIdentity(t *testing.T) {
+	p := testProblem(t)
+	n := p.Dim()
+	z := complex(1.4, 0.6)
+	dense := func(apply func(v, out, scratch []complex128)) *zlinalg.Matrix {
+		m := zlinalg.NewMatrix(n, n)
+		v := make([]complex128, n)
+		out := make([]complex128, n)
+		scratch := make([]complex128, n)
+		for j := 0; j < n; j++ {
+			v[j] = 1
+			apply(v, out, scratch)
+			m.SetCol(j, out)
+			v[j] = 0
+		}
+		return m
+	}
+	pz := dense(func(v, out, s []complex128) { p.Apply(z, v, out, s) })
+	pd := dense(func(v, out, s []complex128) { p.ApplyDagger(z, v, out, s) })
+	if d := zlinalg.Sub(pd, pz.ConjTranspose()).MaxAbs(); d > 1e-11 {
+		t.Errorf("||P(z)^dagger - P(1/conj z)|| = %g", d)
+	}
+}
+
+// TestResidualZeroForEigenpair: solving P(z) x = 0 approximately via dense
+// eigenpairs of the Bloch matrix gives a tiny residual.
+func TestResidualConsistency(t *testing.T) {
+	p := testProblem(t)
+	// H(lambda) psi = E psi  <=>  P(lambda) psi = 0 for that E. Take a real
+	// k, diagonalize H(k), and use one eigenpair.
+	lam := cmplx.Exp(complex(0, 0.7))
+	h := p.Op.BlochMatrix(lam)
+	vals, vecs, err := zlinalg.EigHermitian(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := New(p.Op, vals[3])
+	if r := p2.Residual(lam, vecs.Col(3)); r > 1e-9 {
+		t.Errorf("residual of an exact eigenpair = %g", r)
+	}
+	// Wrong energy: residual is large.
+	p3 := New(p.Op, vals[3]+0.5)
+	if r := p3.Residual(lam, vecs.Col(3)); r < 1e-3 {
+		t.Errorf("residual at the wrong energy is suspiciously small: %g", r)
+	}
+}
+
+func TestKLambdaRoundTrip(t *testing.T) {
+	a := 7.3
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := complex(r.Float64()*2*math.Pi/a-math.Pi/a, r.Float64()*0.4-0.2)
+		lam := LambdaFromK(k, a)
+		back := KFromLambda(lam, a)
+		return cmplx.Abs(back-k) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKFromLambdaFoldsToBZ(t *testing.T) {
+	a := 5.0
+	// lambda from k outside the first BZ folds back in.
+	k := complex(1.7*math.Pi/a, 0.1)
+	lam := LambdaFromK(k, a)
+	folded := KFromLambda(lam, a)
+	if re := real(folded); re <= -math.Pi/a || re > math.Pi/a+1e-12 {
+		t.Errorf("Re k = %g not in (-pi/a, pi/a]", re)
+	}
+	// The imaginary part (decay constant) survives folding.
+	if math.Abs(imag(folded)-0.1) > 1e-12 {
+		t.Errorf("Im k = %g, want 0.1", imag(folded))
+	}
+}
+
+func TestPropagatingMagnitude(t *testing.T) {
+	a := 4.0
+	lam := LambdaFromK(complex(0.3, 0), a)
+	if math.Abs(cmplx.Abs(lam)-1) > 1e-14 {
+		t.Error("real k must give |lambda| = 1")
+	}
+	dec := LambdaFromK(complex(0.3, 0.2), a) // Im k > 0: decaying
+	if cmplx.Abs(dec) >= 1 {
+		t.Errorf("|lambda| = %g for a decaying state, want < 1", cmplx.Abs(dec))
+	}
+}
+
+func TestResidualZeroVector(t *testing.T) {
+	p := testProblem(t)
+	if r := p.Residual(1, make([]complex128, p.Dim())); !math.IsInf(r, 1) {
+		t.Errorf("residual of zero vector = %g, want +Inf", r)
+	}
+}

@@ -1,0 +1,80 @@
+package scf
+
+import (
+	"math"
+	"testing"
+
+	"cbs/internal/bandstructure"
+	"cbs/internal/density"
+	"cbs/internal/hamiltonian"
+	"cbs/internal/lattice"
+)
+
+func TestSCFConvergesOnSmallAl(t *testing.T) {
+	st, err := lattice.AlBulk100(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := hamiltonian.Build(st, hamiltonian.Config{Nx: 8, Ny: 8, Nz: 8, Nf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vBefore := append([]float64(nil), op.VLoc...)
+	res, err := Run(op, Options{MaxIter: 25, Mix: 0.3, Tol: 5e-3, EigTol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("SCF did not converge: deltaV = %g after %d iterations", res.DeltaV, res.Iterations)
+	}
+	// The potential must actually have changed from the superposition
+	// starting point (the SCF did work).
+	var maxChange float64
+	for i := range vBefore {
+		if d := math.Abs(op.VLoc[i] - vBefore[i]); d > maxChange {
+			maxChange = d
+		}
+	}
+	if maxChange < 1e-6 {
+		t.Error("SCF left the potential untouched")
+	}
+	// Density integrates to the valence charge.
+	if res.Density != nil {
+		got := density.Integrate(op.G, res.Density)
+		if math.Abs(got-12) > 1e-6 {
+			t.Errorf("converged density has %g electrons, want 12", got)
+		}
+	}
+	// The converged Hamiltonian still yields a sensible band structure.
+	ef, err := bandstructure.FermiLevel(op, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(ef) {
+		t.Error("Fermi level NaN after SCF")
+	}
+}
+
+func TestOccupations(t *testing.T) {
+	occ := occupations([]float64{-1, 0, 1, 2}, 5)
+	var tot float64
+	for i, o := range occ {
+		tot += o
+		if o < 0 || o > 2+1e-12 {
+			t.Errorf("occ[%d] = %g outside [0,2]", i, o)
+		}
+		if i > 0 && o > occ[i-1]+1e-12 {
+			t.Errorf("occupations not non-increasing: %v", occ)
+		}
+	}
+	if math.Abs(tot-5) > 1e-9 {
+		t.Errorf("total occupation %g, want 5", tot)
+	}
+	// Levels far below the chemical potential are fully occupied.
+	if occ[0] < 1.99 {
+		t.Errorf("deep level occupation %g, want about 2", occ[0])
+	}
+	if len(occupations(nil, 2)) != 0 {
+		t.Error("empty level list should give empty occupations")
+	}
+}

@@ -1,0 +1,99 @@
+package ssm
+
+import (
+	"fmt"
+	"sync"
+
+	"cbs/internal/zlinalg"
+)
+
+// Accumulator builds the complex moment matrices S_k incrementally, one
+// solved column at a time, so the solution blocks Y_j never need to be
+// stored: this realizes the paper's O(M*N) memory footprint (M = Nrh*Nmm)
+// instead of O(Nint*Nrh*N). It is safe for concurrent use by the parallel
+// solve layers.
+type Accumulator struct {
+	n, nrh, nmm int
+	mu          sync.Mutex
+	moments     []*zlinalg.Matrix // 2*nmm blocks of N x Nrh
+}
+
+// NewAccumulator creates an empty moment accumulator.
+func NewAccumulator(n, nrh, nmm int) (*Accumulator, error) {
+	if n < 1 || nrh < 1 || nmm < 1 {
+		return nil, fmt.Errorf("ssm: invalid accumulator dimensions n=%d nrh=%d nmm=%d", n, nrh, nmm)
+	}
+	a := &Accumulator{n: n, nrh: nrh, nmm: nmm}
+	a.moments = make([]*zlinalg.Matrix, 2*nmm)
+	for k := range a.moments {
+		a.moments[k] = zlinalg.NewMatrix(n, nrh)
+	}
+	return a, nil
+}
+
+// Add accumulates one solved column y = P(z)^{-1} V[:,col] with quadrature
+// weight w: S_k[:,col] += w * z^k * y for all k.
+func (a *Accumulator) Add(z, w complex128, col int, y []complex128) {
+	if len(y) != a.n {
+		panic("ssm: Accumulator.Add length mismatch")
+	}
+	if col < 0 || col >= a.nrh {
+		panic("ssm: Accumulator.Add column out of range")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	zk := w
+	for k := 0; k < 2*a.nmm; k++ {
+		m := a.moments[k]
+		for i := 0; i < a.n; i++ {
+			m.Data[i*a.nrh+col] += zk * y[i]
+		}
+		zk *= z
+	}
+}
+
+// AddBlock accumulates a whole solution block Y = P(z)^{-1} V.
+func (a *Accumulator) AddBlock(z, w complex128, y *zlinalg.Matrix) {
+	if y.Rows != a.n || y.Cols != a.nrh {
+		panic("ssm: AddBlock shape mismatch")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	zk := w
+	for k := 0; k < 2*a.nmm; k++ {
+		dst := a.moments[k].Data
+		for i, v := range y.Data {
+			dst[i] += zk * v
+		}
+		zk *= z
+	}
+}
+
+// Moments returns the accumulated moment blocks (not a copy).
+func (a *Accumulator) Moments() []*zlinalg.Matrix { return a.moments }
+
+// MemoryBytesUsed reports the accumulator's resident bytes.
+func (a *Accumulator) MemoryBytesUsed() int64 {
+	return int64(2*a.nmm) * int64(a.n) * int64(a.nrh) * 16
+}
+
+// ExtractFromMoments runs steps 2b-3 of Algorithm 1 directly from
+// accumulated moment blocks.
+func ExtractFromMoments(moments []*zlinalg.Matrix, v *zlinalg.Matrix, opt Options) (*Result, error) {
+	if opt.Nmm < 1 {
+		return nil, fmt.Errorf("ssm: Nmm = %d must be >= 1", opt.Nmm)
+	}
+	if len(moments) != 2*opt.Nmm {
+		return nil, fmt.Errorf("ssm: %d moment blocks, want %d", len(moments), 2*opt.Nmm)
+	}
+	if opt.Delta <= 0 {
+		return nil, fmt.Errorf("ssm: Delta = %g must be positive", opt.Delta)
+	}
+	n, nrh := v.Rows, v.Cols
+	for k, m := range moments {
+		if m.Rows != n || m.Cols != nrh {
+			return nil, fmt.Errorf("ssm: moment %d has shape %dx%d, want %dx%d", k, m.Rows, m.Cols, n, nrh)
+		}
+	}
+	return extract(moments, v, opt)
+}

@@ -1,0 +1,158 @@
+package ssm
+
+import (
+	"fmt"
+
+	"cbs/internal/contour"
+	"cbs/internal/zlinalg"
+)
+
+// This file provides the generic nonlinear-eigenproblem front end of the
+// Sakurai-Sugiura machinery: the paper stresses that, unlike FEAST, the SS
+// method "has been developed to nonlinear eigenvalue problems", and its
+// conclusion proposes extending the CBS solver to other formalisms (e.g.
+// energy-dependent screened-hybrid operators). SolveNonlinear accepts an
+// arbitrary matrix-valued function T(z) and finds its eigenvalues inside a
+// contour; SolvePolynomial specializes to matrix polynomials (the QEP is
+// degree 2 with a 1/z term; a cubic or quartic polynomial works the same
+// way).
+
+// MatrixFunc evaluates the problem matrix T(z) at a complex point.
+type MatrixFunc func(z complex128) (*zlinalg.Matrix, error)
+
+// NonlinearResult is the outcome of a generic SS solve, with residuals
+// ||T(lambda) v|| / ||v|| computed for every extracted pair.
+type NonlinearResult struct {
+	Lambdas   []complex128
+	Vectors   *zlinalg.Matrix
+	Residuals []float64
+	Rank      int
+}
+
+// SolveNonlinear finds the eigenvalues of T(z) v = 0 inside the contour
+// described by pts (nodes and signed weights), using nrh random probe
+// columns and dense LU solves at the quadrature nodes (intended for small
+// and medium dense problems; the CBS solver in internal/core is the
+// matrix-free large-scale path).
+func SolveNonlinear(tf MatrixFunc, n int, pts []contour.Point, nrh int, opt Options, seed int64) (*NonlinearResult, error) {
+	if nrh < 1 || n < 1 {
+		return nil, fmt.Errorf("ssm: invalid dimensions n=%d nrh=%d", n, nrh)
+	}
+	v := randomBlock(n, nrh, seed)
+	acc, err := NewAccumulator(n, nrh, opt.Nmm)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		m, err := tf(p.Z)
+		if err != nil {
+			return nil, fmt.Errorf("ssm: T(%v): %w", p.Z, err)
+		}
+		if m.Rows != n || m.Cols != n {
+			return nil, fmt.Errorf("ssm: T(%v) has shape %dx%d, want %dx%d", p.Z, m.Rows, m.Cols, n, n)
+		}
+		lu, err := zlinalg.FactorLU(m)
+		if err != nil {
+			return nil, fmt.Errorf("ssm: factor T(%v): %w", p.Z, err)
+		}
+		acc.AddBlock(p.Z, p.W, lu.Solve(v))
+	}
+	ext, err := ExtractFromMoments(acc.Moments(), v, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &NonlinearResult{Rank: ext.Rank, Vectors: ext.Vectors}
+	for j, lam := range ext.Lambdas {
+		res.Lambdas = append(res.Lambdas, lam)
+		m, err := tf(lam)
+		if err != nil {
+			return nil, err
+		}
+		x := ext.Vectors.Col(j)
+		r := zlinalg.Norm2(zlinalg.MulVec(m, x))
+		nx := zlinalg.Norm2(x)
+		if nx == 0 {
+			nx = 1
+		}
+		res.Residuals = append(res.Residuals, r/nx)
+	}
+	return res, nil
+}
+
+// SolvePolynomial finds the eigenvalues of the matrix polynomial
+// sum_k coeffs[k] * z^k inside the contour. Laurent terms (negative
+// powers, as in the CBS quadratic form) are passed via negCoeffs, where
+// negCoeffs[k] multiplies z^{-(k+1)}.
+func SolvePolynomial(coeffs, negCoeffs []*zlinalg.Matrix, pts []contour.Point, nrh int, opt Options, seed int64) (*NonlinearResult, error) {
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("ssm: polynomial needs at least one coefficient")
+	}
+	n := coeffs[0].Rows
+	tf := func(z complex128) (*zlinalg.Matrix, error) {
+		out := zlinalg.NewMatrix(n, n)
+		zk := complex(1, 0)
+		for _, c := range coeffs {
+			if c.Rows != n || c.Cols != n {
+				return nil, fmt.Errorf("ssm: inconsistent coefficient shapes")
+			}
+			for i := range out.Data {
+				out.Data[i] += zk * c.Data[i]
+			}
+			zk *= z
+		}
+		zk = 1 / z
+		for _, c := range negCoeffs {
+			if c.Rows != n || c.Cols != n {
+				return nil, fmt.Errorf("ssm: inconsistent Laurent coefficient shapes")
+			}
+			for i := range out.Data {
+				out.Data[i] += zk * c.Data[i]
+			}
+			zk /= z
+		}
+		return out, nil
+	}
+	return SolveNonlinear(tf, n, pts, nrh, opt, seed)
+}
+
+// randomBlock is a deterministic probe generator (splitmix-style, no
+// math/rand dependency in the hot path).
+func randomBlock(n, nrh int, seed int64) *zlinalg.Matrix {
+	v := zlinalg.NewMatrix(n, nrh)
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	next := func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s%(1<<53)) / float64(int64(1)<<53)
+	}
+	for i := range v.Data {
+		v.Data[i] = complex(next()*2-1, next()*2-1)
+	}
+	return v
+}
+
+// FilterByResidual keeps only the pairs with residual below tol and (when
+// region is non-nil) eigenvalues inside the region.
+func (r *NonlinearResult) FilterByResidual(tol float64, inside func(complex128) bool) *NonlinearResult {
+	out := &NonlinearResult{Rank: r.Rank}
+	var cols []int
+	for j, lam := range r.Lambdas {
+		if r.Residuals[j] > tol {
+			continue
+		}
+		if inside != nil && !inside(lam) {
+			continue
+		}
+		out.Lambdas = append(out.Lambdas, lam)
+		out.Residuals = append(out.Residuals, r.Residuals[j])
+		cols = append(cols, j)
+	}
+	if r.Vectors != nil {
+		out.Vectors = zlinalg.NewMatrix(r.Vectors.Rows, len(cols))
+		for i, j := range cols {
+			out.Vectors.SetCol(i, r.Vectors.Col(j))
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package ssm
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"cbs/internal/contour"
+	"cbs/internal/zlinalg"
+)
+
+// TestSolvePolynomialCubicScalarRoots: a diagonal cubic matrix polynomial
+// has per-entry closed-form roots; the generic SS front end must find the
+// in-contour ones (the paper's "extension to other formalisms" capability).
+func TestSolvePolynomialCubicScalarRoots(t *testing.T) {
+	n := 6
+	// p_i(z) = (z - r1_i)(z - r2_i)(z - r3_i) expanded per diagonal entry.
+	rng := rand.New(rand.NewSource(9))
+	roots := make([][3]complex128, n)
+	for i := range roots {
+		roots[i] = [3]complex128{
+			complex(rng.Float64()-0.5, rng.Float64()-0.5),  // inside |z|<1
+			complex(rng.Float64()+2.0, rng.Float64()),      // outside
+			complex(-rng.Float64()-2.0, rng.Float64()-0.5), // outside
+		}
+	}
+	c0 := zlinalg.NewMatrix(n, n)
+	c1 := zlinalg.NewMatrix(n, n)
+	c2 := zlinalg.NewMatrix(n, n)
+	c3 := zlinalg.NewMatrix(n, n)
+	for i, r := range roots {
+		r1, r2, r3 := r[0], r[1], r[2]
+		c3.Set(i, i, 1)
+		c2.Set(i, i, -(r1 + r2 + r3))
+		c1.Set(i, i, r1*r2+r1*r3+r2*r3)
+		c0.Set(i, i, -r1*r2*r3)
+	}
+	pts, err := contour.Circle(0, 1.0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolvePolynomial([]*zlinalg.Matrix{c0, c1, c2, c3}, nil, pts, 6,
+		Options{Nmm: 6, Delta: 1e-10}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := res.FilterByResidual(1e-7, func(z complex128) bool { return cmplx.Abs(z) < 1 })
+	if len(kept.Lambdas) != n {
+		t.Fatalf("found %d in-circle roots, want %d (all %v)", len(kept.Lambdas), n, res.Lambdas)
+	}
+	for i, r := range roots {
+		found := false
+		for _, got := range kept.Lambdas {
+			if cmplx.Abs(got-r[0]) < 1e-7 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("root %d (%v) not found", i, r[0])
+		}
+	}
+}
+
+// TestSolveNonlinearTranscendental: a genuinely nonlinear (non-polynomial)
+// problem: T(z) = diag(exp(z) - c_i) has eigenvalues log(c_i).
+func TestSolveNonlinearTranscendental(t *testing.T) {
+	n := 3
+	cs := []complex128{cmplx.Exp(0.4 + 0.3i), cmplx.Exp(-0.5 + 0.1i), cmplx.Exp(5.0)}
+	tf := func(z complex128) (*zlinalg.Matrix, error) {
+		m := zlinalg.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			m.Set(i, i, cmplx.Exp(z)-cs[i])
+		}
+		return m, nil
+	}
+	pts, err := contour.Circle(0, 1.0, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveNonlinear(tf, n, pts, 3, Options{Nmm: 4, Delta: 1e-10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := res.FilterByResidual(1e-8, func(z complex128) bool { return cmplx.Abs(z) < 1 })
+	want := []complex128{0.4 + 0.3i, -0.5 + 0.1i} // log(c3)=5 is outside
+	if len(kept.Lambdas) != len(want) {
+		t.Fatalf("found %v, want the two in-circle logs %v", kept.Lambdas, want)
+	}
+	for _, w := range want {
+		ok := false
+		for _, g := range kept.Lambdas {
+			if cmplx.Abs(g-w) < 1e-8 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("eigenvalue %v missing (got %v)", w, kept.Lambdas)
+		}
+	}
+}
+
+// TestSolvePolynomialLaurentMatchesQEP: the CBS quadratic written as a
+// Laurent polynomial -H-/z + (E-H0) - H+ z must reproduce the closed-form
+// scalar roots -- cross-checking the negCoeffs path against the QEP tests.
+func TestSolvePolynomialLaurentMatchesQEP(t *testing.T) {
+	n := 4
+	rng := rand.New(rand.NewSource(11))
+	e := 0.6
+	h0 := make([]float64, n)
+	hp := make([]complex128, n)
+	for i := range h0 {
+		h0[i] = rng.Float64() - 0.5
+		hp[i] = complex(rng.Float64()*0.7+0.3, rng.Float64()*0.4-0.2)
+	}
+	c0 := zlinalg.NewMatrix(n, n)  // z^0: E - H0
+	c1 := zlinalg.NewMatrix(n, n)  // z^1: -H+
+	cm1 := zlinalg.NewMatrix(n, n) // z^-1: -H-
+	for i := 0; i < n; i++ {
+		c0.Set(i, i, complex(e-h0[i], 0))
+		c1.Set(i, i, -hp[i])
+		cm1.Set(i, i, -cmplx.Conj(hp[i]))
+	}
+	ring, err := contour.NewRing(0.5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolvePolynomial([]*zlinalg.Matrix{c0, c1}, []*zlinalg.Matrix{cm1},
+		ring.Points(), 8, Options{Nmm: 6, Delta: 1e-10}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := res.FilterByResidual(1e-7, ring.Contains)
+	for i := 0; i < n; i++ {
+		b := complex(e-h0[i], 0)
+		disc := cmplx.Sqrt(b*b - 4*hp[i]*cmplx.Conj(hp[i]))
+		for _, w := range []complex128{(b + disc) / (2 * hp[i]), (b - disc) / (2 * hp[i])} {
+			if !ring.Contains(w) {
+				continue
+			}
+			ok := false
+			for _, g := range kept.Lambdas {
+				if cmplx.Abs(g-w) < 1e-7 {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("Laurent root %v missing", w)
+			}
+		}
+	}
+}
+
+func TestSolveNonlinearValidation(t *testing.T) {
+	tf := func(z complex128) (*zlinalg.Matrix, error) { return zlinalg.Identity(2), nil }
+	pts, _ := contour.Circle(0, 1, 4)
+	if _, err := SolveNonlinear(tf, 0, pts, 1, Options{Nmm: 2, Delta: 1e-10}, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := SolvePolynomial(nil, nil, pts, 1, Options{Nmm: 2, Delta: 1e-10}, 1); err == nil {
+		t.Error("empty polynomial should fail")
+	}
+	bad := func(z complex128) (*zlinalg.Matrix, error) { return zlinalg.Identity(3), nil }
+	if _, err := SolveNonlinear(bad, 2, pts, 1, Options{Nmm: 2, Delta: 1e-10}, 1); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}

@@ -1,0 +1,274 @@
+package ssm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"cbs/internal/contour"
+	"cbs/internal/zlinalg"
+)
+
+// solveBlocks solves P(z_j) Y_j = V directly (LU) for a matrix-valued
+// function pf.
+func solveBlocks(t *testing.T, pts []contour.Point, pf func(z complex128) *zlinalg.Matrix, v *zlinalg.Matrix) (zs, ws []complex128, ys []*zlinalg.Matrix) {
+	t.Helper()
+	for _, p := range pts {
+		lu, err := zlinalg.FactorLU(pf(p.Z))
+		if err != nil {
+			t.Fatalf("factor at z=%v: %v", p.Z, err)
+		}
+		zs = append(zs, p.Z)
+		ws = append(ws, p.W)
+		ys = append(ys, lu.Solve(v))
+	}
+	return
+}
+
+func randomProbe(rng *rand.Rand, n, nrh int) *zlinalg.Matrix {
+	v := zlinalg.NewMatrix(n, nrh)
+	for i := range v.Data {
+		v.Data[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return v
+}
+
+// TestLinearEigenproblemInsideCircle: P(z) = A - zI with known eigenvalues;
+// the SS method must find exactly the ones inside the contour.
+func TestLinearEigenproblemInsideCircle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 24
+	inside := []complex128{0.3 + 0.2i, -0.4 - 0.1i, 0.1 - 0.5i}
+	outside := []complex128{2.5, -3 + 1i, 4i, 1.8 - 1.2i}
+	var eigs []complex128
+	eigs = append(eigs, inside...)
+	eigs = append(eigs, outside...)
+	for len(eigs) < n {
+		// More eigenvalues far outside.
+		eigs = append(eigs, complex(3+rng.Float64()*3, rng.Float64()*4-2))
+	}
+	// Non-normal matrix with these eigenvalues: A = X D X^{-1}.
+	x := randomProbe(rng, n, n)
+	lu, err := zlinalg.FactorLU(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := zlinalg.NewMatrix(n, n)
+	for i, e := range eigs {
+		d.Set(i, i, e)
+	}
+	a := zlinalg.Mul(x, zlinalg.Mul(d, lu.Inverse()))
+
+	pts, err := contour.Circle(0, 1.0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := func(z complex128) *zlinalg.Matrix {
+		m := zlinalg.Scale(-z, zlinalg.Identity(n))
+		return zlinalg.Add(a, m)
+	}
+	v := randomProbe(rng, n, 4)
+	zs, ws, ys := solveBlocks(t, pts, pf, v)
+	res, err := Extract(zs, ws, ys, v, Options{Nmm: 6, Delta: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every inside eigenvalue found.
+	for _, want := range inside {
+		found := false
+		for _, got := range res.Lambdas {
+			if cmplx.Abs(got-want) < 1e-7 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("eigenvalue %v inside the contour was not found (got %v)", want, res.Lambdas)
+		}
+	}
+	// No spurious eigenvalue inside the circle.
+	for _, got := range res.Lambdas {
+		if cmplx.Abs(got) < 0.9 {
+			ok := false
+			for _, want := range inside {
+				if cmplx.Abs(got-want) < 1e-6 {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("spurious eigenvalue %v reported inside the contour", got)
+			}
+		}
+	}
+	// Eigenvectors: A v = lambda v for the in-contour pairs.
+	for j, lam := range res.Lambdas {
+		if cmplx.Abs(lam) > 0.9 {
+			continue
+		}
+		if r := zlinalg.EigResidual(a, lam, res.Vectors.Col(j)); r > 1e-6 {
+			t.Errorf("eigenpair %v residual %g", lam, r)
+		}
+	}
+}
+
+// TestQEPDiagonalClosedForm: diagonal blocks decouple the QEP into scalar
+// quadratics with closed-form roots; the ring contour must recover exactly
+// the annulus roots.
+func TestQEPDiagonalClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 16
+	e := 0.8
+	h0 := make([]float64, n)
+	hp := make([]complex128, n)
+	for i := range h0 {
+		h0[i] = rng.Float64()*2 - 1
+		hp[i] = complex(rng.Float64()*0.8+0.2, rng.Float64()*0.6-0.3)
+	}
+	// Closed-form roots of -conj(hp)/z + (E-h0) - hp z = 0:
+	// hp z^2 - (E-h0) z + conj(hp) = 0.
+	var want []complex128
+	for i := 0; i < n; i++ {
+		b := complex(e-h0[i], 0)
+		disc := cmplx.Sqrt(b*b - 4*hp[i]*cmplx.Conj(hp[i]))
+		want = append(want, (b+disc)/(2*hp[i]), (b-disc)/(2*hp[i]))
+	}
+	ring, err := contour.NewRing(0.5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantIn []complex128
+	for _, w := range want {
+		if ring.Contains(w) {
+			wantIn = append(wantIn, w)
+		}
+	}
+	if len(wantIn) == 0 {
+		t.Fatal("test setup produced no annulus eigenvalues")
+	}
+	pf := func(z complex128) *zlinalg.Matrix {
+		m := zlinalg.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			m.Set(i, i, -cmplx.Conj(hp[i])/z+complex(e-h0[i], 0)-hp[i]*z)
+		}
+		return m
+	}
+	v := randomProbe(rng, n, 8)
+	zs, ws, ys := solveBlocks(t, ring.Points(), pf, v)
+	res, err := Extract(zs, ws, ys, v, Options{Nmm: 8, Delta: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotIn []complex128
+	for _, g := range res.Lambdas {
+		if ring.Contains(g) {
+			gotIn = append(gotIn, g)
+		}
+	}
+	for _, w := range wantIn {
+		best := math.Inf(1)
+		for _, g := range gotIn {
+			if d := cmplx.Abs(g - w); d < best {
+				best = d
+			}
+		}
+		if best > 1e-6 {
+			t.Errorf("annulus root %v missed (closest %g away); found %d of %d",
+				w, best, len(gotIn), len(wantIn))
+		}
+	}
+	for _, g := range gotIn {
+		best := math.Inf(1)
+		for _, w := range want {
+			if d := cmplx.Abs(g - w); d < best {
+				best = d
+			}
+		}
+		if best > 1e-6 {
+			t.Errorf("spurious annulus eigenvalue %v (distance %g from any true root)", g, best)
+		}
+	}
+}
+
+func TestExtractValidation(t *testing.T) {
+	v := zlinalg.NewMatrix(4, 2)
+	y := zlinalg.NewMatrix(4, 2)
+	zs := []complex128{1}
+	ws := []complex128{1}
+	if _, err := Extract(nil, nil, nil, v, Options{Nmm: 2, Delta: 1e-10}); err == nil {
+		t.Error("empty quadrature should fail")
+	}
+	if _, err := Extract(zs, ws, []*zlinalg.Matrix{y}, v, Options{Nmm: 0, Delta: 1e-10}); err == nil {
+		t.Error("Nmm = 0 should fail")
+	}
+	if _, err := Extract(zs, ws, []*zlinalg.Matrix{y}, v, Options{Nmm: 2, Delta: 0}); err == nil {
+		t.Error("Delta = 0 should fail")
+	}
+	bad := zlinalg.NewMatrix(3, 2)
+	if _, err := Extract(zs, ws, []*zlinalg.Matrix{bad}, v, Options{Nmm: 2, Delta: 1e-10}); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+	if _, err := Extract(zs, ws, []*zlinalg.Matrix{nil}, v, Options{Nmm: 2, Delta: 1e-10}); err == nil {
+		t.Error("nil block should fail")
+	}
+}
+
+func TestExtractEmptyRegion(t *testing.T) {
+	// A problem with no eigenvalues inside the contour must produce rank 0
+	// and no eigenpairs.
+	rng := rand.New(rand.NewSource(3))
+	n := 10
+	a := zlinalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, complex(5+float64(i), 0)) // all eigenvalues far outside
+	}
+	pts, _ := contour.Circle(0, 1.0, 16)
+	pf := func(z complex128) *zlinalg.Matrix {
+		return zlinalg.Add(a, zlinalg.Scale(-z, zlinalg.Identity(n)))
+	}
+	v := randomProbe(rng, n, 3)
+	zs, ws, ys := solveBlocks(t, pts, pf, v)
+
+	// Without an absolute floor the Hankel matrix is pure quadrature noise
+	// and the relative filter may keep noise directions; any extracted
+	// eigenpair must then fail a residual check (the pipeline's filter).
+	res, err := Extract(zs, ws, ys, v, Options{Nmm: 4, Delta: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, lam := range res.Lambdas {
+		if cmplx.Abs(lam) >= 1 {
+			continue // outside the contour: discarded by region filter
+		}
+		r := zlinalg.EigResidual(a, lam, res.Vectors.Col(j))
+		if r < 1e-6 {
+			t.Errorf("noise eigenpair %v has small residual %g", lam, r)
+		}
+	}
+
+	// With the absolute floor the emptiness is detected directly.
+	res2, err := Extract(zs, ws, ys, v, Options{Nmm: 4, Delta: 1e-8, AbsTol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rank != 0 || len(res2.Lambdas) != 0 {
+		t.Errorf("empty region with AbsTol: rank %d, %d eigenvalues (singular values %v)",
+			res2.Rank, len(res2.Lambdas), res2.SingularValues[:min(4, len(res2.SingularValues))])
+	}
+}
+
+func TestMemoryBytesScaling(t *testing.T) {
+	// Doubling N must double the estimate (O(M N) claim of the paper).
+	a := MemoryBytes(1000, 16, 8)
+	b := MemoryBytes(2000, 16, 8)
+	if b <= a || b > 2*a+100000 {
+		t.Errorf("memory estimate not O(N): %d -> %d", a, b)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+// Package transport post-processes complex-band-structure scans into the
+// quantities that motivate the paper's introduction: tunneling decay
+// constants (the evanescent states' imaginary wave vectors govern electron
+// tunneling through barriers and junctions), WKB-style transmission
+// estimates, and branch points -- the energies where two evanescent
+// branches merge, whose migration under bundling is the physics observation
+// of Fig. 11.
+package transport
+
+import (
+	"math"
+	"sort"
+
+	"cbs/internal/core"
+)
+
+// propagatingTol classifies |(|lambda|)-1| below this as a propagating
+// state.
+const propagatingTol = 1e-4
+
+// Point is the decay profile at one energy.
+type Point struct {
+	E           float64 // energy (hartree)
+	Beta        float64 // smallest decay constant min |Im k| (1/bohr); 0 if none
+	NPropagate  int     // propagating channels
+	NEvanescent int     // evanescent states in the annulus
+}
+
+// DecayProfile reduces a CBS energy scan to the slowest-decay constant
+// beta(E): the dominant tunneling channel. Energies with propagating
+// channels report Beta = 0 via the convention that transport there is
+// ballistic.
+func DecayProfile(results []*core.Result) []Point {
+	out := make([]Point, 0, len(results))
+	for _, r := range results {
+		p := Point{E: r.Energy}
+		minBeta := math.Inf(1)
+		for _, pair := range r.Pairs {
+			mag := math.Hypot(real(pair.Lambda), imag(pair.Lambda))
+			if math.Abs(mag-1) < propagatingTol {
+				p.NPropagate++
+				continue
+			}
+			p.NEvanescent++
+			if beta := math.Abs(imag(pair.K)); beta < minBeta {
+				minBeta = beta
+			}
+		}
+		if p.NPropagate == 0 && !math.IsInf(minBeta, 1) {
+			p.Beta = minBeta
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].E < out[j].E })
+	return out
+}
+
+// Transmission estimates the WKB tunneling transmission through a barrier
+// of the given thickness (bohr) at one profile point: T ~ exp(-2*beta*d);
+// 1 for energies with open channels.
+func Transmission(p Point, thickness float64) float64 {
+	if p.NPropagate > 0 || p.Beta == 0 {
+		return 1
+	}
+	return math.Exp(-2 * p.Beta * thickness)
+}
+
+// ComplexBandGap returns the maximum of beta(E) over the gap region (the
+// "loop height" of the imaginary band connecting valence and conduction
+// bands) and the energy where it is attained. Returns ok=false when the
+// profile has no evanescent-only region.
+func ComplexBandGap(profile []Point) (eAt, betaMax float64, ok bool) {
+	for _, p := range profile {
+		if p.NPropagate > 0 || p.Beta == 0 {
+			continue
+		}
+		if p.Beta > betaMax {
+			betaMax = p.Beta
+			eAt = p.E
+			ok = true
+		}
+	}
+	return eAt, betaMax, ok
+}
+
+// BranchPoints finds the interior local maxima of beta(E): the energies
+// where two evanescent branches merge (dE/dk = 0 on the imaginary band, the
+// red dot of Fig. 11a). Plateau maxima report their left edge.
+func BranchPoints(profile []Point) []float64 {
+	var out []float64
+	for i := 1; i+1 < len(profile); i++ {
+		p := profile[i]
+		if p.NPropagate > 0 || p.Beta == 0 {
+			continue
+		}
+		if profile[i-1].Beta < p.Beta && p.Beta >= profile[i+1].Beta {
+			out = append(out, p.E)
+		}
+	}
+	return out
+}
+
+// GapEdges returns the lowest and highest energies of the evanescent-only
+// window around the given energy (a band-gap detector on the scan grid).
+// ok is false when e lies in a region with open channels.
+func GapEdges(profile []Point, e float64) (lo, hi float64, ok bool) {
+	idx := -1
+	for i, p := range profile {
+		if p.E <= e {
+			idx = i
+		}
+	}
+	if idx < 0 || profile[idx].NPropagate > 0 {
+		return 0, 0, false
+	}
+	lo, hi = profile[idx].E, profile[idx].E
+	for i := idx; i >= 0 && profile[i].NPropagate == 0; i-- {
+		lo = profile[i].E
+	}
+	for i := idx; i < len(profile) && profile[i].NPropagate == 0; i++ {
+		hi = profile[i].E
+	}
+	return lo, hi, true
+}

@@ -1,0 +1,29 @@
+// Package units defines the physical constants and unit conversions used
+// throughout the complex-band-structure code. All internal computation is in
+// Hartree atomic units (energy in hartree, length in bohr); user-facing
+// quantities follow the paper's conventions (eV, angstrom).
+package units
+
+// Conversion factors (CODATA-2014 rounded, more than sufficient here).
+const (
+	// BohrPerAngstrom converts angstrom to bohr.
+	BohrPerAngstrom = 1.0 / 0.52917721067
+	// AngstromPerBohr converts bohr to angstrom.
+	AngstromPerBohr = 0.52917721067
+	// EVPerHartree converts hartree to electronvolt.
+	EVPerHartree = 27.211386245988
+	// HartreePerEV converts electronvolt to hartree.
+	HartreePerEV = 1.0 / EVPerHartree
+)
+
+// AngstromToBohr converts a length in angstrom to bohr.
+func AngstromToBohr(a float64) float64 { return a * BohrPerAngstrom }
+
+// BohrToAngstrom converts a length in bohr to angstrom.
+func BohrToAngstrom(b float64) float64 { return b * AngstromPerBohr }
+
+// EVToHartree converts an energy in eV to hartree.
+func EVToHartree(e float64) float64 { return e * HartreePerEV }
+
+// HartreeToEV converts an energy in hartree to eV.
+func HartreeToEV(h float64) float64 { return h * EVPerHartree }

@@ -1,0 +1,36 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrips(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e300 {
+			return true // conversion factors would overflow
+		}
+		okLen := math.Abs(BohrToAngstrom(AngstromToBohr(x))-x) <= 1e-12*math.Abs(x)
+		okE := math.Abs(HartreeToEV(EVToHartree(x))-x) <= 1e-12*math.Abs(x)
+		return okLen && okE
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	if math.Abs(HartreeToEV(1)-27.2114) > 1e-3 {
+		t.Errorf("1 hartree = %g eV", HartreeToEV(1))
+	}
+	if math.Abs(AngstromToBohr(1)-1.8897) > 1e-3 {
+		t.Errorf("1 angstrom = %g bohr", AngstromToBohr(1))
+	}
+	if math.Abs(BohrPerAngstrom*AngstromPerBohr-1) > 1e-14 {
+		t.Error("inverse constants inconsistent")
+	}
+	if math.Abs(EVPerHartree*HartreePerEV-1) > 1e-14 {
+		t.Error("inverse energy constants inconsistent")
+	}
+}

@@ -1,0 +1,80 @@
+// Package xc implements the local density approximation (LDA) for exchange
+// and correlation in the Perdew-Zunger 1981 parameterization of the
+// Ceperley-Alder data -- the functional the paper uses ("the
+// exchange-correlation interaction is treated by the LDA [37]").
+// Spin-unpolarized form; atomic units.
+package xc
+
+import "math"
+
+// PZ81 parameters (spin-unpolarized).
+const (
+	gammaU = -0.1423
+	beta1U = 1.0529
+	beta2U = 0.3334
+	aU     = 0.0311
+	bU     = -0.048
+	cU     = 0.0020
+	dU     = -0.0116
+)
+
+// exchange constant: Cx = (3/4)(3/pi)^{1/3}.
+var cx = 0.75 * math.Pow(3/math.Pi, 1.0/3.0)
+
+// EnergyDensity returns the exchange-correlation energy per electron
+// eps_xc(n) (hartree) at density n (electrons/bohr^3).
+func EnergyDensity(n float64) float64 {
+	if n <= 1e-30 {
+		return 0
+	}
+	ex := -cx * math.Pow(n, 1.0/3.0)
+	return ex + ecPZ(rsOf(n))
+}
+
+// Potential returns the exchange-correlation potential
+// v_xc = d(n*eps_xc)/dn (hartree).
+func Potential(n float64) float64 {
+	if n <= 1e-30 {
+		return 0
+	}
+	vx := -(4.0 / 3.0) * cx * math.Pow(n, 1.0/3.0)
+	return vx + vcPZ(rsOf(n))
+}
+
+func rsOf(n float64) float64 {
+	return math.Pow(3/(4*math.Pi*n), 1.0/3.0)
+}
+
+// ecPZ is the PZ81 correlation energy per electron.
+func ecPZ(rs float64) float64 {
+	if rs >= 1 {
+		return gammaU / (1 + beta1U*math.Sqrt(rs) + beta2U*rs)
+	}
+	return aU*math.Log(rs) + bU + cU*rs*math.Log(rs) + dU*rs
+}
+
+// vcPZ is the PZ81 correlation potential.
+func vcPZ(rs float64) float64 {
+	if rs >= 1 {
+		sq := math.Sqrt(rs)
+		den := 1 + beta1U*sq + beta2U*rs
+		return ecPZ(rs) * (1 + 7.0/6.0*beta1U*sq + 4.0/3.0*beta2U*rs) / den
+	}
+	return aU*math.Log(rs) + (bU - aU/3) + (2.0/3.0)*cU*rs*math.Log(rs) + (2*dU-cU)*rs/3
+}
+
+// PotentialOnGrid fills vxc[i] = Potential(n[i]).
+func PotentialOnGrid(n, vxc []float64) {
+	for i, ni := range n {
+		vxc[i] = Potential(ni)
+	}
+}
+
+// Energy integrates the XC energy over the grid: sum n*eps_xc*dV.
+func Energy(n []float64, dv float64) float64 {
+	var e float64
+	for _, ni := range n {
+		e += ni * EnergyDensity(ni)
+	}
+	return e * dv
+}

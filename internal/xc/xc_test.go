@@ -1,0 +1,85 @@
+package xc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExchangeKnownValue(t *testing.T) {
+	// At rs = 1 (n = 3/(4 pi)), eps_x = -(3/4)(3/pi)^{1/3} n^{1/3}
+	// = -0.45817 hartree approximately.
+	n := 3 / (4 * math.Pi)
+	got := EnergyDensity(n) - ecPZ(1)
+	want := -0.75 * math.Pow(3/math.Pi, 1.0/3.0) * math.Pow(n, 1.0/3.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("eps_x(rs=1) = %g, want %g", got, want)
+	}
+	if math.Abs(want+0.458165) > 1e-4 {
+		t.Errorf("eps_x(rs=1) = %g, reference about -0.458165", want)
+	}
+}
+
+func TestCorrelationContinuityAtRs1(t *testing.T) {
+	// The PZ parameterization is continuous (by construction to ~1e-3) at
+	// rs = 1 where the two branches meet.
+	if d := math.Abs(ecPZ(1-1e-9) - ecPZ(1+1e-9)); d > 1e-3 {
+		t.Errorf("eps_c jumps by %g at rs=1", d)
+	}
+	if d := math.Abs(vcPZ(1-1e-9) - vcPZ(1+1e-9)); d > 2e-3 {
+		t.Errorf("v_c jumps by %g at rs=1", d)
+	}
+}
+
+func TestPotentialIsDerivative(t *testing.T) {
+	// v_xc = d(n eps_xc)/dn, checked by central differences.
+	for _, n := range []float64{1e-3, 1e-2, 0.1, 1.0} {
+		h := n * 1e-6
+		num := ((n+h)*EnergyDensity(n+h) - (n-h)*EnergyDensity(n-h)) / (2 * h)
+		got := Potential(n)
+		if math.Abs(num-got) > 1e-5*(1+math.Abs(got)) {
+			t.Errorf("n=%g: v_xc = %g, numerical derivative %g", n, got, num)
+		}
+	}
+}
+
+func TestSignsAndLimits(t *testing.T) {
+	f := func(seed int64) bool {
+		n := math.Abs(float64(seed%1000))/1000.0 + 1e-6
+		// Exchange-correlation energy and potential are negative and the
+		// potential is deeper than the energy density.
+		e, v := EnergyDensity(n), Potential(n)
+		return e < 0 && v < 0 && v < e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if EnergyDensity(0) != 0 || Potential(0) != 0 {
+		t.Error("zero density must give zero xc")
+	}
+}
+
+func TestMonotoneInDensity(t *testing.T) {
+	prev := 0.0
+	for _, n := range []float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10} {
+		v := Potential(n)
+		if v >= prev {
+			t.Errorf("v_xc(%g) = %g not decreasing", n, v)
+		}
+		prev = v
+	}
+}
+
+func TestGridHelpers(t *testing.T) {
+	n := []float64{0.1, 0.2, 0.0}
+	v := make([]float64, 3)
+	PotentialOnGrid(n, v)
+	if v[0] != Potential(0.1) || v[2] != 0 {
+		t.Error("PotentialOnGrid mismatch")
+	}
+	e := Energy(n, 0.5)
+	want := 0.5 * (0.1*EnergyDensity(0.1) + 0.2*EnergyDensity(0.2))
+	if math.Abs(e-want) > 1e-15 {
+		t.Errorf("Energy = %g, want %g", e, want)
+	}
+}

@@ -1,0 +1,140 @@
+package zlinalg
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// EigHermitian computes all eigenvalues (ascending) and orthonormal
+// eigenvectors of a Hermitian matrix. It reduces A to Hermitian tridiagonal
+// form by unitary similarity, removes the off-diagonal phases, and runs the
+// implicit-shift QL algorithm on the resulting real symmetric tridiagonal
+// matrix while accumulating the (complex) eigenvector transform.
+func EigHermitian(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	n := a.Rows
+	if n != a.Cols {
+		return nil, nil, errors.New("zlinalg: EigHermitian needs a square matrix")
+	}
+	if n == 0 {
+		return nil, NewMatrix(0, 0), nil
+	}
+	// Hessenberg of a Hermitian matrix is Hermitian tridiagonal.
+	t, q := Hessenberg(a)
+
+	d := make([]float64, n)   // diagonal (real for Hermitian input)
+	e := make([]float64, n-1) // off-diagonal magnitudes
+	// Phase-rotate columns of q so the tridiagonal off-diagonals are real.
+	phase := complex(1, 0)
+	for i := 0; i < n; i++ {
+		d[i] = real(t.At(i, i))
+		if i < n-1 {
+			sub := t.At(i+1, i)
+			m := cmplx.Abs(sub)
+			e[i] = m
+			var next complex128
+			if m == 0 {
+				next = phase
+			} else {
+				next = phase * sub / complex(m, 0)
+			}
+			// Column i+1 of Q absorbs the accumulated phase.
+			for r := 0; r < n; r++ {
+				q.Set(r, i+1, q.At(r, i+1)*next)
+			}
+			phase = next
+		}
+	}
+	if err := tql2(d, e, q); err != nil {
+		return nil, nil, err
+	}
+	// Sort ascending.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return d[idx[i]] < d[idx[j]] })
+	values = make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for k, j := range idx {
+		values[k] = d[j]
+		for i := 0; i < n; i++ {
+			vectors.Set(i, k, q.At(i, j))
+		}
+	}
+	return values, vectors, nil
+}
+
+// tql2 diagonalizes the real symmetric tridiagonal matrix with diagonal d
+// and off-diagonal e by the implicit-shift QL algorithm, overwriting d with
+// the eigenvalues and accumulating the rotations into the columns of z
+// (which may be complex). Classic EISPACK algorithm.
+func tql2(d, e []float64, z *Matrix) error {
+	n := len(d)
+	if n == 1 {
+		return nil
+	}
+	ee := make([]float64, n)
+	copy(ee, e)
+	ee[n-1] = 0
+	const maxIter = 50
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			// Find small off-diagonal to split.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(ee[m]) <= 2.220446049250313e-16*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > maxIter {
+				return errors.New("zlinalg: tql2 failed to converge")
+			}
+			// Form shift.
+			g := (d[l+1] - d[l]) / (2 * ee[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + ee[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = math.Hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					ee[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				// Accumulate the rotation into z columns i, i+1.
+				cs, sn := complex(c, 0), complex(s, 0)
+				for k := 0; k < z.Rows; k++ {
+					f := z.At(k, i+1)
+					z.Set(k, i+1, sn*z.At(k, i)+cs*f)
+					z.Set(k, i, cs*z.At(k, i)-sn*f)
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package zlinalg
+
+import (
+	"errors"
+	"math/cmplx"
+)
+
+// ErrSingular is returned when a factorization meets an (numerically)
+// singular pivot.
+var ErrSingular = errors.New("zlinalg: matrix is singular to working precision")
+
+// LU holds an LU factorization with partial pivoting: P*A = L*U, where L is
+// unit lower triangular and U upper triangular, both packed into LU.
+type LU struct {
+	lu   *Matrix
+	piv  []int // row i of the factor came from row piv[i] of A
+	sign int   // parity of the permutation, for Det
+}
+
+// FactorLU computes the LU factorization with partial pivoting of the square
+// matrix a. a is not modified.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("zlinalg: FactorLU needs a square matrix")
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Pivot search.
+		p := k
+		best := cmplx.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(lu.At(i, k)); v > best {
+				best, p = v, i
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// SolveVec solves A*x = b for a single right-hand side.
+func (f *LU) SolveVec(b []complex128) []complex128 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("zlinalg: LU SolveVec length mismatch")
+	}
+	x := make([]complex128, n)
+	// Apply permutation and forward-substitute L*y = P*b.
+	for i := 0; i < n; i++ {
+		s := b[f.piv[i]]
+		ri := f.lu.Row(i)
+		for j := 0; j < i; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back-substitute U*x = y.
+	for i := n - 1; i >= 0; i-- {
+		ri := f.lu.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s / ri[i]
+	}
+	return x
+}
+
+// Solve solves A*X = B column by column.
+func (f *LU) Solve(b *Matrix) *Matrix {
+	if b.Rows != f.lu.Rows {
+		panic("zlinalg: LU Solve shape mismatch")
+	}
+	x := NewMatrix(b.Rows, b.Cols)
+	for j := 0; j < b.Cols; j++ {
+		x.SetCol(j, f.SolveVec(b.Col(j)))
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() complex128 {
+	d := complex(float64(f.sign), 0)
+	n := f.lu.Rows
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Inverse returns A^{-1} from the factorization.
+func (f *LU) Inverse() *Matrix {
+	return f.Solve(Identity(f.lu.Rows))
+}
+
+// SolveLinear is a convenience wrapper: factor a and solve a*X = b.
+func SolveLinear(a, b *Matrix) (*Matrix, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

@@ -1,0 +1,170 @@
+package zlinalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]complex128{
+		{1, 2i},
+		{3, 4},
+	})
+	if m.At(0, 1) != 2i {
+		t.Fatalf("At(0,1) = %v, want 2i", m.At(0, 1))
+	}
+	m.Set(1, 0, 5)
+	if m.At(1, 0) != 5 {
+		t.Fatalf("Set/At round trip failed")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone is not deep")
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMatrix(rng, 5, 7)
+	left := Mul(Identity(5), a)
+	right := Mul(a, Identity(7))
+	if Sub(left, a).MaxAbs() > 1e-15 || Sub(right, a).MaxAbs() > 1e-15 {
+		t.Fatal("identity multiplication changed the matrix")
+	}
+}
+
+func TestMulAgainstManual(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	b := FromRows([][]complex128{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := FromRows([][]complex128{{19, 22}, {43, 50}})
+	if Sub(c, want).MaxAbs() > 1e-15 {
+		t.Fatalf("Mul = %v, want %v", c.Data, want.Data)
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randMatrix(r, 4, 3)
+		b := randMatrix(r, 3, 5)
+		c := randMatrix(r, 5, 2)
+		lhs := Mul(Mul(a, b), c)
+		rhs := Mul(a, Mul(b, c))
+		return Sub(lhs, rhs).MaxAbs() < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConjTransposeProperty(t *testing.T) {
+	// (AB)† = B†A†
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randMatrix(r, 4, 6)
+		b := randMatrix(r, 6, 3)
+		lhs := Mul(a, b).ConjTranspose()
+		rhs := Mul(b.ConjTranspose(), a.ConjTranspose())
+		return Sub(lhs, rhs).MaxAbs() < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotHermitianSymmetry(t *testing.T) {
+	// <x,y> = conj(<y,x>)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randMatrix(r, 8, 1).Col(0)
+		y := randMatrix(r, 8, 1).Col(0)
+		return cmplx.Abs(Dot(x, y)-cmplx.Conj(Dot(y, x))) < 1e-13
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNorm2MatchesDot(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randMatrix(r, 16, 1).Col(0)
+		n := Norm2(x)
+		d := math.Sqrt(real(Dot(x, x)))
+		return math.Abs(n-d) < 1e-12*(1+n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceSetSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMatrix(rng, 6, 6)
+	s := a.Slice(1, 4, 2, 5)
+	if s.Rows != 3 || s.Cols != 3 {
+		t.Fatalf("Slice shape = %dx%d, want 3x3", s.Rows, s.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if s.At(i, j) != a.At(i+1, j+2) {
+				t.Fatal("Slice content mismatch")
+			}
+		}
+	}
+	b := NewMatrix(6, 6)
+	b.SetSlice(1, 2, s)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if b.At(i+1, j+2) != s.At(i, j) {
+				t.Fatal("SetSlice content mismatch")
+			}
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := []complex128{3, 4i}
+	n := Normalize(x)
+	if math.Abs(n-5) > 1e-15 {
+		t.Fatalf("Normalize returned %g, want 5", n)
+	}
+	if math.Abs(Norm2(x)-1) > 1e-15 {
+		t.Fatalf("normalized norm = %g, want 1", Norm2(x))
+	}
+	zero := []complex128{0, 0}
+	if Normalize(zero) != 0 {
+		t.Fatal("Normalize of zero vector should return 0")
+	}
+}
+
+func TestIsHermitian(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := randHermitian(rng, 5)
+	if !h.IsHermitian(1e-14) {
+		t.Fatal("randHermitian not detected as Hermitian")
+	}
+	h.Set(0, 1, h.At(0, 1)+1)
+	if h.IsHermitian(1e-14) {
+		t.Fatal("perturbed matrix still detected as Hermitian")
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMatrix(rng, 5, 4)
+	x := randMatrix(rng, 4, 1)
+	y := MulVec(a, x.Col(0))
+	want := Mul(a, x).Col(0)
+	for i := range y {
+		if cmplx.Abs(y[i]-want[i]) > 1e-13 {
+			t.Fatal("MulVec disagrees with Mul")
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package zlinalg
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// Hessenberg reduces a square matrix to upper Hessenberg form by unitary
+// similarity: H = Q† A Q. It returns H and Q.
+func Hessenberg(a *Matrix) (h, q *Matrix) {
+	if a.Rows != a.Cols {
+		panic("zlinalg: Hessenberg needs a square matrix")
+	}
+	n := a.Rows
+	h = a.Clone()
+	q = Identity(n)
+	for k := 0; k < n-2; k++ {
+		// Householder on column k, rows k+1..n-1.
+		var norm float64
+		for i := k + 1; i < n; i++ {
+			norm = math.Hypot(norm, cmplx.Abs(h.At(i, k)))
+		}
+		if norm == 0 {
+			continue
+		}
+		x0 := h.At(k+1, k)
+		phase := complex(1, 0)
+		if x0 != 0 {
+			phase = x0 / complex(cmplx.Abs(x0), 0)
+		}
+		alpha := -phase * complex(norm, 0)
+		v := make([]complex128, n) // reflector, zero above k+1
+		v[k+1] = x0 - alpha
+		for i := k + 2; i < n; i++ {
+			v[i] = h.At(i, k)
+		}
+		var vv float64
+		for i := k + 1; i < n; i++ {
+			vv += real(v[i] * cmplx.Conj(v[i]))
+		}
+		if vv == 0 {
+			continue
+		}
+		beta := complex(2/vv, 0)
+		// H <- (I - beta v v†) H
+		for j := 0; j < n; j++ {
+			var s complex128
+			for i := k + 1; i < n; i++ {
+				s += cmplx.Conj(v[i]) * h.At(i, j)
+			}
+			s *= beta
+			for i := k + 1; i < n; i++ {
+				h.Set(i, j, h.At(i, j)-s*v[i])
+			}
+		}
+		// H <- H (I - beta v v†)
+		for i := 0; i < n; i++ {
+			var s complex128
+			for j := k + 1; j < n; j++ {
+				s += h.At(i, j) * v[j]
+			}
+			s *= beta
+			for j := k + 1; j < n; j++ {
+				h.Set(i, j, h.At(i, j)-s*cmplx.Conj(v[j]))
+			}
+		}
+		// Q <- Q (I - beta v v†)
+		for i := 0; i < n; i++ {
+			var s complex128
+			for j := k + 1; j < n; j++ {
+				s += q.At(i, j) * v[j]
+			}
+			s *= beta
+			for j := k + 1; j < n; j++ {
+				q.Set(i, j, q.At(i, j)-s*cmplx.Conj(v[j]))
+			}
+		}
+		// Clean the annihilated entries.
+		h.Set(k+1, k, alpha)
+		for i := k + 2; i < n; i++ {
+			h.Set(i, k, 0)
+		}
+	}
+	return h, q
+}
+
+// givens computes c (real) and s (complex) such that
+//
+//	[ c         s ] [a]   [r]
+//	[ -conj(s)  c ] [b] = [0]
+func givens(a, b complex128) (c float64, s complex128, r complex128) {
+	if b == 0 {
+		return 1, 0, a
+	}
+	if a == 0 {
+		return 0, b / complex(cmplx.Abs(b), 0), complex(cmplx.Abs(b), 0)
+	}
+	absA := cmplx.Abs(a)
+	rho := math.Hypot(absA, cmplx.Abs(b))
+	c = absA / rho
+	phase := a / complex(absA, 0)
+	s = phase * cmplx.Conj(b) / complex(rho, 0)
+	r = phase * complex(rho, 0)
+	return c, s, r
+}
+
+// SchurResult holds a complex Schur decomposition A = Z T Z† with T upper
+// triangular and Z unitary. The eigenvalues of A are the diagonal of T.
+type SchurResult struct {
+	T *Matrix
+	Z *Matrix
+}
+
+// maxSchurIter bounds QR iterations per eigenvalue.
+const maxSchurIter = 60
+
+// Schur computes the complex Schur form of a square matrix using Hessenberg
+// reduction followed by the explicit single-shift QR algorithm with
+// Wilkinson shifts and occasional exceptional shifts.
+func Schur(a *Matrix) (*SchurResult, error) {
+	n := a.Rows
+	if n == 0 {
+		return &SchurResult{T: NewMatrix(0, 0), Z: NewMatrix(0, 0)}, nil
+	}
+	h, z := Hessenberg(a)
+	eps := 2.220446049250313e-16
+	hi := n - 1
+	iter := 0
+	totalIter := 0
+	maxTotal := maxSchurIter * n
+	for hi > 0 {
+		// Deflation scan: find the largest lo such that h[lo][lo-1] is
+		// negligible.
+		lo := hi
+		for lo > 0 {
+			sub := cmplx.Abs(h.At(lo, lo-1))
+			if sub <= eps*(cmplx.Abs(h.At(lo-1, lo-1))+cmplx.Abs(h.At(lo, lo))) {
+				h.Set(lo, lo-1, 0)
+				break
+			}
+			lo--
+		}
+		if lo == hi {
+			// h[hi][hi] is an eigenvalue; deflate.
+			hi--
+			iter = 0
+			continue
+		}
+		iter++
+		totalIter++
+		if totalIter > maxTotal {
+			return nil, errors.New("zlinalg: Schur QR iteration failed to converge")
+		}
+		// Shift selection.
+		var shift complex128
+		if iter%20 == 0 {
+			// Exceptional shift to break symmetry-induced cycles.
+			shift = h.At(hi, hi) + complex(0.75*cmplx.Abs(h.At(hi, hi-1)), 0)
+		} else {
+			shift = wilkinsonShift(
+				h.At(hi-1, hi-1), h.At(hi-1, hi),
+				h.At(hi, hi-1), h.At(hi, hi))
+		}
+		qrStep(h, z, lo, hi, shift)
+	}
+	return &SchurResult{T: h, Z: z}, nil
+}
+
+// wilkinsonShift returns the eigenvalue of the 2x2 matrix [[a,b],[c,d]]
+// closest to d.
+func wilkinsonShift(a, b, c, d complex128) complex128 {
+	tr := a + d
+	det := a*d - b*c
+	disc := cmplx.Sqrt(tr*tr - 4*det)
+	l1 := (tr + disc) / 2
+	l2 := (tr - disc) / 2
+	if cmplx.Abs(l1-d) < cmplx.Abs(l2-d) {
+		return l1
+	}
+	return l2
+}
+
+// qrStep performs one explicit single-shift QR step on the active block
+// [lo..hi] of the Hessenberg matrix h, accumulating the transformation in z.
+func qrStep(h, z *Matrix, lo, hi int, shift complex128) {
+	n := h.Rows
+	type rot struct {
+		c float64
+		s complex128
+	}
+	rots := make([]rot, 0, hi-lo)
+	// Factor (H - shift I) = Q R with Givens rotations; apply them to H on
+	// the left as we go.
+	h.Set(lo, lo, h.At(lo, lo)-shift)
+	for k := lo; k < hi; k++ {
+		// Note: the subdiagonal entry is untouched by previous left
+		// rotations only for the first step; we apply rotations
+		// immediately so h is kept current.
+		c, s, r := givens(h.At(k, k), h.At(k+1, k))
+		rots = append(rots, rot{c, s})
+		h.Set(k, k, r)
+		h.Set(k+1, k, 0)
+		// Shift the next diagonal entry before it is rotated.
+		if k+1 <= hi {
+			h.Set(k+1, k+1, h.At(k+1, k+1)-shift)
+		}
+		// Apply the rotation to the remaining columns of rows k, k+1.
+		for j := k + 1; j < n; j++ {
+			t1 := h.At(k, j)
+			t2 := h.At(k+1, j)
+			h.Set(k, j, complex(c, 0)*t1+s*t2)
+			h.Set(k+1, j, -cmplx.Conj(s)*t1+complex(c, 0)*t2)
+		}
+	}
+	// Form R Q + shift I: apply the conjugate rotations on the right.
+	for idx, g := range rots {
+		k := lo + idx
+		top := k + 2
+		if top > hi+1 {
+			top = hi + 1
+		}
+		for i := 0; i <= top-1; i++ {
+			t1 := h.At(i, k)
+			t2 := h.At(i, k+1)
+			h.Set(i, k, t1*complex(g.c, 0)+t2*cmplx.Conj(g.s))
+			h.Set(i, k+1, -t1*g.s+t2*complex(g.c, 0))
+		}
+		for i := 0; i < z.Rows; i++ {
+			t1 := z.At(i, k)
+			t2 := z.At(i, k+1)
+			z.Set(i, k, t1*complex(g.c, 0)+t2*cmplx.Conj(g.s))
+			z.Set(i, k+1, -t1*g.s+t2*complex(g.c, 0))
+		}
+	}
+	// Restore the shift on the diagonal of the active block.
+	for k := lo; k <= hi; k++ {
+		h.Set(k, k, h.At(k, k)+shift)
+	}
+}
+
+// Eig computes the eigenvalues and right eigenvectors of a general square
+// complex matrix: A*V[:,j] = values[j]*V[:,j]. The eigenvectors are
+// normalized to unit 2-norm.
+func Eig(a *Matrix) (values []complex128, vectors *Matrix, err error) {
+	s, err := Schur(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := a.Rows
+	values = make([]complex128, n)
+	for i := 0; i < n; i++ {
+		values[i] = s.T.At(i, i)
+	}
+	vectors = triangularEigenvectors(s.T)
+	vectors = Mul(s.Z, vectors)
+	for j := 0; j < n; j++ {
+		col := vectors.Col(j)
+		Normalize(col)
+		vectors.SetCol(j, col)
+	}
+	return values, vectors, nil
+}
+
+// Eigenvalues computes only the eigenvalues of a general complex matrix.
+func Eigenvalues(a *Matrix) ([]complex128, error) {
+	s, err := Schur(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	values := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		values[i] = s.T.At(i, i)
+	}
+	return values, nil
+}
+
+// triangularEigenvectors returns the eigenvector matrix of an upper
+// triangular T (columns correspond to the diagonal entries in order).
+func triangularEigenvectors(t *Matrix) *Matrix {
+	n := t.Rows
+	v := NewMatrix(n, n)
+	// Scale guard for near-equal eigenvalues.
+	var tnorm float64
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			tnorm += cmplx.Abs(t.At(i, j))
+		}
+	}
+	eps := 2.220446049250313e-16
+	smin := eps * tnorm
+	if smin == 0 {
+		smin = eps
+	}
+	for j := 0; j < n; j++ {
+		lam := t.At(j, j)
+		x := make([]complex128, j+1)
+		x[j] = 1
+		for i := j - 1; i >= 0; i-- {
+			var s complex128
+			for k := i + 1; k <= j; k++ {
+				s += t.At(i, k) * x[k]
+			}
+			d := t.At(i, i) - lam
+			if cmplx.Abs(d) < smin {
+				d = complex(smin, 0)
+			}
+			x[i] = -s / d
+		}
+		for i := 0; i <= j; i++ {
+			v.Set(i, j, x[i])
+		}
+	}
+	return v
+}

@@ -1,0 +1,49 @@
+package zlinalg
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// randMatrix returns a deterministic pseudo-random r-by-c matrix with
+// entries in the unit square of the complex plane.
+func randMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return m
+}
+
+// randHermitian returns a deterministic random Hermitian n-by-n matrix.
+func randHermitian(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, complex(rng.Float64()*2-1, 0))
+		for j := i + 1; j < n; j++ {
+			v := complex(rng.Float64()*2-1, rng.Float64()*2-1)
+			m.Set(i, j, v)
+			m.Set(j, i, cmplx.Conj(v))
+		}
+	}
+	return m
+}
+
+// checkClose fails the test when |got-want| > tol.
+func checkClose(t *testing.T, name string, got, want complex128, tol float64) {
+	t.Helper()
+	if cmplx.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (|diff| = %g > %g)", name, got, want, cmplx.Abs(got-want), tol)
+	}
+}
+
+// checkUnitary fails unless q†q = I to within tol.
+func checkUnitary(t *testing.T, name string, q *Matrix, tol float64) {
+	t.Helper()
+	g := Mul(q.ConjTranspose(), q)
+	d := Sub(g, Identity(q.Cols))
+	if nrm := d.MaxAbs(); nrm > tol {
+		t.Errorf("%s: ||Q†Q - I||_max = %g > %g", name, nrm, tol)
+	}
+}
