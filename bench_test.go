@@ -7,6 +7,7 @@
 package cbs_test
 
 import (
+	"fmt"
 	"math"
 	"math/cmplx"
 	"sync"
@@ -15,6 +16,8 @@ import (
 	"cbs"
 	"cbs/internal/bandstructure"
 	"cbs/internal/cluster"
+	"cbs/internal/linsolve"
+	"cbs/internal/qep"
 	"cbs/internal/units"
 )
 
@@ -89,6 +92,7 @@ func fastOpts() cbs.Options {
 
 func BenchmarkFig4aRuntimeSS_Al(b *testing.B) {
 	f := alFixture(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.model.SolveCBS(f.ef, fastOpts()); err != nil {
 			b.Fatal(err)
@@ -98,6 +102,7 @@ func BenchmarkFig4aRuntimeSS_Al(b *testing.B) {
 
 func BenchmarkFig4aRuntimeOBM_Al(b *testing.B) {
 	f := alFixture(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.model.SolveOBM(f.ef, cbs.DefaultOBMOptions()); err != nil {
 			b.Fatal(err)
@@ -107,6 +112,7 @@ func BenchmarkFig4aRuntimeOBM_Al(b *testing.B) {
 
 func BenchmarkFig4aRuntimeSS_CNT66(b *testing.B) {
 	f := cnt66Fixture(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.model.SolveCBS(f.ef, fastOpts()); err != nil {
 			b.Fatal(err)
@@ -116,9 +122,72 @@ func BenchmarkFig4aRuntimeSS_CNT66(b *testing.B) {
 
 func BenchmarkFig4aRuntimeOBM_CNT66(b *testing.B) {
 	f := cnt66Fixture(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.model.SolveOBM(f.ef, cbs.DefaultOBMOptions()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Blocked multi-RHS kernels -----------------------------------------------
+
+// BenchmarkBlockedApply measures the fused P(z) block apply against nb
+// repetitions of the single-vector path: the operator tables stream through
+// memory once per block instead of once per column, so ns/op should grow
+// sublinearly in nb.
+func BenchmarkBlockedApply(b *testing.B) {
+	f := alFixture(b)
+	q := qep.New(f.model.Op, f.ef)
+	n := q.Dim()
+	z := cmplx.Exp(complex(0, 0.3))
+	for _, nb := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("nb=%d", nb), func(b *testing.B) {
+			v := make([]complex128, n*nb)
+			out := make([]complex128, n*nb)
+			for i := range v {
+				v[i] = complex(float64(i%7)-3, float64(i%5)-2)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.ApplyBlock(z, v, out, nb)
+			}
+		})
+	}
+}
+
+// BenchmarkStep1BlockedSolve runs one quadrature point's block solve with a
+// preallocated workspace — the steady state of the contour loop. The headline
+// metric is allocs/op: the hot path must report 0.
+func BenchmarkStep1BlockedSolve(b *testing.B) {
+	f := alFixture(b)
+	q := qep.New(f.model.Op, f.ef)
+	n := q.Dim()
+	const nb = 8
+	z := cmplx.Exp(complex(0, 0.3))
+	apply := func(v, out []complex128, nbv int) { q.ApplyBlock(z, v, out, nbv) }
+	applyD := func(v, out []complex128, nbv int) { q.ApplyDaggerBlock(z, v, out, nbv) }
+	rhs := make([]complex128, n*nb)
+	x := make([]complex128, n*nb)
+	xd := make([]complex128, n*nb)
+	for i := range rhs {
+		rhs[i] = complex(float64(i%11)-5, float64(i%3)-1)
+	}
+	ws := linsolve.NewWorkspace(n, nb)
+	opts := linsolve.Options{Tol: 1e-9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			x[j] = 0
+			xd[j] = 0
+		}
+		rs := linsolve.BlockBiCGDual(apply, applyD, rhs, rhs, x, xd, nb, opts, nil, ws)
+		for c := range rs {
+			if rs[c].Breakdown {
+				b.Fatalf("column %d broke down", c)
+			}
 		}
 	}
 }
@@ -269,6 +338,7 @@ func benchLayer(b *testing.B, cfg cbs.Parallel) {
 	opts.Nint = 8
 	opts.Nmm = 4
 	opts.Parallel = cfg
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.model.SolveCBS(f.ef, opts); err != nil {

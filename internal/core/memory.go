@@ -23,8 +23,18 @@ func MemoryEstimate(q *qep.Problem, opts Options) int64 {
 	b += 2 * nmm * n * nrh * 16 // moment accumulator
 	b += n * nrh * 16           // probe block V
 	b += 3 * m * m * 16         // Hankel pair + SVD work
-	workers := int64(opts.Parallel.Top * opts.Parallel.Mid)
-	b += workers * 10 * n * 16 // BiCG vectors (x, xd, r, rd, p, pd, q, qd, 2 scratch)
+	// Blocked BiCG state: each (top, mid) worker owns the solution blocks
+	// x, xd plus the shared linsolve.Workspace with the six Krylov block
+	// vectors (r, rd, p, pd, q, qd) -- 8 blocks of n x nb complex entries,
+	// allocated once and reused across all quadrature points (the fused
+	// blocked apply needs no scratch vectors, and the per-solve allocations
+	// of the scalar path are gone). Each top block also shares one
+	// interleaved right-hand-side block across its mid workers.
+	top := int64(opts.Parallel.Top)
+	nbBlk := (nrh + top - 1) / top // columns per top block
+	workers := top * int64(opts.Parallel.Mid)
+	b += workers * 8 * n * nbBlk * 16
+	b += top * n * nbBlk * 16
 	return b
 }
 

@@ -238,6 +238,16 @@ func probeBlock(n, nrh int, seed int64) *zlinalg.Matrix {
 
 // solveAll runs the 2*Nint*Nrh linear systems (halved to Nint*Nrh actual
 // BiCG solves by the dual trick) under the top/middle/bottom hierarchy.
+//
+// Each middle-layer worker pulls one quadrature point from the shared queue
+// and drives its top-block's whole column block through the blocked solver
+// (BlockBiCGDual over an n x nb interleaved block, nb = columns of the top
+// block), so the operator tables stream through memory once per BiCG
+// iteration for all nb right-hand sides. Per-point statistics are
+// accumulated worker-locally and merged under the global mutex once per
+// (worker, point) instead of once per column; the moment accumulator is
+// likewise fed one interleaved block per point. The Ndm > 1 bottom layer
+// keeps the per-column distributed path.
 func solveAll(q *qep.Problem, ring *contour.Ring, v *zlinalg.Matrix, acc *ssm.Accumulator, distSolver *dist.Solver, opts Options, res *Result) error {
 	n := q.Dim()
 	nint := opts.Nint
@@ -252,7 +262,7 @@ func solveAll(q *qep.Problem, ring *contour.Ring, v *zlinalg.Matrix, acc *ssm.Ac
 	// Top layer: split the Nrh columns into contiguous blocks.
 	blocks := splitRange(opts.Nrh, par.Top)
 	var (
-		mu       sync.Mutex // guards res.Points, res.MatVecs, firstErr
+		mu       sync.Mutex // guards res.Points, res.MatVecs, res.CommBytes, firstErr
 		firstErr error
 		topWG    sync.WaitGroup
 	)
@@ -260,6 +270,24 @@ func solveAll(q *qep.Problem, ring *contour.Ring, v *zlinalg.Matrix, acc *ssm.Ac
 		topWG.Add(1)
 		go func(c0, c1 int) {
 			defer topWG.Done()
+			nb := c1 - c0
+			// The block's right-hand sides, shared read-only by this block's
+			// workers: interleaved row-major for the blocked solver, plain
+			// columns for the distributed per-column path.
+			var b []complex128
+			var bcols [][]complex128
+			if distSolver == nil {
+				b = make([]complex128, n*nb)
+				for i := 0; i < n; i++ {
+					row := v.Data[i*v.Cols : i*v.Cols+v.Cols]
+					copy(b[i*nb:i*nb+nb], row[c0:c1])
+				}
+			} else {
+				bcols = make([][]complex128, nb)
+				for c := range bcols {
+					bcols[c] = v.Col(c0 + c)
+				}
+			}
 			// Middle layer: quadrature points from a shared queue.
 			points := make(chan int, nint)
 			for j := 0; j < nint; j++ {
@@ -271,68 +299,67 @@ func solveAll(q *qep.Problem, ring *contour.Ring, v *zlinalg.Matrix, acc *ssm.Ac
 				midWG.Add(1)
 				go func() {
 					defer midWG.Done()
-					// Per-worker scratch for the serial bottom layer.
-					x := make([]complex128, n)
-					xd := make([]complex128, n)
-					scratch1 := make([]complex128, n)
-					scratch2 := make([]complex128, n)
+					if distSolver != nil {
+						err := solvePointsDist(q, ring, points, bcols, acc, distSolver, groups, c0, opts, res, &mu)
+						if err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = err
+							}
+							mu.Unlock()
+						}
+						return
+					}
+					// Per-worker blocked solve state, reused across points:
+					// the solution blocks and the shared Krylov workspace
+					// make the steady-state loop allocation-free.
+					x := make([]complex128, n*nb)
+					xd := make([]complex128, n*nb)
+					ws := linsolve.NewWorkspace(n, nb)
+					colGroups := groups[c0:c1]
 					for j := range points {
 						zOut := ring.Outer[j].Z
 						wOut := ring.Outer[j].W
 						zIn := ring.Inner[j].Z
 						wIn := ring.Inner[j].W
-						for c := c0; c < c1; c++ {
-							b := v.Col(c)
-							lopts := linsolve.Options{
-								Tol:     opts.BiCGTol,
-								MaxIter: opts.MaxIter,
-								Group:   groups[c],
-								History: opts.TrackHistories && c == 0,
-							}
-							var r linsolve.Result
-							if distSolver != nil {
-								var stats dist.Stats
-								var err error
-								r, stats, err = distSolver.SolveDual(zOut, b, b, x, xd, lopts)
-								if err != nil {
-									mu.Lock()
-									if firstErr == nil {
-										firstErr = err
-									}
-									mu.Unlock()
-									return
-								}
-								mu.Lock()
-								res.CommBytes += stats.Bytes
-								mu.Unlock()
-							} else {
-								for i := range x {
-									x[i] = 0
-									xd[i] = 0
-								}
-								apply := func(vv, out []complex128) { q.Apply(zOut, vv, out, scratch1) }
-								applyD := func(vv, out []complex128) { q.ApplyDagger(zOut, vv, out, scratch2) }
-								r = linsolve.BiCGDual(apply, applyD, b, b, x, xd, lopts)
-							}
-							// Accumulate: primal -> outer node, dual -> the
-							// paired inner node (P(zOut)^dagger = P(zIn)).
-							acc.Add(zOut, wOut, c, x)
-							acc.Add(zIn, wIn, c, xd)
-							mu.Lock()
-							ps := &res.Points[j]
-							ps.Iterations += r.Iterations
+						for i := range x {
+							x[i] = 0
+							xd[i] = 0
+						}
+						apply := func(vv, out []complex128, nbv int) { q.ApplyBlock(zOut, vv, out, nbv) }
+						applyD := func(vv, out []complex128, nbv int) { q.ApplyDaggerBlock(zOut, vv, out, nbv) }
+						lopts := linsolve.Options{
+							Tol:     opts.BiCGTol,
+							MaxIter: opts.MaxIter,
+							History: opts.TrackHistories && c0 == 0,
+						}
+						rs := linsolve.BlockBiCGDual(apply, applyD, b, b, x, xd, nb, lopts, colGroups, ws)
+						// Accumulate: primal -> outer node, dual -> the
+						// paired inner node (P(zOut)^dagger = P(zIn)).
+						acc.AddInterleaved(zOut, wOut, c0, nb, x)
+						acc.AddInterleaved(zIn, wIn, c0, nb, xd)
+						var local PointStats
+						var matVecs int
+						for _, r := range rs {
+							local.Iterations += r.Iterations
 							if r.Converged {
-								ps.Converged++
+								local.Converged++
 							}
 							if r.StoppedEarly {
-								ps.StoppedEarly++
+								local.StoppedEarly++
 							}
-							if lopts.History && ps.History == nil {
-								ps.History = r.History
-							}
-							res.MatVecs += r.MatVecApplied
-							mu.Unlock()
+							matVecs += r.MatVecApplied
 						}
+						mu.Lock()
+						ps := &res.Points[j]
+						ps.Iterations += local.Iterations
+						ps.Converged += local.Converged
+						ps.StoppedEarly += local.StoppedEarly
+						if lopts.History && ps.History == nil {
+							ps.History = rs[0].History
+						}
+						res.MatVecs += matVecs
+						mu.Unlock()
 					}
 				}()
 			}
@@ -341,6 +368,63 @@ func solveAll(q *qep.Problem, ring *contour.Ring, v *zlinalg.Matrix, acc *ssm.Ac
 	}
 	topWG.Wait()
 	return firstErr
+}
+
+// solvePointsDist drains the point queue with the per-column distributed
+// bottom layer (Ndm > 1). Statistics are accumulated locally and merged
+// into the shared result once per point, not once per column.
+func solvePointsDist(q *qep.Problem, ring *contour.Ring, points <-chan int, bcols [][]complex128, acc *ssm.Accumulator, distSolver *dist.Solver, groups []*linsolve.GroupStop, c0 int, opts Options, res *Result, mu *sync.Mutex) error {
+	n := q.Dim()
+	x := make([]complex128, n)
+	xd := make([]complex128, n)
+	for j := range points {
+		zOut := ring.Outer[j].Z
+		wOut := ring.Outer[j].W
+		zIn := ring.Inner[j].Z
+		wIn := ring.Inner[j].W
+		var local PointStats
+		var matVecs int
+		var commBytes int64
+		for c := range bcols {
+			b := bcols[c]
+			lopts := linsolve.Options{
+				Tol:     opts.BiCGTol,
+				MaxIter: opts.MaxIter,
+				Group:   groups[c0+c],
+				History: opts.TrackHistories && c0+c == 0,
+			}
+			r, stats, err := distSolver.SolveDual(zOut, b, b, x, xd, lopts)
+			if err != nil {
+				return err
+			}
+			commBytes += stats.Bytes
+			acc.Add(zOut, wOut, c0+c, x)
+			acc.Add(zIn, wIn, c0+c, xd)
+			local.Iterations += r.Iterations
+			if r.Converged {
+				local.Converged++
+			}
+			if r.StoppedEarly {
+				local.StoppedEarly++
+			}
+			if lopts.History && local.History == nil {
+				local.History = r.History
+			}
+			matVecs += r.MatVecApplied
+		}
+		mu.Lock()
+		ps := &res.Points[j]
+		ps.Iterations += local.Iterations
+		ps.Converged += local.Converged
+		ps.StoppedEarly += local.StoppedEarly
+		if local.History != nil && ps.History == nil {
+			ps.History = local.History
+		}
+		res.MatVecs += matVecs
+		res.CommBytes += commBytes
+		mu.Unlock()
+	}
+	return nil
 }
 
 // splitRange divides [0,n) into at most p contiguous non-empty blocks.

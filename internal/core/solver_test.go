@@ -88,6 +88,9 @@ func TestCBSMatchesBandStructure(t *testing.T) {
 // (lambda, 1/conj(lambda)) pairs -- the identity P(z)^dagger = P(1/conj(z))
 // at work. Every reported annulus eigenvalue must have its partner.
 func TestSpectrumPairing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long solve at EF")
+	}
 	op := smallAl(t, 8)
 	ef, err := bandstructure.FermiLevel(op, 4)
 	if err != nil {
@@ -118,6 +121,9 @@ func TestSpectrumPairing(t *testing.T) {
 // TestParallelLayersAgree: every parallel configuration must produce the
 // same spectrum as the serial run.
 func TestParallelLayersAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long multi-config solve; TestGroupStopConcurrentBlocked covers concurrency in -short runs")
+	}
 	op := smallAl(t, 16)
 	ef, err := bandstructure.FermiLevel(op, 3)
 	if err != nil {
@@ -162,6 +168,52 @@ func TestParallelLayersAgree(t *testing.T) {
 		if cfg.Ndm > 1 && r.CommBytes == 0 {
 			t.Errorf("%+v: no bottom-layer traffic recorded", cfg)
 		}
+	}
+}
+
+// TestGroupStopConcurrentBlocked exercises the majority early-stop rule
+// through the blocked solver with both upper parallel layers active
+// (Top > 1, Mid > 1): per-column GroupStop controllers are shared across
+// concurrently solved quadrature points. Run under -race in CI. Eigenpair
+// quality is still guaranteed by the residual filter (the paper's
+// observation that stragglers sit near 1e-8 when the majority reaches
+// 1e-10), so every reported pair must pass it.
+func TestGroupStopConcurrentBlocked(t *testing.T) {
+	op := smallAl(t, 8)
+	ef, err := bandstructure.FermiLevel(op, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qep.New(op, ef)
+	opts := testOptions()
+	opts.Nint = 8
+	opts.Nmm = 4
+	opts.Nrh = 6
+	opts.LoadBalanceStop = true
+	opts.Parallel = Parallel{Top: 2, Mid: 2}
+	res, err := Solve(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AllPairs) == 0 {
+		t.Fatal("no eigenpairs extracted")
+	}
+	for _, p := range res.Pairs {
+		if p.Residual > opts.ResidualTol {
+			t.Errorf("pair %v exceeds the residual filter: %g", p.Lambda, p.Residual)
+		}
+	}
+	for j, ps := range res.Points {
+		if ps.Converged+ps.StoppedEarly > opts.Nrh {
+			t.Errorf("point %d: %d converged + %d stopped > Nrh=%d",
+				j, ps.Converged, ps.StoppedEarly, opts.Nrh)
+		}
+		if ps.Iterations == 0 {
+			t.Errorf("point %d: no iterations recorded", j)
+		}
+	}
+	if res.MatVecs == 0 {
+		t.Error("matvec counter not recorded")
 	}
 }
 
@@ -258,6 +310,9 @@ func TestEnergyScan(t *testing.T) {
 // TestAutoExpandOnSaturation: with a deliberately tiny probe block the
 // Hankel rank saturates and AutoExpand must retry with a larger one.
 func TestAutoExpandOnSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated solves at EF")
+	}
 	op := smallAl(t, 8)
 	ef, err := bandstructure.FermiLevel(op, 3)
 	if err != nil {

@@ -6,6 +6,15 @@ import (
 	"cbs/internal/zlinalg"
 )
 
+// mulRe computes (c+0i)*z for a real coefficient c in two real multiplies.
+// Bit-identical to the complex128 product for finite z (the cross terms are
+// exact zeros), but half the flops — the stencil coefficients, the local
+// potential and the projector samples are all real, so the apply kernels
+// use this instead of widening them to complex128.
+func mulRe(c float64, z complex128) complex128 {
+	return complex(c*real(z), c*imag(z))
+}
+
 // ApplyH0 computes out = H0*v (overwrites out): in-cell Laplacian, local
 // potential and the offset-diagonal part of the nonlocal term.
 func (op *Operator) ApplyH0(v, out []complex128) {
@@ -15,7 +24,7 @@ func (op *Operator) ApplyH0(v, out []complex128) {
 	nx, ny, nz := g.Nx, g.Ny, g.Nz
 	// Diagonal: kinetic center + local potential.
 	for i := range out {
-		out[i] = complex(op.diag+op.VLoc[i], 0) * v[i]
+		out[i] = mulRe(op.diag+op.VLoc[i], v[i])
 	}
 	// x-direction tails (periodic wrap).
 	for iz := 0; iz < nz; iz++ {
@@ -24,10 +33,10 @@ func (op *Operator) ApplyH0(v, out []complex128) {
 			row := v[base : base+nx]
 			orow := out[base : base+nx]
 			for d := 1; d <= nf; d++ {
-				c := complex(op.kx[d], 0)
+				c := op.kx[d]
 				xp, xm := op.xp[d-1], op.xm[d-1]
 				for ix := 0; ix < nx; ix++ {
-					orow[ix] += c * (row[xp[ix]] + row[xm[ix]])
+					orow[ix] += mulRe(c, row[xp[ix]]+row[xm[ix]])
 				}
 			}
 		}
@@ -36,14 +45,14 @@ func (op *Operator) ApplyH0(v, out []complex128) {
 	for iz := 0; iz < nz; iz++ {
 		planeBase := iz * ny * nx
 		for d := 1; d <= nf; d++ {
-			c := complex(op.ky[d], 0)
+			c := op.ky[d]
 			yp, ym := op.yp[d-1], op.ym[d-1]
 			for iy := 0; iy < ny; iy++ {
 				base := planeBase + iy*nx
 				bp := planeBase + int(yp[iy])*nx
 				bm := planeBase + int(ym[iy])*nx
 				for ix := 0; ix < nx; ix++ {
-					out[base+ix] += c * (v[bp+ix] + v[bm+ix])
+					out[base+ix] += mulRe(c, v[bp+ix]+v[bm+ix])
 				}
 			}
 		}
@@ -52,19 +61,19 @@ func (op *Operator) ApplyH0(v, out []complex128) {
 	// to H+ and H-).
 	plane := nx * ny
 	for d := 1; d <= nf; d++ {
-		c := complex(op.kz[d], 0)
+		c := op.kz[d]
 		for iz := 0; iz < nz; iz++ {
 			base := iz * plane
 			if izp := iz + d; izp < nz {
 				bp := izp * plane
 				for i := 0; i < plane; i++ {
-					out[base+i] += c * v[bp+i]
+					out[base+i] += mulRe(c, v[bp+i])
 				}
 			}
 			if izm := iz - d; izm >= 0 {
 				bm := izm * plane
 				for i := 0; i < plane; i++ {
-					out[base+i] += c * v[bm+i]
+					out[base+i] += mulRe(c, v[bm+i])
 				}
 			}
 		}
@@ -95,13 +104,13 @@ func (op *Operator) ApplyHp(v, out []complex128) {
 		out[i] = 0
 	}
 	for d := 1; d <= nf; d++ {
-		c := complex(op.kz[d], 0)
+		c := op.kz[d]
 		// Rows with iz+d >= nz couple to plane iz+d-nz of the next cell.
 		for iz := nz - d; iz < nz; iz++ {
 			base := iz * plane
 			bp := (iz + d - nz) * plane
 			for i := 0; i < plane; i++ {
-				out[base+i] += c * v[bp+i]
+				out[base+i] += mulRe(c, v[bp+i])
 			}
 		}
 	}
@@ -129,13 +138,13 @@ func (op *Operator) ApplyHm(v, out []complex128) {
 		out[i] = 0
 	}
 	for d := 1; d <= nf; d++ {
-		c := complex(op.kz[d], 0)
+		c := op.kz[d]
 		// Rows with iz-d < 0 couple to plane iz-d+nz of the previous cell.
 		for iz := 0; iz < d; iz++ {
 			base := iz * plane
 			bm := (iz - d + nz) * plane
 			for i := 0; i < plane; i++ {
-				out[base+i] += c * v[bm+i]
+				out[base+i] += mulRe(c, v[bm+i])
 			}
 		}
 	}
@@ -278,7 +287,7 @@ func (op *Operator) NeighborY(d int) (plus, minus []int32) {
 func dotSupport(s *Support, v []complex128) complex128 {
 	var sum complex128
 	for i, idx := range s.Idx {
-		sum += complex(s.Val[i], 0) * v[idx]
+		sum += mulRe(s.Val[i], v[idx])
 	}
 	return sum
 }
@@ -288,7 +297,7 @@ func accumProjector(out []complex128, s *Support, coef complex128) {
 		return
 	}
 	for i, idx := range s.Idx {
-		out[idx] += coef * complex(s.Val[i], 0)
+		out[idx] += mulRe(s.Val[i], coef)
 	}
 }
 

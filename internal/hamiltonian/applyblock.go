@@ -1,0 +1,287 @@
+package hamiltonian
+
+// Blocked (multi-right-hand-side) application of the Hamiltonian blocks.
+//
+// A block of nb vectors is stored row-major by grid point: the nb column
+// values of grid point i occupy v[i*nb : (i+1)*nb]. With this layout one
+// pass of the finite-difference stencil reads each neighbour table entry,
+// local-potential value and projector sample once for all nb columns, so the
+// per-column memory traffic drops by ~nb and the innermost loops run over
+// contiguous memory (SpMM-like instead of nb repeated SpMV-like sweeps).
+
+// blockStackCols bounds the per-projector reduction buffer that lives on the
+// stack; wider blocks fall back to a heap buffer (outside the hot path of
+// the contour solves, whose nb = Nrh/Top fits comfortably).
+const blockStackCols = 64
+
+// ApplyH0Block computes out = H0*V for an n x nb block V stored row-major
+// by grid point (see package comment above). It is the blocked counterpart
+// of ApplyH0; nb = 1 is exactly the single-vector path.
+func (op *Operator) ApplyH0Block(v, out []complex128, nb int) {
+	if nb == 1 {
+		op.ApplyH0(v, out)
+		return
+	}
+	op.checkBlockLen(v, out, nb)
+	op.applyH0BlockImpl(0, 1, v, out, nb)
+	op.accumNonlocalBlock(1, v, out, nb, 0)
+}
+
+// ApplyShiftedH0Block computes out = (shift*I - H0)*V, the H0 part of the
+// shifted operators P(z) = E - H0 - zH+ - z^-1 H-: folding the shift-and-
+// negate into the stencil pass removes the extra full-block read-modify-
+// write sweep (and its re-read of V) that a separate "out = E*v - out" pass
+// would cost.
+func (op *Operator) ApplyShiftedH0Block(shift float64, v, out []complex128, nb int) {
+	op.checkBlockLen(v, out, nb)
+	op.applyH0BlockImpl(shift, -1, v, out, nb)
+	op.accumNonlocalBlock(-1, v, out, nb, 0)
+}
+
+// applyH0BlockImpl computes the kinetic + local part of
+// out = shift*V + sign*H0loc*V in three passes, each touching the n x nb
+// block once:
+//
+//  1. diagonal + x-tails, writing every element of out exactly once;
+//  2. y-tails with the offset loop innermost, so each output row is
+//     read-modified-written once per plane (not once per offset) and stays
+//     cache-resident across the 2*nf input rows;
+//  3. z-tails likewise, one read-modify-write per output plane with the
+//     2*nf neighbouring planes still warm from the sequential iz sweep.
+//
+// The per-element accumulation order (diagonal, x d=1..nf, y d=1..nf,
+// z d=1..nf with +d before -d) is identical to the single-vector ApplyH0,
+// so results are bit-identical; only the traversal order over elements
+// changes. That matters: the naive one-pass-per-offset structure streams
+// the whole block from memory ~4*nf times, which forfeits the blocked
+// layout's bandwidth advantage as soon as plane*nb outgrows the cache.
+func (op *Operator) applyH0BlockImpl(shift, sign float64, v, out []complex128, nb int) {
+	g := op.G
+	nf := op.St.Nf
+	nx, ny, nz := g.Nx, g.Ny, g.Nz
+	// Pass 1: diagonal + x-tails. The row is L1-resident, so the per-offset
+	// revisits of oo are cheap; out is written exactly once per element.
+	for iz := 0; iz < nz; iz++ {
+		for iy := 0; iy < ny; iy++ {
+			base := (iz*ny + iy) * nx
+			row := v[base*nb : (base+nx)*nb]
+			orow := out[base*nb : (base+nx)*nb]
+			vloc := op.VLoc[base : base+nx]
+			for ix := 0; ix < nx; ix++ {
+				d0 := shift + sign*(op.diag+vloc[ix])
+				oo := orow[ix*nb : ix*nb+nb]
+				vo := row[ix*nb:][:len(oo)]
+				for k := range oo {
+					oo[k] = mulRe(d0, vo[k])
+				}
+				for d := 1; d <= nf; d++ {
+					c := sign * op.kx[d]
+					rp := row[int(op.xp[d-1][ix])*nb:][:len(oo)]
+					rm := row[int(op.xm[d-1][ix])*nb:][:len(oo)]
+					for k := range oo {
+						oo[k] += mulRe(c, rp[k]+rm[k])
+					}
+				}
+			}
+		}
+	}
+	// Pass 2: y-tails, offsets innermost (out row cache-hot across offsets).
+	for iz := 0; iz < nz; iz++ {
+		planeBase := iz * ny * nx
+		for iy := 0; iy < ny; iy++ {
+			o0 := (planeBase + iy*nx) * nb
+			rowO := out[o0 : o0+nx*nb]
+			for d := 1; d <= nf; d++ {
+				c := sign * op.ky[d]
+				rowP := v[(planeBase+int(op.yp[d-1][iy])*nx)*nb:][:len(rowO)]
+				rowM := v[(planeBase+int(op.ym[d-1][iy])*nx)*nb:][:len(rowO)]
+				for i := range rowO {
+					rowO[i] += mulRe(c, rowP[i]+rowM[i])
+				}
+			}
+		}
+	}
+	// Pass 3: z-tails, in-cell part only, offsets innermost per plane. The
+	// iz sweep touches a (2*nf+1)-plane window of V; when that window
+	// outgrows the cache it is tiled into xy-strips (sweeping all iz per
+	// strip) so each V element is loaded from memory once, not once per
+	// offset. Tiling only changes the element traversal order, never the
+	// per-element accumulation order.
+	plane := nx * ny
+	const cacheTarget = 192 << 10 // bytes; comfortably inside a 256 KiB L2
+	rowBytes := nx * nb * 16
+	stripRows := cacheTarget / ((2*nf + 1) * rowBytes)
+	if stripRows < 1 {
+		stripRows = 1
+	}
+	if stripRows > ny {
+		stripRows = ny
+	}
+	for y0 := 0; y0 < ny; y0 += stripRows {
+		y1 := y0 + stripRows
+		if y1 > ny {
+			y1 = ny
+		}
+		off0, off1 := y0*nx*nb, y1*nx*nb
+		for iz := 0; iz < nz; iz++ {
+			base := iz * plane * nb
+			dst := out[base+off0 : base+off1]
+			for d := 1; d <= nf; d++ {
+				c := sign * op.kz[d]
+				if izp := iz + d; izp < nz {
+					addScaledBlockRe(dst, v[izp*plane*nb+off0:izp*plane*nb+off1], c)
+				}
+				if izm := iz - d; izm >= 0 {
+					addScaledBlockRe(dst, v[izm*plane*nb+off0:izm*plane*nb+off1], c)
+				}
+			}
+		}
+	}
+}
+
+// ApplyHpBlock computes out = H+*V for a row-major block (overwrites out).
+func (op *Operator) ApplyHpBlock(v, out []complex128, nb int) {
+	op.checkBlockLen(v, out, nb)
+	for i := range out {
+		out[i] = 0
+	}
+	op.AccumHpBlock(1, v, out, nb)
+}
+
+// ApplyHmBlock computes out = H-*V for a row-major block (overwrites out).
+func (op *Operator) ApplyHmBlock(v, out []complex128, nb int) {
+	op.checkBlockLen(v, out, nb)
+	for i := range out {
+		out[i] = 0
+	}
+	op.AccumHmBlock(1, v, out, nb)
+}
+
+// AccumHpBlock accumulates out += coef * H+ * V. Because H+ only couples
+// the top nf z-planes and the boundary-crossing projectors, accumulating
+// with the coefficient folded in avoids a full-length scratch block and the
+// Axpy pass of the single-vector path.
+func (op *Operator) AccumHpBlock(coef complex128, v, out []complex128, nb int) {
+	op.checkBlockLen(v, out, nb)
+	g := op.G
+	nf := op.St.Nf
+	plane := g.Nx * g.Ny
+	nz := g.Nz
+	for d := 1; d <= nf; d++ {
+		c := mulRe(op.kz[d], coef)
+		// Rows with iz+d >= nz couple to plane iz+d-nz of the next cell.
+		for iz := nz - d; iz < nz; iz++ {
+			base := iz * plane * nb
+			bp := (iz + d - nz) * plane * nb
+			addScaledBlock(out[base:base+plane*nb], v[bp:bp+plane*nb], c)
+		}
+	}
+	op.accumNonlocalBlock(coef, v, out, nb, 1)
+}
+
+// AccumHmBlock accumulates out += coef * H- * V.
+func (op *Operator) AccumHmBlock(coef complex128, v, out []complex128, nb int) {
+	op.checkBlockLen(v, out, nb)
+	g := op.G
+	nf := op.St.Nf
+	plane := g.Nx * g.Ny
+	nz := g.Nz
+	for d := 1; d <= nf; d++ {
+		c := mulRe(op.kz[d], coef)
+		// Rows with iz-d < 0 couple to plane iz-d+nz of the previous cell.
+		for iz := 0; iz < d; iz++ {
+			base := iz * plane * nb
+			bm := (iz - d + nz) * plane * nb
+			addScaledBlock(out[base:base+plane*nb], v[bm:bm+plane*nb], c)
+		}
+	}
+	op.accumNonlocalBlock(coef, v, out, nb, -1)
+}
+
+// accumNonlocalBlock accumulates the separable projector term of the block
+// with cell offset l: out += coef * sum_j p^j h <p^{j+l}, V>.
+func (op *Operator) accumNonlocalBlock(coef complex128, v, out []complex128, nb, l int) {
+	var stack [blockStackCols]complex128
+	var sums []complex128
+	if nb <= blockStackCols {
+		sums = stack[:nb]
+	} else {
+		sums = make([]complex128, nb)
+	}
+	for pi := range op.Projs {
+		p := &op.Projs[pi]
+		for j := -1; j <= 1; j++ {
+			jc := j + l
+			if jc < -1 || jc > 1 {
+				continue
+			}
+			row := &p.Supp[j+1]
+			col := &p.Supp[jc+1]
+			if len(row.Idx) == 0 || len(col.Idx) == 0 {
+				continue
+			}
+			dotSupportBlock(sums, col, v, nb)
+			ch := mulRe(p.H, coef)
+			for k := range sums {
+				sums[k] *= ch
+			}
+			accumProjectorBlock(out, row, sums, nb)
+		}
+	}
+}
+
+// dotSupportBlock computes sums[k] = <p, V[:,k]> over the support samples,
+// one pass over the support for all nb columns.
+func dotSupportBlock(sums []complex128, s *Support, v []complex128, nb int) {
+	for k := range sums {
+		sums[k] = 0
+	}
+	for i, idx := range s.Idx {
+		c := s.Val[i]
+		vo := v[int(idx)*nb : int(idx)*nb+nb]
+		for k := range sums {
+			sums[k] += mulRe(c, vo[k])
+		}
+	}
+}
+
+// accumProjectorBlock accumulates out[idx,:] += coefs[:] * val over the
+// support samples.
+func accumProjectorBlock(out []complex128, s *Support, coefs []complex128, nb int) {
+	for i, idx := range s.Idx {
+		c := s.Val[i]
+		oo := out[int(idx)*nb : int(idx)*nb+nb]
+		for k := range oo {
+			oo[k] += mulRe(c, coefs[k])
+		}
+	}
+}
+
+// addScaledBlock performs dst += c*src over contiguous block storage.
+func addScaledBlock(dst, src []complex128, c complex128) {
+	if c == 0 {
+		return
+	}
+	src = src[:len(dst)]
+	for i := range dst {
+		dst[i] += c * src[i]
+	}
+}
+
+// addScaledBlockRe is addScaledBlock for a real coefficient (the in-cell
+// z-tails of H0), at half the multiply count.
+func addScaledBlockRe(dst, src []complex128, c float64) {
+	if c == 0 {
+		return
+	}
+	src = src[:len(dst)]
+	for i := range dst {
+		dst[i] += mulRe(c, src[i])
+	}
+}
+
+func (op *Operator) checkBlockLen(v, out []complex128, nb int) {
+	if nb < 1 || len(v) != op.N()*nb || len(out) != op.N()*nb {
+		panic("hamiltonian: block length/width mismatch")
+	}
+}

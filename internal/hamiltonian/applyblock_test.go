@@ -1,0 +1,104 @@
+package hamiltonian
+
+import (
+	"math/rand"
+	"testing"
+
+	"cbs/internal/zlinalg"
+)
+
+// randBlock fills an n x nb row-major block with deterministic random data.
+func randBlock(n, nb int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]complex128, n*nb)
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return v
+}
+
+// blockCol extracts column c of a row-major block.
+func blockCol(v []complex128, n, nb, c int) []complex128 {
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		out[i] = v[i*nb+c]
+	}
+	return out
+}
+
+// TestApplyBlockMatchesPerColumn: every blocked kernel must reproduce the
+// single-vector kernels column by column for nb in {1, 3, 8}.
+func TestApplyBlockMatchesPerColumn(t *testing.T) {
+	op := alCell(t, 6)
+	n := op.N()
+	kernels := []struct {
+		name   string
+		single func(v, out []complex128)
+		block  func(v, out []complex128, nb int)
+	}{
+		{"H0", op.ApplyH0, op.ApplyH0Block},
+		{"H+", op.ApplyHp, op.ApplyHpBlock},
+		{"H-", op.ApplyHm, op.ApplyHmBlock},
+	}
+	for _, nb := range []int{1, 3, 8} {
+		v := randBlock(n, nb, int64(100+nb))
+		out := make([]complex128, n*nb)
+		ref := make([]complex128, n)
+		for _, k := range kernels {
+			k.block(v, out, nb)
+			for c := 0; c < nb; c++ {
+				k.single(blockCol(v, n, nb, c), ref)
+				got := blockCol(out, n, nb, c)
+				zlinalg.Axpy(-1, ref, got)
+				if d := zlinalg.Norm2(got) / zlinalg.Norm2(ref); d > 1e-13 {
+					t.Errorf("%s nb=%d col %d: relative deviation %g", k.name, nb, c, d)
+				}
+			}
+		}
+	}
+}
+
+// TestAccumBlockMatchesAxpy: the fused accumulate variants must equal
+// "apply then axpy" with the same coefficient.
+func TestAccumBlockMatchesAxpy(t *testing.T) {
+	op := alCell(t, 6)
+	n := op.N()
+	coef := complex(-1.3, 0.7)
+	for _, nb := range []int{1, 4} {
+		v := randBlock(n, nb, int64(200+nb))
+		base := randBlock(n, nb, int64(300+nb))
+
+		got := append([]complex128(nil), base...)
+		op.AccumHpBlock(coef, v, got, nb)
+		want := append([]complex128(nil), base...)
+		tmp := make([]complex128, n*nb)
+		op.ApplyHpBlock(v, tmp, nb)
+		zlinalg.Axpy(coef, tmp, want)
+		zlinalg.Axpy(-1, want, got)
+		if d := zlinalg.Norm2(got) / zlinalg.Norm2(want); d > 1e-13 {
+			t.Errorf("AccumHpBlock nb=%d: relative deviation %g", nb, d)
+		}
+
+		got = append([]complex128(nil), base...)
+		op.AccumHmBlock(coef, v, got, nb)
+		want = append([]complex128(nil), base...)
+		op.ApplyHmBlock(v, tmp, nb)
+		zlinalg.Axpy(coef, tmp, want)
+		zlinalg.Axpy(-1, want, got)
+		if d := zlinalg.Norm2(got) / zlinalg.Norm2(want); d > 1e-13 {
+			t.Errorf("AccumHmBlock nb=%d: relative deviation %g", nb, d)
+		}
+	}
+}
+
+// TestApplyBlockPanics: mis-sized blocks must be rejected.
+func TestApplyBlockPanics(t *testing.T) {
+	op := alCell(t, 6)
+	n := op.N()
+	defer func() {
+		if recover() == nil {
+			t.Error("short block did not panic")
+		}
+	}()
+	op.ApplyH0Block(make([]complex128, n*2-1), make([]complex128, n*2), 2)
+}

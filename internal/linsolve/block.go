@@ -1,0 +1,304 @@
+package linsolve
+
+import (
+	"math"
+)
+
+// BlockApply computes out = A*V for an n x nb block stored row-major by
+// row index (the nb column values of row i at v[i*nb:(i+1)*nb]).
+type BlockApply func(v, out []complex128, nb int)
+
+// Workspace holds the Krylov vectors and per-column bookkeeping of
+// BlockBiCGDual so the hot solve loop allocates nothing: one workspace per
+// worker is reused across all quadrature points. It replaces the six
+// per-call vector allocations of BiCGDual.
+type Workspace struct {
+	n, nb int
+
+	// Block Krylov vectors, each n*nb row-major.
+	r, rd, p, pd, q, qd []complex128
+
+	// Per-column scalars of the nb independent recurrences.
+	rho, alpha, beta, dots []complex128
+	nrmB, nrmBD, rel, relD []float64
+	nrm2, nrm2d            []float64 // norm scratch (frozen columns keep rel)
+	active                 []bool
+
+	results []Result
+}
+
+// NewWorkspace allocates a workspace for blocks of n rows and nb columns.
+func NewWorkspace(n, nb int) *Workspace {
+	w := &Workspace{}
+	w.Reserve(n, nb)
+	return w
+}
+
+// Reserve grows the workspace to hold an n x nb solve; existing capacity is
+// reused when sufficient, so alternating block widths does not thrash.
+func (w *Workspace) Reserve(n, nb int) {
+	w.n, w.nb = n, nb
+	if need := n * nb; cap(w.r) < need {
+		w.r = make([]complex128, need)
+		w.rd = make([]complex128, need)
+		w.p = make([]complex128, need)
+		w.pd = make([]complex128, need)
+		w.q = make([]complex128, need)
+		w.qd = make([]complex128, need)
+	}
+	if cap(w.rho) < nb {
+		w.rho = make([]complex128, nb)
+		w.alpha = make([]complex128, nb)
+		w.beta = make([]complex128, nb)
+		w.dots = make([]complex128, nb)
+		w.nrmB = make([]float64, nb)
+		w.nrmBD = make([]float64, nb)
+		w.rel = make([]float64, nb)
+		w.relD = make([]float64, nb)
+		w.nrm2 = make([]float64, nb)
+		w.nrm2d = make([]float64, nb)
+		w.active = make([]bool, nb)
+		w.results = make([]Result, nb)
+	}
+}
+
+// MemoryBytes reports the workspace's resident bytes (the block-solver
+// analogue of the per-worker Krylov vectors in core.MemoryEstimate).
+func (w *Workspace) MemoryBytes() int64 {
+	return int64(6*cap(w.r))*16 + int64(cap(w.rho))*(4*16+4*8+1)
+}
+
+// blockDots computes dots[c] = <x_c, y_c> for every column of two row-major
+// blocks in one pass (summation order over rows matches zlinalg.Dot).
+func blockDots(dots []complex128, x, y []complex128, nb int) {
+	for c := range dots {
+		dots[c] = 0
+	}
+	n := len(x) / nb
+	for i := 0; i < n; i++ {
+		xo := x[i*nb : i*nb+nb]
+		yo := y[i*nb : i*nb+nb]
+		for c := range dots {
+			dots[c] += conj(xo[c]) * yo[c]
+		}
+	}
+}
+
+// blockNorms computes nrm[c] = ||x_c|| for every column of a row-major block.
+func blockNorms(nrm []float64, x []complex128, nb int) {
+	for c := range nrm {
+		nrm[c] = 0
+	}
+	n := len(x) / nb
+	for i := 0; i < n; i++ {
+		xo := x[i*nb : i*nb+nb]
+		for c := range nrm {
+			nrm[c] += cabs2(xo[c])
+		}
+	}
+	for c := range nrm {
+		nrm[c] = math.Sqrt(nrm[c])
+	}
+}
+
+// BlockBiCGDual solves the nb independent primal systems A x_c = b_c and
+// their duals A^dagger xd_c = bd_c with nb coupled-in-storage but
+// mathematically independent dual BiCG recurrences sharing blocked matvecs:
+// each iteration applies A and A^dagger once to the whole block, so the
+// operator tables stream through memory once per iteration instead of once
+// per column. Columns converge, stop early (per-column GroupStop in groups,
+// which may be nil or hold nil entries) and break down independently: a
+// finished column is masked out of the recurrence updates (its x_c, xd_c
+// freeze) while the remaining columns keep iterating, exactly reproducing
+// the per-column BiCGDual results.
+//
+// b, bd, x and xd are n x nb row-major blocks; x and xd hold the initial
+// guesses and are overwritten with the solutions. With opts.History set the
+// residual history of column 0 is recorded. The returned slice (one Result
+// per column) aliases ws.results and is valid until the next solve on ws;
+// ws may be nil, in which case a fresh workspace is allocated.
+func BlockBiCGDual(a, ad BlockApply, b, bd, x, xd []complex128, nb int, opts Options, groups []*GroupStop, ws *Workspace) []Result {
+	if nb < 1 || len(b)%nb != 0 {
+		panic("linsolve: BlockBiCGDual bad block width")
+	}
+	n := len(b) / nb
+	if len(bd) != n*nb || len(x) != n*nb || len(xd) != n*nb {
+		panic("linsolve: BlockBiCGDual length mismatch")
+	}
+	if groups != nil && len(groups) != nb {
+		panic("linsolve: BlockBiCGDual groups length mismatch")
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = defaultMaxIter(n)
+	}
+	if ws == nil {
+		ws = NewWorkspace(n, nb)
+	} else {
+		ws.Reserve(n, nb)
+	}
+	r, rd := ws.r[:n*nb], ws.rd[:n*nb]
+	p, pd := ws.p[:n*nb], ws.pd[:n*nb]
+	q, qd := ws.q[:n*nb], ws.qd[:n*nb]
+	rho, alpha, beta, dots := ws.rho[:nb], ws.alpha[:nb], ws.beta[:nb], ws.dots[:nb]
+	nrmB, nrmBD := ws.nrmB[:nb], ws.nrmBD[:nb]
+	rel, relD := ws.rel[:nb], ws.relD[:nb]
+	nrm2, nrm2d := ws.nrm2[:nb], ws.nrm2d[:nb]
+	active := ws.active[:nb]
+	results := ws.results[:nb]
+
+	group := func(c int) *GroupStop {
+		if groups == nil {
+			return nil
+		}
+		return groups[c]
+	}
+
+	// r = b - A x, rd = bd - A^dagger xd.
+	a(x, q, nb)
+	ad(xd, qd, nb)
+	for c := range results {
+		results[c] = Result{MatVecApplied: 2}
+		active[c] = true
+	}
+	for i := range r {
+		r[i] = b[i] - q[i]
+		rd[i] = bd[i] - qd[i]
+	}
+	copy(p, r)
+	copy(pd, rd)
+
+	blockNorms(nrmB, b, nb)
+	blockNorms(nrmBD, bd, nb)
+	for c := range nrmB {
+		if nrmB[c] == 0 {
+			nrmB[c] = 1
+		}
+		if nrmBD[c] == 0 {
+			nrmBD[c] = 1
+		}
+	}
+	blockDots(rho, rd, r, nb)
+	blockNorms(rel, r, nb)
+	blockNorms(relD, rd, nb)
+	for c := range rel {
+		rel[c] /= nrmB[c]
+		relD[c] /= nrmBD[c]
+	}
+	if opts.History {
+		results[0].History = append(results[0].History, rel[0])
+	}
+
+	remaining := nb
+	for iter := 0; iter < maxIter && remaining > 0; iter++ {
+		// Per-column state checks, mirroring the single-vector loop head.
+		for c := 0; c < nb; c++ {
+			if !active[c] {
+				continue
+			}
+			if rel[c] <= opts.Tol && relD[c] <= opts.Tol {
+				results[c].Converged = true
+				if g := group(c); g != nil {
+					g.MarkConverged()
+				}
+				active[c] = false
+				remaining--
+				continue
+			}
+			if g := group(c); g != nil && rel[c] <= opts.looseTol() && relD[c] <= opts.looseTol() && g.ShouldStop() {
+				results[c].StoppedEarly = true
+				active[c] = false
+				remaining--
+				continue
+			}
+			if cabs2(rho[c]) < breakdownTol {
+				results[c].Breakdown = true
+				active[c] = false
+				remaining--
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		a(p, q, nb)
+		ad(pd, qd, nb)
+		blockDots(dots, pd, q, nb)
+		for c := 0; c < nb; c++ {
+			alpha[c] = 0
+			if !active[c] {
+				continue
+			}
+			results[c].MatVecApplied += 2
+			if cabs2(dots[c]) < breakdownTol {
+				results[c].Breakdown = true
+				active[c] = false
+				remaining--
+				continue
+			}
+			alpha[c] = rho[c] / dots[c]
+		}
+		if remaining == 0 {
+			break
+		}
+		// Fused recurrence update: one pass over the block updates x, xd, r
+		// and rd of every still-active column (alpha = 0 freezes the rest,
+		// and frozen r/rd are untouched because alpha is exactly zero).
+		for i := 0; i < n; i++ {
+			o := i * nb
+			for c := 0; c < nb; c++ {
+				al := alpha[c]
+				if al == 0 {
+					continue
+				}
+				alC := conj(al)
+				x[o+c] += al * p[o+c]
+				xd[o+c] += alC * pd[o+c]
+				r[o+c] -= al * q[o+c]
+				rd[o+c] -= alC * qd[o+c]
+			}
+		}
+		blockDots(dots, rd, r, nb)
+		for c := 0; c < nb; c++ {
+			beta[c] = 0
+			if !active[c] {
+				continue
+			}
+			beta[c] = dots[c] / rho[c]
+			rho[c] = dots[c]
+		}
+		for i := 0; i < n; i++ {
+			o := i * nb
+			for c := 0; c < nb; c++ {
+				if !active[c] {
+					continue
+				}
+				p[o+c] = r[o+c] + beta[c]*p[o+c]
+				pd[o+c] = rd[o+c] + conj(beta[c])*pd[o+c]
+			}
+		}
+		blockNorms(nrm2, r, nb)
+		blockNorms(nrm2d, rd, nb)
+		for c := 0; c < nb; c++ {
+			if !active[c] {
+				continue
+			}
+			rel[c] = nrm2[c] / nrmB[c]
+			relD[c] = nrm2d[c] / nrmBD[c]
+			results[c].Iterations++
+		}
+		if opts.History && active[0] {
+			results[0].History = append(results[0].History, rel[0])
+		}
+	}
+	for c := 0; c < nb; c++ {
+		if active[c] && rel[c] <= opts.Tol && relD[c] <= opts.Tol {
+			results[c].Converged = true
+			if g := group(c); g != nil {
+				g.MarkConverged()
+			}
+		}
+		results[c].Residual = rel[c]
+		results[c].DualResidual = relD[c]
+	}
+	return results
+}

@@ -1,0 +1,261 @@
+package linsolve
+
+import (
+	"math/rand"
+	"testing"
+
+	"cbs/internal/zlinalg"
+)
+
+// randOperator builds a well-conditioned random dense operator and its
+// adjoint as Apply closures plus BlockApply wrappers that perform exactly
+// the same per-column arithmetic (deinterleave, apply, reinterleave), so
+// blocked and per-column solves follow bit-identical floating-point paths.
+func randOperator(n int, seed int64) (a, ad Apply, ab, abd BlockApply) {
+	rng := rand.New(rand.NewSource(seed))
+	m := zlinalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, complex(rng.Float64()*0.4-0.2, rng.Float64()*0.4-0.2))
+		}
+		m.Set(i, i, m.At(i, i)+complex(4+rng.Float64(), rng.Float64()-0.5))
+	}
+	mh := m.ConjTranspose()
+	mul := func(mat *zlinalg.Matrix) Apply {
+		return func(v, out []complex128) {
+			for i := 0; i < n; i++ {
+				row := mat.Row(i)
+				var s complex128
+				for j, rv := range row {
+					s += rv * v[j]
+				}
+				out[i] = s
+			}
+		}
+	}
+	a, ad = mul(m), mul(mh)
+	wrap := func(ap Apply) BlockApply {
+		col := make([]complex128, n)
+		res := make([]complex128, n)
+		return func(v, out []complex128, nb int) {
+			for c := 0; c < nb; c++ {
+				for i := 0; i < n; i++ {
+					col[i] = v[i*nb+c]
+				}
+				ap(col, res)
+				for i := 0; i < n; i++ {
+					out[i*nb+c] = res[i]
+				}
+			}
+		}
+	}
+	return a, ad, wrap(a), wrap(ad)
+}
+
+func interleave(cols [][]complex128) []complex128 {
+	nb := len(cols)
+	n := len(cols[0])
+	out := make([]complex128, n*nb)
+	for c, col := range cols {
+		for i, v := range col {
+			out[i*nb+c] = v
+		}
+	}
+	return out
+}
+
+// TestBlockBiCGDualMatchesPerColumn: for random operators and nb in
+// {1, 3, 8}, the blocked solver must reproduce the per-column BiCGDual
+// solutions, iteration counts and convergence flags (including a trivially
+// converged zero column, which exercises the masking).
+func TestBlockBiCGDualMatchesPerColumn(t *testing.T) {
+	n := 40
+	for _, nb := range []int{1, 3, 8} {
+		a, ad, ab, abd := randOperator(n, int64(11*nb+1))
+		rng := rand.New(rand.NewSource(int64(nb)))
+		bc := make([][]complex128, nb)
+		bdc := make([][]complex128, nb)
+		for c := range bc {
+			bc[c] = make([]complex128, n)
+			bdc[c] = make([]complex128, n)
+			for i := range bc[c] {
+				if nb > 1 && c == 1 {
+					continue // zero column: converges with 0 iterations
+				}
+				bc[c][i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+				bdc[c][i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+			}
+		}
+		opts := Options{Tol: 1e-10}
+
+		b := interleave(bc)
+		bd := interleave(bdc)
+		x := make([]complex128, n*nb)
+		xd := make([]complex128, n*nb)
+		rs := BlockBiCGDual(ab, abd, b, bd, x, xd, nb, opts, nil, nil)
+
+		for c := 0; c < nb; c++ {
+			xc := make([]complex128, n)
+			xdc := make([]complex128, n)
+			want := BiCGDual(a, ad, bc[c], bdc[c], xc, xdc, opts)
+			if rs[c].Iterations != want.Iterations {
+				t.Errorf("nb=%d col %d: %d iterations, per-column took %d", nb, c, rs[c].Iterations, want.Iterations)
+			}
+			if rs[c].Converged != want.Converged || rs[c].Breakdown != want.Breakdown {
+				t.Errorf("nb=%d col %d: flags (conv %v, bkdn %v) vs (%v, %v)",
+					nb, c, rs[c].Converged, rs[c].Breakdown, want.Converged, want.Breakdown)
+			}
+			if rs[c].MatVecApplied != want.MatVecApplied {
+				t.Errorf("nb=%d col %d: %d matvecs, per-column %d", nb, c, rs[c].MatVecApplied, want.MatVecApplied)
+			}
+			var d, nrm float64
+			for i := 0; i < n; i++ {
+				d += cabs2(x[i*nb+c]-xc[i]) + cabs2(xd[i*nb+c]-xdc[i])
+				nrm += cabs2(xc[i]) + cabs2(xdc[i])
+			}
+			if nrm == 0 {
+				nrm = 1
+			}
+			if d/nrm > 1e-26 { // squared norms: ~1e-13 relative
+				t.Errorf("nb=%d col %d: solution deviation %g", nb, c, d/nrm)
+			}
+		}
+	}
+}
+
+// TestBlockBiCGDualHistory: column 0's residual history matches the
+// per-column solve.
+func TestBlockBiCGDualHistory(t *testing.T) {
+	n, nb := 30, 3
+	a, ad, ab, abd := randOperator(n, 5)
+	rng := rand.New(rand.NewSource(9))
+	bc := make([][]complex128, nb)
+	for c := range bc {
+		bc[c] = make([]complex128, n)
+		for i := range bc[c] {
+			bc[c][i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+	}
+	opts := Options{Tol: 1e-10, History: true}
+	b := interleave(bc)
+	x := make([]complex128, n*nb)
+	xd := make([]complex128, n*nb)
+	rs := BlockBiCGDual(ab, abd, b, b, x, xd, nb, opts, nil, nil)
+
+	xc := make([]complex128, n)
+	xdc := make([]complex128, n)
+	want := BiCGDual(a, ad, bc[0], bc[0], xc, xdc, opts)
+	if len(rs[0].History) != len(want.History) {
+		t.Fatalf("history length %d vs %d", len(rs[0].History), len(want.History))
+	}
+	for i := range want.History {
+		if rs[0].History[i] != want.History[i] {
+			t.Errorf("history[%d] = %g vs %g", i, rs[0].History[i], want.History[i])
+		}
+	}
+}
+
+// TestBlockBiCGDualGroupStop: a column whose group majority has converged
+// must stop early (at the loose tolerance) while other columns keep
+// iterating to full convergence.
+func TestBlockBiCGDualGroupStop(t *testing.T) {
+	n, nb := 40, 4
+	_, _, ab, abd := randOperator(n, 21)
+	rng := rand.New(rand.NewSource(2))
+	b := make([]complex128, n*nb)
+	for i := range b {
+		b[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	groups := make([]*GroupStop, nb)
+	for c := range groups {
+		groups[c] = NewGroupStop(4, true)
+	}
+	// Column 2's group majority has already converged elsewhere; with a huge
+	// loose tolerance it must stop at its first check.
+	groups[2].MarkConverged()
+	groups[2].MarkConverged()
+	groups[2].MarkConverged()
+	opts := Options{Tol: 1e-10, LooseTol: 1e30}
+	x := make([]complex128, n*nb)
+	xd := make([]complex128, n*nb)
+	rs := BlockBiCGDual(ab, abd, b, b, x, xd, nb, opts, groups, NewWorkspace(n, nb))
+	if !rs[2].StoppedEarly || rs[2].Iterations != 0 {
+		t.Errorf("column 2 not stopped early: %+v", rs[2])
+	}
+	for c := 0; c < nb; c++ {
+		if c == 2 {
+			continue
+		}
+		if !rs[c].Converged {
+			t.Errorf("column %d did not converge: %+v", c, rs[c])
+		}
+		if rs[c].StoppedEarly {
+			t.Errorf("column %d stopped early without majority", c)
+		}
+	}
+	// The stopped column's solution froze at the initial guess (zero).
+	for i := 0; i < n; i++ {
+		if x[i*nb+2] != 0 {
+			t.Fatal("stopped column was updated")
+		}
+	}
+	// Converged columns marked their groups.
+	for c := 0; c < nb; c++ {
+		want := 1
+		if c == 2 {
+			want = 3
+		}
+		if got := groups[c].Converged(); got != want {
+			t.Errorf("group %d counts %d converged, want %d", c, got, want)
+		}
+	}
+}
+
+// TestBlockBiCGDualZeroAlloc: with a reused workspace the steady-state
+// solve loop must not allocate (the zero-allocation hot-path claim).
+func TestBlockBiCGDualZeroAlloc(t *testing.T) {
+	n, nb := 32, 4
+	_, _, ab, abd := randOperator(n, 33)
+	rng := rand.New(rand.NewSource(3))
+	b := make([]complex128, n*nb)
+	for i := range b {
+		b[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	x := make([]complex128, n*nb)
+	xd := make([]complex128, n*nb)
+	ws := NewWorkspace(n, nb)
+	opts := Options{Tol: 1e-10}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := range x {
+			x[i] = 0
+			xd[i] = 0
+		}
+		BlockBiCGDual(ab, abd, b, b, x, xd, nb, opts, nil, ws)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state blocked solve allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestWorkspaceReuseAcrossWidths: a workspace must survive alternating
+// block widths and problem sizes.
+func TestWorkspaceReuseAcrossWidths(t *testing.T) {
+	ws := NewWorkspace(16, 2)
+	for _, dims := range [][2]int{{16, 2}, {8, 8}, {40, 3}, {16, 1}} {
+		n, nb := dims[0], dims[1]
+		_, _, ab, abd := randOperator(n, int64(n+nb))
+		rng := rand.New(rand.NewSource(int64(nb)))
+		b := make([]complex128, n*nb)
+		for i := range b {
+			b[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		x := make([]complex128, n*nb)
+		xd := make([]complex128, n*nb)
+		rs := BlockBiCGDual(ab, abd, b, b, x, xd, nb, Options{Tol: 1e-10}, nil, ws)
+		for c, r := range rs {
+			if !r.Converged {
+				t.Errorf("n=%d nb=%d col %d did not converge (residual %g)", n, nb, c, r.Residual)
+			}
+		}
+	}
+}

@@ -74,6 +74,51 @@ func TestResidualConsistency(t *testing.T) {
 	}
 }
 
+// TestApplyBlockMatchesApply: the fused blocked apply must reproduce the
+// per-column single-vector apply (primal and dagger) for nb in {1, 3, 8}.
+func TestApplyBlockMatchesApply(t *testing.T) {
+	p := testProblem(t)
+	n := p.Dim()
+	z := complex(1.7, -0.4)
+	for _, nb := range []int{1, 3, 8} {
+		rng := rand.New(rand.NewSource(int64(7 + nb)))
+		v := make([]complex128, n*nb)
+		for i := range v {
+			v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		out := make([]complex128, n*nb)
+		outD := make([]complex128, n*nb)
+		p.ApplyBlock(z, v, out, nb)
+		p.ApplyDaggerBlock(z, v, outD, nb)
+		col := make([]complex128, n)
+		ref := make([]complex128, n)
+		scratch := make([]complex128, n)
+		for c := 0; c < nb; c++ {
+			for i := 0; i < n; i++ {
+				col[i] = v[i*nb+c]
+			}
+			p.Apply(z, col, ref, scratch)
+			var d, nrm float64
+			for i := 0; i < n; i++ {
+				d += cmplx.Abs(out[i*nb+c] - ref[i])
+				nrm += cmplx.Abs(ref[i])
+			}
+			if d/nrm > 1e-13 {
+				t.Errorf("ApplyBlock nb=%d col %d: relative deviation %g", nb, c, d/nrm)
+			}
+			p.ApplyDagger(z, col, ref, scratch)
+			d, nrm = 0, 0
+			for i := 0; i < n; i++ {
+				d += cmplx.Abs(outD[i*nb+c] - ref[i])
+				nrm += cmplx.Abs(ref[i])
+			}
+			if d/nrm > 1e-13 {
+				t.Errorf("ApplyDaggerBlock nb=%d col %d: relative deviation %g", nb, c, d/nrm)
+			}
+		}
+	}
+}
+
 func TestKLambdaRoundTrip(t *testing.T) {
 	a := 7.3
 	f := func(seed int64) bool {

@@ -12,7 +12,9 @@
 package sparse
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"cbs/internal/hamiltonian"
 	"cbs/internal/zlinalg"
@@ -40,6 +42,29 @@ func (m *CSR) Apply(v, out []complex128) {
 	}
 }
 
+// ApplyBlock computes out = A*V for an n x nb block stored row-major (the
+// nb column values of row i at v[i*nb:(i+1)*nb]): each stored entry is read
+// once for all nb columns, turning nb SpMV sweeps over the index arrays
+// into one SpMM-like sweep.
+func (m *CSR) ApplyBlock(v, out []complex128, nb int) {
+	if nb < 1 || len(v) != m.N*nb || len(out) != m.N*nb {
+		panic("sparse: ApplyBlock length/width mismatch")
+	}
+	for i := 0; i < m.N; i++ {
+		oo := out[i*nb : i*nb+nb]
+		for k := range oo {
+			oo[k] = 0
+		}
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			a := m.Val[p]
+			vo := v[int(m.Col[p])*nb : int(m.Col[p])*nb+nb]
+			for k := range oo {
+				oo[k] += a * vo[k]
+			}
+		}
+	}
+}
+
 // NNZ returns the number of stored entries.
 func (m *CSR) NNZ() int { return len(m.Val) }
 
@@ -48,12 +73,24 @@ func (m *CSR) MemoryBytes() int64 {
 	return int64(len(m.RowPtr))*4 + int64(len(m.Col))*4 + int64(len(m.Val))*16
 }
 
+// ErrNNZOverflow reports an assembly whose entry count does not fit the
+// int32 CSR index arrays. RowPtr/Col stay int32 deliberately (half the index
+// footprint of int64, and the matrix-free path is preferred at that scale),
+// so the builder must refuse to overflow them silently: wrapped RowPtr
+// values would corrupt every row past entry 2^31.
+var ErrNNZOverflow = errors.New("sparse: number of nonzeros exceeds the int32 index range")
+
+// maxNNZ is the entry-count ceiling of the int32 index arrays; a variable
+// so the overflow guard can be regression-tested without 2^31 entries.
+var maxNNZ = math.MaxInt32
+
 // builder accumulates one row at a time.
 type builder struct {
 	n      int
 	rowPtr []int32
 	col    []int32
 	val    []complex128
+	err    error
 }
 
 func newBuilder(n int) *builder {
@@ -61,7 +98,11 @@ func newBuilder(n int) *builder {
 }
 
 func (b *builder) add(col int, v complex128) {
-	if v == 0 {
+	if v == 0 || b.err != nil {
+		return
+	}
+	if len(b.col) >= maxNNZ {
+		b.err = ErrNNZOverflow
 		return
 	}
 	b.col = append(b.col, int32(col))
@@ -72,8 +113,11 @@ func (b *builder) endRow() {
 	b.rowPtr = append(b.rowPtr, int32(len(b.col)))
 }
 
-func (b *builder) finish() *CSR {
-	return &CSR{N: b.n, RowPtr: b.rowPtr, Col: b.col, Val: b.val}
+func (b *builder) finish() (*CSR, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return &CSR{N: b.n, RowPtr: b.rowPtr, Col: b.col, Val: b.val}, nil
 }
 
 // Blocks holds the stored form of the three Hamiltonian blocks' local +
@@ -130,7 +174,19 @@ func FromOperator(op *hamiltonian.Operator) (*Blocks, error) {
 			}
 		}
 	}
-	return &Blocks{H0: b0.finish(), HP: bp.finish(), HM: bm.finish(), Op: op}, nil
+	h0, err := b0.finish()
+	if err != nil {
+		return nil, err
+	}
+	hp, err := bp.finish()
+	if err != nil {
+		return nil, err
+	}
+	hm, err := bm.finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Blocks{H0: h0, HP: hp, HM: hm, Op: op}, nil
 }
 
 // ApplyH0 computes out = H0*v from the stored form (CSR + factored

@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"errors"
 	"math/cmplx"
 	"math/rand"
 	"testing"
@@ -112,6 +113,57 @@ func TestCSRStructure(t *testing.T) {
 	}
 	if blocks.HP.NNZ() != blocks.HM.NNZ() {
 		t.Errorf("H+ and H- have different NNZ: %d vs %d", blocks.HP.NNZ(), blocks.HM.NNZ())
+	}
+}
+
+// TestApplyBlockMatchesApply: the blocked CSR apply must reproduce the
+// per-column apply for nb in {1, 3, 8}.
+func TestApplyBlockMatchesApply(t *testing.T) {
+	op := testOperator(t)
+	blocks, err := FromOperator(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := op.N()
+	for _, m := range []*CSR{blocks.H0, blocks.HP, blocks.HM} {
+		for _, nb := range []int{1, 3, 8} {
+			rng := rand.New(rand.NewSource(int64(nb)))
+			v := randVec(rng, n*nb)
+			out := make([]complex128, n*nb)
+			m.ApplyBlock(v, out, nb)
+			col := make([]complex128, n)
+			ref := make([]complex128, n)
+			for c := 0; c < nb; c++ {
+				for i := 0; i < n; i++ {
+					col[i] = v[i*nb+c]
+				}
+				m.Apply(col, ref)
+				for i := 0; i < n; i++ {
+					if cmplx.Abs(out[i*nb+c]-ref[i]) > 1e-13 {
+						t.Fatalf("nb=%d col %d row %d: %v vs %v", nb, c, i, out[i*nb+c], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNNZOverflowGuard: assembly must fail cleanly (not wrap int32 indices)
+// when the entry count exceeds the index range. The ceiling is lowered so
+// the regression test does not need 2^31 entries.
+func TestNNZOverflowGuard(t *testing.T) {
+	op := testOperator(t)
+	saved := maxNNZ
+	defer func() { maxNNZ = saved }()
+	maxNNZ = 100 // far below the ~25 * 288 entries of the test operator's H0
+	if _, err := FromOperator(op); err == nil {
+		t.Fatal("oversized assembly did not fail")
+	} else if !errors.Is(err, ErrNNZOverflow) {
+		t.Fatalf("got error %v, want ErrNNZOverflow", err)
+	}
+	maxNNZ = saved
+	if _, err := FromOperator(op); err != nil {
+		t.Fatalf("assembly within the ceiling failed: %v", err)
 	}
 }
 

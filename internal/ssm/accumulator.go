@@ -52,6 +52,35 @@ func (a *Accumulator) Add(z, w complex128, col int, y []complex128) {
 	}
 }
 
+// AddInterleaved accumulates nb solved columns at once from a row-major
+// interleaved block y (the blocked-solver layout: the nb values of grid
+// point i at y[i*nb:(i+1)*nb]), covering probe columns col0..col0+nb-1:
+// S_k[:,col0+c] += w * z^k * y[:,c]. One call takes the accumulator mutex
+// once per quadrature point instead of once per column, which removes the
+// lock contention of the per-column Add path under the parallel layers.
+func (a *Accumulator) AddInterleaved(z, w complex128, col0, nb int, y []complex128) {
+	if nb < 1 || len(y) != a.n*nb {
+		panic("ssm: AddInterleaved length mismatch")
+	}
+	if col0 < 0 || col0+nb > a.nrh {
+		panic("ssm: AddInterleaved columns out of range")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	zk := w
+	for k := 0; k < 2*a.nmm; k++ {
+		dst := a.moments[k].Data
+		for i := 0; i < a.n; i++ {
+			row := dst[i*a.nrh+col0 : i*a.nrh+col0+nb]
+			yi := y[i*nb : i*nb+nb]
+			for c := range row {
+				row[c] += zk * yi[c]
+			}
+		}
+		zk *= z
+	}
+}
+
 // AddBlock accumulates a whole solution block Y = P(z)^{-1} V.
 func (a *Accumulator) AddBlock(z, w complex128, y *zlinalg.Matrix) {
 	if y.Rows != a.n || y.Cols != a.nrh {
