@@ -1,0 +1,378 @@
+// Command cbscheck is the repository's vettool: it bundles the four
+// cbs-specific analyzers (hotpathalloc, shapepanic, cmplxhot, lockedmerge)
+// behind the cmd/go custom-vettool protocol, so CI can run
+//
+//	go vet -vettool=$(pwd)/bin/cbscheck ./...
+//
+// and developers can run it standalone over package patterns:
+//
+//	go run ./cmd/cbscheck ./...
+//
+// The protocol (implemented against cmd/go/internal/work's vet support):
+//
+//   - `cbscheck -V=full` prints a version line ending in a buildID= field
+//     derived from the binary's content hash, so the go build cache
+//     invalidates vet results when the tool changes.
+//   - `cbscheck -flags` prints the tool's flags as JSON so cmd/go can
+//     validate pass-through vet flags.
+//   - `cbscheck [flags] <objdir>/vet.cfg` analyzes one package unit
+//     described by the JSON config, reading dependency facts from the
+//     PackageVetx files and always writing its own facts to VetxOutput.
+//
+// Analysis is restricted to this module's packages; for dependency units
+// outside the module the tool writes an empty facts file and succeeds, so
+// vetting the standard library costs nothing.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cbs/internal/analysis/cmplxhot"
+	"cbs/internal/analysis/framework"
+	"cbs/internal/analysis/hotpathalloc"
+	"cbs/internal/analysis/load"
+	"cbs/internal/analysis/lockedmerge"
+	"cbs/internal/analysis/shapepanic"
+)
+
+// modulePrefix gates which import paths are analyzed (and typechecked) in
+// vettool mode; everything else only gets an empty facts file.
+const modulePrefix = "cbs"
+
+var analyzers = []*framework.Analyzer{
+	hotpathalloc.Analyzer,
+	shapepanic.Analyzer,
+	cmplxhot.Analyzer,
+	lockedmerge.Analyzer,
+}
+
+func main() {
+	// cmd/go probes the tool identity with -V=full before anything else.
+	if len(os.Args) == 2 && (os.Args[1] == "-V=full" || os.Args[1] == "--V=full") {
+		fmt.Printf("cbscheck version devel buildID=%s\n", selfID())
+		return
+	}
+
+	fs := flag.NewFlagSet("cbscheck", flag.ExitOnError)
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON to stdout instead of text to stderr")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" analyzer: "+a.Doc)
+	}
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go protocol)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cbscheck [flags] <vet.cfg | package patterns>\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	if *printFlags {
+		emitFlags(fs)
+		return
+	}
+
+	var active []*framework.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0], active, *jsonFlag))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args, active, *jsonFlag))
+}
+
+// selfID hashes the tool binary so the build cache re-vets when it changes.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// emitFlags prints the flag set in the JSON shape cmd/go's vet expects.
+func emitFlags(fs *flag.FlagSet) {
+	type jsonFlagDesc struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlagDesc
+	fs.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		out = append(out, jsonFlagDesc{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cbscheck: marshaling flags: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// vetConfig mirrors the JSON unit description cmd/go writes to vet.cfg.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one vet.cfg unit and returns the process exit code.
+func unitcheck(cfgPath string, active []*framework.Analyzer, asJSON bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cbscheck: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cbscheck: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Dependency units outside the module carry no cbs facts; skip the
+	// typecheck entirely and hand cmd/go an empty facts file to cache.
+	// Test variants carry an ImportPath like "p [p.test]"; strip the suffix.
+	base := strings.Fields(cfg.ImportPath)[0]
+	if base != modulePrefix && !strings.HasPrefix(base, modulePrefix+"/") {
+		return writeVetx(cfg.VetxOutput, nil)
+	}
+
+	// Analyze only the non-test sources: the invariants govern library
+	// code, and external test units ("pkg_test") have no non-test files.
+	var goFiles []string
+	for _, name := range cfg.GoFiles {
+		if !strings.HasSuffix(name, "_test.go") {
+			goFiles = append(goFiles, name)
+		}
+	}
+	if len(goFiles) == 0 {
+		return writeVetx(cfg.VetxOutput, nil)
+	}
+
+	pkg, err := load.TypeCheckFiles(strings.Fields(cfg.ImportPath)[0], cfg.Dir, goFiles, cfg.PackageFile, cfg.ImportMap)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg.VetxOutput, nil)
+		}
+		fmt.Fprintf(os.Stderr, "cbscheck: %v\n", err)
+		return 1
+	}
+
+	factCache := make(map[string]map[string]string)
+	readFact := func(pkgPath, key string) (string, bool) {
+		facts, ok := factCache[pkgPath]
+		if !ok {
+			file, have := cfg.PackageVetx[pkgPath]
+			if !have {
+				return "", false
+			}
+			blob, err := os.ReadFile(file)
+			if err != nil || json.Unmarshal(blob, &facts) != nil {
+				factCache[pkgPath] = nil
+				return "", false
+			}
+			factCache[pkgPath] = facts
+		}
+		if facts == nil {
+			return "", false
+		}
+		return facts[key], true
+	}
+
+	ownFacts := make(map[string]string)
+	diags := runAnalyzers(pkg, active, readFact, func(key, data string) { ownFacts[key] = data })
+
+	if code := writeVetx(cfg.VetxOutput, ownFacts); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
+		return 0
+	}
+	if asJSON {
+		printJSON(cfg.ImportPath, pkg, diags)
+		return 0
+	}
+	printText(pkg, diags)
+	return 2
+}
+
+// writeVetx persists the facts blob; cmd/go opens this file after every
+// successful run to cache it, so it must exist even when empty.
+func writeVetx(path string, facts map[string]string) int {
+	if path == "" {
+		return 0
+	}
+	if facts == nil {
+		facts = map[string]string{}
+	}
+	blob, err := json.Marshal(facts)
+	if err == nil {
+		err = os.WriteFile(path, blob, 0o666)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cbscheck: writing facts: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// standalone analyzes package patterns directly (no vet.cfg), propagating
+// facts in memory: `go list -deps` order guarantees dependencies first.
+func standalone(patterns []string, active []*framework.Analyzer, asJSON bool) int {
+	pkgs, err := load.Packages(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cbscheck: %v\n", err)
+		return 1
+	}
+	allFacts := make(map[string]map[string]string)
+	exit := 0
+	for _, pkg := range pkgs {
+		facts := make(map[string]string)
+		readFact := func(pkgPath, key string) (string, bool) {
+			m, ok := allFacts[pkgPath]
+			if !ok {
+				return "", false
+			}
+			return m[key], true
+		}
+		diags := runAnalyzers(pkg, active, readFact, func(key, data string) { facts[key] = data })
+		allFacts[pkg.ImportPath] = facts
+		if len(diags) == 0 {
+			continue
+		}
+		if asJSON {
+			printJSON(pkg.ImportPath, pkg, diags)
+		} else {
+			printText(pkg, diags)
+		}
+		exit = 2
+	}
+	if asJSON {
+		exit = 0
+	}
+	return exit
+}
+
+// runAnalyzers runs the active analyzers over one package and returns the
+// diagnostics in (file, offset) order.
+func runAnalyzers(pkg *load.Package, active []*framework.Analyzer,
+	readFact func(string, string) (string, bool), writeFact func(string, string)) []framework.Diagnostic {
+
+	// Drop test files from the analysis view (standalone loads may include
+	// in-package _test.go files).
+	var files = pkg.Files[:0:0]
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if !strings.HasSuffix(name, "_test.go") {
+			files = append(files, f)
+		}
+	}
+
+	var diags []framework.Diagnostic
+	for _, a := range active {
+		pass := &framework.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+			ReadFact:  readFact,
+			WriteFact: writeFact,
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "cbscheck: %s: %v\n", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	return diags
+}
+
+func printText(pkg *load.Package, diags []framework.Diagnostic) {
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", relPos(pos.String()), d.Message, d.Analyzer)
+	}
+}
+
+// printJSON emits the go vet -json shape: {"importpath": {"analyzer": [...]}}.
+func printJSON(importPath string, pkg *load.Package, diags []framework.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    pkg.Fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{importPath: byAnalyzer}
+	blob, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cbscheck: %v\n", err)
+		return
+	}
+	os.Stdout.Write(blob)
+	fmt.Println()
+}
+
+// relPos trims the working directory from a position for readable output.
+func relPos(s string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, s); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+	}
+	return s
+}

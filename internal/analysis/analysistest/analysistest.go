@@ -1,0 +1,127 @@
+// Package analysistest runs a cbscheck analyzer over a fixture package
+// under testdata and checks its diagnostics against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := foo() // want `regexp matching the diagnostic`
+//
+// A line may carry several backquoted or quoted expectations. Every
+// expectation must be matched by a diagnostic on that line and every
+// diagnostic must be matched by an expectation; anything else fails the
+// test.
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cbs/internal/analysis/framework"
+	"cbs/internal/analysis/load"
+)
+
+// expectation is one // want entry.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// Run loads the fixture package at dir (relative to the test's working
+// directory, e.g. "testdata/src/a") and checks the analyzer against its
+// // want comments.
+func Run(t *testing.T, a *framework.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := load.Packages(".", []string{"./" + strings.TrimPrefix(dir, "./")})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s: no packages loaded", dir)
+	}
+	// `go list -deps` emits dependencies first; the fixture package is last.
+	// Earlier module-local packages are fixture helpers (kept diagnostic-free).
+	pkg := pkgs[len(pkgs)-1]
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		wants = append(wants, collectWants(t, pkg, f)...)
+	}
+
+	var diags []framework.Diagnostic
+	pass := &framework.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+		ReadFact:  func(string, string) (string, bool) { return "", false },
+		WriteFact: func(string, string) {},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on (file, line) whose pattern
+// matches msg.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the // want comments of one file.
+func collectWants(t *testing.T, pkg *load.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, "// want ") && !strings.HasPrefix(text, "//want ") {
+				continue
+			}
+			text = strings.TrimPrefix(strings.TrimPrefix(text, "//want "), "// want ")
+			pos := pkg.Fset.Position(c.Pos())
+			for _, m := range wantRe.FindAllString(text, -1) {
+				var pat string
+				if strings.HasPrefix(m, "`") {
+					pat = strings.Trim(m, "`")
+				} else {
+					var err error
+					pat, err = strconv.Unquote(m)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, m, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+// Package cmplxhot polices complex-arithmetic discipline inside loops of
+// hot-path packages (any package containing a //cbs:hotpath annotation):
+//
+//   - cmplx.Abs and cmplx.Sqrt inside a loop: magnitude *comparisons*
+//     should use real*real+imag*imag (the codebase's cabs2 idiom) — the
+//     square root is a serial dependency that the fused kernels avoid.
+//   - loop-invariant complex division inside a loop: dividing every
+//     element by the same z re-runs the expensive complex-divide
+//     algorithm per element; hoist the reciprocal (zi := 1/z) and
+//     multiply, as the distributed apply kernel does.
+//
+// A division is considered loop-invariant only when every variable in the
+// divisor is assigned outside all enclosing loops of the function and is
+// not a loop variable; divisors containing calls or indexing are treated
+// as variant (conservative: no false positives on per-column scalars such
+// as rho[c]/dots[c] in the BiCG recurrences).
+package cmplxhot
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cbs/internal/analysis/framework"
+)
+
+// Analyzer is the cmplxhot analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "cmplxhot",
+	Doc:  "flag cmplx.Abs/cmplx.Sqrt and hoistable complex division inside loops of hot-path packages",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if len(framework.HotFuncs(pass.Files, pass.TypesInfo)) == 0 {
+		return nil // not a hot-path package
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if decl, ok := d.(*ast.FuncDecl); ok && decl.Body != nil {
+				checkFunc(pass, decl)
+			}
+		}
+	}
+	return nil
+}
+
+// loopScope tracks one enclosing loop and the objects it assigns.
+type loopScope struct {
+	assigned map[types.Object]bool
+}
+
+func checkFunc(pass *framework.Pass, decl *ast.FuncDecl) {
+	var loops []*loopScope
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure is its own kernel scope; recurse with a fresh stack.
+			saved := loops
+			loops = nil
+			ast.Inspect(n.Body, walk)
+			loops = saved
+			return false
+		case *ast.ForStmt:
+			loops = append(loops, &loopScope{assigned: assignedObjects(pass, n)})
+			if n.Init != nil {
+				ast.Inspect(n.Init, walk)
+			}
+			if n.Cond != nil {
+				ast.Inspect(n.Cond, walk)
+			}
+			if n.Post != nil {
+				ast.Inspect(n.Post, walk)
+			}
+			ast.Inspect(n.Body, walk)
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.RangeStmt:
+			loops = append(loops, &loopScope{assigned: assignedObjects(pass, n)})
+			ast.Inspect(n.X, walk)
+			ast.Inspect(n.Body, walk)
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.CallExpr:
+			if len(loops) > 0 {
+				checkCmplxCall(pass, n)
+			}
+		case *ast.BinaryExpr:
+			if len(loops) > 0 && n.Op == token.QUO {
+				checkDivision(pass, n, loops)
+			}
+		case *ast.AssignStmt:
+			if len(loops) > 0 && len(n.Lhs) == 1 && n.Tok == token.QUO_ASSIGN {
+				checkQuoAssign(pass, n, loops)
+			}
+		}
+		return true
+	}
+	ast.Inspect(decl.Body, walk)
+}
+
+// assignedObjects collects every object assigned anywhere in the loop
+// (including its init/post/range clause), so invariance checks can test
+// divisor variables against it.
+func assignedObjects(pass *framework.Pass, loop ast.Node) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		case *ast.RangeStmt:
+			record(n.Key)
+			record(n.Value)
+		}
+		return true
+	})
+	return out
+}
+
+func checkCmplxCall(pass *framework.Pass, call *ast.CallExpr) {
+	fn := framework.CalleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math/cmplx" {
+		return
+	}
+	switch fn.Name() {
+	case "Abs":
+		pass.Reportf(call.Pos(), "cmplx.Abs in a hot-path loop: compare squared magnitudes (real*real+imag*imag) instead")
+	case "Sqrt":
+		pass.Reportf(call.Pos(), "cmplx.Sqrt in a hot-path loop: hoist it or restructure to avoid the per-element root")
+	}
+}
+
+func checkDivision(pass *framework.Pass, div *ast.BinaryExpr, loops []*loopScope) {
+	t := pass.TypesInfo.TypeOf(div)
+	if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsComplex == 0 {
+		return
+	}
+	if divisorInvariant(pass, div.Y, loops) {
+		pass.Reportf(div.Pos(), "loop-invariant complex division: hoist the reciprocal out of the loop and multiply")
+	}
+}
+
+func checkQuoAssign(pass *framework.Pass, as *ast.AssignStmt, loops []*loopScope) {
+	t := pass.TypesInfo.TypeOf(as.Lhs[0])
+	if t == nil {
+		return
+	}
+	if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsComplex == 0 {
+		return
+	}
+	if divisorInvariant(pass, as.Rhs[0], loops) {
+		pass.Reportf(as.Pos(), "loop-invariant complex division: hoist the reciprocal out of the loop and multiply")
+	}
+}
+
+// divisorInvariant reports whether the divisor expression is hoistable out
+// of every enclosing loop: only identifiers (constants, loop-outer
+// variables) and selector chains over them, no calls, no indexing, and no
+// variable assigned by any enclosing loop.
+func divisorInvariant(pass *framework.Pass, e ast.Expr, loops []*loopScope) bool {
+	invariant := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr, *ast.IndexExpr, *ast.SliceExpr, *ast.FuncLit:
+			invariant = false
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			if obj == nil {
+				return true
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				return true
+			}
+			for _, l := range loops {
+				if l.assigned[obj] {
+					invariant = false
+				}
+			}
+		}
+		return invariant
+	})
+	return invariant
+}

@@ -1,0 +1,12 @@
+package cmplxhot_test
+
+import (
+	"testing"
+
+	"cbs/internal/analysis/analysistest"
+	"cbs/internal/analysis/cmplxhot"
+)
+
+func TestCmplxHot(t *testing.T) {
+	analysistest.Run(t, cmplxhot.Analyzer, "testdata/src/loops")
+}

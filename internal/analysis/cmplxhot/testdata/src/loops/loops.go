@@ -1,0 +1,70 @@
+// Package loops is the cmplxhot fixture. The marker annotation below puts
+// the whole package in scope (the analyzer polices any package containing a
+// //cbs:hotpath function).
+package loops
+
+import "math/cmplx"
+
+//cbs:hotpath
+func marker(x []complex128) {
+	for i := range x {
+		x[i] += 1
+	}
+}
+
+func sumAbs(x []complex128) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += cmplx.Abs(v) // want `cmplx\.Abs in a hot-path loop`
+	}
+	return s
+}
+
+func roots(x []complex128) {
+	for i := range x {
+		x[i] = cmplx.Sqrt(x[i]) // want `cmplx\.Sqrt in a hot-path loop`
+	}
+}
+
+func scale(x []complex128, z complex128) {
+	for i := range x {
+		x[i] = x[i] / z // want `loop-invariant complex division`
+	}
+}
+
+func scaleAssign(x []complex128, z complex128) {
+	for i := range x {
+		x[i] /= z // want `loop-invariant complex division`
+	}
+}
+
+// scaleHoisted is the sanctioned pattern: reciprocal outside, multiply
+// inside.
+func scaleHoisted(x []complex128, z complex128) {
+	zi := 1 / z
+	for i := range x {
+		x[i] *= zi
+	}
+}
+
+// perElement divides by an indexed value: variant, silent.
+func perElement(x, y []complex128) {
+	for i := range x {
+		x[i] = x[i] / y[i]
+	}
+}
+
+// recurrence divides by a value the loop itself updates: variant, silent.
+// This is the BiCG alpha/beta shape the analyzer must not flag.
+func recurrence(x []complex128) complex128 {
+	acc := complex(1, 0)
+	for _, v := range x {
+		acc = acc / (acc + v)
+	}
+	return acc
+}
+
+// absOutsideLoop is silent: the cost rule only applies inside loops.
+func absOutsideLoop(z complex128) float64 {
+	return cmplx.Abs(z)
+}

@@ -1,0 +1,161 @@
+// Package framework is a minimal, dependency-free substitute for
+// golang.org/x/tools/go/analysis: just enough driver-independent structure
+// to write the cbscheck analyzers against (an Analyzer with a Run function,
+// a Pass carrying the type-checked package, diagnostics, and a tiny
+// package-fact store for cross-package annotation propagation).
+//
+// It exists because this repository builds with the standard library only;
+// the API deliberately mirrors go/analysis so the analyzers could be ported
+// to the real framework by changing imports.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	Name string // command-line and diagnostic identifier
+	Doc  string // one-paragraph description of the invariant enforced
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test source files of the package
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one diagnostic.
+	Report func(Diagnostic)
+
+	// ReadFact returns the fact blob a dependency package exported under
+	// key, or nil when the package exported none ("" pkgPath is invalid).
+	// The second result reports whether any facts are available for the
+	// package at all: drivers that cannot see dependency facts (a bare
+	// vettool run without .vetx inputs) return false, and analyzers should
+	// then degrade to local-only enforcement rather than report spurious
+	// violations.
+	ReadFact func(pkgPath, key string) (data string, known bool)
+
+	// WriteFact exports a fact blob under key for dependent packages.
+	WriteFact func(key, data string)
+}
+
+// Reportf formats and records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// HotPathDirective is the annotation contract enforced by hotpathalloc: a
+// function whose doc comment contains this directive on its own line is a
+// hot-path kernel (no allocation, no locks, restricted callees).
+const HotPathDirective = "//cbs:hotpath"
+
+// HasHotPathDirective reports whether the function declaration carries the
+// //cbs:hotpath annotation in its doc comment group.
+func HasHotPathDirective(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.TrimSpace(c.Text) == HotPathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncKey returns the stable cross-package identifier of a function object,
+// e.g. "(*cbs/internal/hamiltonian.Operator).ApplyH0Block" or
+// "cbs/internal/fd.MustStencil". It is used both when exporting hot-path
+// facts and when resolving callees against imported facts.
+func FuncKey(fn *types.Func) string {
+	return fn.FullName()
+}
+
+// HotFuncs collects the hot-path-annotated functions of the files, keyed by
+// FuncKey. The returned set is what hotpathalloc exports as this package's
+// fact blob (one key per line).
+func HotFuncs(files []*ast.File, info *types.Info) map[string]*ast.FuncDecl {
+	out := make(map[string]*ast.FuncDecl)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || !HasHotPathDirective(decl) {
+				continue
+			}
+			obj, ok := info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			out[FuncKey(obj)] = decl
+		}
+	}
+	return out
+}
+
+// EncodeSet serializes a fact set (one key per line, sorted by map order is
+// not required: consumers only test membership).
+func EncodeSet(set map[string]*ast.FuncDecl) string {
+	var b strings.Builder
+	for k := range set {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DecodeSet parses an EncodeSet blob back into a membership set.
+func DecodeSet(data string) map[string]bool {
+	out := make(map[string]bool)
+	for _, line := range strings.Split(data, "\n") {
+		if line != "" {
+			out[line] = true
+		}
+	}
+	return out
+}
+
+// CalleeOf resolves the static callee of a call expression, or nil when the
+// call is through a function value, an interface method, a builtin, or a
+// type conversion.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// BuiltinName returns the name of the builtin being called ("make",
+// "append", "len", ...), or "" when the call is not a builtin.
+func BuiltinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

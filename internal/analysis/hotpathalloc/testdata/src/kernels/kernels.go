@@ -1,0 +1,83 @@
+// Package kernels is the hotpathalloc fixture: annotated functions with
+// each class of forbidden construct, plus clean kernels that must stay
+// silent.
+package kernels
+
+import (
+	"math"
+	"sync"
+)
+
+var sink []float64
+
+// axpy is a clean hot-path kernel: indexing, builtins and pure-package
+// calls only.
+//
+//cbs:hotpath
+func axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("kernels: length mismatch") // panic subtree is exempt
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+	_ = math.Sqrt(a)
+}
+
+// caller is clean: it calls another annotated kernel.
+//
+//cbs:hotpath
+func caller(x, y []float64) {
+	axpy(2, x, y)
+	_ = len(x)
+	_ = min(1, 2)
+}
+
+//cbs:hotpath
+func allocates(n int) []float64 {
+	buf := make([]float64, n) // want `make in hot path \(allocates\)`
+	return buf
+}
+
+//cbs:hotpath
+func grows(dst []float64) []float64 {
+	dst = append(dst, 1) // want `append in hot path \(allocates\)`
+	return dst
+}
+
+func cold() {}
+
+//cbs:hotpath
+func callsCold() {
+	cold() // want `hot path calls cold, which is not //cbs:hotpath`
+}
+
+//cbs:hotpath
+func deferred(mu *sync.Mutex) {
+	defer mu.Unlock() // want `defer in hot path`
+}
+
+//cbs:hotpath
+func mapAccess(m map[int]float64, k int) float64 {
+	return m[k] // want `map access in hot path`
+}
+
+//cbs:hotpath
+func closes() func() {
+	return func() {} // want `function literal in hot path \(closure capture allocates\)`
+}
+
+//cbs:hotpath
+func literal(n int) {
+	sink = []float64{float64(n)} // want `slice/map composite literal in hot path \(allocates\)`
+}
+
+//cbs:hotpath
+func dynamic(f func()) {
+	f() // want `call through function value or interface in hot path`
+}
+
+// unannotated is free to allocate; the analyzer must not touch it.
+func unannotated(n int) []float64 {
+	return make([]float64, n)
+}

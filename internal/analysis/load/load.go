@@ -1,0 +1,166 @@
+// Package load type-checks Go packages for the cbscheck analyzers without
+// golang.org/x/tools: it shells out to `go list -export -deps -json` to
+// enumerate packages and their compiled export data, then parses the target
+// packages' sources and type-checks them with the standard library's gc
+// importer reading that export data. This mirrors what the go/packages
+// LoadTypes mode does, at a fraction of the surface.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File // all compiled files, including in-package tests
+	Types      *types.Package
+	Info       *types.Info
+	Imports    []string // resolved import paths of direct imports
+}
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Packages loads and type-checks the packages matching patterns (in the
+// current module), in dependency order. Dependencies outside the module are
+// consumed as export data only.
+func Packages(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v", err)
+	}
+
+	exports := make(map[string]string)   // import path -> export data file
+	importMap := make(map[string]string) // source import path -> resolved path
+	var targets []*listedPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			importMap[from] = to
+		}
+		if !p.Standard && p.Dir != "" && !strings.Contains(p.ImportPath, "vendor/") {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typeCheck(lp, exports, importMap)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// TypeCheckFiles type-checks one package from explicit file names using the
+// given export-data map for imports; it is the building block shared with
+// the vettool mode, whose vet.cfg supplies the same inputs.
+func TypeCheckFiles(importPath, dir string, goFiles []string, exports, importMap map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	compImp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		return compImp.(types.ImporterFrom).ImportFrom(path, dir, 0)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{Importer: imp, Error: func(error) {}}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+func typeCheck(lp *listedPackage, exports, importMap map[string]string) (*Package, error) {
+	goFiles := append(append([]string(nil), lp.GoFiles...), lp.CgoFiles...)
+	sort.Strings(goFiles)
+	pkg, err := TypeCheckFiles(lp.ImportPath, lp.Dir, goFiles, exports, importMap)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Imports = lp.Imports
+	return pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

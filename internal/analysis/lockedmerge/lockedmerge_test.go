@@ -1,0 +1,12 @@
+package lockedmerge_test
+
+import (
+	"testing"
+
+	"cbs/internal/analysis/analysistest"
+	"cbs/internal/analysis/lockedmerge"
+)
+
+func TestLockedMerge(t *testing.T) {
+	analysistest.Run(t, lockedmerge.Analyzer, "testdata/src/core")
+}

@@ -1,0 +1,323 @@
+// Package shapepanic enforces the numerical-kernel guard convention of the
+// low-level packages (zlinalg, sparse, hamiltonian, linsolve, qep):
+//
+//  1. Every exported function that indexes or reslices a caller-provided
+//     slice parameter must begin with a length/shape guard — a prologue
+//     `if` that panics (or returns an error) before the first real work —
+//     so that a mis-shaped call fails loudly at the API boundary instead
+//     of corrupting memory or panicking deep inside a fused kernel.
+//  2. Every panic message in an internal package must carry the package
+//     prefix ("pkg: ..."), so a panic in a 20-package solve stack
+//     identifies its origin (the convention the codebase already follows,
+//     here made machine-checked).
+//
+// The guard may be delegated: a prologue call to a same-package helper
+// whose body contains a prefixed panic (e.g. Operator.checkBlockLen)
+// counts. The prologue is the longest leading run of declarations, simple
+// assignments, if-statements and expression statements.
+package shapepanic
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cbs/internal/analysis/framework"
+)
+
+// Analyzer is the shapepanic analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "shapepanic",
+	Doc:  "exported kernel entry points must shape-guard slice parameters; panics must carry the pkg: prefix",
+	Run:  run,
+}
+
+// GuardPackages names (by package name) the packages whose exported
+// functions must carry shape guards. Keyed by name rather than import path
+// so that test fixtures under testdata exercise the same rule.
+var GuardPackages = map[string]bool{
+	"zlinalg":     true,
+	"sparse":      true,
+	"hamiltonian": true,
+	"linsolve":    true,
+	"qep":         true,
+}
+
+func run(pass *framework.Pass) error {
+	internal := strings.Contains(pass.Pkg.Path(), "/internal/") ||
+		strings.HasPrefix(pass.Pkg.Path(), "internal/")
+	if internal {
+		checkPanicPrefixes(pass)
+	}
+	if internal && GuardPackages[pass.Pkg.Name()] {
+		checkGuards(pass)
+	}
+	return nil
+}
+
+// --- rule 2: pkg-prefixed panic messages --------------------------------
+
+func checkPanicPrefixes(pass *framework.Pass) {
+	prefix := pass.Pkg.Name() + ":"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || framework.BuiltinName(pass.TypesInfo, call) != "panic" || len(call.Args) != 1 {
+				return true
+			}
+			if !panicMsgHasPrefix(pass, call.Args[0], prefix) {
+				pass.Reportf(call.Pos(), "panic message must be a string with the %q prefix (got %s)", prefix+" ", exprSummary(call.Args[0]))
+			}
+			return true
+		})
+	}
+}
+
+// panicMsgHasPrefix reports whether the panic argument is a string whose
+// static prefix is the package name. Accepted shapes: a string literal, a
+// left-anchored string concatenation, fmt.Sprintf/fmt.Errorf with a literal
+// format, or a named string constant.
+func panicMsgHasPrefix(pass *framework.Pass, arg ast.Expr, prefix string) bool {
+	arg = ast.Unparen(arg)
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return strings.HasPrefix(constant.StringVal(tv.Value), prefix)
+	}
+	switch e := arg.(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			return panicMsgHasPrefix(pass, e.X, prefix)
+		}
+	case *ast.CallExpr:
+		fn := framework.CalleeOf(pass.TypesInfo, e)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(fn.Name() == "Sprintf" || fn.Name() == "Errorf") && len(e.Args) > 0 {
+			return panicMsgHasPrefix(pass, e.Args[0], prefix)
+		}
+	}
+	return false
+}
+
+func exprSummary(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return "call expression"
+	}
+	return "non-literal expression"
+}
+
+// --- rule 1: shape guards on exported kernel entry points ----------------
+
+func checkGuards(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || !decl.Name.IsExported() {
+				continue
+			}
+			params := sliceParams(pass, decl)
+			if len(params) == 0 || !indexesAny(pass, decl.Body, params) {
+				continue
+			}
+			if !hasPrologueGuard(pass, decl.Body) {
+				pass.Reportf(decl.Pos(), "exported %s indexes caller-provided slices but has no leading shape guard with a %q panic", decl.Name.Name, pass.Pkg.Name()+": ")
+			}
+		}
+	}
+}
+
+// sliceParams collects the *types.Var of the function's slice-typed
+// parameters.
+func sliceParams(pass *framework.Pass, decl *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if decl.Type.Params == nil {
+		return out
+	}
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// indexesAny reports whether the body indexes or reslices any of the given
+// parameter objects in a way that is not provably in-bounds. Indexing a
+// parameter with the key of a range over that same parameter (or with the
+// variable of a `for i := ...; i < len(param); ...` loop over it) cannot
+// be mis-shaped and therefore needs no guard; anything else — indexing one
+// parameter with a bound derived from another, fixed indices, computed
+// offsets, bounded reslices — does.
+func indexesAny(pass *framework.Pass, body *ast.BlockStmt, params map[types.Object]bool) bool {
+	safe := safeIndexVars(pass, body, params)
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		var base, index ast.Expr
+		switch e := n.(type) {
+		case *ast.IndexExpr:
+			base, index = e.X, e.Index
+		case *ast.SliceExpr:
+			if e.Low == nil && e.High == nil && e.Max == nil {
+				return true // x[:] is shape-preserving
+			}
+			base = e.X
+		default:
+			return true
+		}
+		id, ok := ast.Unparen(base).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		param := pass.TypesInfo.Uses[id]
+		if !params[param] {
+			return true
+		}
+		if index != nil {
+			if iid, ok := ast.Unparen(index).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[iid]; obj != nil && safe[obj] == param {
+					return true // param[i] with i ranging over param
+				}
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// safeIndexVars maps loop-index objects to the parameter slice they are
+// provably in range for: the key of `for i := range param` or the variable
+// of `for i := 0; i < len(param); i++`.
+func safeIndexVars(pass *framework.Pass, body *ast.BlockStmt, params map[types.Object]bool) map[types.Object]types.Object {
+	safe := make(map[types.Object]types.Object)
+	paramOf := func(e ast.Expr) types.Object {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; params[obj] {
+				return obj
+			}
+		}
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if param := paramOf(s.X); param != nil {
+				if key, ok := s.Key.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[key]; obj != nil {
+						safe[obj] = param
+					}
+				}
+			}
+		case *ast.ForStmt:
+			// for i := ...; i < len(param); ... { ... }
+			cond, ok := s.Cond.(*ast.BinaryExpr)
+			if !ok || cond.Op != token.LSS {
+				return true
+			}
+			call, ok := ast.Unparen(cond.Y).(*ast.CallExpr)
+			if !ok || framework.BuiltinName(pass.TypesInfo, call) != "len" || len(call.Args) != 1 {
+				return true
+			}
+			param := paramOf(call.Args[0])
+			if param == nil {
+				return true
+			}
+			if iid, ok := ast.Unparen(cond.X).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[iid]; obj != nil {
+					safe[obj] = param
+				}
+			}
+		}
+		return true
+	})
+	return safe
+}
+
+// hasPrologueGuard reports whether the leading statements contain a shape
+// guard: an if that panics with the package prefix or returns an error, or
+// a call to a same-package helper that does.
+func hasPrologueGuard(pass *framework.Pass, body *ast.BlockStmt) bool {
+	prefix := pass.Pkg.Name() + ":"
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			if guardIf(pass, s, prefix) {
+				return true
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && delegatesGuard(pass, call, prefix) {
+				return true
+			}
+		case *ast.DeclStmt, *ast.AssignStmt:
+			// setup statements (n := len(b), etc.) may precede the guard
+		default:
+			return false // real work started without a guard
+		}
+	}
+	return false
+}
+
+// guardIf reports whether the if statement (or an else-if chained to it)
+// fails fast: panics with the package prefix or returns a value.
+func guardIf(pass *framework.Pass, s *ast.IfStmt, prefix string) bool {
+	failsFast := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			failsFast = true
+		case *ast.CallExpr:
+			if framework.BuiltinName(pass.TypesInfo, n) == "panic" && len(n.Args) == 1 &&
+				panicMsgHasPrefix(pass, n.Args[0], prefix) {
+				failsFast = true
+			}
+		}
+		return !failsFast
+	})
+	return failsFast
+}
+
+// delegatesGuard reports whether the call targets a same-package function
+// whose body contains a prefixed panic (a shared guard helper).
+func delegatesGuard(pass *framework.Pass, call *ast.CallExpr, prefix string) bool {
+	fn := framework.CalleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Path() {
+		return false
+	}
+	decl := findDecl(pass, fn)
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	has := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok &&
+			framework.BuiltinName(pass.TypesInfo, c) == "panic" && len(c.Args) == 1 &&
+			panicMsgHasPrefix(pass, c.Args[0], prefix) {
+			has = true
+		}
+		return !has
+	})
+	return has
+}
+
+// findDecl locates the FuncDecl of a same-package function object.
+func findDecl(pass *framework.Pass, fn *types.Func) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if decl, ok := d.(*ast.FuncDecl); ok && pass.TypesInfo.Defs[decl.Name] == fn {
+				return decl
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package shapepanic_test
+
+import (
+	"testing"
+
+	"cbs/internal/analysis/analysistest"
+	"cbs/internal/analysis/shapepanic"
+)
+
+func TestShapePanic(t *testing.T) {
+	analysistest.Run(t, shapepanic.Analyzer, "testdata/src/sparse")
+}

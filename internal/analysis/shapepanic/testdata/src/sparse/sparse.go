@@ -1,0 +1,101 @@
+// Package sparse is the shapepanic fixture: its name is in GuardPackages
+// and its import path sits under internal/, so both rules apply — exported
+// slice-indexing functions need a prologue guard, and every panic message
+// needs the "sparse: " prefix.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scale only indexes x with the key of a range over x itself: provably
+// in-bounds, so no guard is required.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Copy indexes dst with a bound derived from src: mis-shaped calls panic
+// mid-loop, so a guard is required.
+func Copy(dst, src []float64) { // want `exported Copy indexes caller-provided slices but has no leading shape guard`
+	for i := range src {
+		dst[i] = src[i]
+	}
+}
+
+// Head reslices with a computed bound and has no guard.
+func Head(x []float64, n int) []float64 { // want `exported Head indexes caller-provided slices but has no leading shape guard`
+	return x[:n]
+}
+
+// Axpy is clean: inline guard with a prefixed panic.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("sparse: Axpy length mismatch")
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Dot is clean: the guard is delegated to a same-package helper whose body
+// carries a prefixed panic.
+func Dot(x, y []float64) float64 {
+	checkLen(x, y)
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+func checkLen(x, y []float64) {
+	if len(x) != len(y) {
+		panic("sparse: vector length mismatch")
+	}
+}
+
+// Sum is clean: an error return is an accepted fail-fast guard.
+func Sum(x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, errors.New("sparse: Sum of empty vector")
+	}
+	return x[0], nil
+}
+
+// First is clean: setup assignments may precede the guard.
+func First(x []float64) float64 {
+	n := len(x)
+	if n == 0 {
+		panic("sparse: First of empty vector")
+	}
+	return x[0]
+}
+
+// reset is unexported, so the guard rule does not apply — but its panic
+// message still needs the package prefix.
+func reset(x []float64) {
+	if len(x) == 0 {
+		panic("no elements") // want `panic message must be a string with the "sparse: " prefix`
+	}
+	x[0] = 0
+}
+
+// fail panics with a non-string value.
+func fail(err error) {
+	panic(err) // want `panic message must be a string with the "sparse: " prefix`
+}
+
+// failf is clean: fmt-style panic with a prefixed literal format.
+func failf(n, m int) {
+	if n != m {
+		panic(fmt.Sprintf("sparse: dims %d != %d", n, m))
+	}
+}
+
+// prefixed is clean: left-anchored concatenation keeps the static prefix.
+func prefixed(detail string) {
+	panic("sparse: " + detail)
+}

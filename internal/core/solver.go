@@ -375,8 +375,14 @@ func solveAll(q *qep.Problem, ring *contour.Ring, v *zlinalg.Matrix, acc *ssm.Ac
 // into the shared result once per point, not once per column.
 func solvePointsDist(q *qep.Problem, ring *contour.Ring, points <-chan int, bcols [][]complex128, acc *ssm.Accumulator, distSolver *dist.Solver, groups []*linsolve.GroupStop, c0 int, opts Options, res *Result, mu *sync.Mutex) error {
 	n := q.Dim()
+	nb := len(bcols)
 	x := make([]complex128, n)
 	xd := make([]complex128, n)
+	// Worker-local interleaved solution blocks: columns are gathered here
+	// as they are solved and merged into the shared accumulator once per
+	// quadrature point (one lock acquisition), never once per column.
+	xBlk := make([]complex128, n*nb)
+	xdBlk := make([]complex128, n*nb)
 	for j := range points {
 		zOut := ring.Outer[j].Z
 		wOut := ring.Outer[j].W
@@ -398,8 +404,10 @@ func solvePointsDist(q *qep.Problem, ring *contour.Ring, points <-chan int, bcol
 				return err
 			}
 			commBytes += stats.Bytes
-			acc.Add(zOut, wOut, c0+c, x)
-			acc.Add(zIn, wIn, c0+c, xd)
+			for i := 0; i < n; i++ {
+				xBlk[i*nb+c] = x[i]
+				xdBlk[i*nb+c] = xd[i]
+			}
 			local.Iterations += r.Iterations
 			if r.Converged {
 				local.Converged++
@@ -412,6 +420,9 @@ func solvePointsDist(q *qep.Problem, ring *contour.Ring, points <-chan int, bcol
 			}
 			matVecs += r.MatVecApplied
 		}
+		// Primal block -> outer node, dual block -> the paired inner node.
+		acc.AddInterleaved(zOut, wOut, c0, nb, xBlk)
+		acc.AddInterleaved(zIn, wIn, c0, nb, xdBlk)
 		mu.Lock()
 		ps := &res.Points[j]
 		ps.Iterations += local.Iterations

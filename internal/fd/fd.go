@@ -8,7 +8,10 @@
 // the tests.
 package fd
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // MaxHalfWidth is the largest supported stencil half-width.
 const MaxHalfWidth = 8
@@ -41,7 +44,7 @@ func NewStencil(nf int) (*Stencil, error) {
 func MustStencil(nf int) *Stencil {
 	s, err := NewStencil(nf)
 	if err != nil {
-		panic(err)
+		panic("fd: MustStencil: " + strings.TrimPrefix(err.Error(), "fd: "))
 	}
 	return s
 }

@@ -33,6 +33,8 @@ func New(nx, ny, nz int, lx, ly, lz float64) (*Grid, error) {
 
 // N returns the total number of grid points (the dimension of the KS
 // Hamiltonian block).
+//
+//cbs:hotpath
 func (g *Grid) N() int { return g.Nx * g.Ny * g.Nz }
 
 // Lx, Ly, Lz return the cell edge lengths in bohr.
@@ -48,6 +50,8 @@ func (g *Grid) DV() float64 { return g.Hx * g.Hy * g.Hz }
 
 // Index flattens (ix,iy,iz) with x fastest and z slowest, so that a z-slab
 // is a contiguous range of the flattened vector (cheap halo exchange).
+//
+//cbs:hotpath
 func (g *Grid) Index(ix, iy, iz int) int {
 	return (iz*g.Ny+iy)*g.Nx + ix
 }

@@ -1,0 +1,29 @@
+package hamiltonian
+
+import "testing"
+
+// TestBlockedApplyZeroAlloc pins the zero-allocation contract of the blocked
+// kernels, including block widths beyond blockStackCols where the nonlocal
+// reduction must chunk columns instead of falling back to the heap.
+func TestBlockedApplyZeroAlloc(t *testing.T) {
+	op := alCell(t, 6)
+	n := op.N()
+	for _, nb := range []int{4, blockStackCols + 16} {
+		v := randBlock(n, nb, 7)
+		out := make([]complex128, n*nb)
+		kernels := []struct {
+			name string
+			fn   func()
+		}{
+			{"ApplyH0Block", func() { op.ApplyH0Block(v, out, nb) }},
+			{"ApplyShiftedH0Block", func() { op.ApplyShiftedH0Block(0.5, v, out, nb) }},
+			{"AccumHpBlock", func() { op.AccumHpBlock(complex(0.3, -0.2), v, out, nb) }},
+			{"AccumHmBlock", func() { op.AccumHmBlock(complex(-0.1, 0.4), v, out, nb) }},
+		}
+		for _, k := range kernels {
+			if allocs := testing.AllocsPerRun(5, k.fn); allocs != 0 {
+				t.Errorf("nb=%d: %s allocates %.0f times per call, want 0", nb, k.name, allocs)
+			}
+		}
+	}
+}

@@ -11,12 +11,16 @@ import (
 // exact zeros), but half the flops — the stencil coefficients, the local
 // potential and the projector samples are all real, so the apply kernels
 // use this instead of widening them to complex128.
+//
+//cbs:hotpath
 func mulRe(c float64, z complex128) complex128 {
 	return complex(c*real(z), c*imag(z))
 }
 
 // ApplyH0 computes out = H0*v (overwrites out): in-cell Laplacian, local
 // potential and the offset-diagonal part of the nonlocal term.
+//
+//cbs:hotpath
 func (op *Operator) ApplyH0(v, out []complex128) {
 	op.checkLen(v, out)
 	g := op.G
@@ -94,6 +98,8 @@ func (op *Operator) ApplyH0(v, out []complex128) {
 // ApplyHp computes out = H+*v = H_{n,n+1}*v (overwrites out): the Laplacian
 // tails crossing the upper cell boundary plus the projector overlap
 // sum_{j=-1,0} p^j h <p^{j+1}, v>.
+//
+//cbs:hotpath
 func (op *Operator) ApplyHp(v, out []complex128) {
 	op.checkLen(v, out)
 	g := op.G
@@ -128,6 +134,8 @@ func (op *Operator) ApplyHp(v, out []complex128) {
 }
 
 // ApplyHm computes out = H-*v = H_{n,n-1}*v = (H+)^dagger * v.
+//
+//cbs:hotpath
 func (op *Operator) ApplyHm(v, out []complex128) {
 	op.checkLen(v, out)
 	g := op.G
@@ -284,6 +292,7 @@ func (op *Operator) NeighborY(d int) (plus, minus []int32) {
 	return op.yp[d-1], op.ym[d-1]
 }
 
+//cbs:hotpath
 func dotSupport(s *Support, v []complex128) complex128 {
 	var sum complex128
 	for i, idx := range s.Idx {
@@ -292,6 +301,7 @@ func dotSupport(s *Support, v []complex128) complex128 {
 	return sum
 }
 
+//cbs:hotpath
 func accumProjector(out []complex128, s *Support, coef complex128) {
 	if coef == 0 {
 		return
@@ -301,6 +311,9 @@ func accumProjector(out []complex128, s *Support, coef complex128) {
 	}
 }
 
+// checkLen is the shared shape guard of the single-vector entry points.
+//
+//cbs:hotpath
 func (op *Operator) checkLen(v, out []complex128) {
 	if len(v) != op.N() || len(out) != op.N() {
 		panic("hamiltonian: vector length mismatch")

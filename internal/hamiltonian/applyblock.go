@@ -9,14 +9,16 @@ package hamiltonian
 // per-column memory traffic drops by ~nb and the innermost loops run over
 // contiguous memory (SpMM-like instead of nb repeated SpMV-like sweeps).
 
-// blockStackCols bounds the per-projector reduction buffer that lives on the
-// stack; wider blocks fall back to a heap buffer (outside the hot path of
-// the contour solves, whose nb = Nrh/Top fits comfortably).
+// blockStackCols is the width of the stack-resident per-projector reduction
+// buffer; wider blocks are processed in column chunks of this size, so the
+// nonlocal accumulation never allocates regardless of nb.
 const blockStackCols = 64
 
 // ApplyH0Block computes out = H0*V for an n x nb block V stored row-major
 // by grid point (see package comment above). It is the blocked counterpart
 // of ApplyH0; nb = 1 is exactly the single-vector path.
+//
+//cbs:hotpath
 func (op *Operator) ApplyH0Block(v, out []complex128, nb int) {
 	if nb == 1 {
 		op.ApplyH0(v, out)
@@ -32,6 +34,8 @@ func (op *Operator) ApplyH0Block(v, out []complex128, nb int) {
 // negate into the stencil pass removes the extra full-block read-modify-
 // write sweep (and its re-read of V) that a separate "out = E*v - out" pass
 // would cost.
+//
+//cbs:hotpath
 func (op *Operator) ApplyShiftedH0Block(shift float64, v, out []complex128, nb int) {
 	op.checkBlockLen(v, out, nb)
 	op.applyH0BlockImpl(shift, -1, v, out, nb)
@@ -55,6 +59,8 @@ func (op *Operator) ApplyShiftedH0Block(shift float64, v, out []complex128, nb i
 // changes. That matters: the naive one-pass-per-offset structure streams
 // the whole block from memory ~4*nf times, which forfeits the blocked
 // layout's bandwidth advantage as soon as plane*nb outgrows the cache.
+//
+//cbs:hotpath
 func (op *Operator) applyH0BlockImpl(shift, sign float64, v, out []complex128, nb int) {
 	g := op.G
 	nf := op.St.Nf
@@ -140,6 +146,8 @@ func (op *Operator) applyH0BlockImpl(shift, sign float64, v, out []complex128, n
 }
 
 // ApplyHpBlock computes out = H+*V for a row-major block (overwrites out).
+//
+//cbs:hotpath
 func (op *Operator) ApplyHpBlock(v, out []complex128, nb int) {
 	op.checkBlockLen(v, out, nb)
 	for i := range out {
@@ -149,6 +157,8 @@ func (op *Operator) ApplyHpBlock(v, out []complex128, nb int) {
 }
 
 // ApplyHmBlock computes out = H-*V for a row-major block (overwrites out).
+//
+//cbs:hotpath
 func (op *Operator) ApplyHmBlock(v, out []complex128, nb int) {
 	op.checkBlockLen(v, out, nb)
 	for i := range out {
@@ -161,6 +171,8 @@ func (op *Operator) ApplyHmBlock(v, out []complex128, nb int) {
 // the top nf z-planes and the boundary-crossing projectors, accumulating
 // with the coefficient folded in avoids a full-length scratch block and the
 // Axpy pass of the single-vector path.
+//
+//cbs:hotpath
 func (op *Operator) AccumHpBlock(coef complex128, v, out []complex128, nb int) {
 	op.checkBlockLen(v, out, nb)
 	g := op.G
@@ -180,6 +192,8 @@ func (op *Operator) AccumHpBlock(coef complex128, v, out []complex128, nb int) {
 }
 
 // AccumHmBlock accumulates out += coef * H- * V.
+//
+//cbs:hotpath
 func (op *Operator) AccumHmBlock(coef complex128, v, out []complex128, nb int) {
 	op.checkBlockLen(v, out, nb)
 	g := op.G
@@ -199,46 +213,59 @@ func (op *Operator) AccumHmBlock(coef complex128, v, out []complex128, nb int) {
 }
 
 // accumNonlocalBlock accumulates the separable projector term of the block
-// with cell offset l: out += coef * sum_j p^j h <p^{j+l}, V>.
+// with cell offset l: out += coef * sum_j p^j h <p^{j+l}, V>. Columns are
+// processed in stack-resident chunks of at most blockStackCols, so the
+// reduction buffer never touches the heap whatever nb is; columns are
+// independent in this kernel, so chunking preserves the per-column
+// accumulation order exactly.
+//
+//cbs:hotpath
 func (op *Operator) accumNonlocalBlock(coef complex128, v, out []complex128, nb, l int) {
 	var stack [blockStackCols]complex128
-	var sums []complex128
-	if nb <= blockStackCols {
-		sums = stack[:nb]
-	} else {
-		sums = make([]complex128, nb)
-	}
-	for pi := range op.Projs {
-		p := &op.Projs[pi]
-		for j := -1; j <= 1; j++ {
-			jc := j + l
-			if jc < -1 || jc > 1 {
-				continue
+	for c0 := 0; c0 < nb; c0 += blockStackCols {
+		cw := nb - c0
+		if cw > blockStackCols {
+			cw = blockStackCols
+		}
+		sums := stack[:cw]
+		vc := v[c0:]
+		oc := out[c0:]
+		for pi := range op.Projs {
+			p := &op.Projs[pi]
+			for j := -1; j <= 1; j++ {
+				jc := j + l
+				if jc < -1 || jc > 1 {
+					continue
+				}
+				row := &p.Supp[j+1]
+				col := &p.Supp[jc+1]
+				if len(row.Idx) == 0 || len(col.Idx) == 0 {
+					continue
+				}
+				dotSupportBlock(sums, col, vc, nb)
+				ch := mulRe(p.H, coef)
+				for k := range sums {
+					sums[k] *= ch
+				}
+				accumProjectorBlock(oc, row, sums, nb)
 			}
-			row := &p.Supp[j+1]
-			col := &p.Supp[jc+1]
-			if len(row.Idx) == 0 || len(col.Idx) == 0 {
-				continue
-			}
-			dotSupportBlock(sums, col, v, nb)
-			ch := mulRe(p.H, coef)
-			for k := range sums {
-				sums[k] *= ch
-			}
-			accumProjectorBlock(out, row, sums, nb)
 		}
 	}
 }
 
 // dotSupportBlock computes sums[k] = <p, V[:,k]> over the support samples,
-// one pass over the support for all nb columns.
+// one pass over the support for len(sums) <= nb columns of the row-major
+// block v (whose first column may itself be a chunk offset into a wider
+// block of stride nb).
+//
+//cbs:hotpath
 func dotSupportBlock(sums []complex128, s *Support, v []complex128, nb int) {
 	for k := range sums {
 		sums[k] = 0
 	}
 	for i, idx := range s.Idx {
 		c := s.Val[i]
-		vo := v[int(idx)*nb : int(idx)*nb+nb]
+		vo := v[int(idx)*nb : int(idx)*nb+len(sums)]
 		for k := range sums {
 			sums[k] += mulRe(c, vo[k])
 		}
@@ -246,11 +273,13 @@ func dotSupportBlock(sums []complex128, s *Support, v []complex128, nb int) {
 }
 
 // accumProjectorBlock accumulates out[idx,:] += coefs[:] * val over the
-// support samples.
+// support samples, for len(coefs) <= nb columns of the stride-nb block out.
+//
+//cbs:hotpath
 func accumProjectorBlock(out []complex128, s *Support, coefs []complex128, nb int) {
 	for i, idx := range s.Idx {
 		c := s.Val[i]
-		oo := out[int(idx)*nb : int(idx)*nb+nb]
+		oo := out[int(idx)*nb : int(idx)*nb+len(coefs)]
 		for k := range oo {
 			oo[k] += mulRe(c, coefs[k])
 		}
@@ -258,6 +287,8 @@ func accumProjectorBlock(out []complex128, s *Support, coefs []complex128, nb in
 }
 
 // addScaledBlock performs dst += c*src over contiguous block storage.
+//
+//cbs:hotpath
 func addScaledBlock(dst, src []complex128, c complex128) {
 	if c == 0 {
 		return
@@ -270,6 +301,8 @@ func addScaledBlock(dst, src []complex128, c complex128) {
 
 // addScaledBlockRe is addScaledBlock for a real coefficient (the in-cell
 // z-tails of H0), at half the multiply count.
+//
+//cbs:hotpath
 func addScaledBlockRe(dst, src []complex128, c float64) {
 	if c == 0 {
 		return
@@ -280,6 +313,9 @@ func addScaledBlockRe(dst, src []complex128, c float64) {
 	}
 }
 
+// checkBlockLen is the shared shape guard of the blocked entry points.
+//
+//cbs:hotpath
 func (op *Operator) checkBlockLen(v, out []complex128, nb int) {
 	if nb < 1 || len(v) != op.N()*nb || len(out) != op.N()*nb {
 		panic("hamiltonian: block length/width mismatch")

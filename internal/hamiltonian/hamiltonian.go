@@ -94,6 +94,8 @@ func Build(st *lattice.Structure, cfg Config) (*Operator, error) {
 }
 
 // N returns the dimension of the Hamiltonian blocks.
+//
+//cbs:hotpath
 func (op *Operator) N() int { return op.G.N() }
 
 func (op *Operator) initKinetic() {

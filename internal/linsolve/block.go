@@ -70,6 +70,8 @@ func (w *Workspace) MemoryBytes() int64 {
 
 // blockDots computes dots[c] = <x_c, y_c> for every column of two row-major
 // blocks in one pass (summation order over rows matches zlinalg.Dot).
+//
+//cbs:hotpath
 func blockDots(dots []complex128, x, y []complex128, nb int) {
 	for c := range dots {
 		dots[c] = 0
@@ -85,6 +87,8 @@ func blockDots(dots []complex128, x, y []complex128, nb int) {
 }
 
 // blockNorms computes nrm[c] = ||x_c|| for every column of a row-major block.
+//
+//cbs:hotpath
 func blockNorms(nrm []float64, x []complex128, nb int) {
 	for c := range nrm {
 		nrm[c] = 0
@@ -240,23 +244,7 @@ func BlockBiCGDual(a, ad BlockApply, b, bd, x, xd []complex128, nb int, opts Opt
 		if remaining == 0 {
 			break
 		}
-		// Fused recurrence update: one pass over the block updates x, xd, r
-		// and rd of every still-active column (alpha = 0 freezes the rest,
-		// and frozen r/rd are untouched because alpha is exactly zero).
-		for i := 0; i < n; i++ {
-			o := i * nb
-			for c := 0; c < nb; c++ {
-				al := alpha[c]
-				if al == 0 {
-					continue
-				}
-				alC := conj(al)
-				x[o+c] += al * p[o+c]
-				xd[o+c] += alC * pd[o+c]
-				r[o+c] -= al * q[o+c]
-				rd[o+c] -= alC * qd[o+c]
-			}
-		}
+		updateSolutions(x, xd, r, rd, p, pd, q, qd, alpha, n, nb)
 		blockDots(dots, rd, r, nb)
 		for c := 0; c < nb; c++ {
 			beta[c] = 0
@@ -266,16 +254,7 @@ func BlockBiCGDual(a, ad BlockApply, b, bd, x, xd []complex128, nb int, opts Opt
 			beta[c] = dots[c] / rho[c]
 			rho[c] = dots[c]
 		}
-		for i := 0; i < n; i++ {
-			o := i * nb
-			for c := 0; c < nb; c++ {
-				if !active[c] {
-					continue
-				}
-				p[o+c] = r[o+c] + beta[c]*p[o+c]
-				pd[o+c] = rd[o+c] + conj(beta[c])*pd[o+c]
-			}
-		}
+		updateDirections(p, pd, r, rd, beta, active, n, nb)
 		blockNorms(nrm2, r, nb)
 		blockNorms(nrm2d, rd, nb)
 		for c := 0; c < nb; c++ {
@@ -301,4 +280,44 @@ func BlockBiCGDual(a, ad BlockApply, b, bd, x, xd []complex128, nb int, opts Opt
 		results[c].DualResidual = relD[c]
 	}
 	return results
+}
+
+// updateSolutions is the fused alpha-step of one BlockBiCGDual iteration:
+// one pass over the block updates x, xd, r and rd of every still-active
+// column (alpha = 0 freezes the rest, and frozen r/rd are untouched because
+// alpha is exactly zero).
+//
+//cbs:hotpath
+func updateSolutions(x, xd, r, rd, p, pd, q, qd, alpha []complex128, n, nb int) {
+	for i := 0; i < n; i++ {
+		o := i * nb
+		for c := range alpha {
+			al := alpha[c]
+			if al == 0 {
+				continue
+			}
+			alC := conj(al)
+			x[o+c] += al * p[o+c]
+			xd[o+c] += alC * pd[o+c]
+			r[o+c] -= al * q[o+c]
+			rd[o+c] -= alC * qd[o+c]
+		}
+	}
+}
+
+// updateDirections is the fused beta-step: p = r + beta*p and its dual,
+// skipping frozen columns.
+//
+//cbs:hotpath
+func updateDirections(p, pd, r, rd, beta []complex128, active []bool, n, nb int) {
+	for i := 0; i < n; i++ {
+		o := i * nb
+		for c := range beta {
+			if !active[c] {
+				continue
+			}
+			p[o+c] = r[o+c] + beta[c]*p[o+c]
+			pd[o+c] = rd[o+c] + conj(beta[c])*pd[o+c]
+		}
+	}
 }

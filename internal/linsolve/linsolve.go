@@ -184,6 +184,9 @@ func BiCG(a, ad Apply, b, x []complex128, opts Options) Result {
 // E - H00 is Hermitian but indefinite: CG can still converge there, and
 // breakdown is reported so callers can fall back to BiCG.
 func CG(a Apply, b, x []complex128, opts Options) Result {
+	if len(x) != len(b) {
+		panic("linsolve: CG length mismatch")
+	}
 	n := len(b)
 	maxIter := opts.MaxIter
 	if maxIter <= 0 {
@@ -243,8 +246,15 @@ func CG(a Apply, b, x []complex128, opts Options) Result {
 	return res
 }
 
+// conj is cmplx.Conj without the import (kept hot-path eligible).
+//
+//cbs:hotpath
 func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }
 
+// cabs2 is the squared magnitude: the hot loops compare against squared
+// thresholds instead of paying a sqrt per element.
+//
+//cbs:hotpath
 func cabs2(z complex128) float64 { return real(z)*real(z) + imag(z)*imag(z) }
 
 // GroupStop implements the paper's majority stopping rule across the

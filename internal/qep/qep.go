@@ -34,6 +34,9 @@ func (p *Problem) Dim() int { return p.Op.N() }
 
 // Apply computes out = P(z) v, using scratch (length N).
 func (p *Problem) Apply(z complex128, v, out, scratch []complex128) {
+	if len(v) != len(out) || len(scratch) != len(out) {
+		panic("qep: Apply length mismatch")
+	}
 	// out = (E - H0) v
 	p.Op.ApplyH0(v, out)
 	for i := range out {
@@ -59,6 +62,8 @@ func (p *Problem) ApplyDagger(z complex128, v, out, scratch []complex128) {
 // (E - H0)V in one fused stencil sweep and folds the contour shift into the
 // boundary-only accumulate kernels: O(surface) extra work and no scratch
 // buffer at all.
+//
+//cbs:hotpath
 func (p *Problem) ApplyBlock(z complex128, v, out []complex128, nb int) {
 	p.Op.ApplyShiftedH0Block(p.E, v, out, nb)
 	p.Op.AccumHpBlock(-z, v, out, nb)
@@ -67,6 +72,8 @@ func (p *Problem) ApplyBlock(z complex128, v, out []complex128, nb int) {
 
 // ApplyDaggerBlock computes out = P(z)^dagger V = P(1/conj(z)) V on a
 // row-major block.
+//
+//cbs:hotpath
 func (p *Problem) ApplyDaggerBlock(z complex128, v, out []complex128, nb int) {
 	p.ApplyBlock(1/cmplx.Conj(z), v, out, nb)
 }

@@ -1,0 +1,104 @@
+package sparse
+
+import (
+	"errors"
+	"math/cmplx"
+	"testing"
+)
+
+// FuzzCSRBuild drives the row builder with pseudo-random entry streams under
+// an artificially low entry-count ceiling, checking that the int32 overflow
+// guard surfaces ErrNNZOverflow (never a wrapped RowPtr or a panic) and that
+// every successful build satisfies the CSR structural invariants and
+// reproduces a dense reference application.
+func FuzzCSRBuild(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint16(8))
+	f.Add(uint64(42), uint8(6), uint16(3))
+	f.Add(uint64(7), uint8(1), uint16(0))
+	f.Add(uint64(1234567), uint8(11), uint16(40))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8, limitRaw uint16) {
+		n := int(nRaw)%12 + 1
+		limit := int(limitRaw) % 64
+		old := maxNNZ
+		maxNNZ = limit
+		defer func() { maxNNZ = old }()
+
+		s := seed
+		next := func() uint64 {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return s
+		}
+		val := func() complex128 {
+			re := float64(int64(next()%2001)-1000) / 250
+			im := float64(int64(next()%2001)-1000) / 250
+			return complex(re, im)
+		}
+
+		b := newBuilder(n)
+		dense := make([]complex128, n*n)
+		nonzero := 0
+		for i := 0; i < n; i++ {
+			adds := int(next() % 8)
+			for a := 0; a < adds; a++ {
+				col := int(next() % uint64(n))
+				v := val()
+				if next()%5 == 0 {
+					v = 0 // explicit zeros must be dropped, not stored
+				}
+				if v != 0 {
+					nonzero++
+				}
+				b.add(col, v)
+				dense[i*n+col] += v
+			}
+			b.endRow()
+		}
+		m, err := b.finish()
+		if nonzero > limit {
+			if !errors.Is(err, ErrNNZOverflow) {
+				t.Fatalf("%d nonzeros over ceiling %d: finish() = %v, want ErrNNZOverflow", nonzero, limit, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("unexpected build error for %d nonzeros under ceiling %d: %v", nonzero, limit, err)
+		}
+		if len(m.RowPtr) != n+1 || m.RowPtr[0] != 0 {
+			t.Fatalf("RowPtr has length %d (want %d) or nonzero head", len(m.RowPtr), n+1)
+		}
+		if int(m.RowPtr[n]) != len(m.Col) || len(m.Col) != len(m.Val) {
+			t.Fatalf("index arrays inconsistent: RowPtr[n]=%d len(Col)=%d len(Val)=%d",
+				m.RowPtr[n], len(m.Col), len(m.Val))
+		}
+		for i := 0; i < n; i++ {
+			if m.RowPtr[i] > m.RowPtr[i+1] {
+				t.Fatalf("RowPtr not monotone at row %d", i)
+			}
+		}
+		for _, c := range m.Col {
+			if c < 0 || int(c) >= n {
+				t.Fatalf("column index %d out of range [0,%d)", c, n)
+			}
+		}
+		if m.NNZ() != nonzero {
+			t.Fatalf("NNZ() = %d, want %d", m.NNZ(), nonzero)
+		}
+		v := make([]complex128, n)
+		for i := range v {
+			v[i] = complex(float64(i+1), float64(n-i))
+		}
+		got := make([]complex128, n)
+		m.Apply(v, got)
+		for i := 0; i < n; i++ {
+			var want complex128
+			for j := 0; j < n; j++ {
+				want += dense[i*n+j] * v[j]
+			}
+			if cmplx.Abs(got[i]-want) > 1e-9*(1+cmplx.Abs(want)) {
+				t.Fatalf("Apply row %d: got %v, want %v", i, got[i], want)
+			}
+		}
+	})
+}

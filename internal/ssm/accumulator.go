@@ -44,11 +44,18 @@ func (a *Accumulator) Add(z, w complex128, col int, y []complex128) {
 	defer a.mu.Unlock()
 	zk := w
 	for k := 0; k < 2*a.nmm; k++ {
-		m := a.moments[k]
-		for i := 0; i < a.n; i++ {
-			m.Data[i*a.nrh+col] += zk * y[i]
-		}
+		accumColumn(a.moments[k].Data, y, zk, col, a.nrh)
 		zk *= z
+	}
+}
+
+// accumColumn is the locked inner kernel of Add: dst[:,col] += zk * y over
+// the row-major moment storage of row stride nrh.
+//
+//cbs:hotpath
+func accumColumn(dst, y []complex128, zk complex128, col, nrh int) {
+	for i := range y {
+		dst[i*nrh+col] += zk * y[i]
 	}
 }
 
@@ -69,15 +76,23 @@ func (a *Accumulator) AddInterleaved(z, w complex128, col0, nb int, y []complex1
 	defer a.mu.Unlock()
 	zk := w
 	for k := 0; k < 2*a.nmm; k++ {
-		dst := a.moments[k].Data
-		for i := 0; i < a.n; i++ {
-			row := dst[i*a.nrh+col0 : i*a.nrh+col0+nb]
-			yi := y[i*nb : i*nb+nb]
-			for c := range row {
-				row[c] += zk * yi[c]
-			}
-		}
+		accumInterleaved(a.moments[k].Data, y, zk, col0, nb, a.nrh)
 		zk *= z
+	}
+}
+
+// accumInterleaved is the locked inner kernel of AddInterleaved:
+// dst[:,col0+c] += zk * y[:,c] for the nb interleaved columns of y.
+//
+//cbs:hotpath
+func accumInterleaved(dst, y []complex128, zk complex128, col0, nb, nrh int) {
+	n := len(y) / nb
+	for i := 0; i < n; i++ {
+		row := dst[i*nrh+col0 : i*nrh+col0+nb]
+		yi := y[i*nb : i*nb+nb]
+		for c := range row {
+			row[c] += zk * yi[c]
+		}
 	}
 }
 
@@ -90,11 +105,17 @@ func (a *Accumulator) AddBlock(z, w complex128, y *zlinalg.Matrix) {
 	defer a.mu.Unlock()
 	zk := w
 	for k := 0; k < 2*a.nmm; k++ {
-		dst := a.moments[k].Data
-		for i, v := range y.Data {
-			dst[i] += zk * v
-		}
+		accumScaled(a.moments[k].Data, y.Data, zk)
 		zk *= z
+	}
+}
+
+// accumScaled is the locked inner kernel of AddBlock: dst += zk * y.
+//
+//cbs:hotpath
+func accumScaled(dst, y []complex128, zk complex128) {
+	for i, v := range y {
+		dst[i] += zk * v
 	}
 }
 

@@ -100,7 +100,8 @@ func SolvePolynomial(coeffs, negCoeffs []*zlinalg.Matrix, pts []contour.Point, n
 			}
 			zk *= z
 		}
-		zk = 1 / z
+		zi := 1 / z
+		zk = zi
 		for _, c := range negCoeffs {
 			if c.Rows != n || c.Cols != n {
 				return nil, fmt.Errorf("ssm: inconsistent Laurent coefficient shapes")
@@ -108,7 +109,7 @@ func SolvePolynomial(coeffs, negCoeffs []*zlinalg.Matrix, pts []contour.Point, n
 			for i := range out.Data {
 				out.Data[i] += zk * c.Data[i]
 			}
-			zk /= z
+			zk *= zi
 		}
 		return out, nil
 	}
