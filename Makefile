@@ -1,7 +1,7 @@
 GO ?= go
 CBSCHECK := bin/cbscheck
 
-.PHONY: all build test race lint cbscheck fuzz-smoke
+.PHONY: all build test race lint cbscheck fuzz-smoke chaos-smoke
 
 all: build test
 
@@ -24,6 +24,15 @@ lint: cbscheck
 		echo "unformatted files:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(abspath $(CBSCHECK)) ./...
+
+# chaos-smoke drives the resilience tests under the env-gated fault
+# injector (internal/chaos) across a small deterministic seed matrix;
+# -count=2 defeats the test cache so every seed actually runs.
+chaos-smoke:
+	for seed in 1 2 3; do \
+		CBS_CHAOS=1 CBS_CHAOS_SEED=$$seed \
+		$(GO) test -count=2 ./internal/linsolve ./internal/core || exit 1; \
+	done
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzCSRBuild -fuzztime=30s ./internal/sparse

@@ -31,6 +31,8 @@
 package cbs
 
 import (
+	"context"
+
 	"cbs/internal/bandstructure"
 	"cbs/internal/core"
 	"cbs/internal/hamiltonian"
@@ -59,6 +61,14 @@ type (
 	Result = core.Result
 	// Eigenpair is one complex band solution.
 	Eigenpair = core.Eigenpair
+	// Diagnostics reports the health of one contour solve: recovery-ladder
+	// activity, dropped contributions, and the residual budget.
+	Diagnostics = core.Diagnostics
+	// PointDiag is the per-quadrature-point slice of Diagnostics.
+	PointDiag = core.PointDiag
+	// DroppedPair is one (quadrature point, probe column) contribution
+	// discarded by graceful degradation.
+	DroppedPair = core.DroppedPair
 	// OBMOptions configures the transfer-matrix baseline.
 	OBMOptions = obm.Options
 	// OBMResult is the baseline's output.
@@ -152,6 +162,13 @@ func (m *Model) Bands(nk, nbands int) ([]float64, [][]float64, error) {
 // the Sakurai-Sugiura method.
 func (m *Model) SolveCBS(e float64, opts Options) (*Result, error) {
 	return core.Solve(qep.New(m.Op, e), opts)
+}
+
+// SolveCBSContext is SolveCBS under a context: cancellation or a deadline
+// stops the contour solve promptly across all parallel layers, and the
+// returned error wraps ctx.Err().
+func (m *Model) SolveCBSContext(ctx context.Context, e float64, opts Options) (*Result, error) {
+	return core.SolveContext(ctx, qep.New(m.Op, e), opts)
 }
 
 // ScanCBS runs SolveCBS over a list of energies (hartree).

@@ -9,13 +9,17 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
 
 	"cbs"
+	"cbs/internal/chaos"
 	"cbs/internal/units"
 )
 
@@ -45,7 +49,13 @@ func main() {
 	ndm := flag.Int("ndm", 1, "bottom-layer domains")
 	balance := flag.Bool("balance", false, "enable the majority early-stop rule")
 	scfFlag := flag.Bool("scf", false, "run a small SCF before the CBS")
+	diagPath := flag.String("diagnostics", "", "write per-energy solve diagnostics to this JSON file")
 	flag.Parse()
+
+	// Ctrl-C cancels the contour solve promptly across all parallel layers
+	// instead of abandoning in-flight workers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	st := buildSystem(*sys, *n, *m, *cells, *bnPairs, *seed)
 	model, err := cbs.NewModel(st, cbs.GridConfig{Nx: *nxy, Ny: *nxy, Nz: *nz * *cells, Nf: *nf})
@@ -74,6 +84,9 @@ func main() {
 	opts.LambdaMin = *lmin
 	opts.LoadBalanceStop = *balance
 	opts.Parallel = cbs.Parallel{Top: *top, Mid: *mid, Ndm: *ndm}
+	// Fault injection is env-gated (CBS_CHAOS, CBS_CHAOS_SEED, ...): nil in
+	// normal operation, a deterministic injector under the chaos-smoke CI.
+	opts.Chaos = chaos.FromEnv()
 
 	var energies []float64
 	if !math.IsNaN(*eFlag) {
@@ -86,9 +99,10 @@ func main() {
 	}
 
 	a := model.CellLength()
+	var diags []diagEntry
 	fmt.Printf("# E-EF(eV)\tRe(k)a/pi\tIm(k)a/pi\t|lambda|\tresidual\n")
 	for _, e := range energies {
-		res, err := model.SolveCBS(e, opts)
+		res, err := model.SolveCBSContext(ctx, e, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -100,7 +114,34 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "E-EF = %+.3f eV: %d states, solve %v\n",
 			units.HartreeToEV(e-ef), len(res.Pairs), res.Timings.SolveLinear.Round(1e6))
+		if res.Diagnostics.Degraded {
+			fmt.Fprintf(os.Stderr, "E-EF = %+.3f eV: DEGRADED, %d contributions dropped\n",
+				units.HartreeToEV(e-ef), len(res.Diagnostics.DroppedPairs))
+		}
+		diags = append(diags, diagEntry{EnergyEV: units.HartreeToEV(e - ef), Diag: res.Diagnostics})
 	}
+	if *diagPath != "" {
+		if err := writeDiagnostics(*diagPath, diags); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "diagnostics written to %s\n", *diagPath)
+	}
+}
+
+// diagEntry is one energy's solve health in the --diagnostics JSON export.
+type diagEntry struct {
+	EnergyEV float64         `json:"energy_ev"`
+	Diag     cbs.Diagnostics `json:"diagnostics"`
+}
+
+// writeDiagnostics exports the per-energy solve diagnostics as indented
+// JSON, one array entry per energy.
+func writeDiagnostics(path string, entries []diagEntry) error {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func buildSystem(sys string, n, m, cells, bnPairs int, seed int64) *cbs.Structure {

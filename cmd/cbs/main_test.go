@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cbs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestWriteDiagnosticsGolden pins the --diagnostics JSON schema with a
+// synthetic, fully deterministic entry (no timings, no solver output), so a
+// field rename or tag change in core.Diagnostics is caught here before it
+// breaks downstream consumers. Regenerate with -update.
+func TestWriteDiagnosticsGolden(t *testing.T) {
+	entries := []diagEntry{
+		{
+			EnergyEV: -0.25,
+			Diag: cbs.Diagnostics{
+				Nint:       8,
+				Nrh:        4,
+				Breakdowns: 3,
+				Restarts:   4,
+				Fallbacks:  1,
+				DroppedPairs: []cbs.DroppedPair{
+					{Point: 5, Col: 2},
+				},
+				RenormFactors:  []float64{1, 1, 8.0 / 7.0, 1},
+				Degraded:       true,
+				ResidualBudget: 4.2e-11,
+				Points: []cbs.PointDiag{
+					{ZRe: 0.9, ZIm: 0.45, Iterations: 120, Converged: 4, MaxResidual: 1.1e-11},
+					{ZRe: 0.3, ZIm: 1.2, Iterations: 260, Converged: 3, StoppedEarly: 0,
+						Breakdowns: 3, Restarts: 4, Fallbacks: 1, Dropped: 1, MaxResidual: 4.2e-11},
+				},
+			},
+		},
+		{
+			EnergyEV: 0.5,
+			Diag: cbs.Diagnostics{
+				Nint:           8,
+				Nrh:            4,
+				ResidualBudget: 9.9e-12,
+				Points: []cbs.PointDiag{
+					{ZRe: 0.9, ZIm: 0.45, Iterations: 96, Converged: 4, MaxResidual: 9.9e-12},
+				},
+			},
+		},
+	}
+
+	out := filepath.Join(t.TempDir(), "diag.json")
+	if err := writeDiagnostics(out, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "diagnostics_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("diagnostics JSON drifted from the golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -17,6 +17,11 @@
 // merging that point's worker-local stats under the global mutex is exactly
 // the pattern PR 1 established; the regression this guards against is the
 // old per-column locking that serialized the top parallel layer.
+//
+// Cancellation plumbing is exempt: receiving from a context's Done channel
+// (`<-ctx.Done()`, including inside a select whose other arm is only a
+// default) is how a worker notices a dead solve, carries no lock, and is
+// legal at any depth.
 package lockedmerge
 
 import (
@@ -101,11 +106,11 @@ func checkScope(pass *framework.Pass, body *ast.BlockStmt) {
 				pass.Reportf(n.Pos(), "channel send in a nested (per-column) loop; move it to the per-point level")
 			}
 		case *ast.UnaryExpr:
-			if n.Op == token.ARROW && depth >= 2 {
+			if n.Op == token.ARROW && depth >= 2 && !isCtxDone(pass, n.X) {
 				pass.Reportf(n.Pos(), "channel receive in a nested (per-column) loop; move it to the per-point level")
 			}
 		case *ast.SelectStmt:
-			if depth >= 2 {
+			if depth >= 2 && !isCancellationPoll(pass, n) {
 				pass.Reportf(n.Pos(), "select in a nested (per-column) loop; move it to the per-point level")
 			}
 		case *ast.CallExpr:
@@ -136,6 +141,55 @@ func checkCall(pass *framework.Pass, call *ast.CallExpr) {
 			pass.Reportf(call.Pos(), "%s.%s locks internally and is called in a nested (per-column) loop; accumulate locally and merge once per point", recv, fn.Name())
 		}
 	}
+}
+
+// isCtxDone reports whether expr is a Done() call on a context.Context —
+// the cancellation channel. Receiving from it is the sanctioned way for a
+// worker to notice a dead solve: it holds no lock and never contends with
+// the merge path, so it is exempt from the depth rule.
+func isCtxDone(pass *framework.Pass, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return tv.Type.String() == "context.Context"
+}
+
+// isCancellationPoll reports whether the select is pure cancellation
+// plumbing: every case is either a receive from a context's Done channel or
+// the default clause (the non-blocking poll idiom).
+func isCancellationPoll(pass *framework.Pass, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			return false
+		}
+		if cc.Comm == nil {
+			continue // default clause
+		}
+		var recv ast.Expr
+		switch c := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = c.X
+		case *ast.AssignStmt:
+			if len(c.Rhs) == 1 {
+				recv = c.Rhs[0]
+			}
+		}
+		ue, ok := recv.(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW || !isCtxDone(pass, ue.X) {
+			return false
+		}
+	}
+	return true
 }
 
 // receiverTypeName returns the bare receiver type name of a method ("" for

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"cbs/internal/analysis/lockedmerge/testdata/src/ssm"
@@ -88,4 +89,51 @@ func pointMerge(points [][]complex128, buf []complex128, acc *ssm.Accumulator) {
 		}
 		acc.AddInterleaved(buf[:len(p)])
 	}
+}
+
+// columnCancelPoll receives from the context's cancellation channel per
+// column: exempt — cancellation plumbing holds no lock and must be allowed
+// to notice a dead solve at any depth.
+func columnCancelPoll(ctx context.Context, points [][]float64) float64 {
+	local := 0.0
+	for _, p := range points {
+		for _, v := range p {
+			select {
+			case <-ctx.Done():
+				return local
+			default:
+			}
+			local += v
+		}
+	}
+	return local
+}
+
+// columnCancelRecv is the blocking form of the same idiom: also exempt.
+func columnCancelRecv(ctx context.Context, points [][]float64, done bool) {
+	for _, p := range points {
+		for range p {
+			if done {
+				<-ctx.Done()
+				return
+			}
+		}
+	}
+}
+
+// columnMixedSelect waits on a data channel alongside cancellation per
+// column: the data receive makes it a real synchronization point, flagged.
+func columnMixedSelect(ctx context.Context, points [][]float64, in <-chan float64) float64 {
+	local := 0.0
+	for _, p := range points {
+		for range p {
+			select { // want `select in a nested \(per-column\) loop`
+			case <-ctx.Done():
+				return local
+			case v := <-in: // want `channel receive in a nested \(per-column\) loop`
+				local += v
+			}
+		}
+	}
+	return local
 }

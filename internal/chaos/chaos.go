@@ -1,0 +1,225 @@
+// Package chaos is a deterministic fault injector for the resilience tests
+// of the CBS pipeline. Every injection decision is a pure hash of the
+// injector seed and the fault site's identity (quadrature point, probe
+// column, ladder attempt, halo link/sequence), never of call order, so a
+// run with a given seed injects exactly the same faults regardless of how
+// the parallel layers schedule their workers. Production runs carry a nil
+// injector: every method is nil-safe and a nil receiver injects nothing.
+//
+// The injector is env-gated for the chaos-smoke CI job: FromEnv returns nil
+// unless CBS_CHAOS is set, so the same test binaries run clean by default
+// and faulty under the seed matrix.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// ErrInjected is the sentinel wrapped by every injected hard fault, so
+// callers can distinguish chaos from genuine failures with errors.Is.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Site identifies one fault site in the solve: the quadrature point, the
+// probe column, and the recovery-ladder attempt (0 for the first solve).
+type Site struct {
+	Point   int
+	Col     int
+	Attempt int
+}
+
+// Config sets the per-site injection rates (each a probability in [0,1])
+// and optional targeting restrictions.
+type Config struct {
+	// Breakdown is the probability that the BiCG shadow inner product of a
+	// (point, column, attempt=0) solve is zeroed, forcing an immediate
+	// Krylov breakdown (rung 0 failure).
+	Breakdown float64
+	// RestartBreakdown is the probability that a rung-1 restart (attempt
+	// >= 1) of an affected solve breaks down again.
+	RestartBreakdown float64
+	// FallbackFail is the probability that the rung-2 GMRES fallback of a
+	// (point, column) is declared failed, forcing the graceful-degradation
+	// rung (the point pair is dropped).
+	FallbackFail float64
+	// PointFault is the probability that a worker picking up a quadrature
+	// point hits a hard fault (a typed error that must cancel the solve).
+	PointFault float64
+	// Halo is the probability that one point-to-point payload of the
+	// bottom-layer fabric is zeroed (a corrupted/dropped halo message).
+	Halo float64
+
+	// Columns, when non-empty, restricts the column-scoped injections
+	// (Breakdown, RestartBreakdown, FallbackFail) to the listed probe
+	// columns.
+	Columns []int
+	// Points, when non-empty, restricts PointFault to the listed
+	// quadrature points.
+	Points []int
+}
+
+// Injector draws deterministic injection decisions from a seed.
+type Injector struct {
+	seed int64
+	cfg  Config
+}
+
+// New builds an injector with the given seed and rates.
+func New(seed int64, cfg Config) *Injector {
+	return &Injector{seed: seed, cfg: cfg}
+}
+
+// Seed returns the injector's seed (nil-safe; 0 for nil).
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// FromEnv builds an injector from the environment, or returns nil when
+// CBS_CHAOS is unset/empty (the production default). Recognized variables:
+//
+//	CBS_CHAOS=1                  enable injection
+//	CBS_CHAOS_SEED=<int>         seed (default 1)
+//	CBS_CHAOS_BREAKDOWN=<p>      first-attempt breakdown rate (default 0.25)
+//	CBS_CHAOS_RESTART=<p>        restart breakdown rate (default 0)
+//	CBS_CHAOS_FALLBACK=<p>       fallback failure rate (default 0)
+//	CBS_CHAOS_POINT=<p>          hard point-fault rate (default 0)
+//	CBS_CHAOS_HALO=<p>           halo corruption rate (default 0)
+func FromEnv() *Injector {
+	if os.Getenv("CBS_CHAOS") == "" {
+		return nil
+	}
+	seed := int64(1)
+	if s := os.Getenv("CBS_CHAOS_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			seed = v
+		}
+	}
+	rate := func(key string, def float64) float64 {
+		s := os.Getenv(key)
+		if s == "" {
+			return def
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 || v > 1 {
+			return def
+		}
+		return v
+	}
+	return New(seed, Config{
+		Breakdown:        rate("CBS_CHAOS_BREAKDOWN", 0.25),
+		RestartBreakdown: rate("CBS_CHAOS_RESTART", 0),
+		FallbackFail:     rate("CBS_CHAOS_FALLBACK", 0),
+		PointFault:       rate("CBS_CHAOS_POINT", 0),
+		Halo:             rate("CBS_CHAOS_HALO", 0),
+	})
+}
+
+// splitmix64 is the SplitMix64 finalizer: a fast, well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hit draws the deterministic decision for one (kind, a, b, c) site.
+func (in *Injector) hit(p float64, kind uint64, a, b, c int) bool {
+	if in == nil || p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	h := splitmix64(uint64(in.seed))
+	h = splitmix64(h ^ kind)
+	h = splitmix64(h ^ uint64(a)<<1)
+	h = splitmix64(h ^ uint64(b)<<2)
+	h = splitmix64(h ^ uint64(c)<<3)
+	// Top 53 bits as a uniform [0,1) fraction.
+	return float64(h>>11)/float64(1<<53) < p
+}
+
+// colTargeted reports whether column injections apply to col.
+func (in *Injector) colTargeted(col int) bool {
+	if len(in.cfg.Columns) == 0 {
+		return true
+	}
+	for _, c := range in.cfg.Columns {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
+const (
+	kindBreakdown = 0x6272 // "br"
+	kindFallback  = 0x6662 // "fb"
+	kindPoint     = 0x7074 // "pt"
+	kindHalo      = 0x686c // "hl"
+)
+
+// Breakdown reports whether the BiCG solve at s should break down
+// (attempt 0 uses the Breakdown rate, restarts the RestartBreakdown rate).
+func (in *Injector) Breakdown(s Site) bool {
+	if in == nil || !in.colTargeted(s.Col) {
+		return false
+	}
+	p := in.cfg.Breakdown
+	if s.Attempt > 0 {
+		p = in.cfg.RestartBreakdown
+		// A restart of a clean solve never breaks down: the restart rate
+		// describes how sticky an injected breakdown is, not a fresh fault.
+		if !in.hit(in.cfg.Breakdown, kindBreakdown, s.Point, s.Col, 0) {
+			return false
+		}
+	}
+	return in.hit(p, kindBreakdown, s.Point, s.Col, s.Attempt)
+}
+
+// FallbackFail reports whether the GMRES fallback at (point, col) should be
+// declared failed, forcing the degradation rung.
+func (in *Injector) FallbackFail(point, col int) bool {
+	if in == nil || !in.colTargeted(col) {
+		return false
+	}
+	return in.hit(in.cfg.FallbackFail, kindFallback, point, col, 0)
+}
+
+// PointFault returns a typed injected error when the worker picking up
+// quadrature point j should hit a hard fault, nil otherwise.
+func (in *Injector) PointFault(point int) error {
+	if in == nil {
+		return nil
+	}
+	if len(in.cfg.Points) > 0 {
+		found := false
+		for _, p := range in.cfg.Points {
+			if p == point {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	if !in.hit(in.cfg.PointFault, kindPoint, point, 0, 0) {
+		return nil
+	}
+	return fmt.Errorf("%w: hard fault at quadrature point %d", ErrInjected, point)
+}
+
+// CorruptHalo reports whether the seq-th payload on the (src, dst) link of
+// one communication world should be zeroed.
+func (in *Injector) CorruptHalo(src, dst int, seq int64) bool {
+	if in == nil {
+		return false
+	}
+	return in.hit(in.cfg.Halo, kindHalo, src, dst, int(seq))
+}

@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestNilInjectorIsInert: production call sites pass nil everywhere.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Breakdown(Site{Point: 3, Col: 1}) {
+		t.Error("nil injector must not inject breakdowns")
+	}
+	if in.FallbackFail(0, 0) {
+		t.Error("nil injector must not fail fallbacks")
+	}
+	if err := in.PointFault(0); err != nil {
+		t.Errorf("nil injector returned %v", err)
+	}
+	if in.CorruptHalo(0, 1, 0) {
+		t.Error("nil injector must not corrupt halos")
+	}
+	if in.Seed() != 0 {
+		t.Error("nil injector seed must be 0")
+	}
+}
+
+// TestDeterminism: the same seed must draw the same decisions at every
+// site, independent of query order.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Breakdown: 0.3, FallbackFail: 0.5, PointFault: 0.2, Halo: 0.4}
+	a := New(7, cfg)
+	b := New(7, cfg)
+	// Query b in reverse order: decisions must still agree site-by-site.
+	type dec struct{ br, fb, pf, hl bool }
+	var got [64]dec
+	for i := 0; i < 64; i++ {
+		got[i] = dec{
+			br: a.Breakdown(Site{Point: i, Col: i % 5}),
+			fb: a.FallbackFail(i, i%5),
+			pf: a.PointFault(i) != nil,
+			hl: a.CorruptHalo(i%3, (i+1)%3, int64(i)),
+		}
+	}
+	for i := 63; i >= 0; i-- {
+		want := dec{
+			br: b.Breakdown(Site{Point: i, Col: i % 5}),
+			fb: b.FallbackFail(i, i%5),
+			pf: b.PointFault(i) != nil,
+			hl: b.CorruptHalo(i%3, (i+1)%3, int64(i)),
+		}
+		if got[i] != want {
+			t.Fatalf("site %d: decisions differ across query order: %+v vs %+v", i, got[i], want)
+		}
+	}
+	// A different seed must (somewhere) differ.
+	c := New(8, cfg)
+	same := true
+	for i := 0; i < 64; i++ {
+		if c.Breakdown(Site{Point: i, Col: i % 5}) != got[i].br {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 drew identical breakdown decisions at 64 sites")
+	}
+}
+
+// TestInjectionRate: the empirical hit frequency must track the configured
+// probability (law of large numbers over site hashes).
+func TestInjectionRate(t *testing.T) {
+	for _, p := range []float64{0.1, 0.25, 0.5} {
+		in := New(42, Config{Breakdown: p})
+		hits := 0
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			if in.Breakdown(Site{Point: i, Col: i >> 8}) {
+				hits++
+			}
+		}
+		freq := float64(hits) / trials
+		if math.Abs(freq-p) > 0.02 {
+			t.Errorf("rate %g: empirical frequency %g", p, freq)
+		}
+	}
+}
+
+// TestRestartStickiness: restarts only break down where the first attempt
+// was injected, and a zero restart rate heals every restart.
+func TestRestartStickiness(t *testing.T) {
+	in := New(3, Config{Breakdown: 0.5, RestartBreakdown: 1})
+	for i := 0; i < 200; i++ {
+		s := Site{Point: i, Col: 0}
+		first := in.Breakdown(s)
+		s.Attempt = 1
+		if in.Breakdown(s) && !first {
+			t.Fatalf("point %d: restart broke down without a first-attempt injection", i)
+		}
+	}
+	healed := New(3, Config{Breakdown: 0.5, RestartBreakdown: 0})
+	for i := 0; i < 200; i++ {
+		if healed.Breakdown(Site{Point: i, Col: 0, Attempt: 1}) {
+			t.Fatalf("point %d: restart broke down with RestartBreakdown=0", i)
+		}
+	}
+}
+
+// TestColumnAndPointTargeting: restrictions confine injections.
+func TestColumnAndPointTargeting(t *testing.T) {
+	in := New(1, Config{Breakdown: 1, FallbackFail: 1, PointFault: 1,
+		Columns: []int{2}, Points: []int{5}})
+	if in.Breakdown(Site{Point: 0, Col: 1}) {
+		t.Error("column 1 is not targeted")
+	}
+	if !in.Breakdown(Site{Point: 0, Col: 2}) {
+		t.Error("column 2 is targeted with rate 1")
+	}
+	if in.FallbackFail(0, 0) {
+		t.Error("fallback of untargeted column failed")
+	}
+	if err := in.PointFault(4); err != nil {
+		t.Errorf("point 4 is not targeted: %v", err)
+	}
+	err := in.PointFault(5)
+	if err == nil {
+		t.Fatal("point 5 is targeted with rate 1")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("point fault %v is not errors.Is(ErrInjected)", err)
+	}
+}
+
+// TestFromEnv: unset means nil; set means an injector with the parsed seed.
+func TestFromEnv(t *testing.T) {
+	t.Setenv("CBS_CHAOS", "")
+	if FromEnv() != nil {
+		t.Fatal("FromEnv must return nil without CBS_CHAOS")
+	}
+	t.Setenv("CBS_CHAOS", "1")
+	t.Setenv("CBS_CHAOS_SEED", "99")
+	t.Setenv("CBS_CHAOS_BREAKDOWN", "1")
+	in := FromEnv()
+	if in == nil {
+		t.Fatal("FromEnv returned nil with CBS_CHAOS set")
+	}
+	if in.Seed() != 99 {
+		t.Errorf("seed = %d, want 99", in.Seed())
+	}
+	if !in.Breakdown(Site{}) {
+		t.Error("breakdown rate 1 must always hit")
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"cbs/internal/chaos"
 )
 
 // World is a fixed-size group of ranks sharing a communication fabric.
@@ -28,6 +30,11 @@ type World struct {
 	// statistics
 	messages atomic.Int64
 	bytes    atomic.Int64
+
+	// fault injection (nil in production): per-link send sequence counters
+	// give every payload a deterministic chaos site identity.
+	inj     *chaos.Injector
+	sendSeq []atomic.Int64
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -55,6 +62,7 @@ func NewWorld(size int) (*World, error) {
 		reduceOut:  make([]chan []complex128, size),
 		barrierIn:  make(chan struct{}, size),
 		barrierOut: make([]chan struct{}, size),
+		sendSeq:    make([]atomic.Int64, size*size),
 		stop:       make(chan struct{}),
 	}
 	for i := range w.p2p {
@@ -68,6 +76,14 @@ func NewWorld(size int) (*World, error) {
 	go w.barrierKeeper()
 	return w, nil
 }
+
+// SetChaos installs a deterministic fault injector on the fabric (nil
+// disables injection). Call it before any rank starts communicating: the
+// injector is read by Send without synchronization. A targeted payload is
+// zeroed in transit — the in-process analogue of a corrupted or dropped
+// halo message — while traffic statistics still count it, so resilience
+// tests observe realistic volumes.
+func (w *World) SetChaos(inj *chaos.Injector) { w.inj = inj }
 
 // Close shuts down the world's coordinators.
 func (w *World) Close() {
@@ -160,9 +176,18 @@ func (c *Communicator) Size() int { return c.w.size }
 func (c *Communicator) Send(dst int, data []complex128) {
 	buf := make([]complex128, len(data))
 	copy(buf, data)
+	link := c.rank*c.w.size + dst
+	if c.w.inj != nil {
+		seq := c.w.sendSeq[link].Add(1) - 1
+		if c.w.inj.CorruptHalo(c.rank, dst, seq) {
+			for i := range buf {
+				buf[i] = 0
+			}
+		}
+	}
 	c.w.messages.Add(1)
 	c.w.bytes.Add(int64(len(data) * 16))
-	c.w.p2p[c.rank*c.w.size+dst] <- buf
+	c.w.p2p[link] <- buf
 }
 
 // Recv blocks until a message from src arrives.

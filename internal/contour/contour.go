@@ -6,9 +6,21 @@
 package contour
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
+)
+
+// Typed sentinels of the quadrature layer.
+var (
+	// ErrBadParams is an invalid quadrature specification (non-positive
+	// point count or radius, lambdaMin outside (0,1)).
+	ErrBadParams = errors.New("contour: invalid quadrature parameters")
+	// ErrTooManyDropped is returned by RenormFactor when graceful
+	// degradation has discarded so many nodes that the remaining rule no
+	// longer resolves the contour (strictly more than half dropped).
+	ErrTooManyDropped = errors.New("contour: too many quadrature points dropped")
 )
 
 // Point is one quadrature node z with its (signed) weight w, such that
@@ -25,10 +37,10 @@ type Point struct {
 // Cauchy integral.
 func Circle(center complex128, radius float64, n int) ([]Point, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("contour: need at least one quadrature point, got %d", n)
+		return nil, fmt.Errorf("%w: need at least one quadrature point, got %d", ErrBadParams, n)
 	}
 	if radius <= 0 {
-		return nil, fmt.Errorf("contour: radius %g must be positive", radius)
+		return nil, fmt.Errorf("%w: radius %g must be positive", ErrBadParams, radius)
 	}
 	pts := make([]Point, n)
 	for j := 0; j < n; j++ {
@@ -53,7 +65,7 @@ type Ring struct {
 // (2n linear solves before the dual-system halving).
 func NewRing(lambdaMin float64, n int) (*Ring, error) {
 	if lambdaMin <= 0 || lambdaMin >= 1 {
-		return nil, fmt.Errorf("contour: lambdaMin = %g must be in (0,1)", lambdaMin)
+		return nil, fmt.Errorf("%w: lambdaMin = %g must be in (0,1)", ErrBadParams, lambdaMin)
 	}
 	outer, err := Circle(0, 1/lambdaMin, n)
 	if err != nil {
@@ -88,4 +100,24 @@ func (r *Ring) Contains(lambda complex128) bool {
 // inner node j is 1/conj(outer node j).
 func (r *Ring) DualIndex(j int) complex128 {
 	return 1 / cmplx.Conj(r.Outer[j].Z)
+}
+
+// RenormFactor is the graceful-degradation weight correction: when dropped
+// of the total nodes of one circle have been discarded (a quadrature point
+// whose linear solve exhausted the recovery ladder), the surviving
+// trapezoidal weights are uniformly rescaled by total/(total-dropped) so
+// the rule still integrates the constant term of the Cauchy kernel
+// exactly. Because the halving trick drops the outer node and its paired
+// inner node together, the same factor applies to both circles.
+//
+// Dropping strictly more than half the nodes leaves a rule too sparse to
+// resolve the annulus and returns ErrTooManyDropped.
+func RenormFactor(total, dropped int) (float64, error) {
+	if total < 1 || dropped < 0 || dropped > total {
+		return 0, fmt.Errorf("%w: dropped %d of %d nodes", ErrBadParams, dropped, total)
+	}
+	if 2*dropped > total {
+		return 0, fmt.Errorf("%w: %d of %d nodes lost", ErrTooManyDropped, dropped, total)
+	}
+	return float64(total) / float64(total-dropped), nil
 }

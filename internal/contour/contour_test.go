@@ -1,6 +1,7 @@
 package contour
 
 import (
+	"errors"
 	"math"
 	"math/cmplx"
 	"testing"
@@ -150,5 +151,69 @@ func TestValidation(t *testing.T) {
 	}
 	if _, err := NewRing(1.5, 8); err == nil {
 		t.Error("lambdaMin > 1 should fail")
+	}
+}
+
+// TestTypedSentinels: validation failures must be errors.Is-matchable.
+func TestTypedSentinels(t *testing.T) {
+	if _, err := Circle(0, 1, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("Circle(n=0) error %v is not ErrBadParams", err)
+	}
+	if _, err := NewRing(1.5, 8); !errors.Is(err, ErrBadParams) {
+		t.Errorf("NewRing(1.5) error %v is not ErrBadParams", err)
+	}
+}
+
+// TestRenormFactor: the graceful-degradation weight correction.
+func TestRenormFactor(t *testing.T) {
+	f, err := RenormFactor(32, 0)
+	if err != nil || f != 1 {
+		t.Errorf("no drops: factor %g err %v, want 1 nil", f, err)
+	}
+	f, err = RenormFactor(32, 4)
+	if err != nil || math.Abs(f-32.0/28.0) > 1e-15 {
+		t.Errorf("4 of 32 dropped: factor %g err %v", f, err)
+	}
+	// Exactly half is still allowed; strictly more than half is not.
+	if _, err := RenormFactor(8, 4); err != nil {
+		t.Errorf("half dropped must renormalize, got %v", err)
+	}
+	if _, err := RenormFactor(8, 5); !errors.Is(err, ErrTooManyDropped) {
+		t.Errorf("5 of 8 dropped: error %v is not ErrTooManyDropped", err)
+	}
+	if _, err := RenormFactor(8, -1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("negative drop count: error %v is not ErrBadParams", err)
+	}
+	if _, err := RenormFactor(0, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("zero nodes: error %v is not ErrBadParams", err)
+	}
+}
+
+// TestRenormFactorPreservesConstantIntegral: rescaled surviving weights
+// must still integrate f(z) = 1/z over the circle exactly (the Cauchy
+// moment the trapezoidal weights are built for).
+func TestRenormFactorPreservesConstantIntegral(t *testing.T) {
+	n := 16
+	pts, err := Circle(0, 2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := map[int]bool{3: true, 11: true}
+	f, err := RenormFactor(n, len(dropped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum complex128
+	for j, p := range pts {
+		if dropped[j] {
+			continue
+		}
+		sum += complex(f, 0) * p.W / p.Z
+	}
+	// (1/2 pi i) * contour integral of dz/z = 1; the quadrature sum w_j/z_j
+	// realizes it exactly for the full rule and, by uniform rescaling, for
+	// the degraded rule too.
+	if cmplx.Abs(sum-1) > 1e-13 {
+		t.Errorf("degraded quadrature of 1/z = %v, want 1", sum)
 	}
 }

@@ -1,0 +1,17 @@
+package core
+
+import "errors"
+
+// Typed sentinels of the solver layer, matchable with errors.Is. Errors
+// from the lower layers (linsolve.ErrBreakdown, linsolve.ErrNoConvergence,
+// contour.ErrTooManyDropped, ssm.ErrRankDeficient, chaos.ErrInjected,
+// context.Canceled) are wrapped, not translated, so callers can match the
+// original cause through a core error.
+var (
+	// ErrBadOptions is an invalid solver parameterization (non-positive
+	// Nint/Nmm/Nrh, bad contour radii).
+	ErrBadOptions = errors.New("core: invalid solver options")
+	// ErrSubspaceTooLarge means Nrh*Nmm exceeds the problem dimension: the
+	// moment subspace cannot be larger than the space it probes.
+	ErrSubspaceTooLarge = errors.New("core: moment subspace exceeds problem dimension")
+)

@@ -9,11 +9,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
+	"cbs/internal/chaos"
 	"cbs/internal/contour"
 	"cbs/internal/dist"
 	"cbs/internal/linsolve"
@@ -77,6 +79,12 @@ type Options struct {
 	// when AutoExpand is set).
 	AutoExpand bool
 	MaxExpand  int
+
+	// Chaos optionally injects deterministic faults into the contour solve
+	// (Krylov breakdowns, fallback failures, fatal point faults, halo
+	// corruption); nil in production. See internal/chaos and the
+	// chaos-smoke CI job.
+	Chaos *chaos.Injector
 }
 
 // DefaultOptions returns the paper's parameter set.
@@ -112,10 +120,17 @@ type Timings struct {
 // PointStats records the linear-solve behaviour at one quadrature point.
 type PointStats struct {
 	Z            complex128
-	Iterations   int       // BiCG iterations summed over this point's columns
-	Converged    int       // converged columns
+	Iterations   int       // Krylov iterations summed over this point's columns
+	Converged    int       // converged columns (including recovered ones)
 	StoppedEarly int       // columns halted by the majority rule
 	History      []float64 // first column's residual history (optional)
+
+	// Recovery-ladder activity (see internal/core/ladder.go).
+	Breakdowns  int     // columns whose first BiCG pass hit a Krylov breakdown
+	Restarts    int     // perturbed BiCG restarts attempted
+	Fallbacks   int     // escalations to restarted GMRES
+	Dropped     int     // columns dropped from the quadrature after the ladder
+	MaxResidual float64 // worst final relative residual among kept columns
 }
 
 // Result is the outcome of one CBS solve at a fixed energy.
@@ -132,18 +147,34 @@ type Result struct {
 	MatVecs   int   // operator applications across all solves
 	CommBytes int64 // bottom-layer traffic (0 when Ndm = 1)
 	Expanded  int   // the Nrh actually used (grows under AutoExpand)
+
+	// Diagnostics summarizes recovery-ladder activity and graceful
+	// degradation (JSON-ready; exported by cmd/cbs --diagnostics).
+	Diagnostics Diagnostics
 }
 
 // Solve computes the CBS eigenpairs of the QEP at its energy. With
 // AutoExpand set it retries with a larger probe block when the moment
 // subspace saturates.
 func Solve(q *qep.Problem, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), q, opts)
+}
+
+// SolveContext is Solve under a context: cancellation or an expired
+// deadline stops the in-flight contour workers promptly (each worker
+// re-checks the context before taking the next quadrature point, and the
+// distributed bottom layer folds the cancellation into its per-iteration
+// reduction) and the returned error wraps ctx.Err().
+func SolveContext(ctx context.Context, q *qep.Problem, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	expands := opts.MaxExpand
 	if opts.AutoExpand && expands <= 0 {
 		expands = 2
 	}
 	for {
-		res, err := solveOnce(q, opts)
+		res, err := solveOnce(ctx, q, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -160,13 +191,13 @@ func Solve(q *qep.Problem, opts Options) (*Result, error) {
 }
 
 // solveOnce is a single pass of Algorithm 1.
-func solveOnce(q *qep.Problem, opts Options) (*Result, error) {
+func solveOnce(ctx context.Context, q *qep.Problem, opts Options) (*Result, error) {
 	opts.Parallel = opts.Parallel.normalize()
 	if opts.Nint < 1 || opts.Nmm < 1 || opts.Nrh < 1 {
-		return nil, fmt.Errorf("core: Nint/Nmm/Nrh must be positive, got %d/%d/%d", opts.Nint, opts.Nmm, opts.Nrh)
+		return nil, fmt.Errorf("%w: Nint/Nmm/Nrh must be positive, got %d/%d/%d", ErrBadOptions, opts.Nint, opts.Nmm, opts.Nrh)
 	}
 	if opts.Nrh*opts.Nmm > q.Dim() {
-		return nil, fmt.Errorf("core: subspace size Nrh*Nmm = %d exceeds problem dimension %d", opts.Nrh*opts.Nmm, q.Dim())
+		return nil, fmt.Errorf("%w: Nrh*Nmm = %d > dimension %d", ErrSubspaceTooLarge, opts.Nrh*opts.Nmm, q.Dim())
 	}
 	tSetup := time.Now()
 	ring, err := contour.NewRing(opts.LambdaMin, opts.Nint)
@@ -185,6 +216,7 @@ func solveOnce(q *qep.Problem, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		distSolver.SetChaos(opts.Chaos)
 	}
 	res := &Result{Energy: q.E}
 	res.Points = make([]PointStats, opts.Nint)
@@ -195,7 +227,7 @@ func solveOnce(q *qep.Problem, opts Options) (*Result, error) {
 
 	// ---- Step 1: the linear systems, hierarchically parallel ------------
 	tSolve := time.Now()
-	if err := solveAll(q, ring, v, acc, distSolver, opts, res); err != nil {
+	if err := solveAll(ctx, q, ring, v, acc, distSolver, opts, res); err != nil {
 		return nil, err
 	}
 	res.Timings.SolveLinear = time.Since(tSolve)
@@ -223,6 +255,7 @@ func solveOnce(q *qep.Problem, opts Options) (*Result, error) {
 		}
 	}
 	res.Timings.Extract = time.Since(tExtract)
+	res.finalizeDiagnostics(opts)
 	return res, nil
 }
 
@@ -248,10 +281,17 @@ func probeBlock(n, nrh int, seed int64) *zlinalg.Matrix {
 // (worker, point) instead of once per column; the moment accumulator is
 // likewise fed one interleaved block per point. The Ndm > 1 bottom layer
 // keeps the per-column distributed path.
-func solveAll(q *qep.Problem, ring *contour.Ring, v *zlinalg.Matrix, acc *ssm.Accumulator, distSolver *dist.Solver, opts Options, res *Result) error {
+func solveAll(ctx context.Context, q *qep.Problem, ring *contour.Ring, v *zlinalg.Matrix, acc *ssm.Accumulator, distSolver *dist.Solver, opts Options, res *Result) error {
 	n := q.Dim()
 	nint := opts.Nint
 	par := opts.Parallel
+
+	// The first fatal error cancels the whole contour: every worker
+	// re-checks cctx before taking its next quadrature point, so in-flight
+	// work winds down promptly instead of draining the queue. A caller
+	// timeout flows through the same context.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	// Per-column majority controllers across the quadrature points.
 	groups := make([]*linsolve.GroupStop, opts.Nrh)
@@ -262,10 +302,23 @@ func solveAll(q *qep.Problem, ring *contour.Ring, v *zlinalg.Matrix, acc *ssm.Ac
 	// Top layer: split the Nrh columns into contiguous blocks.
 	blocks := splitRange(opts.Nrh, par.Top)
 	var (
-		mu       sync.Mutex // guards res.Points, res.MatVecs, res.CommBytes, firstErr
+		mu       sync.Mutex // guards res fields, the drop ledger, firstErr
 		firstErr error
 		topWG    sync.WaitGroup
 	)
+	// Graceful-degradation ledger: contributions dropped by the recovery
+	// ladder, per column (for weight renormalization) and as (point,
+	// column) pairs (for diagnostics). Guarded by mu.
+	droppedByCol := make([]int, opts.Nrh)
+	var droppedPairs []DroppedPair
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
 	for _, blk := range blocks {
 		topWG.Add(1)
 		go func(c0, c1 int) {
@@ -300,24 +353,31 @@ func solveAll(q *qep.Problem, ring *contour.Ring, v *zlinalg.Matrix, acc *ssm.Ac
 				go func() {
 					defer midWG.Done()
 					if distSolver != nil {
-						err := solvePointsDist(q, ring, points, bcols, acc, distSolver, groups, c0, opts, res, &mu)
+						err := solvePointsDist(cctx, q, ring, points, bcols, acc, distSolver, groups, c0, opts, res, &mu, droppedByCol, &droppedPairs)
 						if err != nil {
-							mu.Lock()
-							if firstErr == nil {
-								firstErr = err
-							}
-							mu.Unlock()
+							setErr(err)
 						}
 						return
 					}
 					// Per-worker blocked solve state, reused across points:
-					// the solution blocks and the shared Krylov workspace
-					// make the steady-state loop allocation-free.
+					// the solution blocks, the shared Krylov workspace and
+					// the recovery-ladder column scratch make the
+					// steady-state loop allocation-free.
 					x := make([]complex128, n*nb)
 					xd := make([]complex128, n*nb)
 					ws := linsolve.NewWorkspace(n, nb)
+					bcol := make([]complex128, n)
+					xcol := make([]complex128, n)
+					xdcol := make([]complex128, n)
 					colGroups := groups[c0:c1]
 					for j := range points {
+						if cctx.Err() != nil {
+							return
+						}
+						if injErr := opts.Chaos.PointFault(j); injErr != nil {
+							setErr(fmt.Errorf("core: fatal fault at quadrature point %d: %w", j, injErr))
+							return
+						}
 						zOut := ring.Outer[j].Z
 						wOut := ring.Outer[j].W
 						zIn := ring.Inner[j].Z
@@ -329,17 +389,23 @@ func solveAll(q *qep.Problem, ring *contour.Ring, v *zlinalg.Matrix, acc *ssm.Ac
 						apply := func(vv, out []complex128, nbv int) { q.ApplyBlock(zOut, vv, out, nbv) }
 						applyD := func(vv, out []complex128, nbv int) { q.ApplyDaggerBlock(zOut, vv, out, nbv) }
 						lopts := linsolve.Options{
-							Tol:     opts.BiCGTol,
-							MaxIter: opts.MaxIter,
-							History: opts.TrackHistories && c0 == 0,
+							Tol:       opts.BiCGTol,
+							MaxIter:   opts.MaxIter,
+							History:   opts.TrackHistories && c0 == 0,
+							Chaos:     opts.Chaos,
+							ChaosSite: chaos.Site{Point: j, Col: c0},
 						}
 						rs := linsolve.BlockBiCGDual(apply, applyD, b, b, x, xd, nb, lopts, colGroups, ws)
+						// Recovery ladder for failed columns, before the
+						// moment accumulation: dropped columns are zeroed in
+						// place so the accumulator never sees them.
+						var local PointStats
+						dropped, recMV := recoverBlockColumns(q, zOut, b, x, xd, nb, j, c0, colGroups, rs, opts, &local, bcol, xcol, xdcol)
 						// Accumulate: primal -> outer node, dual -> the
 						// paired inner node (P(zOut)^dagger = P(zIn)).
 						acc.AddInterleaved(zOut, wOut, c0, nb, x)
 						acc.AddInterleaved(zIn, wIn, c0, nb, xd)
-						var local PointStats
-						var matVecs int
+						matVecs := recMV
 						for _, r := range rs {
 							local.Iterations += r.Iterations
 							if r.Converged {
@@ -351,12 +417,13 @@ func solveAll(q *qep.Problem, ring *contour.Ring, v *zlinalg.Matrix, acc *ssm.Ac
 							matVecs += r.MatVecApplied
 						}
 						mu.Lock()
-						ps := &res.Points[j]
-						ps.Iterations += local.Iterations
-						ps.Converged += local.Converged
-						ps.StoppedEarly += local.StoppedEarly
-						if lopts.History && ps.History == nil {
-							ps.History = rs[0].History
+						mergePointStats(&res.Points[j], &local)
+						if lopts.History && res.Points[j].History == nil {
+							res.Points[j].History = rs[0].History
+						}
+						for _, c := range dropped {
+							droppedByCol[c]++
+							droppedPairs = append(droppedPairs, DroppedPair{Point: j, Col: c})
 						}
 						res.MatVecs += matVecs
 						mu.Unlock()
@@ -367,13 +434,57 @@ func solveAll(q *qep.Problem, ring *contour.Ring, v *zlinalg.Matrix, acc *ssm.Ac
 		}(blk[0], blk[1])
 	}
 	topWG.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: solve canceled: %w", err)
+	}
+	// Graceful degradation: renormalize each degraded column's surviving
+	// quadrature weights (a uniform column scaling, because the moments are
+	// weight-linear). A column that lost more than half its nodes is beyond
+	// recovery and fails the solve (contour.ErrTooManyDropped).
+	if len(droppedPairs) > 0 {
+		factors := make([]float64, opts.Nrh)
+		for c := range factors {
+			f, err := contour.RenormFactor(nint, droppedByCol[c])
+			if err != nil {
+				return fmt.Errorf("core: probe column %d: %w", c, err)
+			}
+			factors[c] = f
+		}
+		acc.ScaleColumns(factors)
+		res.Diagnostics.DroppedPairs = droppedPairs
+		res.Diagnostics.RenormFactors = factors
+	}
+	return nil
+}
+
+// mergePointStats folds a worker-local per-point record into the shared
+// one; the caller holds the global mutex.
+func mergePointStats(ps, local *PointStats) {
+	ps.Iterations += local.Iterations
+	ps.Converged += local.Converged
+	ps.StoppedEarly += local.StoppedEarly
+	ps.Breakdowns += local.Breakdowns
+	ps.Restarts += local.Restarts
+	ps.Fallbacks += local.Fallbacks
+	ps.Dropped += local.Dropped
+	if local.MaxResidual > ps.MaxResidual {
+		ps.MaxResidual = local.MaxResidual
+	}
+	if local.History != nil && ps.History == nil {
+		ps.History = local.History
+	}
 }
 
 // solvePointsDist drains the point queue with the per-column distributed
 // bottom layer (Ndm > 1). Statistics are accumulated locally and merged
-// into the shared result once per point, not once per column.
-func solvePointsDist(q *qep.Problem, ring *contour.Ring, points <-chan int, bcols [][]complex128, acc *ssm.Accumulator, distSolver *dist.Solver, groups []*linsolve.GroupStop, c0 int, opts Options, res *Result, mu *sync.Mutex) error {
+// into the shared result once per point, not once per column. A failed
+// column runs the same recovery ladder as the blocked path; the recovery
+// solves themselves are local-serial (recovery is rare, and a breakdown is
+// a property of the Krylov sequence, not of the decomposition).
+func solvePointsDist(ctx context.Context, q *qep.Problem, ring *contour.Ring, points <-chan int, bcols [][]complex128, acc *ssm.Accumulator, distSolver *dist.Solver, groups []*linsolve.GroupStop, c0 int, opts Options, res *Result, mu *sync.Mutex, droppedByCol []int, droppedPairs *[]DroppedPair) error {
 	n := q.Dim()
 	nb := len(bcols)
 	x := make([]complex128, n)
@@ -384,52 +495,86 @@ func solvePointsDist(q *qep.Problem, ring *contour.Ring, points <-chan int, bcol
 	xBlk := make([]complex128, n*nb)
 	xdBlk := make([]complex128, n*nb)
 	for j := range points {
+		if ctx.Err() != nil {
+			// Canceled by another worker's fatal error (which reports it)
+			// or by the caller (which solveAll reports).
+			return nil
+		}
+		if injErr := opts.Chaos.PointFault(j); injErr != nil {
+			return fmt.Errorf("core: fatal fault at quadrature point %d: %w", j, injErr)
+		}
 		zOut := ring.Outer[j].Z
 		wOut := ring.Outer[j].W
 		zIn := ring.Inner[j].Z
 		wIn := ring.Inner[j].W
 		var local PointStats
+		var localDropped []int
 		var matVecs int
 		var commBytes int64
 		for c := range bcols {
 			b := bcols[c]
 			lopts := linsolve.Options{
-				Tol:     opts.BiCGTol,
-				MaxIter: opts.MaxIter,
-				Group:   groups[c0+c],
-				History: opts.TrackHistories && c0+c == 0,
+				Tol:       opts.BiCGTol,
+				MaxIter:   opts.MaxIter,
+				Group:     groups[c0+c],
+				History:   opts.TrackHistories && c0+c == 0,
+				Chaos:     opts.Chaos,
+				ChaosSite: chaos.Site{Point: j, Col: c0 + c},
 			}
-			r, stats, err := distSolver.SolveDual(zOut, b, b, x, xd, lopts)
+			r, stats, err := distSolver.SolveDual(ctx, zOut, b, b, x, xd, lopts)
 			if err != nil {
 				return err
 			}
 			commBytes += stats.Bytes
+			local.Iterations += r.Iterations
+			matVecs += r.MatVecApplied
+			if r.Breakdown {
+				local.Breakdowns++
+			}
+			kept := true
+			switch {
+			case r.Converged:
+				local.Converged++
+			case r.StoppedEarly:
+				local.StoppedEarly++
+			default:
+				out := recoverColumn(q, zOut, b, x, xd, j, c0+c, groups[c0+c], r, opts)
+				local.Restarts += out.restarts
+				local.Fallbacks += out.fallbacks
+				local.Iterations += out.iterations
+				matVecs += out.matVecs
+				if out.dropped {
+					kept = false
+					local.Dropped++
+					localDropped = append(localDropped, c0+c)
+					for i := range x {
+						x[i] = 0
+						xd[i] = 0
+					}
+				} else {
+					local.Converged++
+					r.Residual = out.residual
+				}
+			}
+			if kept && r.Residual > local.MaxResidual {
+				local.MaxResidual = r.Residual
+			}
 			for i := 0; i < n; i++ {
 				xBlk[i*nb+c] = x[i]
 				xdBlk[i*nb+c] = xd[i]
 			}
-			local.Iterations += r.Iterations
-			if r.Converged {
-				local.Converged++
-			}
-			if r.StoppedEarly {
-				local.StoppedEarly++
-			}
 			if lopts.History && local.History == nil {
 				local.History = r.History
 			}
-			matVecs += r.MatVecApplied
 		}
 		// Primal block -> outer node, dual block -> the paired inner node.
 		acc.AddInterleaved(zOut, wOut, c0, nb, xBlk)
 		acc.AddInterleaved(zIn, wIn, c0, nb, xdBlk)
 		mu.Lock()
-		ps := &res.Points[j]
-		ps.Iterations += local.Iterations
-		ps.Converged += local.Converged
-		ps.StoppedEarly += local.StoppedEarly
-		if local.History != nil && ps.History == nil {
-			ps.History = local.History
+		mergePointStats(&res.Points[j], &local)
+		for _, dc := range localDropped {
+			droppedByCol[dc]++
+			*droppedPairs = append(*droppedPairs, DroppedPair{Point: j, Col: dc})
 		}
 		res.MatVecs += matVecs
 		res.CommBytes += commBytes

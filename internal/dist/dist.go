@@ -9,10 +9,12 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
+	"cbs/internal/chaos"
 	"cbs/internal/comm"
 	"cbs/internal/grid"
 	"cbs/internal/linsolve"
@@ -26,7 +28,14 @@ type Solver struct {
 	Ndm   int
 	slabs []grid.Slab
 	ranks []*rankState
+	inj   *chaos.Injector
 }
+
+// SetChaos installs a deterministic fault injector (nil disables it). Every
+// World created by subsequent solves inherits it, so halo-exchange payloads
+// become corruptible test subjects. Not safe to change concurrently with a
+// running solve.
+func (s *Solver) SetChaos(inj *chaos.Injector) { s.inj = inj }
 
 // rankState is the static per-rank data.
 type rankState struct {
@@ -98,28 +107,41 @@ type Stats struct {
 // SolveDual runs the distributed dual BiCG: P(z) x = b and P(z)^dagger
 // xd = bd. b, bd, x, xd are full-length (N) vectors; x and xd are
 // overwritten (zero initial guess).
-func (s *Solver) SolveDual(z complex128, b, bd, x, xd []complex128, opts linsolve.Options) (linsolve.Result, Stats, error) {
+//
+// Cancellation: rank 0 polls ctx once per iteration and the decision rides
+// along with the inner-product allreduce, so every rank leaves the
+// iteration loop at the same step (no rank is left blocked in a
+// collective). On cancellation the returned error wraps ctx.Err().
+func (s *Solver) SolveDual(ctx context.Context, z complex128, b, bd, x, xd []complex128, opts linsolve.Options) (linsolve.Result, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := s.Q.Dim()
 	if len(b) != n || len(bd) != n || len(x) != n || len(xd) != n {
 		return linsolve.Result{}, Stats{}, fmt.Errorf("dist: vector length mismatch")
+	}
+	if err := ctx.Err(); err != nil {
+		return linsolve.Result{}, Stats{}, fmt.Errorf("dist: solve not started: %w", err)
 	}
 	world, err := comm.NewWorld(s.Ndm)
 	if err != nil {
 		return linsolve.Result{}, Stats{}, err
 	}
 	defer world.Close()
+	world.SetChaos(s.inj)
 	results := make([]linsolve.Result, s.Ndm)
+	errs := make([]error, s.Ndm)
 	var wg sync.WaitGroup
 	for r := 0; r < s.Ndm; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			c, _ := world.Comm(rank)
-			results[rank] = s.rankSolve(c, rank, z, b, bd, x, xd, opts)
+			results[rank], errs[rank] = s.rankSolve(ctx, c, rank, z, b, bd, x, xd, opts)
 		}(r)
 	}
 	wg.Wait()
-	return results[0], Stats{Messages: world.Messages(), Bytes: world.Bytes()}, nil
+	return results[0], Stats{Messages: world.Messages(), Bytes: world.Bytes()}, errs[0]
 }
 
 // ApplyOnce performs one distributed operator application out = P(z) v on
@@ -151,11 +173,22 @@ func (s *Solver) ApplyOnce(z complex128, v []complex128) ([]complex128, error) {
 	return out, nil
 }
 
-// rankSolve is the SPMD body executed by every rank.
-func (s *Solver) rankSolve(c *comm.Communicator, rank int, z complex128, b, bd, x, xd []complex128, opts linsolve.Options) linsolve.Result {
+// Control-flag bits ridden along the per-iteration allreduce. Rank 0 makes
+// both decisions (group early-stop, context cancellation) and the reduction
+// broadcasts them, keeping the ranks iteration-aligned.
+const (
+	flagGroupStop = 1 << iota
+	flagCanceled
+)
+
+// rankSolve is the SPMD body executed by every rank. A non-nil error is
+// reported only by rank 0 (the ranks agree on the outcome; rank 0 speaks
+// for the group).
+func (s *Solver) rankSolve(ctx context.Context, c *comm.Communicator, rank int, z complex128, b, bd, x, xd []complex128, opts linsolve.Options) (linsolve.Result, error) {
 	rs := s.ranks[rank]
 	n := rs.n
 	res := linsolve.Result{}
+	canceled := false
 	maxIter := opts.MaxIter
 	if maxIter <= 0 {
 		maxIter = 10*s.Q.Dim() + 100
@@ -185,6 +218,12 @@ func (s *Solver) rankSolve(c *comm.Communicator, rank int, z complex128, b, bd, 
 		complex(norm2sq(rd), 0),
 	})
 	rho := init[0]
+	if opts.Chaos.Breakdown(opts.ChaosSite) {
+		// Injected Lanczos breakdown. The decision is a pure hash of the
+		// chaos site, so every rank zeroes rho identically — no divergence
+		// of control flow across the world.
+		rho = 0
+	}
 	nb := sqrtRe(init[1])
 	nbd := sqrtRe(init[2])
 	if nb == 0 {
@@ -207,24 +246,35 @@ func (s *Solver) rankSolve(c *comm.Communicator, rank int, z complex128, b, bd, 
 			res.Breakdown = true
 			break
 		}
-		// Group early stop: rank 0 reads the shared controller (guarded by
-		// the loose straggler tolerance, see linsolve.Options) and the
-		// decision rides along with the next reduction so every rank
-		// breaks at the same iteration.
+		// Group early stop and cancellation: rank 0 reads the shared
+		// controller (guarded by the loose straggler tolerance, see
+		// linsolve.Options) and polls the context; both decisions ride
+		// along with the next reduction as flag bits so every rank breaks
+		// at the same iteration.
 		loose := opts.LooseTol
 		if loose <= 0 {
 			loose = 100 * opts.Tol
 		}
 		var stopFlag complex128
-		if rank == 0 && opts.Group != nil && rel <= loose && relD <= loose && opts.Group.ShouldStop() {
-			stopFlag = 1
+		if rank == 0 {
+			if opts.Group != nil && rel <= loose && relD <= loose && opts.Group.ShouldStop() {
+				stopFlag += flagGroupStop
+			}
+			if ctx.Err() != nil {
+				stopFlag += flagCanceled
+			}
 		}
 		ax.apply(c, z, p, q)
 		ax.applyDagger(c, zd, pd, qd)
 		res.MatVecApplied += 2
 		out := c.AllreduceSum([]complex128{zlinalg.Dot(pd, q), stopFlag})
 		den := out[0]
-		if real(out[1]) > 0.5 {
+		flags := int(real(out[1]) + 0.5)
+		if flags&flagCanceled != 0 {
+			canceled = true
+			break
+		}
+		if flags&flagGroupStop != 0 {
 			res.StoppedEarly = true
 			break
 		}
@@ -260,15 +310,23 @@ func (s *Solver) rankSolve(c *comm.Communicator, rank int, z complex128, b, bd, 
 			res.History = append(res.History, rel)
 		}
 	}
-	if rel <= opts.Tol && relD <= opts.Tol {
+	if rel <= opts.Tol && relD <= opts.Tol && !canceled {
 		res.Converged = true
 	}
 	res.Residual = rel
 	res.DualResidual = relD
+	if canceled {
+		// ctx.Err() is stable once non-nil; rank 0 observed it before
+		// raising the flag, so reading it again here is race-free.
+		if rank == 0 {
+			return res, fmt.Errorf("dist: solve canceled at iteration %d: %w", res.Iterations, ctx.Err())
+		}
+		return res, nil
+	}
 	if res.Converged && opts.Group != nil && rank == 0 {
 		opts.Group.MarkConverged()
 	}
-	return res
+	return res, nil
 }
 
 func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }

@@ -1,10 +1,14 @@
 package dist
 
 import (
+	"context"
+	"errors"
 	"math/cmplx"
 	"math/rand"
 	"testing"
+	"time"
 
+	"cbs/internal/chaos"
 	"cbs/internal/hamiltonian"
 	"cbs/internal/lattice"
 	"cbs/internal/linsolve"
@@ -111,7 +115,7 @@ func TestDistributedSolveMatchesSerialBiCG(t *testing.T) {
 		}
 		x := make([]complex128, n)
 		xd := make([]complex128, n)
-		res, stats, err := s.SolveDual(z, b, bd, x, xd, linsolve.Options{Tol: 1e-10, MaxIter: 4000})
+		res, stats, err := s.SolveDual(context.Background(), z, b, bd, x, xd, linsolve.Options{Tol: 1e-10, MaxIter: 4000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,7 +163,7 @@ func TestSolverValidation(t *testing.T) {
 		t.Error("short vector should fail")
 	}
 	full := make([]complex128, q.Dim())
-	if _, _, err := s.SolveDual(1, short, full, full, full, linsolve.Options{}); err == nil {
+	if _, _, err := s.SolveDual(context.Background(), 1, short, full, full, full, linsolve.Options{}); err == nil {
 		t.Error("short vector should fail in SolveDual")
 	}
 }
@@ -180,7 +184,7 @@ func TestGroupStopPropagation(t *testing.T) {
 	}
 	x := make([]complex128, n)
 	xd := make([]complex128, n)
-	res, _, err := s.SolveDual(complex(1.2, 0.8), b, b, x, xd,
+	res, _, err := s.SolveDual(context.Background(), complex(1.2, 0.8), b, b, x, xd,
 		linsolve.Options{Tol: 1e-14, LooseTol: 1e30, MaxIter: 100, Group: g})
 	if err != nil {
 		t.Fatal(err)
@@ -190,5 +194,105 @@ func TestGroupStopPropagation(t *testing.T) {
 	}
 	if res.Iterations > 1 {
 		t.Errorf("stopped after %d iterations, want at most 1", res.Iterations)
+	}
+}
+
+// TestSolveDualCancellation: a dead context must stop every rank promptly
+// and surface a typed, errors.Is-able cause — no rank may be left blocked
+// in a collective.
+func TestSolveDualCancellation(t *testing.T) {
+	q := testProblem(t)
+	n := q.Dim()
+	rng := rand.New(rand.NewSource(5))
+	b := randVec(rng, n)
+	s, err := NewSolver(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, n)
+	xd := make([]complex128, n)
+
+	// Pre-canceled context: the solve must refuse to start.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, _, err := s.SolveDual(ctx, complex(1.1, 1.0), b, b, x, xd,
+		linsolve.Options{Tol: 1e-10, MaxIter: 4000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled solve: err = %v, want context.Canceled", err)
+	}
+	if res.Converged {
+		t.Error("pre-canceled solve reported convergence")
+	}
+
+	// Expired deadline during the iteration: an unreachable tolerance keeps
+	// the solver iterating until rank 0 notices the deadline; the flag ride
+	// breaks all ranks out together (the test would hang otherwise).
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	res, _, err = s.SolveDual(ctx2, complex(1.1, 1.0), b, b, x, xd,
+		linsolve.Options{Tol: 1e-300, MaxIter: 1 << 30})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out solve: err = %v, want context.DeadlineExceeded", err)
+	}
+	if res.Converged {
+		t.Error("canceled solve reported convergence")
+	}
+}
+
+// TestHaloChaosCorruption: an injector on the fabric corrupts the halo
+// exchange deterministically -- the distributed apply deviates from the
+// serial operator, identically across repeated runs.
+func TestHaloChaosCorruption(t *testing.T) {
+	q := testProblem(t)
+	n := q.Dim()
+	rng := rand.New(rand.NewSource(6))
+	v := randVec(rng, n)
+	z := complex(1.3, 0.7)
+
+	want := make([]complex128, n)
+	scratch := make([]complex128, n)
+	q.Apply(z, v, want, scratch)
+
+	s, err := NewSolver(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetChaos(chaos.New(9, chaos.Config{Halo: 1}))
+	got, err := s.ApplyOnce(z, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxd float64
+	for i := range got {
+		if d := cmplx.Abs(got[i] - want[i]); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd == 0 {
+		t.Fatal("certain halo corruption left the distributed apply unchanged")
+	}
+
+	// Same seed, fresh world: per-link sequence counters restart, so the
+	// corrupted result is reproduced exactly.
+	again, err := s.ApplyOnce(z, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("halo corruption not deterministic at %d: %v vs %v", i, got[i], again[i])
+		}
+	}
+
+	// Removing the injector restores the exact serial operator.
+	s.SetChaos(nil)
+	clean, err := s.ApplyOnce(z, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean {
+		if cmplx.Abs(clean[i]-want[i]) > 1e-11 {
+			t.Fatalf("clean apply deviates at %d after chaos removal", i)
+		}
 	}
 }

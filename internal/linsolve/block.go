@@ -183,6 +183,17 @@ func BlockBiCGDual(a, ad BlockApply, b, bd, x, xd []complex128, nb int, opts Opt
 		}
 	}
 	blockDots(rho, rd, r, nb)
+	if opts.Chaos != nil {
+		// Injected per-column Lanczos breakdowns (deterministic per
+		// (point, column, attempt) site; see internal/chaos).
+		for c := range rho {
+			s := opts.ChaosSite
+			s.Col += c
+			if opts.Chaos.Breakdown(s) {
+				rho[c] = 0
+			}
+		}
+	}
 	blockNorms(rel, r, nb)
 	blockNorms(relD, rd, nb)
 	for c := range rel {

@@ -1,0 +1,32 @@
+package linsolve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed failure sentinels of the iterative solvers. Callers branch on them
+// with errors.Is to drive the recovery ladder (restart on ErrBreakdown,
+// fall back on ErrNoConvergence, degrade when the ladder is exhausted).
+var (
+	// ErrBreakdown is a Krylov breakdown: a vanishing BiCG/CG inner
+	// product ended the recurrence before the residual target was met.
+	ErrBreakdown = errors.New("linsolve: Krylov breakdown")
+	// ErrNoConvergence is an iteration-cap failure: the solve ran out of
+	// iterations (stagnation) without reaching the residual target.
+	ErrNoConvergence = errors.New("linsolve: no convergence within the iteration cap")
+)
+
+// Err converts a Result into its typed failure: nil when the solve
+// converged or was legitimately halted by the majority rule, ErrBreakdown
+// on a Krylov breakdown, ErrNoConvergence otherwise.
+func (r Result) Err() error {
+	switch {
+	case r.Converged || r.StoppedEarly:
+		return nil
+	case r.Breakdown:
+		return fmt.Errorf("%w after %d iterations (residual %.2e)", ErrBreakdown, r.Iterations, r.Residual)
+	default:
+		return fmt.Errorf("%w: %d iterations (residual %.2e)", ErrNoConvergence, r.Iterations, r.Residual)
+	}
+}

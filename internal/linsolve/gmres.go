@@ -1,0 +1,196 @@
+package linsolve
+
+import (
+	"math"
+	"math/cmplx"
+
+	"cbs/internal/zlinalg"
+)
+
+// DefaultGMRESRestart is the Krylov subspace size of a restarted GMRES
+// cycle when Options/callers do not choose one.
+const DefaultGMRESRestart = 30
+
+// GMRES solves A x = b with restarted GMRES(m) (Saad, Iterative Methods,
+// Sec. 6.5): Arnoldi with modified Gram-Schmidt and a Givens-rotation QR of
+// the Hessenberg least-squares problem. Unlike BiCG it cannot suffer a
+// Lanczos breakdown on the indefinite shifted systems P(z) — its only exit
+// modes are convergence and the iteration cap — which makes it the fallback
+// rung of the contour solve recovery ladder. It is not allocation-free and
+// costs O(m) vectors of memory per cycle; the ladder only pays that for the
+// rare columns BiCG cannot finish.
+//
+// x holds the initial guess and is overwritten with the solution. restart
+// is the cycle length m (<= 0 selects DefaultGMRESRestart, capped at the
+// problem dimension). Group early stopping is not consulted: a fallback
+// solve is already a straggler.
+func GMRES(a Apply, b, x []complex128, restart int, opts Options) Result {
+	n := len(b)
+	if len(x) != n {
+		panic("linsolve: GMRES length mismatch")
+	}
+	m := restart
+	if m <= 0 {
+		m = DefaultGMRESRestart
+	}
+	if m > n {
+		m = n
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = defaultMaxIter(n)
+	}
+	res := Result{}
+
+	nb := zlinalg.Norm2(b)
+	if nb == 0 {
+		nb = 1
+	}
+
+	// Arnoldi basis (m+1 vectors), Hessenberg column storage, Givens
+	// rotations and the rotated residual vector g.
+	v := make([][]complex128, m+1)
+	for i := range v {
+		v[i] = make([]complex128, n)
+	}
+	h := make([][]complex128, m+1) // h[i][j]: row i, column j
+	for i := range h {
+		h[i] = make([]complex128, m)
+	}
+	cs := make([]complex128, m)
+	sn := make([]complex128, m)
+	g := make([]complex128, m+1)
+	y := make([]complex128, m)
+	w := make([]complex128, n)
+
+	rel := math.Inf(1)
+	for res.Iterations < maxIter {
+		// r0 = b - A x into v[0].
+		a(x, w)
+		res.MatVecApplied++
+		for i := 0; i < n; i++ {
+			v[0][i] = b[i] - w[i]
+		}
+		beta := zlinalg.Norm2(v[0])
+		rel = beta / nb
+		if opts.History {
+			res.History = append(res.History, rel)
+		}
+		if rel <= opts.Tol {
+			res.Converged = true
+			break
+		}
+		inv := complex(1/beta, 0)
+		for i := 0; i < n; i++ {
+			v[0][i] *= inv
+		}
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = complex(beta, 0)
+
+		// One restart cycle of at most m Arnoldi steps.
+		k := 0
+		for ; k < m && res.Iterations < maxIter; k++ {
+			a(v[k], w)
+			res.MatVecApplied++
+			res.Iterations++
+			// Modified Gram-Schmidt.
+			for i := 0; i <= k; i++ {
+				h[i][k] = zlinalg.Dot(v[i], w)
+				zlinalg.Axpy(-h[i][k], v[i], w)
+			}
+			hk1 := zlinalg.Norm2(w)
+			h[k+1][k] = complex(hk1, 0)
+			if hk1 > 0 {
+				inv := complex(1/hk1, 0)
+				for i := 0; i < n; i++ {
+					v[k+1][i] = w[i] * inv
+				}
+			}
+			// Apply the accumulated Givens rotations to the new column,
+			// then form the rotation annihilating h[k+1][k].
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -conj(sn[i])*h[i][k] + conj(cs[i])*h[i+1][k]
+				h[i][k] = t
+			}
+			cs[k], sn[k] = givens(h[k][k], h[k+1][k])
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			g[k+1] = -conj(sn[k]) * g[k]
+			g[k] = cs[k] * g[k]
+			rel = math.Sqrt(cabs2(g[k+1])) / nb
+			if opts.History {
+				res.History = append(res.History, rel)
+			}
+			if rel <= opts.Tol || hk1 == 0 {
+				k++
+				break
+			}
+		}
+		// Back-substitute y from the triangularized Hessenberg system and
+		// update x += V y.
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h[i][j] * y[j]
+			}
+			y[i] = s / h[i][i]
+		}
+		for i := 0; i < k; i++ {
+			zlinalg.Axpy(y[i], v[i], x)
+		}
+		if rel <= opts.Tol {
+			// Confirm with a true residual on the next cycle head; the
+			// rotated estimate is exact in exact arithmetic but the caller
+			// deserves an honest final value.
+			a(x, w)
+			res.MatVecApplied++
+			var rr float64
+			for i := 0; i < n; i++ {
+				d := b[i] - w[i]
+				rr += real(d)*real(d) + imag(d)*imag(d)
+			}
+			rel = math.Sqrt(rr) / nb
+			if rel <= opts.Tol {
+				res.Converged = true
+				break
+			}
+		}
+	}
+	if rel <= opts.Tol {
+		res.Converged = true
+	}
+	res.Residual = rel
+	return res
+}
+
+// givens returns the rotation (c, s) with |c|^2 + |s|^2 = 1 such that
+// [c s; -conj(s) conj(c)] * [a; b] = [r; 0].
+func givens(a, b complex128) (c, s complex128) {
+	if b == 0 {
+		return 1, 0
+	}
+	if a == 0 {
+		return 0, 1
+	}
+	na, nbv := cmplx.Abs(a), cmplx.Abs(b)
+	t := math.Hypot(na, nbv)
+	c = complex(na/t, 0)
+	s = (a / complex(na, 0)) * conj(b) / complex(t, 0)
+	return c, s
+}
+
+// GMRESDual is the dual-capable fallback rung: it solves the primal system
+// A x = b and the dual A^dagger xd = bd with two independent restarted
+// GMRES runs, preserving the z / 1/conj(z) node pairing of the ring
+// contour (Sec. 3.2) at twice the matvec cost of one BiCGDual iteration
+// stream — paid only for columns the BiCG rungs could not finish. The
+// primal result carries the combined MatVecApplied count.
+func GMRESDual(a, ad Apply, b, bd, x, xd []complex128, restart int, opts Options) (primal, dual Result) {
+	primal = GMRES(a, b, x, restart, opts)
+	dual = GMRES(ad, bd, xd, restart, opts)
+	primal.MatVecApplied += dual.MatVecApplied
+	return primal, dual
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 	"sync"
 
+	"cbs/internal/chaos"
 	"cbs/internal/zlinalg"
 )
 
@@ -32,6 +33,14 @@ type Options struct {
 	// reaches 1e-10). Without the guard, solves scheduled after the
 	// majority converged would abort unsolved.
 	LooseTol float64
+
+	// Chaos optionally injects deterministic faults (the resilience tests
+	// and the chaos-smoke CI job); nil in production. ChaosSite identifies
+	// this solve — quadrature point, first probe column of the block, and
+	// recovery-ladder attempt — so injection decisions are reproducible
+	// under any worker scheduling.
+	Chaos     *chaos.Injector
+	ChaosSite chaos.Site
 }
 
 // looseTol returns the effective straggler tolerance.
@@ -106,6 +115,11 @@ func BiCGDual(a, ad Apply, b, bd []complex128, x, xd []complex128, opts Options)
 	}
 
 	rho := zlinalg.Dot(rd, r)
+	if opts.Chaos.Breakdown(opts.ChaosSite) {
+		// Injected Lanczos breakdown: the shadow inner product vanishes
+		// before the first iteration (see internal/chaos).
+		rho = 0
+	}
 	rel := zlinalg.Norm2(r) / nb
 	relD := zlinalg.Norm2(rd) / nbd
 	if opts.History {

@@ -21,7 +21,7 @@ type Accumulator struct {
 // NewAccumulator creates an empty moment accumulator.
 func NewAccumulator(n, nrh, nmm int) (*Accumulator, error) {
 	if n < 1 || nrh < 1 || nmm < 1 {
-		return nil, fmt.Errorf("ssm: invalid accumulator dimensions n=%d nrh=%d nmm=%d", n, nrh, nmm)
+		return nil, fmt.Errorf("%w: invalid accumulator dimensions n=%d nrh=%d nmm=%d", ErrBadShape, n, nrh, nmm)
 	}
 	a := &Accumulator{n: n, nrh: nrh, nmm: nmm}
 	a.moments = make([]*zlinalg.Matrix, 2*nmm)
@@ -119,6 +119,31 @@ func accumScaled(dst, y []complex128, zk complex128) {
 	}
 }
 
+// ScaleColumns rescales probe column c of every moment block by
+// factors[c]: the graceful-degradation hook of the contour solve. When a
+// (quadrature point, column) solve exhausts the recovery ladder its
+// contribution is excluded from the moments, and the surviving quadrature
+// weights of that column are renormalized by contour.RenormFactor — which,
+// because the moments are weight-linear, is exactly a uniform scaling of
+// the column. A factor of 1 marks a clean column.
+func (a *Accumulator) ScaleColumns(factors []float64) {
+	if len(factors) != a.nrh {
+		panic("ssm: ScaleColumns length mismatch")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, m := range a.moments {
+		for i := 0; i < a.n; i++ {
+			row := m.Data[i*a.nrh : i*a.nrh+a.nrh]
+			for c, f := range factors {
+				if f != 1 {
+					row[c] *= complex(f, 0)
+				}
+			}
+		}
+	}
+}
+
 // Moments returns the accumulated moment blocks (not a copy).
 func (a *Accumulator) Moments() []*zlinalg.Matrix { return a.moments }
 
@@ -131,18 +156,18 @@ func (a *Accumulator) MemoryBytesUsed() int64 {
 // accumulated moment blocks.
 func ExtractFromMoments(moments []*zlinalg.Matrix, v *zlinalg.Matrix, opt Options) (*Result, error) {
 	if opt.Nmm < 1 {
-		return nil, fmt.Errorf("ssm: Nmm = %d must be >= 1", opt.Nmm)
+		return nil, fmt.Errorf("%w: Nmm = %d must be >= 1", ErrBadOptions, opt.Nmm)
 	}
 	if len(moments) != 2*opt.Nmm {
-		return nil, fmt.Errorf("ssm: %d moment blocks, want %d", len(moments), 2*opt.Nmm)
+		return nil, fmt.Errorf("%w: %d moment blocks, want %d", ErrBadShape, len(moments), 2*opt.Nmm)
 	}
 	if opt.Delta <= 0 {
-		return nil, fmt.Errorf("ssm: Delta = %g must be positive", opt.Delta)
+		return nil, fmt.Errorf("%w: Delta = %g must be positive", ErrBadOptions, opt.Delta)
 	}
 	n, nrh := v.Rows, v.Cols
 	for k, m := range moments {
 		if m.Rows != n || m.Cols != nrh {
-			return nil, fmt.Errorf("ssm: moment %d has shape %dx%d, want %dx%d", k, m.Rows, m.Cols, n, nrh)
+			return nil, fmt.Errorf("%w: moment %d has shape %dx%d, want %dx%d", ErrBadShape, k, m.Rows, m.Cols, n, nrh)
 		}
 	}
 	return extract(moments, v, opt)

@@ -69,3 +69,43 @@ func TestAddInterleavedValidation(t *testing.T) {
 		}()
 	}
 }
+
+// TestScaleColumns: per-column rescaling must touch exactly the targeted
+// columns of every moment block (the degradation renormalization hook).
+func TestScaleColumns(t *testing.T) {
+	a, err := NewAccumulator(3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]complex128, 3)
+	for col := 0; col < 3; col++ {
+		for i := range y {
+			y[i] = complex(float64(col+1), float64(i))
+		}
+		a.Add(complex(0.5, 0.25), complex(1, 0), col, y)
+	}
+	before := make([][]complex128, len(a.Moments()))
+	for k, m := range a.Moments() {
+		before[k] = append([]complex128(nil), m.Data...)
+	}
+	a.ScaleColumns([]float64{1, 2.5, 1})
+	for k, m := range a.Moments() {
+		for i := 0; i < 3; i++ {
+			for c := 0; c < 3; c++ {
+				want := before[k][i*3+c]
+				if c == 1 {
+					want *= 2.5
+				}
+				if got := m.Data[i*3+c]; cmplx.Abs(got-want) > 1e-15 {
+					t.Fatalf("moment %d (%d,%d): %v, want %v", k, i, c, got, want)
+				}
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-length ScaleColumns did not panic")
+		}
+	}()
+	a.ScaleColumns([]float64{1})
+}

@@ -1,0 +1,15 @@
+package ssm
+
+import "errors"
+
+// Typed sentinels of the extraction layer, matchable with errors.Is.
+var (
+	// ErrBadOptions is an invalid method parameterization (Nmm, Delta).
+	ErrBadOptions = errors.New("ssm: invalid method options")
+	// ErrBadShape is inconsistent quadrature, moment or probe data.
+	ErrBadShape = errors.New("ssm: inconsistent data shapes")
+	// ErrRankDeficient marks a failed dense kernel of the extraction (the
+	// Hankel SVD or the small eigenproblem): the moment data does not
+	// support a stable low-rank factorization.
+	ErrRankDeficient = errors.New("ssm: rank-deficient extraction")
+)

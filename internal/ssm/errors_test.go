@@ -1,0 +1,39 @@
+package ssm
+
+import (
+	"errors"
+	"testing"
+
+	"cbs/internal/zlinalg"
+)
+
+// TestTypedSentinels: every validation path must be errors.Is-matchable.
+func TestTypedSentinels(t *testing.T) {
+	v := zlinalg.NewMatrix(4, 2)
+	if _, err := Extract(nil, nil, nil, v, Options{Nmm: 2, Delta: 1e-10}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("empty quadrature error %v is not ErrBadShape", err)
+	}
+	zs := []complex128{1}
+	ws := []complex128{1}
+	ys := []*zlinalg.Matrix{zlinalg.NewMatrix(4, 2)}
+	if _, err := Extract(zs, ws, ys, v, Options{Nmm: 0, Delta: 1e-10}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Nmm=0 error %v is not ErrBadOptions", err)
+	}
+	if _, err := Extract(zs, ws, ys, v, Options{Nmm: 2, Delta: 0}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Delta=0 error %v is not ErrBadOptions", err)
+	}
+	bad := []*zlinalg.Matrix{zlinalg.NewMatrix(3, 2)}
+	if _, err := Extract(zs, ws, bad, v, Options{Nmm: 2, Delta: 1e-10}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("shape mismatch error %v is not ErrBadShape", err)
+	}
+	if _, err := NewAccumulator(0, 1, 1); !errors.Is(err, ErrBadShape) {
+		t.Errorf("accumulator dims error %v is not ErrBadShape", err)
+	}
+	if _, err := ExtractFromMoments([]*zlinalg.Matrix{v}, v, Options{Nmm: 2, Delta: 1e-10}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("moment count error %v is not ErrBadShape", err)
+	}
+	// The sentinels must stay distinct.
+	if errors.Is(ErrBadShape, ErrBadOptions) || errors.Is(ErrRankDeficient, ErrBadShape) {
+		t.Error("ssm sentinels must be distinct")
+	}
+}

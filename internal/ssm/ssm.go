@@ -11,7 +11,6 @@
 package ssm
 
 import (
-	"errors"
 	"fmt"
 
 	"cbs/internal/zlinalg"
@@ -42,22 +41,22 @@ type Result struct {
 // v the probe block V itself.
 func Extract(zs, ws []complex128, ys []*zlinalg.Matrix, v *zlinalg.Matrix, opt Options) (*Result, error) {
 	if len(zs) == 0 || len(zs) != len(ws) || len(zs) != len(ys) {
-		return nil, errors.New("ssm: inconsistent quadrature data")
+		return nil, fmt.Errorf("%w: inconsistent quadrature data", ErrBadShape)
 	}
 	if opt.Nmm < 1 {
-		return nil, fmt.Errorf("ssm: Nmm = %d must be >= 1", opt.Nmm)
+		return nil, fmt.Errorf("%w: Nmm = %d must be >= 1", ErrBadOptions, opt.Nmm)
 	}
 	if opt.Delta <= 0 {
-		return nil, fmt.Errorf("ssm: Delta = %g must be positive", opt.Delta)
+		return nil, fmt.Errorf("%w: Delta = %g must be positive", ErrBadOptions, opt.Delta)
 	}
 	n := v.Rows
 	nrh := v.Cols
 	for j, y := range ys {
 		if y == nil {
-			return nil, fmt.Errorf("ssm: missing solution block %d", j)
+			return nil, fmt.Errorf("%w: missing solution block %d", ErrBadShape, j)
 		}
 		if y.Rows != n || y.Cols != nrh {
-			return nil, fmt.Errorf("ssm: solution block %d has shape %dx%d, want %dx%d", j, y.Rows, y.Cols, n, nrh)
+			return nil, fmt.Errorf("%w: solution block %d has shape %dx%d, want %dx%d", ErrBadShape, j, y.Rows, y.Cols, n, nrh)
 		}
 	}
 
@@ -98,7 +97,7 @@ func extract(moments []*zlinalg.Matrix, v *zlinalg.Matrix, opt Options) (*Result
 	// Step 3a: SVD low-rank filter.
 	svd, err := zlinalg.SVD(hank)
 	if err != nil {
-		return nil, fmt.Errorf("ssm: Hankel SVD: %w", err)
+		return nil, fmt.Errorf("%w: Hankel SVD: %w", ErrRankDeficient, err)
 	}
 	rank := svd.Rank(opt.Delta)
 	if opt.AbsTol > 0 && (len(svd.S) == 0 || svd.S[0] < opt.AbsTol) {
@@ -123,7 +122,7 @@ func extract(moments []*zlinalg.Matrix, v *zlinalg.Matrix, opt Options) (*Result
 	}
 	taus, phis, err := zlinalg.Eig(small)
 	if err != nil {
-		return nil, fmt.Errorf("ssm: small eigenproblem: %w", err)
+		return nil, fmt.Errorf("%w: small eigenproblem: %w", ErrRankDeficient, err)
 	}
 
 	// Step 3c: eigenvector recovery psi = S-hat W1 Sigma1^{-1} phi with
