@@ -1,7 +1,7 @@
 GO ?= go
 CBSCHECK := bin/cbscheck
 
-.PHONY: all build test race lint cbscheck fuzz-smoke chaos-smoke
+.PHONY: all build test race lint cbscheck fuzz-smoke chaos-smoke sweep-smoke
 
 all: build test
 
@@ -32,6 +32,16 @@ chaos-smoke:
 	for seed in 1 2 3; do \
 		CBS_CHAOS=1 CBS_CHAOS_SEED=$$seed \
 		$(GO) test -count=2 ./internal/linsolve ./internal/core || exit 1; \
+	done
+
+# sweep-smoke drives the durable-sweep engine (checkpoint journal, retry
+# escalation, kill-and-resume) under sweep-level fault injection: per-energy
+# hard faults, checkpoint write faults, and torn journal records.
+sweep-smoke:
+	for seed in 1 2 3; do \
+		CBS_CHAOS=1 CBS_CHAOS_SEED=$$seed \
+		CBS_CHAOS_ENERGY=0.2 CBS_CHAOS_CKPT=0.1 CBS_CHAOS_TORN=0.1 \
+		$(GO) test -count=2 ./internal/sweep ./internal/chaos || exit 1; \
 	done
 
 fuzz-smoke:

@@ -32,6 +32,7 @@ package cbs
 
 import (
 	"context"
+	"fmt"
 
 	"cbs/internal/bandstructure"
 	"cbs/internal/core"
@@ -40,6 +41,7 @@ import (
 	"cbs/internal/obm"
 	"cbs/internal/qep"
 	"cbs/internal/scf"
+	"cbs/internal/sweep"
 	"cbs/internal/transport"
 )
 
@@ -69,6 +71,19 @@ type (
 	// DroppedPair is one (quadrature point, probe column) contribution
 	// discarded by graceful degradation.
 	DroppedPair = core.DroppedPair
+	// SweepConfig parameterizes the durable energy-sweep engine: worker
+	// count, per-energy retry/escalation budgets, and the checkpoint
+	// journal (see internal/sweep).
+	SweepConfig = sweep.Config
+	// SweepReport is the full per-energy outcome of a durable sweep.
+	SweepReport = sweep.Report
+	// SweepEnergyResult is one energy's terminal state in a sweep.
+	SweepEnergyResult = sweep.EnergyResult
+	// SweepStatus is the typed per-energy status (OK, Degraded, Failed,
+	// Skipped).
+	SweepStatus = sweep.Status
+	// ScanError wraps a scan failure with the offending energy.
+	ScanError = core.ScanError
 	// OBMOptions configures the transfer-matrix baseline.
 	OBMOptions = obm.Options
 	// OBMResult is the baseline's output.
@@ -85,6 +100,14 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 
 // DefaultOBMOptions returns the baseline's defaults.
 func DefaultOBMOptions() OBMOptions { return obm.DefaultOptions() }
+
+// Re-exported sweep statuses.
+const (
+	SweepOK       = sweep.StatusOK
+	SweepDegraded = sweep.StatusDegraded
+	SweepFailed   = sweep.StatusFailed
+	SweepSkipped  = sweep.StatusSkipped
+)
 
 // Structure generators (see internal/lattice for details).
 
@@ -171,15 +194,50 @@ func (m *Model) SolveCBSContext(ctx context.Context, e float64, opts Options) (*
 	return core.SolveContext(ctx, qep.New(m.Op, e), opts)
 }
 
-// ScanCBS runs SolveCBS over a list of energies (hartree).
+// ScanCBS runs SolveCBS over a list of energies (hartree). On failure the
+// completed prefix is returned alongside a *ScanError naming the offending
+// energy — callers should surface the partial results, not discard them.
+// For restartable production sweeps use SweepCBS instead.
 func (m *Model) ScanCBS(es []float64, opts Options) ([]*Result, error) {
 	return core.EnergyScan(qep.New(m.Op, 0), es, opts)
 }
 
 // ScanCBSParallel runs the energy scan with concurrent energies -- the
 // outermost trivially-parallel level of the paper's application section.
+// The first failure cancels the remaining queued and in-flight energies;
+// completed results come back alongside the *ScanError (nil holes for
+// energies that never finished).
 func (m *Model) ScanCBSParallel(es []float64, opts Options, workers int) ([]*Result, error) {
 	return core.EnergyScanParallel(qep.New(m.Op, 0), es, opts, workers)
+}
+
+// OperatorDesc identifies this model's operator for the sweep journal
+// fingerprint: the structure, the grid, and the cell length pin down the
+// physics a checkpoint was computed under.
+func (m *Model) OperatorDesc() string {
+	name := ""
+	if m.Op.Structure != nil {
+		name = m.Op.Structure.Name
+	}
+	g := m.Op.G
+	return fmt.Sprintf("%s|grid=%dx%dx%d|N=%d|a=%.12g", name, g.Nx, g.Ny, g.Nz, g.N(), g.Lz())
+}
+
+// SweepCBS runs the durable energy sweep: every energy ends in a typed
+// status (OK, Degraded, Failed) instead of the first failure sinking the
+// scan, a bounded retry policy escalates solver parameters per failure
+// class, and with cfg.CheckpointPath set each completed energy is journaled
+// so a killed sweep resumes without re-solving. If cfg.OperatorDesc is
+// empty it is filled from OperatorDesc. Cancellation checkpoints completed
+// work before returning.
+func (m *Model) SweepCBS(ctx context.Context, es []float64, opts Options, cfg SweepConfig) (*SweepReport, error) {
+	if cfg.OperatorDesc == "" {
+		cfg.OperatorDesc = m.OperatorDesc()
+	}
+	solve := func(ctx context.Context, e float64, o Options) (*Result, error) {
+		return core.SolveContext(ctx, qep.New(m.Op, e), o)
+	}
+	return sweep.Run(ctx, solve, es, opts, cfg)
 }
 
 // SolveOBM runs the transfer-matrix baseline at energy e (hartree).

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -105,33 +106,48 @@ func emit(prefix string, st *cbs.Structure, cfg cbs.GridConfig, nE int, window f
 	}
 	fb.Close()
 
-	// CBS scan (the black dots).
+	// CBS scan (the black dots) on the durable sweep engine: a pathological
+	// energy is retried with parameter escalation and, if it still fails,
+	// marked failed on stderr — the figure keeps every energy that solved
+	// instead of dying with an empty data file.
 	opts := cbs.DefaultOptions()
 	opts.Nint = 16
 	opts.Nmm = 6
 	opts.Nrh = 8
 	opts.Parallel = cbs.Parallel{Top: 2, Mid: 4}
+	var es []float64
+	for i := 0; i < nE; i++ {
+		es = append(es, ef+units.EVToHartree(-window+2*window*float64(i)/math.Max(1, float64(nE-1))))
+	}
+	report, err := model.SweepCBS(context.Background(), es, opts, cbs.SweepConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fc, err := os.Create(prefix + "_cbs.tsv")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(fc, "# complex band structure: E-EF (eV), Re(k)*a/pi, Im(k)*a/pi, |lambda|, residual\n")
-	for i := 0; i < nE; i++ {
-		e := ef + units.EVToHartree(-window+2*window*float64(i)/math.Max(1, float64(nE-1)))
-		res, err := model.SolveCBS(e, opts)
-		if err != nil {
-			log.Fatal(err)
+	for _, er := range report.Results {
+		if er.Status == cbs.SweepFailed {
+			fmt.Fprintf(os.Stderr, "  E-EF = %+.3f eV FAILED: %v\n", units.HartreeToEV(er.Energy-ef), er.Err)
+			continue
 		}
-		for _, p := range res.Pairs {
+		for _, p := range er.Result.Pairs {
 			lam := p.Lambda
 			fmt.Fprintf(fc, "%.6f\t%.6f\t%.6f\t%.6f\t%.2e\n",
-				units.HartreeToEV(e-ef),
+				units.HartreeToEV(er.Energy-ef),
 				real(p.K)*a/math.Pi, imag(p.K)*a/math.Pi,
 				mag(lam), p.Residual)
 		}
 	}
 	fc.Close()
-	fmt.Printf("  wrote %s_bands.tsv and %s_cbs.tsv (EF = %.4f Ha)\n", prefix, prefix, ef)
+	if report.Failed > 0 {
+		fmt.Printf("  wrote %s_bands.tsv and %s_cbs.tsv with %d of %d energies FAILED (EF = %.4f Ha)\n",
+			prefix, prefix, report.Failed, len(es), ef)
+	} else {
+		fmt.Printf("  wrote %s_bands.tsv and %s_cbs.tsv (EF = %.4f Ha)\n", prefix, prefix, ef)
+	}
 }
 
 func mag(z complex128) float64 { return math.Hypot(real(z), imag(z)) }

@@ -1,11 +1,17 @@
 // cbs is the command-line driver: compute the complex band structure of a
-// built-in system at one energy or over an energy window.
+// built-in system at one energy or over an energy window. Scans run on the
+// durable sweep engine: every energy ends in a typed status, failed
+// energies are retried with parameter escalation, and with -checkpoint set
+// each completed energy is journaled so a killed scan resumes with -resume
+// instead of re-solving. Ctrl-C flushes the journal and exits cleanly.
 //
 // Examples:
 //
 //	cbs -system al -e 0.0
 //	cbs -system cnt -n 8 -m 0 -emin -1 -emax 1 -ne 20
 //	cbs -system bundle7 -e 0.1 -top 2 -mid 4 -ndm 2
+//	cbs -system al -scan -ne 50 -checkpoint scan.journal
+//	cbs -system al -scan -ne 50 -checkpoint scan.journal -resume
 package main
 
 import (
@@ -36,9 +42,15 @@ func main() {
 	nf := flag.Int("nf", 4, "finite-difference half-width")
 
 	eFlag := flag.Float64("e", math.NaN(), "energy relative to EF (eV); NaN = scan")
+	scanFlag := flag.Bool("scan", false, "scan the energy window (overrides -e)")
 	emin := flag.Float64("emin", -1, "scan window start (eV, relative to EF)")
 	emax := flag.Float64("emax", 1, "scan window end (eV)")
 	nE := flag.Int("ne", 11, "scan points")
+
+	checkpoint := flag.String("checkpoint", "", "journal completed energies to this file")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint journal (skip completed energies)")
+	scanWorkers := flag.Int("scan-workers", 1, "concurrent energies in the sweep")
+	retries := flag.Int("retries", 3, "failed solve attempts per energy before it is marked failed")
 
 	nint := flag.Int("nint", 32, "quadrature points per circle")
 	nmm := flag.Int("nmm", 8, "moment blocks")
@@ -89,7 +101,7 @@ func main() {
 	opts.Chaos = chaos.FromEnv()
 
 	var energies []float64
-	if !math.IsNaN(*eFlag) {
+	if !*scanFlag && !math.IsNaN(*eFlag) {
 		energies = []float64{ef + units.EVToHartree(*eFlag)}
 	} else {
 		for i := 0; i < *nE; i++ {
@@ -98,46 +110,153 @@ func main() {
 		}
 	}
 
-	a := model.CellLength()
-	var diags []diagEntry
-	fmt.Printf("# E-EF(eV)\tRe(k)a/pi\tIm(k)a/pi\t|lambda|\tresidual\n")
-	for _, e := range energies {
-		res, err := model.SolveCBSContext(ctx, e, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, p := range res.Pairs {
-			fmt.Printf("%.6f\t%+.6f\t%+.6f\t%.6f\t%.2e\n",
-				units.HartreeToEV(e-ef),
-				real(p.K)*a/math.Pi, imag(p.K)*a/math.Pi,
-				math.Hypot(real(p.Lambda), imag(p.Lambda)), p.Residual)
-		}
-		fmt.Fprintf(os.Stderr, "E-EF = %+.3f eV: %d states, solve %v\n",
-			units.HartreeToEV(e-ef), len(res.Pairs), res.Timings.SolveLinear.Round(1e6))
-		if res.Diagnostics.Degraded {
-			fmt.Fprintf(os.Stderr, "E-EF = %+.3f eV: DEGRADED, %d contributions dropped\n",
-				units.HartreeToEV(e-ef), len(res.Diagnostics.DroppedPairs))
-		}
-		diags = append(diags, diagEntry{EnergyEV: units.HartreeToEV(e - ef), Diag: res.Diagnostics})
+	// Every energy runs through the durable sweep engine: a single -e solve
+	// is a one-element sweep, a scan gets per-energy retries, partial
+	// results, and the checkpoint journal.
+	cfg := cbs.SweepConfig{
+		Workers:        *scanWorkers,
+		MaxAttempts:    *retries,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+		Chaos:          opts.Chaos,
 	}
+	report, sweepErr := model.SweepCBS(ctx, energies, opts, cfg)
+
+	// Completed results are printed whatever happened to the rest of the
+	// sweep: a canceled or partly failed scan still delivers every energy
+	// it finished (and has journaled).
+	a := model.CellLength()
+	fmt.Printf("# E-EF(eV)\tRe(k)a/pi\tIm(k)a/pi\t|lambda|\tresidual\n")
+	for _, er := range report.Results {
+		eEV := units.HartreeToEV(er.Energy - ef)
+		if er.Result != nil {
+			for _, p := range er.Result.Pairs {
+				fmt.Printf("%.6f\t%+.6f\t%+.6f\t%.6f\t%.2e\n",
+					eEV, real(p.K)*a/math.Pi, imag(p.K)*a/math.Pi,
+					math.Hypot(real(p.Lambda), imag(p.Lambda)), p.Residual)
+			}
+		}
+		switch er.Status {
+		case cbs.SweepOK, cbs.SweepDegraded:
+			how := "solved"
+			if er.FromJournal {
+				how = "restored from journal"
+			}
+			fmt.Fprintf(os.Stderr, "E-EF = %+.3f eV: %s, %d states, %d attempts\n",
+				eEV, how, len(er.Result.Pairs), er.Attempts)
+			if er.Status == cbs.SweepDegraded {
+				fmt.Fprintf(os.Stderr, "E-EF = %+.3f eV: DEGRADED (%d dropped; escalations: %v)\n",
+					eEV, len(er.Result.Diagnostics.DroppedPairs), er.Escalations)
+			}
+		case cbs.SweepFailed:
+			fmt.Fprintf(os.Stderr, "E-EF = %+.3f eV: FAILED after %d attempts: %v\n", eEV, er.Attempts, er.Err)
+		case cbs.SweepSkipped:
+			fmt.Fprintf(os.Stderr, "E-EF = %+.3f eV: skipped (sweep interrupted)\n", eEV)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d ok, %d degraded, %d failed, %d skipped (%d restored from journal)\n",
+		report.OK, report.Degraded, report.Failed, report.Skipped, report.Restored)
+
 	if *diagPath != "" {
-		if err := writeDiagnostics(*diagPath, diags); err != nil {
+		if err := writeDiagnostics(*diagPath, diagReportOf(report, ef)); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "diagnostics written to %s\n", *diagPath)
 	}
+	if sweepErr != nil {
+		if ctx.Err() != nil {
+			// SIGINT: the journal holds every completed energy; a -resume
+			// rerun picks up from here. This is a clean exit.
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "interrupted: journal %s flushed, rerun with -resume to continue\n", *checkpoint)
+			} else {
+				fmt.Fprintln(os.Stderr, "interrupted")
+			}
+			return
+		}
+		log.Fatal(sweepErr)
+	}
+	if report.Failed > 0 {
+		os.Exit(1)
+	}
 }
 
-// diagEntry is one energy's solve health in the --diagnostics JSON export.
+// diagEntry is one energy's outcome in the --diagnostics JSON export.
 type diagEntry struct {
-	EnergyEV float64         `json:"energy_ev"`
-	Diag     cbs.Diagnostics `json:"diagnostics"`
+	EnergyEV    float64          `json:"energy_ev"`
+	Status      cbs.SweepStatus  `json:"status"`
+	Attempts    int              `json:"attempts,omitempty"`
+	Restored    bool             `json:"restored,omitempty"`
+	Escalations []string         `json:"escalations,omitempty"`
+	Error       string           `json:"error,omitempty"`
+	Diag        *cbs.Diagnostics `json:"diagnostics,omitempty"`
 }
 
-// writeDiagnostics exports the per-energy solve diagnostics as indented
-// JSON, one array entry per energy.
-func writeDiagnostics(path string, entries []diagEntry) error {
-	data, err := json.MarshalIndent(entries, "", "  ")
+// diagTotals aggregates the sweep: status counts plus the recovery-ladder
+// activity summed across every completed energy.
+type diagTotals struct {
+	OK             int     `json:"ok"`
+	Degraded       int     `json:"degraded"`
+	Failed         int     `json:"failed"`
+	Skipped        int     `json:"skipped"`
+	Restored       int     `json:"restored"`
+	Attempts       int     `json:"attempts"`
+	Breakdowns     int     `json:"breakdowns"`
+	Restarts       int     `json:"restarts"`
+	Fallbacks      int     `json:"fallbacks"`
+	DroppedPairs   int     `json:"dropped_pairs"`
+	ResidualBudget float64 `json:"residual_budget"` // worst across the sweep
+}
+
+// diagReport is the --diagnostics JSON document: per-energy rows plus
+// sweep-wide totals.
+type diagReport struct {
+	Energies []diagEntry `json:"energies"`
+	Totals   diagTotals  `json:"totals"`
+}
+
+// diagReportOf projects a sweep report into the JSON export.
+func diagReportOf(report *cbs.SweepReport, ef float64) *diagReport {
+	out := &diagReport{
+		Totals: diagTotals{
+			OK:       report.OK,
+			Degraded: report.Degraded,
+			Failed:   report.Failed,
+			Skipped:  report.Skipped,
+			Restored: report.Restored,
+			Attempts: report.Attempts,
+		},
+	}
+	for _, er := range report.Results {
+		entry := diagEntry{
+			EnergyEV:    units.HartreeToEV(er.Energy - ef),
+			Status:      er.Status,
+			Attempts:    er.Attempts,
+			Restored:    er.FromJournal,
+			Escalations: er.Escalations,
+		}
+		if er.Err != nil {
+			entry.Error = er.Err.Error()
+		}
+		if er.Result != nil {
+			d := er.Result.Diagnostics
+			entry.Diag = &d
+			out.Totals.Breakdowns += d.Breakdowns
+			out.Totals.Restarts += d.Restarts
+			out.Totals.Fallbacks += d.Fallbacks
+			out.Totals.DroppedPairs += len(d.DroppedPairs)
+			if d.ResidualBudget > out.Totals.ResidualBudget {
+				out.Totals.ResidualBudget = d.ResidualBudget
+			}
+		}
+		out.Energies = append(out.Energies, entry)
+	}
+	return out
+}
+
+// writeDiagnostics exports the sweep diagnostics as indented JSON.
+func writeDiagnostics(path string, report *diagReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}

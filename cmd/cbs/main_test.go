@@ -13,47 +13,76 @@ import (
 var update = flag.Bool("update", false, "rewrite the golden files")
 
 // TestWriteDiagnosticsGolden pins the --diagnostics JSON schema with a
-// synthetic, fully deterministic entry (no timings, no solver output), so a
-// field rename or tag change in core.Diagnostics is caught here before it
-// breaks downstream consumers. Regenerate with -update.
+// synthetic, fully deterministic sweep report (no timings, no solver
+// output), so a field rename or tag change in core.Diagnostics, the sweep
+// statuses or the totals block is caught here before it breaks downstream
+// consumers. Regenerate with -update.
 func TestWriteDiagnosticsGolden(t *testing.T) {
-	entries := []diagEntry{
-		{
-			EnergyEV: -0.25,
-			Diag: cbs.Diagnostics{
-				Nint:       8,
-				Nrh:        4,
-				Breakdowns: 3,
-				Restarts:   4,
-				Fallbacks:  1,
-				DroppedPairs: []cbs.DroppedPair{
-					{Point: 5, Col: 2},
+	report := &diagReport{
+		Energies: []diagEntry{
+			{
+				EnergyEV: -0.25,
+				Status:   cbs.SweepDegraded,
+				Attempts: 2,
+				Escalations: []string{
+					"tol 1.0e-10->1.0e-08 (no convergence)",
 				},
-				RenormFactors:  []float64{1, 1, 8.0 / 7.0, 1},
-				Degraded:       true,
-				ResidualBudget: 4.2e-11,
-				Points: []cbs.PointDiag{
-					{ZRe: 0.9, ZIm: 0.45, Iterations: 120, Converged: 4, MaxResidual: 1.1e-11},
-					{ZRe: 0.3, ZIm: 1.2, Iterations: 260, Converged: 3, StoppedEarly: 0,
-						Breakdowns: 3, Restarts: 4, Fallbacks: 1, Dropped: 1, MaxResidual: 4.2e-11},
+				Diag: &cbs.Diagnostics{
+					Nint:       8,
+					Nrh:        4,
+					Breakdowns: 3,
+					Restarts:   4,
+					Fallbacks:  1,
+					DroppedPairs: []cbs.DroppedPair{
+						{Point: 5, Col: 2},
+					},
+					RenormFactors:  []float64{1, 1, 8.0 / 7.0, 1},
+					Degraded:       true,
+					ResidualBudget: 4.2e-11,
+					Points: []cbs.PointDiag{
+						{ZRe: 0.9, ZIm: 0.45, Iterations: 120, Converged: 4, MaxResidual: 1.1e-11},
+						{ZRe: 0.3, ZIm: 1.2, Iterations: 260, Converged: 3, StoppedEarly: 0,
+							Breakdowns: 3, Restarts: 4, Fallbacks: 1, Dropped: 1, MaxResidual: 4.2e-11},
+					},
 				},
+			},
+			{
+				EnergyEV: 0.5,
+				Status:   cbs.SweepOK,
+				Attempts: 1,
+				Restored: true,
+				Diag: &cbs.Diagnostics{
+					Nint:           8,
+					Nrh:            4,
+					ResidualBudget: 9.9e-12,
+					Points: []cbs.PointDiag{
+						{ZRe: 0.9, ZIm: 0.45, Iterations: 96, Converged: 4, MaxResidual: 9.9e-12},
+					},
+				},
+			},
+			{
+				EnergyEV: 0.75,
+				Status:   cbs.SweepFailed,
+				Attempts: 3,
+				Error:    "sweep: energy 2 (E = 0.3 hartree) failed after 3 attempts: linsolve: no convergence within the iteration cap",
 			},
 		},
-		{
-			EnergyEV: 0.5,
-			Diag: cbs.Diagnostics{
-				Nint:           8,
-				Nrh:            4,
-				ResidualBudget: 9.9e-12,
-				Points: []cbs.PointDiag{
-					{ZRe: 0.9, ZIm: 0.45, Iterations: 96, Converged: 4, MaxResidual: 9.9e-12},
-				},
-			},
+		Totals: diagTotals{
+			OK:             1,
+			Degraded:       1,
+			Failed:         1,
+			Restored:       1,
+			Attempts:       6,
+			Breakdowns:     3,
+			Restarts:       4,
+			Fallbacks:      1,
+			DroppedPairs:   1,
+			ResidualBudget: 4.2e-11,
 		},
 	}
 
 	out := filepath.Join(t.TempDir(), "diag.json")
-	if err := writeDiagnostics(out, entries); err != nil {
+	if err := writeDiagnostics(out, report); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(out)

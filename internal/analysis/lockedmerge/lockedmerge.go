@@ -40,10 +40,15 @@ var Analyzer = &framework.Analyzer{
 	Run:  run,
 }
 
-// ScopedPackages names (by package name) the packages under this rule.
+// ScopedPackages names (by package name) the packages under this rule. For
+// core and dist the unit of merge is the quadrature point; for sweep it is
+// the energy — a sweep worker merges its per-energy outcome (result slot +
+// journal append) once per energy, never inside a per-attempt or per-pair
+// loop.
 var ScopedPackages = map[string]bool{
-	"core": true,
-	"dist": true,
+	"core":  true,
+	"dist":  true,
+	"sweep": true,
 }
 
 // lockMethodNames are method names treated as mutex acquisition wherever
@@ -64,6 +69,9 @@ var lockingAPIs = map[string]map[string]bool{
 		"GroupStop.MarkConverged": true,
 		"GroupStop.ShouldStop":    true,
 		"GroupStop.Converged":     true,
+	},
+	"sweep": {
+		"Journal.Append": true,
 	},
 }
 

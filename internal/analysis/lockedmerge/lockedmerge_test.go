@@ -10,3 +10,7 @@ import (
 func TestLockedMerge(t *testing.T) {
 	analysistest.Run(t, lockedmerge.Analyzer, "testdata/src/core")
 }
+
+func TestLockedMergeSweep(t *testing.T) {
+	analysistest.Run(t, lockedmerge.Analyzer, "testdata/src/sweep")
+}

@@ -1,0 +1,90 @@
+// Package sweep is the lockedmerge fixture for the sweep engine: its name
+// puts it in the analyzer's scope with the energy as the unit of merge. A
+// worker merges one energy's outcome (result slot + journal append) at loop
+// depth 1; journaling per attempt or per eigenpair (depth >= 2) is the
+// regression this fixture pins.
+package sweep
+
+import "sync"
+
+// Record mimics one per-energy journal entry.
+type Record struct {
+	Index int
+	Pairs []float64
+}
+
+// Journal mimics the internally-locked checkpoint log.
+type Journal struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// Append merges one energy record under the internal lock (depth 0 here).
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	j.recs = append(j.recs, rec)
+	j.mu.Unlock()
+	return nil
+}
+
+// perEnergyWorker is the sanctioned shape: the goroutine body is its own
+// scope, each energy is pulled off the shared queue and its completed
+// record journaled once (depth 1).
+func perEnergyWorker(jobs <-chan int, results []Record, j *Journal) {
+	go func() {
+		for i := range jobs {
+			rec := Record{Index: i}
+			results[i] = rec
+			j.Append(rec)
+		}
+	}()
+}
+
+// perAttemptJournal checkpoints inside the retry loop (depth 2): a partial
+// attempt is not a terminal outcome and must not reach the journal.
+func perAttemptJournal(jobs <-chan int, j *Journal) {
+	go func() {
+		for i := range jobs {
+			for attempt := 0; attempt < 3; attempt++ {
+				j.Append(Record{Index: i}) // want `Journal\.Append locks internally and is called in a nested \(per-column\) loop`
+			}
+		}
+	}()
+}
+
+// perPairJournal journals per eigenpair (depth 2): flagged.
+func perPairJournal(energies [][]float64, j *Journal) {
+	for i, pairs := range energies {
+		for range pairs {
+			j.Append(Record{Index: i}) // want `Journal\.Append locks internally and is called in a nested \(per-column\) loop`
+		}
+	}
+}
+
+// perPairLock takes the report mutex per pair (depth 2): flagged by the
+// general mutex rule.
+func perPairLock(energies [][]float64, mu *sync.Mutex, out []float64) {
+	for _, pairs := range energies {
+		for p, v := range pairs {
+			mu.Lock() // want `Mutex\.Lock in a nested \(per-column\) loop`
+			out[p] += v
+			mu.Unlock() // want `Mutex\.Unlock in a nested \(per-column\) loop`
+		}
+	}
+}
+
+// perEnergyMerge buffers the pairs locally and merges once per energy:
+// clean.
+func perEnergyMerge(energies [][]float64, mu *sync.Mutex, out []float64) {
+	for range energies {
+		local := 0.0
+		for _, pairs := range energies {
+			for _, v := range pairs {
+				local += v
+			}
+		}
+		mu.Lock()
+		out[0] += local
+		mu.Unlock()
+	}
+}

@@ -51,6 +51,19 @@ type Config struct {
 	// bottom-layer fabric is zeroed (a corrupted/dropped halo message).
 	Halo float64
 
+	// EnergyFault is the probability that one whole energy of a sweep
+	// fails hard before its solve starts (the sweep-level analog of
+	// PointFault: the retry policy sees a typed injected error on every
+	// attempt, so the energy must end Failed without sinking the sweep).
+	EnergyFault float64
+	// CheckpointFault is the probability that the journal append for one
+	// energy record fails with a typed error (a full disk / EIO stand-in).
+	CheckpointFault float64
+	// TornRecord is the probability that the journal append for one
+	// energy record is cut mid-write (a crash between write and fsync):
+	// only a prefix of the record reaches the file and no newline follows.
+	TornRecord float64
+
 	// Columns, when non-empty, restricts the column-scoped injections
 	// (Breakdown, RestartBreakdown, FallbackFail) to the listed probe
 	// columns.
@@ -58,6 +71,10 @@ type Config struct {
 	// Points, when non-empty, restricts PointFault to the listed
 	// quadrature points.
 	Points []int
+	// Energies, when non-empty, restricts the sweep-scoped injections
+	// (EnergyFault, CheckpointFault, TornRecord) to the listed energy
+	// indices.
+	Energies []int
 }
 
 // Injector draws deterministic injection decisions from a seed.
@@ -89,6 +106,9 @@ func (in *Injector) Seed() int64 {
 //	CBS_CHAOS_FALLBACK=<p>       fallback failure rate (default 0)
 //	CBS_CHAOS_POINT=<p>          hard point-fault rate (default 0)
 //	CBS_CHAOS_HALO=<p>           halo corruption rate (default 0)
+//	CBS_CHAOS_ENERGY=<p>         sweep energy hard-fault rate (default 0)
+//	CBS_CHAOS_CKPT=<p>           checkpoint write-fault rate (default 0)
+//	CBS_CHAOS_TORN=<p>           torn journal-record rate (default 0)
 func FromEnv() *Injector {
 	if os.Getenv("CBS_CHAOS") == "" {
 		return nil
@@ -116,6 +136,9 @@ func FromEnv() *Injector {
 		FallbackFail:     rate("CBS_CHAOS_FALLBACK", 0),
 		PointFault:       rate("CBS_CHAOS_POINT", 0),
 		Halo:             rate("CBS_CHAOS_HALO", 0),
+		EnergyFault:      rate("CBS_CHAOS_ENERGY", 0),
+		CheckpointFault:  rate("CBS_CHAOS_CKPT", 0),
+		TornRecord:       rate("CBS_CHAOS_TORN", 0),
 	})
 }
 
@@ -162,6 +185,9 @@ const (
 	kindFallback  = 0x6662 // "fb"
 	kindPoint     = 0x7074 // "pt"
 	kindHalo      = 0x686c // "hl"
+	kindEnergy    = 0x656e // "en"
+	kindCkpt      = 0x636b // "ck"
+	kindTorn      = 0x746e // "tn"
 )
 
 // Breakdown reports whether the BiCG solve at s should break down
@@ -222,4 +248,54 @@ func (in *Injector) CorruptHalo(src, dst int, seq int64) bool {
 		return false
 	}
 	return in.hit(in.cfg.Halo, kindHalo, src, dst, int(seq))
+}
+
+// energyTargeted reports whether sweep-scoped injections apply to the
+// energy index.
+func (in *Injector) energyTargeted(index int) bool {
+	if len(in.cfg.Energies) == 0 {
+		return true
+	}
+	for _, e := range in.cfg.Energies {
+		if e == index {
+			return true
+		}
+	}
+	return false
+}
+
+// EnergyFault returns a typed injected error when the sweep energy at
+// index should fail hard before its solve, nil otherwise. Every attempt of
+// a hit energy fails (the attempt is not part of the site), so the retry
+// policy must exhaust its budget and mark the energy Failed.
+func (in *Injector) EnergyFault(index int) error {
+	if in == nil || !in.energyTargeted(index) {
+		return nil
+	}
+	if !in.hit(in.cfg.EnergyFault, kindEnergy, index, 0, 0) {
+		return nil
+	}
+	return fmt.Errorf("%w: hard fault at sweep energy %d", ErrInjected, index)
+}
+
+// CheckpointFault returns a typed injected error when the journal append
+// for the energy record at index should fail, nil otherwise.
+func (in *Injector) CheckpointFault(index int) error {
+	if in == nil || !in.energyTargeted(index) {
+		return nil
+	}
+	if !in.hit(in.cfg.CheckpointFault, kindCkpt, index, 0, 0) {
+		return nil
+	}
+	return fmt.Errorf("%w: checkpoint write fault at sweep energy %d", ErrInjected, index)
+}
+
+// TornRecord reports whether the journal append for the energy record at
+// index should be cut mid-write, leaving a torn (CRC-failing, unterminated)
+// tail that the loader must detect and drop.
+func (in *Injector) TornRecord(index int) bool {
+	if in == nil || !in.energyTargeted(index) {
+		return false
+	}
+	return in.hit(in.cfg.TornRecord, kindTorn, index, 0, 0)
 }

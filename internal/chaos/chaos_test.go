@@ -132,6 +132,56 @@ func TestColumnAndPointTargeting(t *testing.T) {
 	}
 }
 
+// TestSweepSites: the sweep-level sites (energy fault, checkpoint fault,
+// torn record) are nil-safe, deterministic, energy-targeted, and typed.
+func TestSweepSites(t *testing.T) {
+	var nilIn *Injector
+	if err := nilIn.EnergyFault(0); err != nil {
+		t.Errorf("nil injector energy fault: %v", err)
+	}
+	if err := nilIn.CheckpointFault(0); err != nil {
+		t.Errorf("nil injector checkpoint fault: %v", err)
+	}
+	if nilIn.TornRecord(0) {
+		t.Error("nil injector must not tear records")
+	}
+
+	in := New(5, Config{EnergyFault: 1, CheckpointFault: 1, TornRecord: 1, Energies: []int{3}})
+	for _, i := range []int{0, 1, 2, 4} {
+		if in.EnergyFault(i) != nil || in.CheckpointFault(i) != nil || in.TornRecord(i) {
+			t.Errorf("energy %d is not targeted but was hit", i)
+		}
+	}
+	if err := in.EnergyFault(3); err == nil || !errors.Is(err, ErrInjected) {
+		t.Errorf("targeted energy fault = %v, want ErrInjected", err)
+	}
+	if err := in.CheckpointFault(3); err == nil || !errors.Is(err, ErrInjected) {
+		t.Errorf("targeted checkpoint fault = %v, want ErrInjected", err)
+	}
+	if !in.TornRecord(3) {
+		t.Error("targeted torn record with rate 1 must hit")
+	}
+
+	// Fractional rates draw the same decisions on two injectors with the
+	// same seed, and the three kinds are independent sites.
+	a := New(9, Config{EnergyFault: 0.4, CheckpointFault: 0.4, TornRecord: 0.4})
+	b := New(9, Config{EnergyFault: 0.4, CheckpointFault: 0.4, TornRecord: 0.4})
+	allSame := true
+	for i := 0; i < 128; i++ {
+		ea, ca, ta := a.EnergyFault(i) != nil, a.CheckpointFault(i) != nil, a.TornRecord(i)
+		eb, cb, tb := b.EnergyFault(i) != nil, b.CheckpointFault(i) != nil, b.TornRecord(i)
+		if ea != eb || ca != cb || ta != tb {
+			t.Fatalf("energy %d: decisions differ across identically-seeded injectors", i)
+		}
+		if ea != ca || ea != ta {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Error("the three sweep fault kinds drew identical decisions at 128 sites; the kind is not mixed into the hash")
+	}
+}
+
 // TestFromEnv: unset means nil; set means an injector with the parsed seed.
 func TestFromEnv(t *testing.T) {
 	t.Setenv("CBS_CHAOS", "")

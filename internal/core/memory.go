@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync"
-
 	"cbs/internal/qep"
 )
 
@@ -36,55 +34,4 @@ func MemoryEstimate(q *qep.Problem, opts Options) int64 {
 	b += workers * 8 * n * nbBlk * 16
 	b += top * n * nbBlk * 16
 	return b
-}
-
-// EnergyScan solves the CBS at every energy in es (hartree), sequentially
-// reusing the operator. The paper's Fig. 6 and Fig. 11 are scans of 200
-// equidistant energies.
-func EnergyScan(q *qep.Problem, es []float64, opts Options) ([]*Result, error) {
-	out := make([]*Result, 0, len(es))
-	for _, e := range es {
-		qe := qep.New(q.Op, e)
-		r, err := Solve(qe, opts)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
-}
-
-// EnergyScanParallel runs the scan with workers concurrent energies: the
-// outermost trivially-parallel level of the paper's Sec. 5 application
-// ("200 independent calculations at equidistant energies"). Results are
-// returned in energy order; the first error aborts remaining work.
-func EnergyScanParallel(q *qep.Problem, es []float64, opts Options, workers int) ([]*Result, error) {
-	if workers < 2 || len(es) < 2 {
-		return EnergyScan(q, es, opts)
-	}
-	out := make([]*Result, len(es))
-	errs := make([]error, len(es))
-	jobs := make(chan int, len(es))
-	for i := range es {
-		jobs <- i
-	}
-	close(jobs)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				qe := qep.New(q.Op, es[i])
-				out[i], errs[i] = Solve(qe, opts)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
-	}
-	return out, nil
 }

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cbs/internal/qep"
+)
+
+// ScanError wraps a per-energy solve failure with the offending energy, so
+// a scan caller can report which of the 200 energies sank the run. It is
+// transparent to errors.Is/As: Unwrap exposes the underlying cause
+// (linsolve.ErrNoConvergence, contour.ErrTooManyDropped, chaos.ErrInjected,
+// context.Canceled, ...).
+type ScanError struct {
+	Index  int     // position in the scanned energy list
+	Energy float64 // hartree
+	Err    error
+}
+
+func (e *ScanError) Error() string {
+	return fmt.Sprintf("core: energy scan failed at index %d (E = %g hartree): %v", e.Index, e.Energy, e.Err)
+}
+
+func (e *ScanError) Unwrap() error { return e.Err }
+
+// EnergyScan solves the CBS at every energy in es (hartree), sequentially
+// reusing the operator. The paper's Fig. 6 and Fig. 11 are scans of 200
+// equidistant energies. On failure the completed prefix is returned
+// alongside a *ScanError naming the offending energy — callers that can
+// use partial data (plots, sweep resumption) must not discard it.
+func EnergyScan(q *qep.Problem, es []float64, opts Options) ([]*Result, error) {
+	return EnergyScanContext(context.Background(), q, es, opts)
+}
+
+// EnergyScanContext is EnergyScan under a context: cancellation stops the
+// scan before the next energy and the error wraps ctx.Err().
+func EnergyScanContext(ctx context.Context, q *qep.Problem, es []float64, opts Options) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]*Result, 0, len(es))
+	for i, e := range es {
+		if err := ctx.Err(); err != nil {
+			return out, &ScanError{Index: i, Energy: e, Err: err}
+		}
+		if err := opts.Chaos.EnergyFault(i); err != nil {
+			return out, &ScanError{Index: i, Energy: e, Err: err}
+		}
+		qe := qep.New(q.Op, e)
+		r, err := SolveContext(ctx, qe, opts)
+		if err != nil {
+			return out, &ScanError{Index: i, Energy: e, Err: err}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// EnergyScanParallel runs the scan with workers concurrent energies: the
+// outermost trivially-parallel level of the paper's Sec. 5 application
+// ("200 independent calculations at equidistant energies"). Results are
+// returned in energy order. The first error cancels the remaining queued
+// and in-flight energies (each worker's solve runs under the shared
+// cancelable context and re-checks it before taking the next energy), and
+// the returned *ScanError names the first failed energy in scan order;
+// completed results are returned alongside it, with nil holes for energies
+// that never finished.
+func EnergyScanParallel(q *qep.Problem, es []float64, opts Options, workers int) ([]*Result, error) {
+	return EnergyScanParallelContext(context.Background(), q, es, opts, workers)
+}
+
+// EnergyScanParallelContext is EnergyScanParallel under a caller context:
+// cancellation or a deadline winds down all scan workers promptly.
+func EnergyScanParallelContext(ctx context.Context, q *qep.Problem, es []float64, opts Options, workers int) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers < 2 || len(es) < 2 {
+		return EnergyScanContext(ctx, q, es, opts)
+	}
+	// The first failure cancels the scan: queued energies are skipped and
+	// in-flight solves stop at their next context check instead of running
+	// all 200 energies to completion behind a doomed sweep.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]*Result, len(es))
+	errs := make([]error, len(es))
+	jobs := make(chan int, len(es))
+	for i := range es {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if cctx.Err() != nil {
+					return
+				}
+				if err := opts.Chaos.EnergyFault(i); err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+				qe := qep.New(q.Op, es[i])
+				out[i], errs[i] = SolveContext(cctx, qe, opts)
+				if errs[i] != nil {
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Report the first genuine failure in scan order (not completion
+	// order), so the error is deterministic under any worker scheduling.
+	// A solve canceled by another energy's failure is an echo, charged to
+	// that failure rather than reported as its own.
+	for i, err := range errs {
+		if err == nil || isCancelEcho(ctx, err) {
+			continue
+		}
+		return out, &ScanError{Index: i, Energy: es[i], Err: err}
+	}
+	// Caller cancellation with no per-energy error recorded (workers bowed
+	// out before solving): charge it to the first unfinished energy.
+	if err := ctx.Err(); err != nil {
+		for i, r := range out {
+			if r == nil {
+				return out, &ScanError{Index: i, Energy: es[i], Err: err}
+			}
+		}
+	}
+	return out, nil
+}
+
+// isCancelEcho reports whether err is a cancellation ripple of the scan's
+// internal cancel rather than a genuine failure: it wraps context.Canceled
+// while the caller's own context is still alive.
+func isCancelEcho(ctx context.Context, err error) bool {
+	return ctx.Err() == nil && errors.Is(err, context.Canceled)
+}

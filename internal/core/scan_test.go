@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cbs/internal/chaos"
+	"cbs/internal/qep"
+)
+
+// scanEnergies returns nE energies inside the test system's low bands.
+func scanEnergies(t *testing.T, nE int) (*qep.Problem, []float64) {
+	t.Helper()
+	op := smallAl(t, 8)
+	q := qep.New(op, 0)
+	es := make([]float64, nE)
+	for i := range es {
+		es[i] = 0.05 + 0.01*float64(i)
+	}
+	return q, es
+}
+
+// scanOptions are fast settings for the scan tests.
+func scanOptions() Options {
+	o := DefaultOptions()
+	o.Nint = 8
+	o.Nmm = 4
+	o.Nrh = 6
+	return o
+}
+
+// TestEnergyScanPartialResults: a mid-scan failure must return the
+// completed prefix alongside a ScanError naming the offending energy, not
+// discard the finished solves.
+func TestEnergyScanPartialResults(t *testing.T) {
+	q, es := scanEnergies(t, 4)
+	opts := scanOptions()
+	const failAt = 2
+	opts.Chaos = chaos.New(1, chaos.Config{EnergyFault: 1, Energies: []int{failAt}})
+
+	out, err := EnergyScan(q, es, opts)
+	if err == nil {
+		t.Fatal("scan with an injected hard fault succeeded")
+	}
+	var se *ScanError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ScanError", err)
+	}
+	if se.Index != failAt || se.Energy != es[failAt] {
+		t.Errorf("ScanError names energy %d (E=%g), want %d (E=%g)", se.Index, se.Energy, failAt, es[failAt])
+	}
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Errorf("cause %v not errors.Is-able to chaos.ErrInjected", err)
+	}
+	if len(out) != failAt {
+		t.Fatalf("got %d partial results, want the %d completed before the fault", len(out), failAt)
+	}
+	for i, r := range out {
+		if r == nil || len(r.Pairs) == 0 && r.Rank == 0 {
+			t.Errorf("partial result %d is empty", i)
+		}
+	}
+}
+
+// TestEnergyScanParallelCancelsPromptly: the first failure must cancel the
+// queued and in-flight energies instead of solving all of them to
+// completion behind a doomed scan. With the fault on the first energy and
+// a deep queue, most energies must never have been solved.
+func TestEnergyScanParallelCancelsPromptly(t *testing.T) {
+	q, es := scanEnergies(t, 8)
+	opts := scanOptions()
+	opts.Chaos = chaos.New(1, chaos.Config{EnergyFault: 1, Energies: []int{0}})
+
+	start := time.Now()
+	out, err := EnergyScanParallel(q, es, opts, 2)
+	elapsed := time.Since(start)
+
+	var se *ScanError
+	if !errors.As(err, &se) || !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("err = %v, want *ScanError wrapping chaos.ErrInjected", err)
+	}
+	if se.Index != 0 {
+		t.Errorf("first failure reported at index %d, want 0", se.Index)
+	}
+	solved := 0
+	for _, r := range out {
+		if r != nil {
+			solved++
+		}
+	}
+	// The second worker may finish the solve it holds when the fault
+	// lands; everything still queued must be skipped.
+	if solved > 2 {
+		t.Errorf("%d of %d energies solved after the first failure; cancellation did not propagate", solved, len(es))
+	}
+	// Generous wall-clock bound: aborting promptly must not cost the
+	// full 8-energy scan (each solve takes a measurable fraction of a
+	// second on this system).
+	if limit := 60 * time.Second; elapsed > limit {
+		t.Errorf("scan took %v after an immediate fault (bound %v)", elapsed, limit)
+	}
+}
+
+// TestEnergyScanContextCanceled: a dead context stops the scan before the
+// next energy with a ScanError wrapping context.Canceled.
+func TestEnergyScanContextCanceled(t *testing.T) {
+	q, es := scanEnergies(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	out, err := EnergyScanContext(ctx, q, es, scanOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("sequential: err = %v, want context.Canceled", err)
+	}
+	if len(out) != 0 {
+		t.Errorf("pre-canceled scan returned %d results", len(out))
+	}
+
+	pout, err := EnergyScanParallelContext(ctx, q, es, scanOptions(), 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("parallel: err = %v, want context.Canceled", err)
+	}
+	for i, r := range pout {
+		if r != nil {
+			t.Errorf("parallel pre-canceled scan solved energy %d", i)
+		}
+	}
+}
+
+// TestScanErrorUnwrap: the wrapper is transparent to errors.Is/As.
+func TestScanErrorUnwrap(t *testing.T) {
+	inner := ErrSubspaceTooLarge
+	err := &ScanError{Index: 7, Energy: 0.25, Err: inner}
+	if !errors.Is(err, ErrSubspaceTooLarge) {
+		t.Error("ScanError does not unwrap to its cause")
+	}
+	var se *ScanError
+	if !errors.As(error(err), &se) || se.Index != 7 {
+		t.Error("errors.As through ScanError failed")
+	}
+}

@@ -1,0 +1,390 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"cbs/internal/chaos"
+	"cbs/internal/core"
+)
+
+// Typed sentinels of the journal layer.
+var (
+	// ErrBadJournal is a checkpoint file without a valid header: not a
+	// sweep journal, or one written by an incompatible version.
+	ErrBadJournal = errors.New("sweep: not a valid sweep journal")
+	// ErrFingerprintMismatch means the journal was written for a different
+	// operator, energy list, or solver parameterization; resuming from it
+	// would pass off stale records as current results.
+	ErrFingerprintMismatch = errors.New("sweep: journal fingerprint does not match this sweep")
+	// ErrCheckpoint wraps a failed journal append: the record may not be
+	// durable, so the sweep stops rather than keep solving work it could
+	// lose.
+	ErrCheckpoint = errors.New("sweep: checkpoint write failed")
+)
+
+// journalVersion is bumped on any incompatible record-format change.
+const journalVersion = 1
+
+// journalMagic identifies the file type in the header record.
+const journalMagic = "cbs-sweep-journal"
+
+// Record is one per-energy journal entry: the terminal state of one energy
+// after its trip through the retry policy, with enough of the solve result
+// to stand in for a re-solve on resume.
+type Record struct {
+	Index       int         `json:"index"`
+	Energy      float64     `json:"energy"` // hartree
+	Status      Status      `json:"status"`
+	Attempts    int         `json:"attempts"`
+	Escalations []string    `json:"escalations,omitempty"`
+	Error       string      `json:"error,omitempty"` // terminal error text (Failed only)
+	Result      *ResultJSON `json:"result,omitempty"`
+}
+
+// header is the first journal line.
+type header struct {
+	Magic       string `json:"magic"`
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// ResultJSON is the JSON-able projection of core.Result carried by a
+// journal record: everything a resumed sweep must reproduce (eigenpairs
+// with vectors, rank, singular values, diagnostics), without the per-point
+// timing detail that only matters live.
+type ResultJSON struct {
+	Energy      float64          `json:"energy"`
+	Rank        int              `json:"rank"`
+	Sigma       []float64        `json:"sigma,omitempty"`
+	Expanded    int              `json:"expanded,omitempty"`
+	MatVecs     int              `json:"matvecs,omitempty"`
+	Pairs       []PairJSON       `json:"pairs"`
+	Diagnostics core.Diagnostics `json:"diagnostics"`
+}
+
+// PairJSON is one eigenpair with complex values flattened to [re, im] and
+// the eigenvector interleaved re,im (complex128 has no JSON encoding).
+type PairJSON struct {
+	Lambda   [2]float64 `json:"lambda"`
+	K        [2]float64 `json:"k"`
+	Residual float64    `json:"residual"`
+	Psi      []float64  `json:"psi,omitempty"`
+}
+
+// EncodeResult projects a solve result into its journal form.
+func EncodeResult(res *core.Result) *ResultJSON {
+	if res == nil {
+		return nil
+	}
+	out := &ResultJSON{
+		Energy:      res.Energy,
+		Rank:        res.Rank,
+		Sigma:       res.Sigma,
+		Expanded:    res.Expanded,
+		MatVecs:     res.MatVecs,
+		Diagnostics: res.Diagnostics,
+	}
+	out.Pairs = make([]PairJSON, len(res.Pairs))
+	for i, p := range res.Pairs {
+		pj := PairJSON{
+			Lambda:   [2]float64{real(p.Lambda), imag(p.Lambda)},
+			K:        [2]float64{real(p.K), imag(p.K)},
+			Residual: p.Residual,
+		}
+		pj.Psi = make([]float64, 2*len(p.Psi))
+		for k, z := range p.Psi {
+			pj.Psi[2*k] = real(z)
+			pj.Psi[2*k+1] = imag(z)
+		}
+		out.Pairs[i] = pj
+	}
+	return out
+}
+
+// Decode rebuilds the core.Result a record stands in for. AllPairs, the
+// per-point statistics and the timings are not journaled and come back
+// empty; everything the public scan consumers read (Pairs, Rank, Sigma,
+// Diagnostics) round-trips exactly (encoding/json preserves float64).
+func (rj *ResultJSON) Decode() *core.Result {
+	if rj == nil {
+		return nil
+	}
+	res := &core.Result{
+		Energy:      rj.Energy,
+		Rank:        rj.Rank,
+		Sigma:       rj.Sigma,
+		Expanded:    rj.Expanded,
+		MatVecs:     rj.MatVecs,
+		Diagnostics: rj.Diagnostics,
+	}
+	res.Pairs = make([]core.Eigenpair, len(rj.Pairs))
+	for i, pj := range rj.Pairs {
+		p := core.Eigenpair{
+			Lambda:   complex(pj.Lambda[0], pj.Lambda[1]),
+			K:        complex(pj.K[0], pj.K[1]),
+			Residual: pj.Residual,
+		}
+		p.Psi = make([]complex128, len(pj.Psi)/2)
+		for k := range p.Psi {
+			p.Psi[k] = complex(pj.Psi[2*k], pj.Psi[2*k+1])
+		}
+		res.Pairs[i] = p
+	}
+	return res
+}
+
+// Journal is the crash-safe checkpoint log of one sweep: a header line
+// followed by one CRC-framed JSON record per completed energy. Each line is
+//
+//	<crc32c-hex> TAB <json> LF
+//
+// with the CRC computed over the exact JSON bytes, so a record interrupted
+// mid-write (torn tail, no terminator, truncated JSON) fails the frame
+// check on load and is dropped — the energy is simply re-solved. Appends
+// are a single write followed by fsync; the file itself is created via
+// temp-file + rename (after fsync) so a crash during creation never leaves
+// a half-written header behind.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	chaos *chaos.Injector
+}
+
+// crcTable is Castagnoli CRC-32 (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frame renders one journal line for the given JSON payload.
+func frame(payload []byte) []byte {
+	line := make([]byte, 0, len(payload)+10)
+	line = append(line, fmt.Sprintf("%08x", crc32.Checksum(payload, crcTable))...)
+	line = append(line, '\t')
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line
+}
+
+// unframe validates one journal line and returns its JSON payload, or
+// false for a torn/corrupt line.
+func unframe(line []byte) ([]byte, bool) {
+	if len(line) < 10 || line[8] != '\t' {
+		return nil, false
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, false
+	}
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != uint32(want) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Create starts a fresh journal at path, overwriting any existing file.
+// The header (magic, version, fingerprint) is written to a temp file,
+// fsynced, and renamed into place, so the journal either exists with a
+// valid header or not at all.
+func Create(path, fingerprint string) (*Journal, error) {
+	payload, err := json.Marshal(header{Magic: journalMagic, Version: journalVersion, Fingerprint: fingerprint})
+	if err != nil {
+		return nil, err
+	}
+	tmp := path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tf.Write(frame(payload)); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	syncDir(path)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Resume opens an existing journal for appending, first validating the
+// header against the expected fingerprint and loading every intact record.
+// Torn or corrupt lines (a crash mid-append) are dropped — those energies
+// carry no valid record and will be re-solved. A torn tail is truncated
+// away before the journal reopens for appending: a fragment has no line
+// terminator, so appending after it would corrupt the next record too. If
+// the file does not exist a fresh journal is created and no records are
+// returned.
+func Resume(path, fingerprint string) (*Journal, []Record, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		j, cerr := Create(path, fingerprint)
+		return j, nil, cerr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, goodEnd, err := parseJournal(data, fingerprint)
+	if err != nil {
+		return nil, nil, err
+	}
+	if goodEnd < int64(len(data)) {
+		if err := os.Truncate(path, goodEnd); err != nil {
+			return nil, nil, fmt.Errorf("sweep: dropping torn journal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if goodEnd < int64(len(data)) {
+		f.Sync() // make the truncation as durable as the appends
+	}
+	return &Journal{f: f, path: path}, recs, nil
+}
+
+// Load reads a journal without opening it for appending (inspection and
+// the chaos diff tooling).
+func Load(path, fingerprint string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	recs, _, err := parseJournal(data, fingerprint)
+	return recs, err
+}
+
+// parseJournal validates the header and returns every intact record, plus
+// the byte offset just past the last valid line — everything after it is a
+// torn tail a Resume may truncate away.
+func parseJournal(data []byte, fingerprint string) ([]Record, int64, error) {
+	off := 0
+	var goodEnd int64
+	sawHeader := false
+	var recs []Record
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // unterminated tail: a record cut mid-write
+		}
+		line := data[off : off+nl]
+		lineEnd := int64(off + nl + 1)
+		off = int(lineEnd)
+		payload, ok := unframe(line)
+		if !sawHeader {
+			if !ok {
+				return nil, 0, fmt.Errorf("%w: corrupt header frame", ErrBadJournal)
+			}
+			var h header
+			if err := json.Unmarshal(payload, &h); err != nil || h.Magic != journalMagic {
+				return nil, 0, fmt.Errorf("%w: bad header", ErrBadJournal)
+			}
+			if h.Version != journalVersion {
+				return nil, 0, fmt.Errorf("%w: journal version %d, want %d", ErrBadJournal, h.Version, journalVersion)
+			}
+			if h.Fingerprint != fingerprint {
+				return nil, 0, fmt.Errorf("%w: journal %s, sweep %s", ErrFingerprintMismatch, h.Fingerprint, fingerprint)
+			}
+			sawHeader = true
+			goodEnd = lineEnd
+			continue
+		}
+		if !ok {
+			continue // torn or corrupt record: drop it, the energy re-solves
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			continue
+		}
+		recs = append(recs, r)
+		goodEnd = lineEnd
+	}
+	if !sawHeader {
+		return nil, 0, fmt.Errorf("%w: empty file", ErrBadJournal)
+	}
+	return recs, goodEnd, nil
+}
+
+// SetChaos arms fault injection on checkpoint writes (nil-safe, test-only).
+func (j *Journal) SetChaos(in *chaos.Injector) {
+	if j != nil {
+		j.chaos = in
+	}
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append durably logs one energy record: a single framed write followed by
+// fsync, serialized across sweep workers. A failure wraps ErrCheckpoint —
+// the record may not be on disk, so the sweep must stop rather than keep
+// producing results it cannot protect. Under chaos, a CheckpointFault fails
+// the append outright and a TornRecord writes only a prefix of the frame
+// (the on-disk image of a crash between write and fsync) before failing.
+func (j *Journal) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCheckpoint, err)
+	}
+	line := frame(payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.chaos.CheckpointFault(rec.Index); err != nil {
+		return fmt.Errorf("%w: %w", ErrCheckpoint, err)
+	}
+	if j.chaos.TornRecord(rec.Index) {
+		j.f.Write(line[:len(line)/2])
+		j.f.Sync()
+		return fmt.Errorf("%w: %w", ErrCheckpoint, chaos.ErrInjected)
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("%w: %v", ErrCheckpoint, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCheckpoint, err)
+	}
+	return nil
+}
+
+// Close releases the journal file.
+func (j *Journal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// syncDir fsyncs the directory containing path so the rename that created
+// the journal is itself durable; best-effort (some filesystems refuse).
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

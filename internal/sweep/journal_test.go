@@ -1,0 +1,251 @@
+package sweep
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cbs/internal/chaos"
+	"cbs/internal/core"
+)
+
+// fakeResult builds a small deterministic solve result.
+func fakeResult(e float64, n int) *core.Result {
+	res := &core.Result{
+		Energy:   e,
+		Rank:     3,
+		Sigma:    []float64{1, 0.5, 0.25, 1e-12},
+		Expanded: 4,
+		MatVecs:  100,
+	}
+	res.Diagnostics = core.Diagnostics{Nint: 8, Nrh: 4, ResidualBudget: 2.5e-11}
+	for j := 0; j < 2; j++ {
+		p := core.Eigenpair{
+			Lambda:   complex(0.7+float64(j), -0.1*float64(j)),
+			K:        complex(0.3, 0.02*float64(j+1)),
+			Residual: 1e-9,
+		}
+		for i := 0; i < n; i++ {
+			p.Psi = append(p.Psi, complex(float64(i)*0.125, e-float64(j)))
+		}
+		res.Pairs = append(res.Pairs, p)
+	}
+	return res
+}
+
+// TestResultRoundTrip: the journal projection of a result reproduces the
+// fields the scan consumers read, bit-for-bit.
+func TestResultRoundTrip(t *testing.T) {
+	want := fakeResult(0.25, 5)
+	got := EncodeResult(want).Decode()
+	if got.Energy != want.Energy || got.Rank != want.Rank || got.Expanded != want.Expanded || got.MatVecs != want.MatVecs {
+		t.Errorf("scalars drifted: %+v vs %+v", got, want)
+	}
+	if !reflect.DeepEqual(got.Sigma, want.Sigma) {
+		t.Errorf("sigma drifted: %v vs %v", got.Sigma, want.Sigma)
+	}
+	if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+		t.Errorf("pairs drifted")
+	}
+	if !reflect.DeepEqual(got.Diagnostics, want.Diagnostics) {
+		t.Errorf("diagnostics drifted")
+	}
+	if EncodeResult(nil) != nil || (*ResultJSON)(nil).Decode() != nil {
+		t.Error("nil results must project to nil")
+	}
+}
+
+// TestJournalRoundTrip: records written through Append come back intact,
+// through the JSON + CRC framing.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := Create(path, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Index: 0, Energy: 0.1, Status: StatusOK, Attempts: 1, Result: EncodeResult(fakeResult(0.1, 4))},
+		{Index: 1, Energy: 0.2, Status: StatusDegraded, Attempts: 2,
+			Escalations: []string{"tol 1.0e-10->1.0e-08 (no convergence)"},
+			Result:      EncodeResult(fakeResult(0.2, 4))},
+		{Index: 2, Energy: 0.3, Status: StatusFailed, Attempts: 3, Error: "boom"},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("round trip drifted:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+// TestJournalTornTail: a record cut mid-write (torn frame, no newline) must
+// be dropped on load; intact earlier records survive.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := Create(path, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Record{Index: 0, Energy: 0.1, Status: StatusOK, Attempts: 1, Result: EncodeResult(fakeResult(0.1, 4))}
+	if err := j.Append(good); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate the crash: append half of a valid frame by hand.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _, err := Resume(path, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.SetChaos(chaos.New(1, chaos.Config{TornRecord: 1}))
+	torn := Record{Index: 1, Energy: 0.2, Status: StatusOK, Attempts: 1, Result: EncodeResult(fakeResult(0.2, 4))}
+	if err := j2.Append(torn); !errors.Is(err, ErrCheckpoint) || !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("torn append err = %v, want ErrCheckpoint wrapping chaos.ErrInjected", err)
+	}
+	j2.Close()
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) <= len(full) {
+		t.Fatal("torn append wrote nothing; the test is vacuous")
+	}
+
+	recs, err := Load(path, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Index != 0 {
+		t.Fatalf("torn record not dropped: %+v", recs)
+	}
+
+	// Resume must truncate the torn fragment (it has no terminator, so a
+	// naive append would corrupt the next record too) and keep appending.
+	j3, recs3, err := Resume(path, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs3) != 1 {
+		t.Fatalf("resume loaded %d records, want 1", len(recs3))
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != int64(len(full)) {
+		t.Fatalf("resume did not truncate the torn tail: size %d, want %d", fi.Size(), len(full))
+	}
+	resolved := Record{Index: 1, Energy: 0.2, Status: StatusOK, Attempts: 1, Result: EncodeResult(fakeResult(0.2, 4))}
+	if err := j3.Append(resolved); err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+	recs, err = Load(path, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Index != 0 || recs[1].Index != 1 {
+		t.Fatalf("re-solved record lost after torn-tail resume: %+v", recs)
+	}
+}
+
+// TestJournalFingerprintMismatch: resuming under different options or a
+// different operator must be refused.
+func TestJournalFingerprintMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := Create(path, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, _, err := Resume(path, "fp-2"); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Errorf("resume with wrong fingerprint: err = %v, want ErrFingerprintMismatch", err)
+	}
+	if _, err := Load(path, "fp-2"); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Errorf("load with wrong fingerprint: err = %v, want ErrFingerprintMismatch", err)
+	}
+}
+
+// TestJournalBadHeader: a file that is not a sweep journal is refused.
+func TestJournalBadHeader(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"empty":   "",
+		"garbage": "not a journal\n",
+		"json":    "{\"magic\":\"other\"}\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path, "fp"); !errors.Is(err, ErrBadJournal) {
+			t.Errorf("%s: err = %v, want ErrBadJournal", name, err)
+		}
+	}
+}
+
+// TestJournalCheckpointFault: an injected write fault surfaces as
+// ErrCheckpoint without corrupting the file.
+func TestJournalCheckpointFault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := Create(path, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetChaos(chaos.New(1, chaos.Config{CheckpointFault: 1, Energies: []int{1}}))
+	if err := j.Append(Record{Index: 0, Energy: 0.1, Status: StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Index: 1, Energy: 0.2, Status: StatusOK}); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("err = %v, want ErrCheckpoint", err)
+	}
+	j.Close()
+	recs, err := Load(path, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Index != 0 {
+		t.Fatalf("checkpoint fault corrupted the journal: %+v", recs)
+	}
+}
+
+// TestFingerprintSensitivity: any result-affecting input changes the
+// fingerprint; the parallel layout does not.
+func TestFingerprintSensitivity(t *testing.T) {
+	opts := core.DefaultOptions()
+	es := []float64{0.1, 0.2}
+	base := Fingerprint("op", es, opts)
+
+	if Fingerprint("other-op", es, opts) == base {
+		t.Error("operator change kept the fingerprint")
+	}
+	if Fingerprint("op", []float64{0.1, 0.3}, opts) == base {
+		t.Error("energy change kept the fingerprint")
+	}
+	o2 := opts
+	o2.Nrh *= 2
+	if Fingerprint("op", es, o2) == base {
+		t.Error("Nrh change kept the fingerprint")
+	}
+	o3 := opts
+	o3.BiCGTol = 1e-8
+	if Fingerprint("op", es, o3) == base {
+		t.Error("tolerance change kept the fingerprint")
+	}
+	o4 := opts
+	o4.Parallel = core.Parallel{Top: 4, Mid: 8, Ndm: 2}
+	if Fingerprint("op", es, o4) != base {
+		t.Error("parallel layout must not change the fingerprint (resume on any worker count)")
+	}
+}

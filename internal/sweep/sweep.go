@@ -1,0 +1,443 @@
+// Package sweep is the durable energy-sweep engine: the paper's headline
+// workload is not one CBS solve but a scan of ~200 independent energies
+// (Fig. 6, Fig. 11), and downstream transport analysis consumes the whole
+// scan. The engine makes that workload survivable: every energy ends in a
+// typed status instead of the first failure sinking the run, a bounded
+// retry policy escalates solver parameters per failure class before giving
+// up, and an append-only CRC-framed checkpoint journal makes a killed
+// sweep resumable without re-solving completed energies.
+//
+// The escalation ladder, per energy (each rung bounded, each attempt a
+// fresh solve on a copy of the base options, so the next energy always
+// starts from the caller's parameters):
+//
+//   - Hankel rank saturation (rank == Nrh*Nmm): the moment subspace is too
+//     small for the annulus spectrum — re-run with doubled Nrh, up to
+//     MaxNrhDoublings, generalizing core's AutoExpand to the sweep layer.
+//     If the doubling overflows the problem dimension the saturated result
+//     is kept and the energy marked Degraded.
+//   - contour.ErrTooManyDropped: graceful degradation discarded too many
+//     quadrature nodes — retry with doubled Nint so the surviving rule
+//     still resolves the contour.
+//   - linsolve.ErrNoConvergence: the Krylov solves stagnated — retry on a
+//     looser-then-restored tolerance ladder (BiCGTol x100 per rung); a
+//     success bought with a loosened tolerance is reported Degraded.
+//   - linsolve.ErrBreakdown surfacing past core's own recovery ladder:
+//     retry with a reseeded probe block (a breakdown is a property of the
+//     Krylov sequence, which the probe seeds).
+//   - core.ErrBadOptions / first-attempt core.ErrSubspaceTooLarge: the
+//     parameterization itself is wrong — terminal, no retry.
+//   - anything else (including injected chaos faults): plain retry under
+//     deterministic exponential backoff until MaxAttempts is spent.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cbs/internal/chaos"
+	"cbs/internal/contour"
+	"cbs/internal/core"
+	"cbs/internal/linsolve"
+)
+
+// Status is the terminal state of one sweep energy.
+type Status string
+
+const (
+	// StatusOK is a clean solve within the caller's parameters.
+	StatusOK Status = "ok"
+	// StatusDegraded is a completed solve that lost something on the way:
+	// quadrature contributions dropped and renormalized, a tolerance rung
+	// loosened, or a rank-saturated subspace accepted at the Nrh cap. The
+	// result is usable; its diagnostics say what was given up.
+	StatusDegraded Status = "degraded"
+	// StatusFailed is an energy whose retry budget is spent: the terminal
+	// error is recorded and the rest of the sweep is unaffected.
+	StatusFailed Status = "failed"
+	// StatusSkipped is an energy never attempted (or abandoned mid-retry)
+	// because the sweep was canceled; it carries no journal record and
+	// will be solved by a resume.
+	StatusSkipped Status = "skipped"
+)
+
+// EnergyResult is the outcome of one energy.
+type EnergyResult struct {
+	Index       int
+	Energy      float64 // hartree
+	Status      Status
+	Attempts    int      // solve attempts spent (0 for journal restores and skips)
+	Escalations []string // ladder rungs taken, in order ("nrh 16->32", ...)
+	FromJournal bool     // restored from a checkpoint record, not re-solved
+	Result      *core.Result
+	Err         error // terminal error (Failed), or ctx error (Skipped)
+}
+
+// Report aggregates a sweep: every energy's outcome in energy order plus
+// the counts a caller branches on. A sweep with failures still returns the
+// completed results — partial data is the point.
+type Report struct {
+	Results  []EnergyResult
+	OK       int
+	Degraded int
+	Failed   int
+	Skipped  int
+	Restored int // energies restored from the journal
+	Attempts int // solve attempts across the sweep (excluding restores)
+}
+
+// Completed returns the solve results of every OK and Degraded energy, in
+// energy order.
+func (r *Report) Completed() []*core.Result {
+	out := make([]*core.Result, 0, r.OK+r.Degraded)
+	for _, er := range r.Results {
+		if er.Result != nil {
+			out = append(out, er.Result)
+		}
+	}
+	return out
+}
+
+// Failures returns the Failed energies.
+func (r *Report) Failures() []EnergyResult {
+	var out []EnergyResult
+	for _, er := range r.Results {
+		if er.Status == StatusFailed {
+			out = append(out, er)
+		}
+	}
+	return out
+}
+
+// SolveFunc is the per-energy solve the engine drives; cbs.Model adapts
+// core.SolveContext, tests substitute fakes.
+type SolveFunc func(ctx context.Context, e float64, opts core.Options) (*core.Result, error)
+
+// Config parameterizes the engine.
+type Config struct {
+	// Workers is the number of concurrent energies (default 1).
+	Workers int
+	// MaxAttempts bounds the failed solve attempts per energy (default 3);
+	// rank-saturation escalations are budgeted separately by
+	// MaxNrhDoublings because a saturated solve is progress, not failure.
+	MaxAttempts int
+	// Backoff is the base of the deterministic exponential backoff
+	// between retry attempts: attempt k waits Backoff * 2^(k-1). Zero
+	// (the default) retries immediately.
+	Backoff time.Duration
+	// MaxNrhDoublings bounds the rank-saturation escalation (default 2);
+	// it is a separate budget from MaxAttempts because a saturated solve
+	// is progress, not failure.
+	MaxNrhDoublings int
+
+	// CheckpointPath, when non-empty, journals every completed energy to
+	// this file. With Resume set an existing journal is loaded first and
+	// its energies are restored instead of re-solved; a journal written
+	// under a different fingerprint is refused (ErrFingerprintMismatch).
+	CheckpointPath string
+	Resume         bool
+	// OperatorDesc identifies the operator in the journal fingerprint
+	// (dimensions, lattice, grid — anything that changes the physics).
+	OperatorDesc string
+	// RetryFailed re-solves energies whose journal record is Failed
+	// instead of restoring the failure.
+	RetryFailed bool
+
+	// Chaos optionally injects sweep-level faults (per-energy solve
+	// faults, checkpoint write faults, torn records); nil in production.
+	Chaos *chaos.Injector
+}
+
+// normalize fills defaults.
+func (c Config) normalize() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 3
+	}
+	if c.MaxNrhDoublings < 0 {
+		c.MaxNrhDoublings = 0
+	} else if c.MaxNrhDoublings == 0 {
+		c.MaxNrhDoublings = 2
+	}
+	return c
+}
+
+// Run executes the sweep: solve (or restore) every energy in es under the
+// retry policy, journal each completed energy, and return the full
+// per-energy report. The returned error is nil unless the sweep
+// infrastructure itself failed (journal creation/append, fingerprint
+// mismatch) or the context was canceled — per-energy solve failures are
+// reported in the Report, never as a Run error. On cancellation every
+// completed energy has already been checkpointed (each record is fsynced
+// as it completes) and the report marks the remainder Skipped.
+func Run(ctx context.Context, solve SolveFunc, es []float64, opts core.Options, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg = cfg.normalize()
+	report := &Report{Results: make([]EnergyResult, len(es))}
+	for i, e := range es {
+		report.Results[i] = EnergyResult{Index: i, Energy: e, Status: StatusSkipped}
+	}
+
+	var journal *Journal
+	if cfg.CheckpointPath != "" {
+		fp := Fingerprint(cfg.OperatorDesc, es, opts)
+		var (
+			recs []Record
+			err  error
+		)
+		if cfg.Resume {
+			journal, recs, err = Resume(cfg.CheckpointPath, fp)
+		} else {
+			journal, err = Create(cfg.CheckpointPath, fp)
+		}
+		if err != nil {
+			return report, err
+		}
+		defer journal.Close()
+		journal.SetChaos(cfg.Chaos)
+		for _, rec := range recs {
+			if rec.Index < 0 || rec.Index >= len(es) {
+				continue // stale index from a truncated energy list: ignore
+			}
+			if cfg.RetryFailed && rec.Status == StatusFailed {
+				continue
+			}
+			er := EnergyResult{
+				Index:       rec.Index,
+				Energy:      rec.Energy,
+				Status:      rec.Status,
+				Attempts:    0,
+				Escalations: rec.Escalations,
+				FromJournal: true,
+				Result:      rec.Result.Decode(),
+			}
+			if rec.Error != "" {
+				er.Err = errors.New(rec.Error)
+			}
+			report.Results[rec.Index] = er
+		}
+	}
+
+	// The work list: every energy without a restored record.
+	var todo []int
+	for i := range es {
+		if !report.Results[i].FromJournal {
+			todo = append(todo, i)
+		}
+	}
+
+	// A checkpoint failure is sweep-fatal: results the journal cannot
+	// protect must not keep accumulating. The first one cancels the
+	// remaining work; completed records stay valid.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu      sync.Mutex // guards ckptErr
+		ckptErr error
+	)
+	jobs := make(chan int, len(todo))
+	for _, i := range todo {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if sctx.Err() != nil {
+					return
+				}
+				er := runEnergy(sctx, solve, i, es[i], opts, cfg)
+				// One merge per energy: the slice write is per-index
+				// disjoint, the journal append serializes internally.
+				report.Results[i] = er
+				if journal != nil && er.Status != StatusSkipped {
+					if err := journal.Append(recordOf(er)); err != nil {
+						mu.Lock()
+						if ckptErr == nil {
+							ckptErr = err
+						}
+						mu.Unlock()
+						cancel()
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, er := range report.Results {
+		switch er.Status {
+		case StatusOK:
+			report.OK++
+		case StatusDegraded:
+			report.Degraded++
+		case StatusFailed:
+			report.Failed++
+		default:
+			report.Skipped++
+		}
+		if er.FromJournal {
+			report.Restored++
+		}
+		report.Attempts += er.Attempts
+	}
+	if ckptErr != nil {
+		return report, ckptErr
+	}
+	if err := ctx.Err(); err != nil {
+		return report, fmt.Errorf("sweep: canceled after %d of %d energies: %w",
+			len(es)-report.Skipped, len(es), err)
+	}
+	return report, nil
+}
+
+// recordOf projects an energy outcome into its journal record.
+func recordOf(er EnergyResult) Record {
+	rec := Record{
+		Index:       er.Index,
+		Energy:      er.Energy,
+		Status:      er.Status,
+		Attempts:    er.Attempts,
+		Escalations: er.Escalations,
+		Result:      EncodeResult(er.Result),
+	}
+	if er.Err != nil {
+		rec.Error = er.Err.Error()
+	}
+	return rec
+}
+
+// runEnergy drives one energy through the retry policy.
+func runEnergy(ctx context.Context, solve SolveFunc, i int, e float64, base core.Options, cfg Config) EnergyResult {
+	er := EnergyResult{Index: i, Energy: e}
+	aopts := base
+	if cfg.Chaos != nil {
+		aopts.Chaos = cfg.Chaos
+	}
+	var (
+		saturated    *core.Result // best rank-saturated result so far
+		nrhDoublings int
+		tolLoosened  bool
+		failures     int
+		lastErr      error
+	)
+	// finish seals a completed solve; sat marks a rank-saturated subspace
+	// accepted as-is (possibly missing annulus states).
+	finish := func(res *core.Result, sat bool) EnergyResult {
+		er.Result = res
+		if res.Diagnostics.Degraded || tolLoosened || sat {
+			er.Status = StatusDegraded
+		} else {
+			er.Status = StatusOK
+		}
+		return er
+	}
+	skip := func(err error) EnergyResult {
+		er.Status = StatusSkipped
+		er.Err = err
+		return er
+	}
+	fail := func(err error) EnergyResult {
+		er.Status = StatusFailed
+		er.Err = err
+		return er
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return skip(err)
+		}
+		er.Attempts++
+		var (
+			res *core.Result
+			err error
+		)
+		if err = cfg.Chaos.EnergyFault(i); err == nil {
+			res, err = solve(ctx, e, aopts)
+		}
+		if err == nil {
+			sat := res.Rank >= aopts.Nrh*aopts.Nmm
+			if sat && nrhDoublings < cfg.MaxNrhDoublings {
+				// Rank saturation: the annulus holds at least as many
+				// states as the moment space can represent, so some may
+				// be missing. Keep the result and grow the probe block;
+				// the escalation has its own budget (MaxNrhDoublings),
+				// separate from the failure budget.
+				saturated = res
+				er.Escalations = append(er.Escalations, fmt.Sprintf("nrh %d->%d (rank saturated)", aopts.Nrh, 2*aopts.Nrh))
+				aopts.Nrh *= 2
+				nrhDoublings++
+				continue
+			}
+			return finish(res, sat)
+		}
+		lastErr = err
+
+		switch {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return skip(err)
+		case errors.Is(err, core.ErrSubspaceTooLarge):
+			if saturated != nil {
+				// The doubled probe block no longer fits the problem:
+				// accept the best saturated result as Degraded rather
+				// than lose the energy.
+				er.Escalations = append(er.Escalations, "nrh cap: keeping saturated result")
+				return finish(saturated, true)
+			}
+			return fail(err) // the base parameterization is wrong: terminal
+		case errors.Is(err, core.ErrBadOptions):
+			return fail(err)
+		case errors.Is(err, contour.ErrTooManyDropped):
+			er.Escalations = append(er.Escalations, fmt.Sprintf("nint %d->%d (too many dropped)", aopts.Nint, 2*aopts.Nint))
+			aopts.Nint *= 2
+		case errors.Is(err, linsolve.ErrNoConvergence):
+			er.Escalations = append(er.Escalations, fmt.Sprintf("tol %.1e->%.1e (no convergence)", aopts.BiCGTol, 100*aopts.BiCGTol))
+			aopts.BiCGTol *= 100
+			tolLoosened = true
+		case errors.Is(err, linsolve.ErrBreakdown):
+			er.Escalations = append(er.Escalations, fmt.Sprintf("probe reseed %d (breakdown)", er.Attempts))
+			aopts.Seed = base.Seed + int64(er.Attempts)*1_000_003
+		default:
+			// Unclassified (chaos faults, operator errors): plain retry.
+		}
+		failures++
+		if failures >= cfg.MaxAttempts {
+			break
+		}
+		if cfg.Backoff > 0 {
+			if !sleepCtx(ctx, cfg.Backoff<<uint(failures-1)) {
+				return skip(ctx.Err())
+			}
+		}
+	}
+	if saturated != nil {
+		// Retries after a saturation escalation all failed; the saturated
+		// result is still a valid (if possibly incomplete) solve.
+		er.Escalations = append(er.Escalations, "retries exhausted: keeping saturated result")
+		return finish(saturated, true)
+	}
+	return fail(fmt.Errorf("sweep: energy %d (E = %g hartree) failed after %d attempts: %w", i, e, er.Attempts, lastErr))
+}
+
+// sleepCtx waits d or until the context dies; it reports whether the full
+// wait elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
