@@ -1,7 +1,7 @@
 GO ?= go
 CBSCHECK := bin/cbscheck
 
-.PHONY: all build test race lint cbscheck fuzz-smoke chaos-smoke sweep-smoke
+.PHONY: all build test race lint cbscheck fuzz-smoke chaos-smoke sweep-smoke serve-smoke
 
 all: build test
 
@@ -36,13 +36,23 @@ chaos-smoke:
 
 # sweep-smoke drives the durable-sweep engine (checkpoint journal, retry
 # escalation, kill-and-resume) under sweep-level fault injection: per-energy
-# hard faults, checkpoint write faults, and torn journal records.
+# hard faults, checkpoint write faults, torn journal records, plus the
+# serving layer's job-pickup and cache forced-miss sites.
 sweep-smoke:
 	for seed in 1 2 3; do \
 		CBS_CHAOS=1 CBS_CHAOS_SEED=$$seed \
 		CBS_CHAOS_ENERGY=0.2 CBS_CHAOS_CKPT=0.1 CBS_CHAOS_TORN=0.1 \
-		$(GO) test -count=2 ./internal/sweep ./internal/chaos || exit 1; \
+		CBS_CHAOS_JOB=0.2 CBS_CHAOS_CACHE=0.2 \
+		$(GO) test -count=2 ./internal/sweep ./internal/chaos \
+			./internal/jobs ./internal/rescache || exit 1; \
 	done
+
+# serve-smoke stands a real cbsd (random port, real Al(100) model on a
+# small grid), POSTs a solve, polls it to completion, re-POSTs it to prove
+# the cache hit, and diffs the physics against a golden file. Regenerate
+# the golden with: go test -tags servesmoke ./cmd/cbsd -update
+serve-smoke:
+	$(GO) test -count=1 -tags servesmoke -run TestServeSmoke ./cmd/cbsd
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzCSRBuild -fuzztime=30s ./internal/sparse

@@ -36,6 +36,7 @@ import (
 
 	"cbs/internal/bandstructure"
 	"cbs/internal/core"
+	"cbs/internal/fingerprint"
 	"cbs/internal/hamiltonian"
 	"cbs/internal/lattice"
 	"cbs/internal/obm"
@@ -221,6 +222,22 @@ func (m *Model) OperatorDesc() string {
 	}
 	g := m.Op.G
 	return fmt.Sprintf("%s|grid=%dx%dx%d|N=%d|a=%.12g", name, g.Nx, g.Ny, g.Nz, g.N(), g.Lz())
+}
+
+// SolveFingerprint returns the identity key of one solve: the shared
+// FNV-1a digest (internal/fingerprint) over this model's operator
+// descriptor, the energy, and the result-affecting options. Two solves
+// with equal fingerprints are the same computation — the key the serving
+// layer's result cache and the sweep journal both use.
+func (m *Model) SolveFingerprint(e float64, opts Options) string {
+	return fingerprint.Solve(m.OperatorDesc(), e, opts)
+}
+
+// SweepFingerprint is SolveFingerprint for a whole energy list; it equals
+// the fingerprint a checkpoint journal for this sweep carries in its
+// header.
+func (m *Model) SweepFingerprint(es []float64, opts Options) string {
+	return fingerprint.Key(m.OperatorDesc(), es, opts)
 }
 
 // SweepCBS runs the durable energy sweep: every energy ends in a typed

@@ -62,12 +62,20 @@ func main() {
 	balance := flag.Bool("balance", false, "enable the majority early-stop rule")
 	scfFlag := flag.Bool("scf", false, "run a small SCF before the CBS")
 	diagPath := flag.String("diagnostics", "", "write per-energy solve diagnostics to this JSON file")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); expiry cancels like Ctrl-C")
 	flag.Parse()
 
 	// Ctrl-C cancels the contour solve promptly across all parallel layers
 	// instead of abandoning in-flight workers.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// A wall-clock budget rides the same context: a checkpointed sweep that
+	// overruns it is cut cleanly and resumes with -resume.
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	st := buildSystem(*sys, *n, *m, *cells, *bnPairs, *seed)
 	model, err := cbs.NewModel(st, cbs.GridConfig{Nx: *nxy, Ny: *nxy, Nz: *nz * *cells, Nf: *nf})

@@ -1,0 +1,186 @@
+// cbsd is the CBS job server: the paper's workload — independent solves
+// over (operator, energy) — as a request/response service. One model
+// (structure + grid) is discretized at startup; clients submit
+// single-energy solves and energy sweeps over HTTP, poll per-job status
+// with per-energy progress, and share a fingerprint-keyed result cache
+// with singleflight deduplication, so N identical concurrent requests
+// cost one solve and repeat traffic costs none.
+//
+// API (JSON):
+//
+//	POST   /v1/solve      {"energy_ev": 0.25, "options": {"nint": 8}}   -> 202 {id, status_url, fingerprint}
+//	POST   /v1/sweep      {"emin_ev": -1, "emax_ev": 1, "ne": 21}       -> 202 {id, status_url, fingerprint}
+//	GET    /v1/jobs/{id}  (?vectors=1 to include eigenvectors)          -> job state, progress, results
+//	DELETE /v1/jobs/{id}  cancel (a canceled sweep keeps its journal)
+//	GET    /healthz       200 serving | 503 draining
+//	GET    /metrics       expvar: cache hits/misses, queue depth, in-flight, solve latency
+//
+// Backpressure: a bounded worker pool behind a fixed-depth queue; a full
+// queue rejects with 429 + Retry-After instead of queueing unboundedly.
+// Durability: with -checkpoint-dir set, sweeps journal per energy under
+// <dir>/<fingerprint>.journal; SIGTERM drains in-flight work (grace
+// period, then context cancellation — the journal already holds every
+// completed energy), and resubmitting the same sweep to a restarted
+// server resumes instead of re-solving.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cbs"
+	"cbs/internal/chaos"
+	"cbs/internal/units"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	sys := flag.String("system", "al", "system: al | cnt | bundle7 | crystalline | bncnt")
+	n := flag.Int("n", 8, "CNT chiral index n")
+	m := flag.Int("m", 0, "CNT chiral index m")
+	cells := flag.Int("cells", 1, "cells stacked along z (supercell)")
+	bnPairs := flag.Int("bn-pairs", 0, "BN dopant pairs (bncnt)")
+	dopeSeed := flag.Int64("dope-seed", 2017, "doping seed")
+	nxy := flag.Int("nxy", 16, "transverse grid points")
+	nz := flag.Int("nz", 10, "axial grid points per cell")
+	nf := flag.Int("nf", 4, "finite-difference half-width")
+
+	workers := flag.Int("workers", 2, "concurrent jobs (worker pool size)")
+	queueDepth := flag.Int("queue-depth", 16, "accepted-but-unstarted job bound (overflow returns 429)")
+	cacheEntries := flag.Int("cache-entries", 256, "result cache capacity (LRU entries)")
+	sweepWorkers := flag.Int("sweep-workers", 1, "concurrent energies within one sweep job")
+	checkpointDir := flag.String("checkpoint-dir", "", "journal sweeps under <dir>/<fingerprint>.journal (resumable)")
+	drainGrace := flag.Duration("drain-grace", 10*time.Second, "how long SIGTERM lets in-flight jobs finish before canceling them")
+
+	top := flag.Int("top", 1, "top-layer workers per solve (right-hand sides)")
+	mid := flag.Int("mid", 1, "middle-layer workers per solve (quadrature points)")
+	ndm := flag.Int("ndm", 1, "bottom-layer domains per solve")
+	flag.Parse()
+
+	st := buildSystem(*sys, *n, *m, *cells, *bnPairs, *dopeSeed)
+	model, err := cbs.NewModel(st, cbs.GridConfig{Nx: *nxy, Ny: *nxy, Nz: *nz * *cells, Nf: *nf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ef, err := model.FermiLevel(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s: %d atoms, N = %d grid points, EF = %.4f hartree (%.3f eV)",
+		st.Name, st.NumAtoms(), model.N(), ef, units.HartreeToEV(ef))
+
+	if *checkpointDir != "" {
+		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	defaults := cbs.DefaultOptions()
+	defaults.Parallel = cbs.Parallel{Top: *top, Mid: *mid, Ndm: *ndm}
+	// Fault injection is env-gated (CBS_CHAOS, CBS_CHAOS_JOB,
+	// CBS_CHAOS_CACHE, ...): nil in normal operation.
+	inj := chaos.FromEnv()
+	defaults.Chaos = inj
+
+	srv := newServer(serverConfig{
+		backend:       modelBackend(model, ef),
+		workers:       *workers,
+		queueDepth:    *queueDepth,
+		cacheEntries:  *cacheEntries,
+		sweepWorkers:  *sweepWorkers,
+		checkpointDir: *checkpointDir,
+		defaults:      defaults,
+		chaos:         inj,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		// Stop accepting connections first, then drain the pool: give
+		// in-flight jobs the grace period, then cancel them — canceled
+		// sweeps have already journaled every completed energy.
+		log.Printf("signal: draining (grace %s)", *drainGrace)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		httpSrv.Shutdown(shCtx) //nolint:errcheck // drain decides the exit
+		if err := srv.Drain(shCtx); err != nil {
+			log.Printf("drain: in-flight jobs canceled after grace: %v", err)
+		} else {
+			log.Printf("drain: all jobs finished")
+		}
+	}()
+
+	log.Printf("cbsd listening on %s (workers=%d queue=%d cache=%d)", *addr, *workers, *queueDepth, *cacheEntries)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained // the journal flushes before the process exits
+}
+
+// modelBackend adapts the public cbs.Model API to the server's backend.
+func modelBackend(model *cbs.Model, ef float64) backend {
+	return backend{
+		desc:  model.OperatorDesc(),
+		ef:    ef,
+		a:     model.CellLength(),
+		solve: model.SolveCBSContext,
+		sweep: model.SweepCBS,
+	}
+}
+
+// buildSystem constructs the served structure (mirrors cmd/cbs).
+func buildSystem(sys string, n, m, cells, bnPairs int, seed int64) *cbs.Structure {
+	vac := units.AngstromToBohr(3.5)
+	fail := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	switch sys {
+	case "al":
+		st, err := cbs.AlBulk100(cells)
+		fail(err)
+		return st
+	case "cnt":
+		st, err := cbs.CNT(n, m, vac)
+		fail(err)
+		if cells > 1 {
+			st, err = cbs.Repeat(st, cells)
+			fail(err)
+		}
+		return st
+	case "bundle7":
+		tube, err := cbs.CNT(n, m, vac)
+		fail(err)
+		st, err := cbs.Bundle7(tube, vac)
+		fail(err)
+		return st
+	case "crystalline":
+		tube, err := cbs.CNT(n, m, vac)
+		fail(err)
+		st, err := cbs.CrystallineBundle(tube)
+		fail(err)
+		return st
+	case "bncnt":
+		tube, err := cbs.CNT(n, m, vac)
+		fail(err)
+		super, err := cbs.Repeat(tube, cells)
+		fail(err)
+		st, err := cbs.BNDope(super, bnPairs, seed)
+		fail(err)
+		return st
+	default:
+		log.Fatalf("unknown system %q", sys)
+		return nil
+	}
+}

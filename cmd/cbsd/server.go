@@ -1,0 +1,548 @@
+// server.go is the cbsd HTTP layer, kept separate from main so the tests
+// (and the serve-smoke harness) can stand a full server on a fake or real
+// backend without flags or signals.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cbs/internal/chaos"
+	"cbs/internal/core"
+	"cbs/internal/fingerprint"
+	"cbs/internal/jobs"
+	"cbs/internal/rescache"
+	"cbs/internal/sweep"
+	"cbs/internal/units"
+)
+
+// backend is what the HTTP layer needs from the physics: the operator's
+// identity and the two context-aware entry points of the public cbs API.
+// main wires a real cbs.Model; tests wire fakes.
+type backend struct {
+	// desc is the operator descriptor (cbs.Model.OperatorDesc) that keys
+	// every fingerprint this server derives.
+	desc string
+	// ef is the Fermi level (hartree): request energies arrive in eV
+	// relative to it.
+	ef float64
+	// a is the 1D cell length (bohr), reported alongside results so
+	// clients can convert k to units of pi/a.
+	a float64
+	// solve is cbs.Model.SolveCBSContext (or a test fake).
+	solve func(ctx context.Context, e float64, opts core.Options) (*core.Result, error)
+	// sweep is cbs.Model.SweepCBS (or a test fake).
+	sweep func(ctx context.Context, es []float64, opts core.Options, cfg sweep.Config) (*sweep.Report, error)
+}
+
+// serverConfig parameterizes one cbsd instance.
+type serverConfig struct {
+	backend backend
+	// workers / queueDepth bound the job pool (backpressure policy).
+	workers    int
+	queueDepth int
+	// cacheEntries bounds the result cache.
+	cacheEntries int
+	// sweepWorkers is the per-sweep energy concurrency.
+	sweepWorkers int
+	// checkpointDir, when non-empty, journals every sweep under
+	// <dir>/<fingerprint>.journal and resumes automatically when the same
+	// sweep is submitted again (after a crash or restart).
+	checkpointDir string
+	// defaults are the server's base solver options; request options
+	// override field-by-field.
+	defaults core.Options
+	// chaos arms the serving-layer fault sites (nil in production).
+	chaos *chaos.Injector
+}
+
+// server is one cbsd instance: job manager + result cache + HTTP mux.
+type server struct {
+	cfg   serverConfig
+	mgr   *jobs.Manager
+	cache *rescache.Cache
+	mux   *http.ServeMux
+	start time.Time
+
+	// solveCount/solveNanos time actual backend solves (cache misses);
+	// hits never touch them.
+	solveCount atomic.Int64
+	solveNanos atomic.Int64
+}
+
+// activeServer is the instance /metrics reads. expvar registration is
+// process-global and permanent, so the var is published once and
+// indirects through this pointer — tests that build several servers just
+// repoint it.
+var activeServer atomic.Pointer[server]
+
+var publishOnce sync.Once
+
+// newServer assembles a server and makes it the active metrics target.
+func newServer(cfg serverConfig) *server {
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.queueDepth < 1 {
+		cfg.queueDepth = 16
+	}
+	if cfg.cacheEntries < 1 {
+		cfg.cacheEntries = 256
+	}
+	if cfg.sweepWorkers < 1 {
+		cfg.sweepWorkers = 1
+	}
+	s := &server{
+		cfg:   cfg,
+		mgr:   jobs.New(jobs.Config{Workers: cfg.workers, QueueDepth: cfg.queueDepth, Chaos: cfg.chaos}),
+		cache: rescache.New(cfg.cacheEntries),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.cache.SetChaos(cfg.chaos)
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", expvar.Handler())
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+
+	activeServer.Store(s)
+	publishOnce.Do(func() {
+		expvar.Publish("cbsd", expvar.Func(func() any {
+			if cur := activeServer.Load(); cur != nil {
+				return cur.metricsSnapshot()
+			}
+			return nil
+		}))
+	})
+	return s
+}
+
+// Handler returns the HTTP entry point.
+func (s *server) Handler() http.Handler { return s.mux }
+
+// Drain is the SIGTERM path: reject new work, let in-flight jobs finish
+// until ctx expires, then cancel them (sweeps have already journaled
+// every completed energy) and wait for the workers to unwind.
+func (s *server) Drain(ctx context.Context) error { return s.mgr.Drain(ctx) }
+
+// metricsSnapshot is the /metrics payload under the "cbsd" expvar.
+func (s *server) metricsSnapshot() any {
+	cs := s.cache.Stats()
+	jm := s.mgr.Metrics()
+	n := s.solveCount.Load()
+	mean := 0.0
+	if n > 0 {
+		mean = float64(s.solveNanos.Load()) / float64(n) / 1e6
+	}
+	return map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"cache": map[string]any{
+			"hits": cs.Hits, "misses": cs.Misses, "deduped": cs.Deduped,
+			"evictions": cs.Evictions, "entries": cs.Entries, "in_flight": cs.InFlight,
+		},
+		"jobs": map[string]any{
+			"submitted": jm.Submitted, "rejected": jm.Rejected,
+			"completed": jm.Completed, "failed": jm.Failed, "canceled": jm.Canceled,
+			"queue_depth": jm.QueueDepth, "in_flight": jm.InFlight,
+			"busy_ms": float64(jm.BusyNanos) / 1e6,
+		},
+		"solve": map[string]any{
+			"count": n, "total_ms": float64(s.solveNanos.Load()) / 1e6, "mean_ms": mean,
+		},
+	}
+}
+
+// --- request/response schema ---
+
+// optionsJSON is the client-settable slice of core.Options: exactly the
+// result-affecting fields the fingerprint hashes, so a request's identity
+// is fully determined by its body. The parallel layout stays server-side.
+type optionsJSON struct {
+	Nint        *int     `json:"nint,omitempty"`
+	Nmm         *int     `json:"nmm,omitempty"`
+	Nrh         *int     `json:"nrh,omitempty"`
+	Delta       *float64 `json:"delta,omitempty"`
+	LambdaMin   *float64 `json:"lambda_min,omitempty"`
+	BiCGTol     *float64 `json:"bicg_tol,omitempty"`
+	MaxIter     *int     `json:"max_iter,omitempty"`
+	ResidualTol *float64 `json:"residual_tol,omitempty"`
+	Balance     *bool    `json:"balance,omitempty"`
+	Seed        *int64   `json:"seed,omitempty"`
+	AutoExpand  *bool    `json:"auto_expand,omitempty"`
+	MaxExpand   *int     `json:"max_expand,omitempty"`
+}
+
+// apply overlays the request options on the server defaults.
+func (oj *optionsJSON) apply(base core.Options) core.Options {
+	if oj == nil {
+		return base
+	}
+	if oj.Nint != nil {
+		base.Nint = *oj.Nint
+	}
+	if oj.Nmm != nil {
+		base.Nmm = *oj.Nmm
+	}
+	if oj.Nrh != nil {
+		base.Nrh = *oj.Nrh
+	}
+	if oj.Delta != nil {
+		base.Delta = *oj.Delta
+	}
+	if oj.LambdaMin != nil {
+		base.LambdaMin = *oj.LambdaMin
+	}
+	if oj.BiCGTol != nil {
+		base.BiCGTol = *oj.BiCGTol
+	}
+	if oj.MaxIter != nil {
+		base.MaxIter = *oj.MaxIter
+	}
+	if oj.ResidualTol != nil {
+		base.ResidualTol = *oj.ResidualTol
+	}
+	if oj.Balance != nil {
+		base.LoadBalanceStop = *oj.Balance
+	}
+	if oj.Seed != nil {
+		base.Seed = *oj.Seed
+	}
+	if oj.AutoExpand != nil {
+		base.AutoExpand = *oj.AutoExpand
+	}
+	if oj.MaxExpand != nil {
+		base.MaxExpand = *oj.MaxExpand
+	}
+	return base
+}
+
+// solveRequest is POST /v1/solve: one energy, in eV relative to EF or
+// absolute hartree.
+type solveRequest struct {
+	EnergyEV      *float64     `json:"energy_ev,omitempty"`
+	EnergyHartree *float64     `json:"energy_hartree,omitempty"`
+	Options       *optionsJSON `json:"options,omitempty"`
+}
+
+// sweepRequest is POST /v1/sweep: an explicit energy list or a uniform
+// window, both in eV relative to EF.
+type sweepRequest struct {
+	EnergiesEV []float64    `json:"energies_ev,omitempty"`
+	EminEV     *float64     `json:"emin_ev,omitempty"`
+	EmaxEV     *float64     `json:"emax_ev,omitempty"`
+	NE         int          `json:"ne,omitempty"`
+	Options    *optionsJSON `json:"options,omitempty"`
+}
+
+// submitResponse acknowledges an accepted job (HTTP 202).
+type submitResponse struct {
+	ID          string `json:"id"`
+	StatusURL   string `json:"status_url"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// progressJSON is per-energy sweep progress.
+type progressJSON struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// energyJSON is one sweep energy's terminal state in a job response.
+type energyJSON struct {
+	Index       int               `json:"index"`
+	EnergyEV    float64           `json:"energy_ev"`
+	Status      sweep.Status      `json:"status"`
+	Attempts    int               `json:"attempts,omitempty"`
+	Restored    bool              `json:"restored,omitempty"`
+	Escalations []string          `json:"escalations,omitempty"`
+	Error       string            `json:"error,omitempty"`
+	Result      *sweep.ResultJSON `json:"result,omitempty"`
+}
+
+// sweepJSON summarizes a finished sweep job.
+type sweepJSON struct {
+	OK       int          `json:"ok"`
+	Degraded int          `json:"degraded"`
+	Failed   int          `json:"failed"`
+	Skipped  int          `json:"skipped"`
+	Restored int          `json:"restored"`
+	Attempts int          `json:"attempts"`
+	Energies []energyJSON `json:"energies"`
+}
+
+// jobJSON is GET /v1/jobs/{id}.
+type jobJSON struct {
+	ID           string            `json:"id"`
+	Kind         jobs.Kind         `json:"kind"`
+	State        jobs.State        `json:"state"`
+	Submitted    string            `json:"submitted"`
+	Started      string            `json:"started,omitempty"`
+	Finished     string            `json:"finished,omitempty"`
+	Progress     *progressJSON     `json:"progress,omitempty"`
+	CacheOutcome rescache.Outcome  `json:"cache_outcome,omitempty"`
+	Error        string            `json:"error,omitempty"`
+	CellLength   float64           `json:"cell_length_bohr,omitempty"`
+	Result       *sweep.ResultJSON `json:"result,omitempty"`
+	Sweep        *sweepJSON        `json:"sweep,omitempty"`
+}
+
+// --- handlers ---
+
+// writeJSON sends v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response already committed
+}
+
+// writeError maps the job layer's typed sentinels onto HTTP status codes:
+// a full queue is 429 with Retry-After (back off, the pool is saturated),
+// draining is 503 (the process is going away), unknown IDs are 404.
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, jobs.ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, jobs.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.mgr.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// resolveEnergy converts a solve request's energy to hartree.
+func (s *server) resolveEnergy(req solveRequest) (float64, error) {
+	switch {
+	case req.EnergyHartree != nil:
+		return *req.EnergyHartree, nil
+	case req.EnergyEV != nil:
+		return s.cfg.backend.ef + units.EVToHartree(*req.EnergyEV), nil
+	default:
+		return 0, errors.New("request must set energy_ev or energy_hartree")
+	}
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	e, err := s.resolveEnergy(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	opts := req.Options.apply(s.cfg.defaults)
+	fp := fingerprint.Solve(s.cfg.backend.desc, e, opts)
+
+	task := func(ctx context.Context, _ func(int, int)) (jobs.Outcome, error) {
+		res, outcome, err := s.cache.Do(ctx, fp, func(ctx context.Context) (*core.Result, error) {
+			t0 := time.Now()
+			res, err := s.cfg.backend.solve(ctx, e, opts)
+			s.solveCount.Add(1)
+			s.solveNanos.Add(int64(time.Since(t0)))
+			return res, err
+		})
+		return jobs.Outcome{Result: res, CacheOutcome: outcome}, err
+	}
+	id, err := s.mgr.Submit(jobs.KindSolve, task)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID: id, StatusURL: "/v1/jobs/" + id, Fingerprint: fp,
+	})
+}
+
+// sweepEnergies expands a sweep request to its hartree energy list.
+func (s *server) sweepEnergies(req sweepRequest) ([]float64, error) {
+	if len(req.EnergiesEV) > 0 {
+		es := make([]float64, len(req.EnergiesEV))
+		for i, ev := range req.EnergiesEV {
+			es[i] = s.cfg.backend.ef + units.EVToHartree(ev)
+		}
+		return es, nil
+	}
+	if req.EminEV == nil || req.EmaxEV == nil || req.NE < 1 {
+		return nil, errors.New("request must set energies_ev or emin_ev/emax_ev/ne")
+	}
+	es := make([]float64, req.NE)
+	for i := range es {
+		f := 0.0
+		if req.NE > 1 {
+			f = float64(i) / float64(req.NE-1)
+		}
+		es[i] = s.cfg.backend.ef + units.EVToHartree(*req.EminEV+(*req.EmaxEV-*req.EminEV)*f)
+	}
+	return es, nil
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	es, err := s.sweepEnergies(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	opts := req.Options.apply(s.cfg.defaults)
+	fp := fingerprint.Key(s.cfg.backend.desc, es, opts)
+
+	task := func(ctx context.Context, progress func(int, int)) (jobs.Outcome, error) {
+		var done atomic.Int64
+		scfg := sweep.Config{
+			Workers:      s.cfg.sweepWorkers,
+			OperatorDesc: s.cfg.backend.desc,
+			Chaos:        s.cfg.chaos,
+			OnEnergy: func(er sweep.EnergyResult) {
+				progress(int(done.Add(1)), len(es))
+				// Cross-pollinate the solve cache: a sweep energy is a
+				// one-element sweep by fingerprint construction, so a
+				// later POST /v1/solve at this energy is a cache hit.
+				if er.Result != nil {
+					s.cache.Put(fingerprint.Solve(s.cfg.backend.desc, er.Energy, opts), er.Result)
+				}
+			},
+		}
+		if s.cfg.checkpointDir != "" {
+			// Journal keyed by the sweep's own fingerprint: resubmitting
+			// the same sweep after a crash or restart resumes instead of
+			// re-solving (Resume creates the file if it does not exist).
+			scfg.CheckpointPath = filepath.Join(s.cfg.checkpointDir, fp+".journal")
+			scfg.Resume = true
+		}
+		report, err := s.cfg.backend.sweep(ctx, es, opts, scfg)
+		return jobs.Outcome{Report: report}, err
+	}
+	id, err := s.mgr.Submit(jobs.KindSweep, task)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID: id, StatusURL: "/v1/jobs/" + id, Fingerprint: fp,
+	})
+}
+
+// stripVectors drops the eigenvector payload (the dominant weight of a
+// result) unless the client asked for it.
+func stripVectors(rj *sweep.ResultJSON) *sweep.ResultJSON {
+	if rj == nil {
+		return nil
+	}
+	out := *rj
+	out.Pairs = make([]sweep.PairJSON, len(rj.Pairs))
+	for i, p := range rj.Pairs {
+		p.Psi = nil
+		out.Pairs[i] = p
+	}
+	return &out
+}
+
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	withVectors := r.URL.Query().Get("vectors") == "1"
+	project := func(res *core.Result) *sweep.ResultJSON {
+		rj := sweep.EncodeResult(res)
+		if !withVectors {
+			rj = stripVectors(rj)
+		}
+		return rj
+	}
+
+	out := jobJSON{
+		ID: snap.ID, Kind: snap.Kind, State: snap.State,
+		Submitted:    snap.Submitted.UTC().Format(time.RFC3339Nano),
+		CacheOutcome: snap.Outcome.CacheOutcome,
+		CellLength:   s.cfg.backend.a,
+	}
+	if !snap.Started.IsZero() {
+		out.Started = snap.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !snap.Finished.IsZero() {
+		out.Finished = snap.Finished.UTC().Format(time.RFC3339Nano)
+	}
+	if snap.Total > 0 {
+		out.Progress = &progressJSON{Done: snap.Done, Total: snap.Total}
+	}
+	if snap.Err != nil {
+		out.Error = snap.Err.Error()
+	}
+	if snap.Outcome.Result != nil {
+		out.Result = project(snap.Outcome.Result)
+	}
+	if rep := snap.Outcome.Report; rep != nil {
+		sj := &sweepJSON{
+			OK: rep.OK, Degraded: rep.Degraded, Failed: rep.Failed,
+			Skipped: rep.Skipped, Restored: rep.Restored, Attempts: rep.Attempts,
+		}
+		for _, er := range rep.Results {
+			ej := energyJSON{
+				Index:       er.Index,
+				EnergyEV:    units.HartreeToEV(er.Energy - s.cfg.backend.ef),
+				Status:      er.Status,
+				Attempts:    er.Attempts,
+				Restored:    er.FromJournal,
+				Escalations: er.Escalations,
+				Result:      project(er.Result),
+			}
+			if er.Err != nil {
+				ej.Error = er.Err.Error()
+			}
+			sj.Energies = append(sj.Energies, ej)
+		}
+		out.Sweep = sj
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.mgr.Cancel(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	snap, err := s.mgr.Get(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "state": snap.State})
+}

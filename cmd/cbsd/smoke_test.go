@@ -1,0 +1,169 @@
+//go:build servesmoke
+
+// Serve-smoke: an end-to-end exercise of cbsd against the real solver —
+// a real TCP listener, a real Al(100) model on a small grid, a POSTed
+// solve polled to completion, and a repeat request that must hit the
+// cache. The physics is projected into testdata/smoke_golden.json with
+// k rounded to 1e-6 (regenerate with -update), so a drift in the served
+// numbers — not just the schema — fails CI. Run via `make serve-smoke`
+// or `go test -tags servesmoke -run TestServeSmoke ./cmd/cbsd`.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"cbs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+// smokePair is one eigenpair reduced to its stable observables: the
+// complex Bloch factor's magnitude (decay per cell) and k rounded to a
+// tolerance that absorbs cross-platform floating-point noise.
+type smokePair struct {
+	KRe          float64 `json:"k_re"`
+	KIm          float64 `json:"k_im"`
+	DecayPerCell float64 `json:"decay_per_cell"`
+}
+
+// smokeReport is the golden projection of the smoke run.
+type smokeReport struct {
+	State         string      `json:"state"`
+	RepeatOutcome string      `json:"repeat_cache_outcome"`
+	Rank          int         `json:"rank"`
+	Nint          int         `json:"nint"`
+	Nrh           int         `json:"nrh"`
+	Degraded      bool        `json:"degraded"`
+	ResidualOK    bool        `json:"residual_ok"`
+	Pairs         []smokePair `json:"pairs"`
+}
+
+func round6(x float64) float64 {
+	r := math.Round(x*1e6) / 1e6
+	if r == 0 {
+		return 0 // normalize -0: its JSON rendering is platform noise
+	}
+	return r
+}
+
+func TestServeSmoke(t *testing.T) {
+	st, err := cbs.AlBulk100(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := cbs.NewModel(st, cbs.GridConfig{Nx: 6, Ny: 6, Nz: 8, Nf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := model.FermiLevel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(serverConfig{
+		backend:      modelBackend(model, ef),
+		workers:      2,
+		queueDepth:   8,
+		cacheEntries: 16,
+		sweepWorkers: 1,
+		defaults:     cbs.DefaultOptions(),
+	})
+
+	// A real listener on a random port, served exactly as main serves.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // closed by hs.Close
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", hresp.StatusCode)
+	}
+
+	body := `{"energy_ev": 0.25, "options": {"nint": 8, "nmm": 4, "nrh": 6}}`
+	var sub submitResponse
+	if resp := postJSON(t, base+"/v1/solve", body, &sub); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/solve: HTTP %d", resp.StatusCode)
+	}
+	j := waitJob(t, base, sub.ID)
+	if j.State != "done" {
+		t.Fatalf("solve ended %s: %s", j.State, j.Error)
+	}
+	if j.Result == nil || len(j.Result.Pairs) == 0 {
+		t.Fatal("solve returned no eigenpairs")
+	}
+
+	// The identical request again: served from the cache, no second solve.
+	var sub2 submitResponse
+	postJSON(t, base+"/v1/solve", body, &sub2)
+	j2 := waitJob(t, base, sub2.ID)
+	if j2.State != "done" {
+		t.Fatalf("repeat solve ended %s: %s", j2.State, j2.Error)
+	}
+
+	report := smokeReport{
+		State:         string(j.State),
+		RepeatOutcome: string(j2.CacheOutcome),
+		Rank:          j.Result.Rank,
+		Nint:          j.Result.Diagnostics.Nint,
+		Nrh:           j.Result.Diagnostics.Nrh,
+		Degraded:      j.Result.Diagnostics.Degraded,
+		ResidualOK:    true,
+	}
+	for _, p := range j.Result.Pairs {
+		if p.Residual > 1e-4 {
+			report.ResidualOK = false
+		}
+		report.Pairs = append(report.Pairs, smokePair{
+			KRe:          round6(p.K[0]),
+			KIm:          round6(p.K[1]),
+			DecayPerCell: round6(math.Hypot(p.Lambda[0], p.Lambda[1])),
+		})
+	}
+	sort.Slice(report.Pairs, func(a, b int) bool {
+		pa, pb := report.Pairs[a], report.Pairs[b]
+		if pa.KIm != pb.KIm {
+			return pa.KIm < pb.KIm
+		}
+		return pa.KRe < pb.KRe
+	})
+
+	got, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "smoke_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("smoke run drifted from the golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -14,6 +14,7 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"strconv"
 )
@@ -64,6 +65,18 @@ type Config struct {
 	// only a prefix of the record reaches the file and no newline follows.
 	TornRecord float64
 
+	// JobFault is the probability that a job picked up by a serving-layer
+	// worker (internal/jobs) fails hard before its task runs: the job must
+	// end Failed with a typed injected error while the server keeps
+	// serving — the job-level analog of EnergyFault.
+	JobFault float64
+	// CacheFault is the probability that one result-cache lookup
+	// (internal/rescache) is forced to miss — the stand-in for an evicted
+	// or corrupted entry. A hit site is deterministic per key, so an
+	// affected fingerprint never caches; the serving layer must still
+	// return correct results, just without the shortcut.
+	CacheFault float64
+
 	// Columns, when non-empty, restricts the column-scoped injections
 	// (Breakdown, RestartBreakdown, FallbackFail) to the listed probe
 	// columns.
@@ -109,6 +122,8 @@ func (in *Injector) Seed() int64 {
 //	CBS_CHAOS_ENERGY=<p>         sweep energy hard-fault rate (default 0)
 //	CBS_CHAOS_CKPT=<p>           checkpoint write-fault rate (default 0)
 //	CBS_CHAOS_TORN=<p>           torn journal-record rate (default 0)
+//	CBS_CHAOS_JOB=<p>            serving-layer job hard-fault rate (default 0)
+//	CBS_CHAOS_CACHE=<p>          forced result-cache miss rate (default 0)
 func FromEnv() *Injector {
 	if os.Getenv("CBS_CHAOS") == "" {
 		return nil
@@ -139,6 +154,8 @@ func FromEnv() *Injector {
 		EnergyFault:      rate("CBS_CHAOS_ENERGY", 0),
 		CheckpointFault:  rate("CBS_CHAOS_CKPT", 0),
 		TornRecord:       rate("CBS_CHAOS_TORN", 0),
+		JobFault:         rate("CBS_CHAOS_JOB", 0),
+		CacheFault:       rate("CBS_CHAOS_CACHE", 0),
 	})
 }
 
@@ -188,6 +205,8 @@ const (
 	kindEnergy    = 0x656e // "en"
 	kindCkpt      = 0x636b // "ck"
 	kindTorn      = 0x746e // "tn"
+	kindJob       = 0x6a62 // "jb"
+	kindCache     = 0x6361 // "ca"
 )
 
 // Breakdown reports whether the BiCG solve at s should break down
@@ -288,6 +307,36 @@ func (in *Injector) CheckpointFault(index int) error {
 		return nil
 	}
 	return fmt.Errorf("%w: checkpoint write fault at sweep energy %d", ErrInjected, index)
+}
+
+// JobFault returns a typed injected error when the serving-layer job with
+// the given submission sequence number should fail hard at worker pickup,
+// nil otherwise. The site is the sequence number, not the worker, so the
+// decision is independent of pool scheduling; every retry of a faulted
+// submission is a new sequence number and draws fresh.
+func (in *Injector) JobFault(seq int) error {
+	if in == nil {
+		return nil
+	}
+	if !in.hit(in.cfg.JobFault, kindJob, seq, 0, 0) {
+		return nil
+	}
+	return fmt.Errorf("%w: hard fault at job %d", ErrInjected, seq)
+}
+
+// CacheFault reports whether the result-cache lookup for key should be
+// forced to miss. The site is an FNV-1a fold of the key, so the decision
+// is per-fingerprint deterministic: an affected key misses on every
+// lookup, and the serving layer must produce correct results without the
+// cache's help.
+func (in *Injector) CacheFault(key string) bool {
+	if in == nil {
+		return false
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	s := h.Sum64()
+	return in.hit(in.cfg.CacheFault, kindCache, int(s&0x7fffffff), int(s>>33), 0)
 }
 
 // TornRecord reports whether the journal append for the energy record at

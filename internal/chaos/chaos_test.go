@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"testing"
 )
@@ -200,5 +201,57 @@ func TestFromEnv(t *testing.T) {
 	}
 	if !in.Breakdown(Site{}) {
 		t.Error("breakdown rate 1 must always hit")
+	}
+	t.Setenv("CBS_CHAOS_JOB", "1")
+	t.Setenv("CBS_CHAOS_CACHE", "1")
+	in = FromEnv()
+	if err := in.JobFault(0); err == nil {
+		t.Error("CBS_CHAOS_JOB=1 must inject job faults")
+	}
+	if !in.CacheFault("k") {
+		t.Error("CBS_CHAOS_CACHE=1 must force cache misses")
+	}
+}
+
+// TestServingSites covers the serving-layer fault sites: job pickup faults
+// and forced cache misses, nil-safe, deterministic, and kind-independent.
+func TestServingSites(t *testing.T) {
+	var nilIn *Injector
+	if err := nilIn.JobFault(0); err != nil {
+		t.Errorf("nil injector job fault: %v", err)
+	}
+	if nilIn.CacheFault("abc") {
+		t.Error("nil injector must not force cache misses")
+	}
+
+	in := New(5, Config{JobFault: 1, CacheFault: 1})
+	if err := in.JobFault(7); err == nil || !errors.Is(err, ErrInjected) {
+		t.Errorf("job fault at rate 1 = %v, want ErrInjected", err)
+	}
+	if !in.CacheFault("57f21d55743e4262") {
+		t.Error("cache fault at rate 1 must hit")
+	}
+
+	// Per-key determinism: the same key always draws the same decision,
+	// different keys (somewhere) differ.
+	a := New(9, Config{JobFault: 0.4, CacheFault: 0.4})
+	b := New(9, Config{JobFault: 0.4, CacheFault: 0.4})
+	sawHit, sawMiss := false, false
+	for i := 0; i < 128; i++ {
+		key := fmt.Sprintf("%016x", uint64(i)*0x9e3779b97f4a7c15)
+		if a.CacheFault(key) != b.CacheFault(key) {
+			t.Fatalf("key %s: cache decisions differ across identically-seeded injectors", key)
+		}
+		if (a.JobFault(i) != nil) != (b.JobFault(i) != nil) {
+			t.Fatalf("job %d: decisions differ across identically-seeded injectors", i)
+		}
+		if a.CacheFault(key) {
+			sawHit = true
+		} else {
+			sawMiss = true
+		}
+	}
+	if !sawHit || !sawMiss {
+		t.Error("cache fault rate 0.4 over 128 keys produced no mix of hits and misses")
 	}
 }

@@ -1,0 +1,57 @@
+// Package fingerprint derives the stable identity of a CBS computation:
+// a 64-bit FNV-1a digest over the operator descriptor, the energy list,
+// and every result-affecting solver option. The digest is the shared key
+// scheme of the durability and serving layers — the sweep checkpoint
+// journal refuses to resume under a changed fingerprint, and the result
+// cache (internal/rescache) uses the same key so a journaled sweep and a
+// served solve of the same physics always agree on identity.
+//
+// The parallel layout (Options.Parallel) and the chaos injector are
+// deliberately excluded: worker counts only reschedule the same
+// arithmetic, so a sweep checkpointed on 8 workers may resume on 2, and
+// fault injection is a test-harness concern, not part of the
+// computation's identity.
+//
+// Stability contract: the digest of a given (descriptor, energies,
+// options) triple is pinned by golden tests and must never change for the
+// "cbs-sweep/v1" domain — existing journals resume against it. Any
+// incompatible change to the hashed material must bump the domain string
+// (and with it the journal version).
+package fingerprint
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"cbs/internal/core"
+)
+
+// Key digests everything that determines a computation's per-energy
+// results: the operator descriptor supplied by the caller, the full
+// energy list, and the result-affecting solver options. It returns 16
+// lowercase hex digits.
+func Key(operatorDesc string, es []float64, opts core.Options) string {
+	var sb strings.Builder
+	sb.WriteString("cbs-sweep/v1\x00")
+	sb.WriteString(operatorDesc)
+	sb.WriteByte(0)
+	fmt.Fprintf(&sb, "nint=%d nmm=%d nrh=%d delta=%.17g lmin=%.17g tol=%.17g maxiter=%d rtol=%.17g balance=%t seed=%d expand=%t maxexpand=%d",
+		opts.Nint, opts.Nmm, opts.Nrh, opts.Delta, opts.LambdaMin,
+		opts.BiCGTol, opts.MaxIter, opts.ResidualTol, opts.LoadBalanceStop,
+		opts.Seed, opts.AutoExpand, opts.MaxExpand)
+	sb.WriteByte(0)
+	for _, e := range es {
+		fmt.Fprintf(&sb, "%.17g,", e)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(sb.String()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Solve is the fingerprint of a single-energy solve: by construction a
+// one-element sweep, so a cached solve and a one-element journal share a
+// key.
+func Solve(operatorDesc string, e float64, opts core.Options) string {
+	return Key(operatorDesc, []float64{e}, opts)
+}

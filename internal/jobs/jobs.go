@@ -1,0 +1,399 @@
+// Package jobs is the serving layer's job manager: submitted CBS work
+// (single-energy solves, energy sweeps) runs on a bounded worker pool
+// behind a fixed-depth queue. The two bounds are the backpressure policy:
+// Workers caps concurrent solves at what the machine can actually run,
+// QueueDepth caps accepted-but-unstarted work at what a client should be
+// allowed to park, and a full queue rejects the submission with a typed
+// error (ErrQueueFull — an HTTP 429 at the daemon layer) instead of
+// blocking the accept loop or growing without bound.
+//
+// Lifecycle: queued → running → {done, failed, canceled}. Cancel kills a
+// queued job immediately and cancels a running job's context — the sweep
+// engine checkpoints completed energies on cancellation, so a canceled
+// sweep leaves a resumable journal. Drain is the SIGTERM path: stop
+// intake, cancel everything still queued, give in-flight jobs a grace
+// period to finish, then cancel them too and wait — every task sees a
+// context cancellation, never a hard kill.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cbs/internal/chaos"
+	"cbs/internal/core"
+	"cbs/internal/rescache"
+	"cbs/internal/sweep"
+)
+
+// Typed sentinels of the job layer.
+var (
+	// ErrQueueFull rejects a submission when the fixed-depth queue is at
+	// capacity: the server is saturated and the client should back off
+	// and retry (HTTP 429).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrDraining rejects a submission during shutdown (HTTP 503).
+	ErrDraining = errors.New("jobs: manager is draining")
+	// ErrNotFound is an unknown job ID.
+	ErrNotFound = errors.New("jobs: no such job")
+)
+
+// Kind is the type of work a job carries.
+type Kind string
+
+const (
+	KindSolve Kind = "solve"
+	KindSweep Kind = "sweep"
+)
+
+// State is one rung of the job lifecycle.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether s is an end state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Outcome is what a finished task produced: exactly one of Result (solve)
+// or Report (sweep), plus how the result cache was involved.
+type Outcome struct {
+	Result *core.Result
+	Report *sweep.Report
+	// CacheOutcome is the rescache path a solve took ("" for sweeps and
+	// unfinished jobs).
+	CacheOutcome rescache.Outcome
+}
+
+// Task is the unit of work a job runs. The context dies on job
+// cancellation and manager drain; progress may be called after every
+// completed step (energy) and must be safe for concurrent use.
+type Task func(ctx context.Context, progress func(done, total int)) (Outcome, error)
+
+// Snapshot is the externally visible state of one job.
+type Snapshot struct {
+	ID        string
+	Kind      Kind
+	State     State
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	// Done/Total are task progress (completed energies of a sweep; 0/0
+	// when the task reports none).
+	Done, Total int
+	Outcome     Outcome
+	Err         error
+}
+
+// Metrics is a snapshot of the manager's counters for /metrics.
+type Metrics struct {
+	Submitted  int64 // accepted submissions
+	Rejected   int64 // ErrQueueFull rejections
+	Completed  int64 // jobs that ended done
+	Failed     int64 // jobs that ended failed
+	Canceled   int64 // jobs that ended canceled
+	QueueDepth int   // jobs accepted but not yet picked up
+	InFlight   int   // jobs currently running
+	// BusyNanos accumulates wall time spent inside tasks (divide by
+	// Completed+Failed+Canceled-with-start for mean job latency).
+	BusyNanos int64
+}
+
+// job is the manager's internal record.
+type job struct {
+	id     string
+	seq    int
+	kind   Kind
+	task   Task
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      int
+	total     int
+	outcome   Outcome
+	err       error
+}
+
+// snapshot copies the job under its lock.
+func (j *job) snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID: j.id, Kind: j.kind, State: j.state,
+		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+		Done: j.done, Total: j.total,
+		Outcome: j.outcome, Err: j.err,
+	}
+}
+
+// Config parameterizes the manager.
+type Config struct {
+	// Workers is the number of concurrent jobs (default 1).
+	Workers int
+	// QueueDepth is the accepted-but-unstarted bound (default 16).
+	QueueDepth int
+	// Chaos optionally injects job-pickup faults (nil in production).
+	Chaos *chaos.Injector
+	// Clock substitutes time.Now in tests (nil uses time.Now).
+	Clock func() time.Time
+}
+
+// Manager runs jobs on its worker pool. Construct with New; Drain ends it.
+type Manager struct {
+	cfg   Config
+	queue chan *job
+	wg    sync.WaitGroup
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	seq      int
+	draining bool
+	metrics  Metrics
+}
+
+// New starts a manager with cfg.Workers workers.
+func New(cfg Config) *Manager {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		queue:      make(chan *job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		jobs:       make(map[string]*job),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit queues a task and returns its job ID. A full queue returns
+// ErrQueueFull without accepting the job; a draining manager returns
+// ErrDraining.
+func (m *Manager) Submit(kind Kind, task Task) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return "", ErrDraining
+	}
+	m.seq++
+	jctx, jcancel := context.WithCancel(m.baseCtx)
+	j := &job{
+		id:        fmt.Sprintf("j%06d", m.seq),
+		seq:       m.seq,
+		kind:      kind,
+		task:      task,
+		ctx:       jctx,
+		cancel:    jcancel,
+		state:     StateQueued,
+		submitted: m.cfg.Clock(),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		jcancel()
+		m.seq-- // the submission was never accepted
+		m.metrics.Rejected++
+		return "", fmt.Errorf("%w: %d jobs queued, %d running", ErrQueueFull, len(m.queue), m.metrics.InFlight)
+	}
+	m.jobs[j.id] = j
+	m.metrics.Submitted++
+	return j.id, nil
+}
+
+// Get returns the snapshot of a job.
+func (m *Manager) Get(id string) (Snapshot, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Snapshot{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return j.snapshot(), nil
+}
+
+// Cancel stops a job: a queued job is marked canceled and never runs, a
+// running job's context is canceled (the task decides how fast to wind
+// down; sweeps checkpoint first). Canceling a finished job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.err = context.Canceled
+		j.finished = m.cfg.Clock()
+		j.mu.Unlock()
+		m.mu.Lock()
+		m.metrics.Canceled++
+		m.mu.Unlock()
+		j.cancel()
+		return nil
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return nil
+}
+
+// Metrics returns a counter snapshot.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mt := m.metrics
+	mt.QueueDepth = len(m.queue)
+	return mt
+}
+
+// Draining reports whether the manager has begun shutdown.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Drain shuts the manager down: intake stops (Submit returns ErrDraining),
+// queued jobs are canceled without running, and in-flight jobs get until
+// ctx expires to finish on their own before their contexts are canceled
+// too. Drain always waits for the workers to exit — when it returns, no
+// task is running and every journal a canceled sweep flushes is on disk.
+// The returned error is ctx.Err() if the grace period expired (in-flight
+// work was force-canceled), nil if everything finished in time.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return nil
+	}
+	m.draining = true
+	// Cancel every queued job under the lock: Submit can no longer add,
+	// and workers skip jobs whose state is already terminal.
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateCanceled
+			j.err = ErrDraining
+			j.finished = m.cfg.Clock()
+			m.metrics.Canceled++
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+	close(m.queue)
+	m.mu.Unlock()
+
+	workersDone := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(workersDone)
+	}()
+	var forced error
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		// Grace expired: cancel in-flight tasks and wait for real. Sweeps
+		// checkpoint completed energies on the way out.
+		forced = ctx.Err()
+		m.cancelBase()
+		<-workersDone
+	}
+	m.cancelBase()
+	return forced
+}
+
+// worker drains the queue.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one job through its lifecycle.
+func (m *Manager) run(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = m.cfg.Clock()
+	j.mu.Unlock()
+	m.mu.Lock()
+	m.metrics.InFlight++
+	m.mu.Unlock()
+
+	var (
+		out Outcome
+		err error
+	)
+	if err = m.cfg.Chaos.JobFault(j.seq); err == nil {
+		out, err = j.task(j.ctx, func(done, total int) {
+			j.mu.Lock()
+			j.done, j.total = done, total
+			j.mu.Unlock()
+		})
+	}
+
+	finished := m.cfg.Clock()
+	j.mu.Lock()
+	j.finished = finished
+	j.outcome = out
+	j.err = err
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, ErrDraining):
+		j.state = StateCanceled
+	default:
+		j.state = StateFailed
+	}
+	state := j.state
+	busy := finished.Sub(j.started)
+	j.mu.Unlock()
+
+	m.mu.Lock()
+	m.metrics.InFlight--
+	m.metrics.BusyNanos += int64(busy)
+	switch state {
+	case StateDone:
+		m.metrics.Completed++
+	case StateCanceled:
+		m.metrics.Canceled++
+	default:
+		m.metrics.Failed++
+	}
+	m.mu.Unlock()
+}

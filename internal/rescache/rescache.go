@@ -1,0 +1,253 @@
+// Package rescache is the serving layer's result cache: a bounded LRU of
+// completed CBS solves keyed by the shared internal/fingerprint digest,
+// with singleflight deduplication so N concurrent requests for the same
+// fingerprint trigger exactly one underlying solve.
+//
+// The key scheme is the same one the sweep checkpoint journal uses
+// (operator descriptor + energies + result-affecting options), which is
+// what makes caching sound: two requests with equal fingerprints are the
+// same computation by construction, and the paper's workload — transport
+// and tunneling analyses re-deriving the same (operator, energy) solves —
+// turns that equality into repeat traffic.
+//
+// Only successful solves are cached. Errors pass through to every waiter
+// of the in-flight call but are never stored: a transient failure (a
+// canceled context, an injected fault, a breakdown past the recovery
+// ladder) must not poison the key.
+package rescache
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"cbs/internal/chaos"
+	"cbs/internal/core"
+)
+
+// SolveFunc computes the value for a key on a cache miss.
+type SolveFunc func(ctx context.Context) (*core.Result, error)
+
+// Outcome says how a Do call obtained its result.
+type Outcome string
+
+const (
+	// Hit is a completed result served straight from the cache.
+	Hit Outcome = "hit"
+	// Miss is a solve this call executed itself (the singleflight leader).
+	Miss Outcome = "miss"
+	// Deduped is a result obtained by waiting on another caller's
+	// in-flight solve of the same fingerprint.
+	Deduped Outcome = "deduped"
+)
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 // lookups served from a stored entry
+	Misses    int64 // lookups that executed a solve
+	Deduped   int64 // lookups that waited on another caller's solve
+	Evictions int64 // entries dropped by the LRU bound
+	Entries   int   // live entries
+	InFlight  int   // singleflight calls currently executing
+}
+
+// entry is one cached result in the intrusive LRU list.
+type entry struct {
+	key        string
+	res        *core.Result
+	prev, next *entry
+}
+
+// call is one in-flight singleflight computation.
+type call struct {
+	done chan struct{} // closed when the leader finishes
+	res  *core.Result
+	err  error
+}
+
+// Cache is a fingerprint-keyed LRU with singleflight dedup. The zero
+// value is not usable; construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	items    map[string]*entry
+	inflight map[string]*call
+	head     *entry // most recent
+	tail     *entry // least recent
+	stats    Stats
+	chaos    *chaos.Injector
+}
+
+// New builds a cache bounded to capacity entries. Capacity < 1 is treated
+// as 1: the singleflight layer must always have a cache to publish into,
+// and one slot still collapses a burst of identical requests.
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		items:    make(map[string]*entry),
+		inflight: make(map[string]*call),
+	}
+}
+
+// SetChaos arms fault injection on cache lookups (nil-safe, test/smoke
+// only): a CacheFault key is forced to miss on every lookup.
+func (c *Cache) SetChaos(in *chaos.Injector) {
+	c.mu.Lock()
+	c.chaos = in
+	c.mu.Unlock()
+}
+
+// Do returns the result for key: from the cache if present, from another
+// caller's in-flight solve of the same key if one is running, otherwise by
+// executing solve itself and publishing the result. The outcome reports
+// which of the three paths was taken.
+//
+// Context semantics: a waiter whose own ctx dies stops waiting and
+// returns ctx's error — the in-flight solve keeps running for the callers
+// still interested. If the leader's solve fails with the leader's own
+// context error, surviving waiters retry (one becomes the next leader)
+// rather than inherit a cancellation that was never theirs.
+func (c *Cache) Do(ctx context.Context, key string, solve SolveFunc) (*core.Result, Outcome, error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.items[key]; ok && !c.chaos.CacheFault(key) {
+			c.moveToFront(e)
+			c.stats.Hits++
+			res := e.res
+			c.mu.Unlock()
+			return res, Hit, nil
+		}
+		if cl, ok := c.inflight[key]; ok {
+			c.stats.Deduped++
+			c.mu.Unlock()
+			select {
+			case <-cl.done:
+			case <-ctx.Done():
+				return nil, Deduped, ctx.Err()
+			}
+			if cl.err == nil {
+				return cl.res, Deduped, nil
+			}
+			if isCtxErr(cl.err) && ctx.Err() == nil {
+				// The leader died of its own cancellation, not ours: loop
+				// and retry (this waiter may become the next leader).
+				continue
+			}
+			return nil, Deduped, cl.err
+		}
+		// Leader: register the call and solve outside the lock.
+		cl := &call{done: make(chan struct{})}
+		c.inflight[key] = cl
+		c.stats.Misses++
+		c.stats.InFlight++
+		c.mu.Unlock()
+
+		cl.res, cl.err = solve(ctx)
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.stats.InFlight--
+		if cl.err == nil {
+			c.storeLocked(key, cl.res)
+		}
+		c.mu.Unlock()
+		close(cl.done)
+		return cl.res, Miss, cl.err
+	}
+}
+
+// isCtxErr reports whether err is (or wraps) a context cancellation.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Get returns the cached result for key without solving, and whether it
+// was present. A chaos-faulted key reads as absent, matching Do.
+func (c *Cache) Get(key string) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok || c.chaos.CacheFault(key) {
+		return nil, false
+	}
+	c.moveToFront(e)
+	return e.res, true
+}
+
+// Put stores a completed result under key (used to warm the cache from a
+// journal restore or a sweep's per-energy results).
+func (c *Cache) Put(key string, res *core.Result) {
+	if res == nil {
+		return
+	}
+	c.mu.Lock()
+	c.storeLocked(key, res)
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.items)
+	return s
+}
+
+// storeLocked inserts or refreshes key; the caller holds mu.
+func (c *Cache) storeLocked(key string, res *core.Result) {
+	if e, ok := c.items[key]; ok {
+		e.res = res
+		c.moveToFront(e)
+		return
+	}
+	e := &entry{key: key, res: res}
+	c.items[key] = e
+	c.pushFront(e)
+	for len(c.items) > c.capacity {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.items, lru.key)
+		c.stats.Evictions++
+	}
+}
+
+// pushFront links e as the most-recent entry.
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// unlink removes e from the list.
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// moveToFront marks e as most recently used.
+func (c *Cache) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -1,0 +1,329 @@
+package rescache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cbs/internal/chaos"
+	"cbs/internal/core"
+)
+
+// res builds a distinguishable fake result.
+func res(e float64) *core.Result { return &core.Result{Energy: e, Rank: 1} }
+
+// TestSingleflightDedup is the serving layer's core concurrency property:
+// N goroutines requesting the same fingerprint observe exactly one
+// underlying solve call. Run under -race (the race CI job covers this
+// package) the test also proves the result handoff is properly
+// synchronized.
+func TestSingleflightDedup(t *testing.T) {
+	c := New(8)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	solve := func(ctx context.Context) (*core.Result, error) {
+		calls.Add(1)
+		<-release // hold the call open so every goroutine piles onto it
+		return res(0.5), nil
+	}
+
+	const n = 32
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	results := make([]*core.Result, n)
+	errs := make([]error, n)
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			results[i], outcomes[i], errs[i] = c.Do(context.Background(), "fp", solve)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	// All n goroutines are submitted; let the one leader finish.
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d concurrent identical requests made %d solve calls, want exactly 1", n, got)
+	}
+	leaders, dedups := 0, 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d failed: %v", i, errs[i])
+		}
+		if results[i] == nil || results[i].Energy != 0.5 {
+			t.Fatalf("request %d got wrong result %+v", i, results[i])
+		}
+		switch outcomes[i] {
+		case Miss:
+			leaders++
+		case Deduped:
+			dedups++
+		case Hit:
+			// A goroutine scheduled after the leader published sees a hit;
+			// legal, just not a dedup.
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want 1 (outcomes: %v)", leaders, outcomes)
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want 1", s.Misses)
+	}
+	if int(s.Deduped) != dedups || dedups == 0 {
+		t.Errorf("deduped counter %d, observed %d dedup outcomes", s.Deduped, dedups)
+	}
+}
+
+// TestCacheHitSkipsSolver: a completed entry is served without touching
+// the solver, and the hit counter says so.
+func TestCacheHitSkipsSolver(t *testing.T) {
+	c := New(4)
+	var calls atomic.Int64
+	solve := func(ctx context.Context) (*core.Result, error) {
+		calls.Add(1)
+		return res(1.5), nil
+	}
+	if _, out, err := c.Do(context.Background(), "k", solve); err != nil || out != Miss {
+		t.Fatalf("first Do: outcome %s err %v, want miss nil", out, err)
+	}
+	r, out, err := c.Do(context.Background(), "k", solve)
+	if err != nil || out != Hit || r.Energy != 1.5 {
+		t.Fatalf("second Do: outcome %s err %v res %+v, want hit", out, err, r)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("solver ran %d times, want 1", calls.Load())
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Errorf("stats %+v, want 1 hit 1 miss 1 entry", s)
+	}
+}
+
+// TestLRUEviction: the bound holds and the least-recently-used key falls
+// out first.
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", res(1))
+	c.Put("b", res(2))
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", res(3)) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should have survived", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 2 {
+		t.Errorf("stats %+v, want 1 eviction 2 entries", s)
+	}
+}
+
+// TestErrorsAreNotCached: a failed solve reaches its waiters but the next
+// request for the key solves again.
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(4)
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	failing := func(ctx context.Context) (*core.Result, error) {
+		calls.Add(1)
+		return nil, boom
+	}
+	if _, _, err := c.Do(context.Background(), "k", failing); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, _, err := c.Do(context.Background(), "k", failing); !errors.Is(err, boom) {
+		t.Fatalf("second err = %v, want boom (error must not be cached)", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("solver ran %d times, want 2", calls.Load())
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Errorf("failed solve was cached: %+v", s)
+	}
+}
+
+// TestWaiterOutlivesCanceledLeader: when the leader's own context dies,
+// a waiter with a live context retries instead of inheriting the
+// cancellation.
+func TestWaiterOutlivesCanceledLeader(t *testing.T) {
+	c := New(4)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	var calls atomic.Int64
+	solve := func(ctx context.Context) (*core.Result, error) {
+		if calls.Add(1) == 1 {
+			close(leaderIn)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return res(2.5), nil
+	}
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, _, err := c.Do(leaderCtx, "k", solve)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("leader err = %v, want canceled", err)
+		}
+	}()
+	<-leaderIn // leader is inside solve
+
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		r, _, err := c.Do(context.Background(), "k", solve)
+		if err != nil || r == nil || r.Energy != 2.5 {
+			t.Errorf("waiter got %+v, %v; want retried result", r, err)
+		}
+	}()
+	// Give the waiter a moment to join the in-flight call, then kill the
+	// leader; the waiter must become the next leader and succeed.
+	time.Sleep(10 * time.Millisecond)
+	cancelLeader()
+	<-leaderDone
+	<-waiterDone
+	if calls.Load() != 2 {
+		t.Fatalf("solver ran %d times, want 2 (canceled leader + retrying waiter)", calls.Load())
+	}
+}
+
+// TestWaiterCancellation: a waiter whose own context dies stops waiting
+// promptly while the solve continues for others.
+func TestWaiterCancellation(t *testing.T) {
+	c := New(4)
+	release := make(chan struct{})
+	solve := func(ctx context.Context) (*core.Result, error) {
+		<-release
+		return res(3.5), nil
+	}
+	go c.Do(context.Background(), "k", solve) //nolint:errcheck // leader runs to completion below
+	for {
+		if c.Stats().InFlight == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Do(wctx, "k", solve); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter err = %v, want canceled", err)
+	}
+	close(release)
+}
+
+// TestChaosForcedMiss: a chaos-faulted key never serves from the cache but
+// every request still gets a correct result — the cache degrades to a
+// pass-through, not a wrong answer.
+func TestChaosForcedMiss(t *testing.T) {
+	c := New(4)
+	c.SetChaos(chaos.New(1, chaos.Config{CacheFault: 1}))
+	var calls atomic.Int64
+	solve := func(ctx context.Context) (*core.Result, error) {
+		calls.Add(1)
+		return res(4.5), nil
+	}
+	for i := 0; i < 3; i++ {
+		r, out, err := c.Do(context.Background(), "k", solve)
+		if err != nil || r.Energy != 4.5 {
+			t.Fatalf("request %d: %+v, %v", i, r, err)
+		}
+		if out == Hit {
+			t.Fatalf("request %d served from cache despite forced miss", i)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("solver ran %d times, want 3 (every lookup forced to miss)", calls.Load())
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("Get must agree with Do on a faulted key")
+	}
+}
+
+// TestDistinctKeysDoNotDedup: different fingerprints solve independently.
+func TestDistinctKeysDoNotDedup(t *testing.T) {
+	c := New(16)
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			r, _, err := c.Do(context.Background(), key, func(ctx context.Context) (*core.Result, error) {
+				calls.Add(1)
+				return res(float64(i)), nil
+			})
+			if err != nil || r.Energy != float64(i) {
+				t.Errorf("key %s: %+v, %v", key, r, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 8 {
+		t.Fatalf("8 distinct keys made %d solve calls, want 8", calls.Load())
+	}
+}
+
+// chaosSeed reads the CI chaos seed matrix (CBS_CHAOS_SEED, default 1).
+func chaosSeed() int64 {
+	if s := os.Getenv("CBS_CHAOS_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return 1
+}
+
+// TestChaosSeedMatrix drives the cache under a per-key forced-miss rate:
+// faulted keys re-solve on every lookup (the fault is deterministic per
+// key, so they can never serve a stale entry), clean keys solve exactly
+// once, and no lookup ever returns a wrong result.
+func TestChaosSeedMatrix(t *testing.T) {
+	in := chaos.New(chaosSeed(), chaos.Config{CacheFault: 0.4})
+	c := New(64)
+	c.SetChaos(in)
+	const keys, rounds = 16, 3
+	var calls atomic.Int64
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < keys; i++ {
+			i := i
+			r, _, err := c.Do(context.Background(), fmt.Sprintf("k%d", i), func(ctx context.Context) (*core.Result, error) {
+				calls.Add(1)
+				return res(float64(i)), nil
+			})
+			if err != nil || r.Energy != float64(i) {
+				t.Fatalf("round %d key k%d: %+v, %v", round, i, r, err)
+			}
+		}
+	}
+	faulted := 0
+	for i := 0; i < keys; i++ {
+		if in.CacheFault(fmt.Sprintf("k%d", i)) {
+			faulted++
+		}
+	}
+	// Clean keys: 1 solve. Faulted keys: one per round.
+	want := int64(keys - faulted + rounds*faulted)
+	if calls.Load() != want {
+		t.Errorf("%d solves for %d keys (%d faulted) over %d rounds, want %d",
+			calls.Load(), keys, faulted, rounds, want)
+	}
+}

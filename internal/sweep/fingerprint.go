@@ -1,37 +1,17 @@
 package sweep
 
 import (
-	"fmt"
-	"hash/fnv"
-	"strings"
-
 	"cbs/internal/core"
+	"cbs/internal/fingerprint"
 )
 
-// Fingerprint digests everything that determines a sweep's per-energy
-// results: the operator descriptor supplied by the caller, the full energy
+// Fingerprint is the journal's identity key: the shared
+// internal/fingerprint digest over the operator descriptor, the energy
 // list, and the result-affecting solver options. A journal written under
-// one fingerprint must never be resumed under another — the cached records
-// would silently stand in for solves with different physics.
-//
-// The parallel layout (Options.Parallel) and the chaos injector are
-// deliberately excluded: worker counts only reschedule the same arithmetic,
-// so a sweep checkpointed on 8 workers may resume on 2, and fault injection
-// is a test-harness concern, not part of the computation's identity.
+// one fingerprint must never be resumed under another — the cached
+// records would silently stand in for solves with different physics. The
+// result cache (internal/rescache) keys on the same scheme, so served
+// and journaled results agree on identity.
 func Fingerprint(operatorDesc string, es []float64, opts core.Options) string {
-	var sb strings.Builder
-	sb.WriteString("cbs-sweep/v1\x00")
-	sb.WriteString(operatorDesc)
-	sb.WriteByte(0)
-	fmt.Fprintf(&sb, "nint=%d nmm=%d nrh=%d delta=%.17g lmin=%.17g tol=%.17g maxiter=%d rtol=%.17g balance=%t seed=%d expand=%t maxexpand=%d",
-		opts.Nint, opts.Nmm, opts.Nrh, opts.Delta, opts.LambdaMin,
-		opts.BiCGTol, opts.MaxIter, opts.ResidualTol, opts.LoadBalanceStop,
-		opts.Seed, opts.AutoExpand, opts.MaxExpand)
-	sb.WriteByte(0)
-	for _, e := range es {
-		fmt.Fprintf(&sb, "%.17g,", e)
-	}
-	h := fnv.New64a()
-	h.Write([]byte(sb.String()))
-	return fmt.Sprintf("%016x", h.Sum64())
+	return fingerprint.Key(operatorDesc, es, opts)
 }

@@ -149,6 +149,14 @@ type Config struct {
 	// Chaos optionally injects sweep-level faults (per-energy solve
 	// faults, checkpoint write faults, torn records); nil in production.
 	Chaos *chaos.Injector
+
+	// OnEnergy, when non-nil, is called once per energy as it reaches a
+	// terminal state — solved, restored from the journal, or failed — with
+	// that energy's outcome. Sweep workers call it concurrently, so it
+	// must be safe for concurrent use; the serving layer feeds per-energy
+	// job progress from it. Skipped energies of a canceled sweep are not
+	// reported (they never reached a terminal state of their own).
+	OnEnergy func(EnergyResult)
 }
 
 // normalize fills defaults.
@@ -222,6 +230,9 @@ func Run(ctx context.Context, solve SolveFunc, es []float64, opts core.Options, 
 				er.Err = errors.New(rec.Error)
 			}
 			report.Results[rec.Index] = er
+			if cfg.OnEnergy != nil {
+				cfg.OnEnergy(er)
+			}
 		}
 	}
 
@@ -260,6 +271,9 @@ func Run(ctx context.Context, solve SolveFunc, es []float64, opts core.Options, 
 				// One merge per energy: the slice write is per-index
 				// disjoint, the journal append serializes internally.
 				report.Results[i] = er
+				if cfg.OnEnergy != nil && er.Status != StatusSkipped {
+					cfg.OnEnergy(er)
+				}
 				if journal != nil && er.Status != StatusSkipped {
 					if err := journal.Append(recordOf(er)); err != nil {
 						mu.Lock()

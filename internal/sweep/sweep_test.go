@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -457,5 +458,70 @@ func TestSweepCheckpointFaultStopsSweep(t *testing.T) {
 	}
 	if report.Skipped == 0 {
 		t.Error("checkpoint failure did not stop the remaining energies")
+	}
+}
+
+// TestSweepOnEnergyProgress: the progress callback fires once per
+// terminal energy — for solved, failed, and journal-restored energies
+// alike — with the energy's real outcome, and never for skips.
+func TestSweepOnEnergyProgress(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.journal")
+	es := testEnergies(4)
+	failing := errors.New("persistent fault")
+	solve := func(ctx context.Context, e float64, opts core.Options) (*core.Result, error) {
+		if indexOf(e) == 2 {
+			return nil, failing
+		}
+		return okResult(e, opts), nil
+	}
+
+	var mu sync.Mutex
+	seen := map[int][]EnergyResult{}
+	record := func(er EnergyResult) {
+		mu.Lock()
+		seen[er.Index] = append(seen[er.Index], er)
+		mu.Unlock()
+	}
+	cfg := Config{Workers: 2, MaxAttempts: 2, CheckpointPath: path, OnEnergy: record}
+	if _, err := Run(context.Background(), solve, es, testOptions(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if len(seen[i]) != 1 {
+			t.Fatalf("energy %d reported %d times, want 1", i, len(seen[i]))
+		}
+	}
+	if seen[2][0].Status != StatusFailed {
+		t.Errorf("energy 2 reported %s, want failed", seen[2][0].Status)
+	}
+	if seen[1][0].Status != StatusOK || seen[1][0].FromJournal {
+		t.Errorf("energy 1 reported %+v, want fresh OK", seen[1][0])
+	}
+
+	// Resume: restored energies are reported too, flagged FromJournal;
+	// the failed energy re-solves (RetryFailed) and reports fresh.
+	seen = map[int][]EnergyResult{}
+	cfg.Resume = true
+	cfg.RetryFailed = true
+	healed := func(ctx context.Context, e float64, opts core.Options) (*core.Result, error) {
+		return okResult(e, opts), nil
+	}
+	if _, err := Run(context.Background(), healed, es, testOptions(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	restored, fresh := 0, 0
+	for i := 0; i < 4; i++ {
+		if len(seen[i]) != 1 {
+			t.Fatalf("resume: energy %d reported %d times, want 1", i, len(seen[i]))
+		}
+		if seen[i][0].FromJournal {
+			restored++
+		} else {
+			fresh++
+		}
+	}
+	if restored != 3 || fresh != 1 {
+		t.Errorf("resume reported %d restored + %d fresh, want 3 + 1", restored, fresh)
 	}
 }
