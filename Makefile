@@ -1,7 +1,7 @@
 GO ?= go
 CBSCHECK := bin/cbscheck
 
-.PHONY: all build test race lint cbscheck fuzz-smoke chaos-smoke sweep-smoke serve-smoke
+.PHONY: all build test race lint cbscheck fuzz-smoke chaos-smoke sweep-smoke serve-smoke bench bench-smoke
 
 all: build test
 
@@ -57,3 +57,19 @@ serve-smoke:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzCSRBuild -fuzztime=30s ./internal/sparse
 	$(GO) test -run=NONE -fuzz=FuzzLUSolve -fuzztime=30s ./internal/zlinalg
+
+# bench reruns the tracked Fig. 4a-style benchmark trio — {AoS, SoA,
+# SoA+mixed} over the blocked stencil and a full contour solve — at the
+# recorded size and rewrites the BENCH_PR6.json snapshot at the repo root
+# (schema cbs-bench/v1). The 1.5x floor is the PR's acceptance bar for the
+# SoA stencil against the in-run AoS baseline.
+bench:
+	$(GO) run ./cmd/serialperf -bench-json BENCH_PR6.json -bench-al-n 10 -assert-speedup 1.5
+
+# bench-smoke is the CI gate: a reduced-size run of the same trio that must
+# keep the SoA stencil at least on par with AoS (catching kernel-dispatch
+# regressions without the noise sensitivity of the full bar), plus a schema
+# check of the committed snapshot.
+bench-smoke:
+	$(GO) run ./cmd/serialperf -bench-json /tmp/cbs_bench_smoke.json -bench-al-n 6 -assert-speedup 1.0
+	$(GO) run ./cmd/serialperf -bench-verify BENCH_PR6.json

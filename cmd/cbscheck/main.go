@@ -1,5 +1,6 @@
-// Command cbscheck is the repository's vettool: it bundles the four
-// cbs-specific analyzers (hotpathalloc, shapepanic, cmplxhot, lockedmerge)
+// Command cbscheck is the repository's vettool: it bundles the five
+// cbs-specific analyzers (hotpathalloc, shapepanic, cmplxhot, lockedmerge,
+// soalayout)
 // behind the cmd/go custom-vettool protocol, so CI can run
 //
 //	go vet -vettool=$(pwd)/bin/cbscheck ./...
@@ -41,6 +42,7 @@ import (
 	"cbs/internal/analysis/load"
 	"cbs/internal/analysis/lockedmerge"
 	"cbs/internal/analysis/shapepanic"
+	"cbs/internal/analysis/soalayout"
 )
 
 // modulePrefix gates which import paths are analyzed (and typechecked) in
@@ -52,6 +54,7 @@ var analyzers = []*framework.Analyzer{
 	shapepanic.Analyzer,
 	cmplxhot.Analyzer,
 	lockedmerge.Analyzer,
+	soalayout.Analyzer,
 }
 
 func main() {

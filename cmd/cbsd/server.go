@@ -181,6 +181,7 @@ type optionsJSON struct {
 	Seed        *int64   `json:"seed,omitempty"`
 	AutoExpand  *bool    `json:"auto_expand,omitempty"`
 	MaxExpand   *int     `json:"max_expand,omitempty"`
+	Precision   *string  `json:"precision,omitempty"`
 }
 
 // apply overlays the request options on the server defaults.
@@ -223,6 +224,11 @@ func (oj *optionsJSON) apply(base core.Options) core.Options {
 	}
 	if oj.MaxExpand != nil {
 		base.MaxExpand = *oj.MaxExpand
+	}
+	if oj.Precision != nil {
+		// "complex128" or "mixed"; core.Solve validates and rejects unknown
+		// values (and mixed's SoA/Ndm=1 requirements) as a bad request.
+		base.Precision = *oj.Precision
 	}
 	return base
 }

@@ -1,0 +1,380 @@
+// Bench mode: the tracked perf trajectory behind BENCH_*.json.
+//
+// serialperf -bench-json FILE runs the Fig. 4(a)-style benchmark across the
+// three kernel modes {aos, soa, mixed} plus the blocked-stencil
+// microbenchmark that isolates the layout change, and writes a
+// schema-versioned JSON snapshot (ns/op, allocs/op, in-run speedups, git
+// SHA, GOARCH) to FILE. The in-run AoS column doubles as the seed baseline:
+// before this trajectory started, the hot path *was* the AoS complex128
+// kernels, so "speedup vs seed" and "speedup vs in-run aos" are the same
+// measurement taken on the same machine in the same process.
+//
+// serialperf -bench-verify FILE parses an existing snapshot against the
+// schema (the CI regression tripwire for the committed BENCH_*.json).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"math/cmplx"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+
+	"cbs"
+	"cbs/internal/soa"
+)
+
+// benchSchema versions the snapshot layout. Bump only with a reader-visible
+// change; the verify path rejects files whose schema string differs.
+const benchSchema = "cbs-bench/v1"
+
+// mixedLambdaTol is the documented eigenvalue tolerance of the mixed mode:
+// nearly-degenerate (lambda, 1/conj lambda) pairs at |lambda| ~ 1 split
+// under an O(1e-9) backward error like sqrt(eps_backward) ~ 3e-5, so the
+// budget is 1e-4 (DESIGN.md §11).
+const mixedLambdaTol = 1e-4
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Mode        string  `json:"mode"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type benchFile struct {
+	Schema         string             `json:"schema"`
+	GitSHA         string             `json:"git_sha"`
+	GOOS           string             `json:"goos"`
+	GOARCH         string             `json:"goarch"`
+	GoVersion      string             `json:"go_version"`
+	AlN            int                `json:"al_n"`
+	N              int                `json:"n"`
+	NB             int                `json:"nb"`
+	Results        []benchResult      `json:"results"`
+	Speedups       map[string]float64 `json:"speedups"`
+	MixedLambdaDev float64            `json:"mixed_lambda_dev"`
+	MixedLambdaTol float64            `json:"mixed_lambda_tol"`
+	Notes          string             `json:"notes"`
+}
+
+// benchModes are the trajectory columns, in baseline-first order.
+var benchModes = []string{"aos", "soa", "mixed"}
+
+// modeOpts maps a kernel-mode name to the (Kernels, Precision) option pair.
+func modeOpts(mode string) (kernels, precision string, err error) {
+	switch mode {
+	case "aos":
+		return "aos", "complex128", nil
+	case "soa":
+		return "soa", "complex128", nil
+	case "mixed":
+		return "soa", "mixed", nil
+	default:
+		return "", "", fmt.Errorf("unknown kernel mode %q (want aos, soa or mixed)", mode)
+	}
+}
+
+// runBench produces one snapshot of the perf trajectory and writes it to
+// path. assertSpeedup > 0 additionally gates the exit status on the stencil
+// SoA-vs-AoS speedup (the CI smoke tripwire); the mixed eigenvalue check
+// always gates.
+func runBench(path string, alN int, assertSpeedup float64) {
+	model, ef := benchModel(alN)
+	op := model.Op
+	n := op.N()
+	const nb = 16 // Nrh right-hand sides per block, as in the Fig. 4a runs
+
+	fmt.Printf("bench: Al(100) al-n=%d (N=%d), nb=%d, %s/%s, %s\n",
+		alN, n, nb, runtime.GOOS, runtime.GOARCH, runtime.Version())
+
+	out := benchFile{
+		Schema:         benchSchema,
+		GitSHA:         gitSHA(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		GoVersion:      runtime.Version(),
+		AlN:            alN,
+		N:              n,
+		NB:             nb,
+		Speedups:       map[string]float64{},
+		MixedLambdaTol: mixedLambdaTol,
+		Notes: "aos column is the seed baseline (pre-SoA hot path); " +
+			"speedups are vs the in-run aos measurement on this machine; " +
+			"stencil = blocked ApplyH0Block microbenchmark, fig4a = full contour solve",
+	}
+
+	// ---- blocked stencil microbenchmark --------------------------------
+	stencil := map[string]testing.BenchmarkResult{}
+	for _, mode := range benchModes {
+		r := benchStencil(model, nb, mode)
+		stencil[mode] = r
+		out.Results = append(out.Results, toResult("stencil", mode, r))
+		fmt.Printf("  stencil/%-5s  %12.0f ns/op  %3d allocs/op\n", mode, nsPerOp(r), r.AllocsPerOp())
+	}
+
+	// ---- Fig. 4a full contour solve ------------------------------------
+	for _, mode := range benchModes {
+		r := benchFig4a(model, ef, mode)
+		out.Results = append(out.Results, toResult("fig4a", mode, r))
+		fmt.Printf("  fig4a/%-7s %12.0f ns/op  (%d runs)\n", mode, nsPerOp(r), r.N)
+		if base := findResult(out.Results, "fig4a", "aos"); base != nil && nsPerOp(r) > 0 {
+			out.Speedups["fig4a_"+mode+"_vs_aos"] = base.NsPerOp / nsPerOp(r)
+		}
+	}
+	for _, mode := range []string{"soa", "mixed"} {
+		if nsPerOp(stencil[mode]) > 0 {
+			out.Speedups["stencil_"+mode+"_vs_aos"] = nsPerOp(stencil["aos"]) / nsPerOp(stencil[mode])
+		}
+	}
+
+	// ---- mixed-precision accuracy on the same model --------------------
+	out.MixedLambdaDev = mixedDeviation(model, ef)
+	fmt.Printf("  mixed lambda deviation %.2e (tol %.0e)\n", out.MixedLambdaDev, mixedLambdaTol)
+
+	writeBenchFile(path, &out)
+	fmt.Printf("bench: wrote %s\n", path)
+	for k, v := range out.Speedups {
+		fmt.Printf("  %-24s %.2fx\n", k, v)
+	}
+
+	if out.MixedLambdaDev > mixedLambdaTol {
+		log.Fatalf("bench: mixed eigenvalue deviation %.2e exceeds tolerance %.0e",
+			out.MixedLambdaDev, mixedLambdaTol)
+	}
+	if assertSpeedup > 0 {
+		if s := out.Speedups["stencil_soa_vs_aos"]; s < assertSpeedup {
+			log.Fatalf("bench: stencil SoA speedup %.2fx below required %.2fx", s, assertSpeedup)
+		}
+	}
+}
+
+// benchStencil times the blocked H0 apply in one kernel mode. The mixed
+// column measures the float32 SoA apply — the inner-iteration cost of the
+// mixed solver, where the stencil actually runs in that mode.
+func benchStencil(model *cbs.Model, nb int, mode string) testing.BenchmarkResult {
+	op := model.Op
+	n := op.N()
+	v := make([]complex128, n*nb)
+	outv := make([]complex128, n*nb)
+	for i := range v {
+		// Deterministic non-trivial fill; no RNG so runs are reproducible.
+		v[i] = complex(math.Sin(float64(i)+0.5), math.Cos(2.1*float64(i)))
+	}
+	switch mode {
+	case "aos":
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op.ApplyH0Block(v, outv, nb)
+			}
+		})
+	case "soa":
+		t64 := op.SoA64()
+		vb := soa.NewBlock[float64](n, nb)
+		ob := soa.NewBlock[float64](n, nb)
+		soa.Pack(vb, v)
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t64.ApplyH0Block(vb, ob)
+			}
+		})
+	case "mixed":
+		t32 := op.SoA32()
+		vb := soa.NewBlock[float32](n, nb)
+		ob := soa.NewBlock[float32](n, nb)
+		soa.Pack(vb, v)
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t32.ApplyH0Block(vb, ob)
+			}
+		})
+	}
+	panic("unknown stencil mode " + mode)
+}
+
+// benchFig4a times the full contour solve (the Fig. 4a QEP/SS runtime) in
+// one kernel mode.
+func benchFig4a(model *cbs.Model, ef float64, mode string) testing.BenchmarkResult {
+	kernels, precision, err := modeOpts(mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := cbs.DefaultOptions()
+	opts.Nrh = 16
+	opts.Kernels = kernels
+	opts.Precision = precision
+	var solveErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := model.SolveCBS(ef, opts); err != nil {
+				solveErr = err
+				return
+			}
+		}
+	})
+	if solveErr != nil {
+		log.Fatalf("bench: fig4a/%s solve failed: %v", mode, solveErr)
+	}
+	return r
+}
+
+// mixedDeviation solves once in soa/complex128 and once in mixed mode and
+// returns the largest distance from a mixed eigenvalue to its nearest
+// reference eigenvalue.
+func mixedDeviation(model *cbs.Model, ef float64) float64 {
+	ref := mustSolve(model, ef, "soa")
+	mix := mustSolve(model, ef, "mixed")
+	if len(mix.Pairs) != len(ref.Pairs) {
+		log.Fatalf("bench: mixed mode found %d eigenpairs, reference found %d",
+			len(mix.Pairs), len(ref.Pairs))
+	}
+	dev := 0.0
+	for _, p := range mix.Pairs {
+		best := math.Inf(1)
+		for _, q := range ref.Pairs {
+			if d := cmplx.Abs(p.Lambda - q.Lambda); d < best {
+				best = d
+			}
+		}
+		if best > dev {
+			dev = best
+		}
+	}
+	return dev
+}
+
+func mustSolve(model *cbs.Model, ef float64, mode string) *cbs.Result {
+	kernels, precision, err := modeOpts(mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := cbs.DefaultOptions()
+	opts.Nrh = 16
+	opts.Kernels = kernels
+	opts.Precision = precision
+	res, err := model.SolveCBS(ef, opts)
+	if err != nil {
+		log.Fatalf("bench: %s solve failed: %v", mode, err)
+	}
+	return res
+}
+
+func benchModel(alN int) (*cbs.Model, float64) {
+	s := build("Al(100)", mustAl(), alN, alN, alN)
+	return s.model, s.ef
+}
+
+func toResult(name, mode string, r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		Name:        name,
+		Mode:        mode,
+		NsPerOp:     nsPerOp(r),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+func findResult(rs []benchResult, name, mode string) *benchResult {
+	for i := range rs {
+		if rs[i].Name == name && rs[i].Mode == mode {
+			return &rs[i]
+		}
+	}
+	return nil
+}
+
+// nsPerOp reports fractional ns/op (BenchmarkResult.NsPerOp truncates to
+// integer nanoseconds, losing precision on fast kernels).
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	if r.N <= 0 {
+		return 0
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func writeBenchFile(path string, f *benchFile) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	// Round-trip through the verifier so a malformed snapshot can never be
+	// written silently.
+	if err := verifyBenchFile(path); err != nil {
+		log.Fatalf("bench: self-verification of %s failed: %v", path, err)
+	}
+}
+
+// verifyBenchFile parses path against the cbs-bench/v1 schema.
+func verifyBenchFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f benchFile
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if f.Schema != benchSchema {
+		return fmt.Errorf("schema %q, want %q", f.Schema, benchSchema)
+	}
+	if f.GOARCH == "" || f.GoVersion == "" || f.GitSHA == "" {
+		return fmt.Errorf("missing provenance fields (goarch/go_version/git_sha)")
+	}
+	if f.N <= 0 || f.NB <= 0 {
+		return fmt.Errorf("non-positive problem shape n=%d nb=%d", f.N, f.NB)
+	}
+	want := map[string]bool{}
+	for _, name := range []string{"stencil", "fig4a"} {
+		for _, mode := range benchModes {
+			want[name+"/"+mode] = false
+		}
+	}
+	for _, r := range f.Results {
+		key := r.Name + "/" + r.Mode
+		if _, ok := want[key]; !ok {
+			return fmt.Errorf("unexpected result %q", key)
+		}
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			return fmt.Errorf("result %q has non-positive timing", key)
+		}
+		want[key] = true
+	}
+	for key, seen := range want {
+		if !seen {
+			return fmt.Errorf("missing result %q", key)
+		}
+	}
+	for _, k := range []string{"stencil_soa_vs_aos", "stencil_mixed_vs_aos", "fig4a_soa_vs_aos", "fig4a_mixed_vs_aos"} {
+		if f.Speedups[k] <= 0 {
+			return fmt.Errorf("missing or non-positive speedup %q", k)
+		}
+	}
+	if f.MixedLambdaTol <= 0 || f.MixedLambdaDev < 0 {
+		return fmt.Errorf("bad mixed-precision accuracy fields")
+	}
+	return nil
+}

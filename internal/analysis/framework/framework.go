@@ -82,9 +82,11 @@ func HasHotPathDirective(decl *ast.FuncDecl) bool {
 // FuncKey returns the stable cross-package identifier of a function object,
 // e.g. "(*cbs/internal/hamiltonian.Operator).ApplyH0Block" or
 // "cbs/internal/fd.MustStencil". It is used both when exporting hot-path
-// facts and when resolving callees against imported facts.
+// facts and when resolving callees against imported facts. Instantiated
+// generics are keyed by their origin ((*soa.Block[float64]).NB and
+// (*soa.Block[F]).NB are the same function and the same fact).
 func FuncKey(fn *types.Func) string {
-	return fn.FullName()
+	return fn.Origin().FullName()
 }
 
 // HotFuncs collects the hot-path-annotated functions of the files, keyed by

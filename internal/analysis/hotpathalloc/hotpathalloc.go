@@ -78,10 +78,22 @@ func checkBody(pass *framework.Pass, hot map[string]*ast.FuncDecl, decl *ast.Fun
 	if decl.Body == nil {
 		return
 	}
+	// Interface conversions whose result is immediately type-asserted
+	// (`any(x).([]float64)`, the SIMD dispatch idiom of the generic SoA
+	// kernels) compile to a type check plus direct use — no interface value
+	// is materialized and nothing escapes, so they are exempt from the
+	// conversion rule.
+	assertConv := map[ast.Expr]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if ta, ok := n.(*ast.TypeAssertExpr); ok {
+			assertConv[ast.Unparen(ta.X)] = true
+		}
+		return true
+	})
 	ast.Inspect(decl.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			return checkCall(pass, hot, n)
+			return checkCall(pass, hot, n, assertConv)
 		case *ast.FuncLit:
 			pass.Reportf(n.Pos(), "function literal in hot path (closure capture allocates)")
 			return false
@@ -122,9 +134,23 @@ func checkBody(pass *framework.Pass, hot map[string]*ast.FuncDecl, decl *ast.Fun
 
 // checkCall vets one call expression; the return value tells ast.Inspect
 // whether to descend into the call's children.
-func checkCall(pass *framework.Pass, hot map[string]*ast.FuncDecl, call *ast.CallExpr) bool {
+func checkCall(pass *framework.Pass, hot map[string]*ast.FuncDecl, call *ast.CallExpr, assertConv map[ast.Expr]bool) bool {
 	// Type conversion?
 	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if assertConv[call] {
+			return true // assert-guarded conversion: type check only, no boxing
+		}
+		// A conversion to a type parameter whose type set holds only
+		// numeric basic types (the generic kernels' F(x) scalar casts) is
+		// ordinary scalar arithmetic; its Underlying() is the constraint
+		// interface, which must not trip the interface-conversion rule.
+		if tp, ok := tv.Type.(*types.TypeParam); ok {
+			if scalarTypeParam(tp) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "conversion to non-scalar type parameter %s in hot path", tv.Type)
+			return true
+		}
 		switch t := tv.Type.Underlying().(type) {
 		case *types.Slice, *types.Interface:
 			pass.Reportf(call.Pos(), "conversion to %s in hot path (allocates)", tv.Type)
@@ -177,6 +203,30 @@ func checkCall(pass *framework.Pass, hot map[string]*ast.FuncDecl, call *ast.Cal
 	}
 	if !framework.DecodeSet(data)[key] {
 		pass.Reportf(call.Pos(), "hot path calls %s, which is not //cbs:hotpath", key)
+	}
+	return true
+}
+
+// scalarTypeParam reports whether every type in the parameter's type set is
+// a non-string basic type (so converting to it is a register operation, not
+// an allocation). Methodless unions of ~float32|~float64-style terms
+// qualify; anything unresolvable is conservatively rejected.
+func scalarTypeParam(tp *types.TypeParam) bool {
+	iface, ok := tp.Constraint().Underlying().(*types.Interface)
+	if !ok || iface.NumMethods() != 0 || iface.NumEmbeddeds() == 0 {
+		return false
+	}
+	for i := 0; i < iface.NumEmbeddeds(); i++ {
+		u, ok := iface.EmbeddedType(i).(*types.Union)
+		if !ok {
+			return false
+		}
+		for j := 0; j < u.Len(); j++ {
+			b, ok := u.Term(j).Type().Underlying().(*types.Basic)
+			if !ok || b.Info()&types.IsString != 0 {
+				return false
+			}
+		}
 	}
 	return true
 }

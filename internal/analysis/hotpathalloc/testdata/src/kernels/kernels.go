@@ -77,6 +77,19 @@ func dynamic(f func()) {
 	f() // want `call through function value or interface in hot path`
 }
 
+// dispatch uses the assert-guarded conversion idiom of the SIMD kernels:
+// any(x).([]T) compiles to a type check with no interface value, so the
+// conversion must not be flagged. A bare conversion still is.
+//
+//cbs:hotpath
+func dispatch[F float32 | float64](dst []F) bool {
+	if _, ok := any(dst).([]float64); ok {
+		return true
+	}
+	_ = any(dst) // want `conversion to any in hot path \(allocates\)`
+	return false
+}
+
 // unannotated is free to allocate; the analyzer must not touch it.
 func unannotated(n int) []float64 {
 	return make([]float64, n)

@@ -1,0 +1,12 @@
+package soalayout_test
+
+import (
+	"testing"
+
+	"cbs/internal/analysis/analysistest"
+	"cbs/internal/analysis/soalayout"
+)
+
+func TestSoALayout(t *testing.T) {
+	analysistest.Run(t, soalayout.Analyzer, "testdata/src/layout")
+}

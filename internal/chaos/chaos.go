@@ -65,6 +65,14 @@ type Config struct {
 	// only a prefix of the record reaches the file and no newline follows.
 	TornRecord float64
 
+	// RefineFail is the probability that one (point, column) of a
+	// mixed-precision solve has its iterative-refinement corrections
+	// suppressed: the inner float32 solve runs but the column's update is
+	// discarded every step, so refinement stagnates and the column ends
+	// RefineFailed. Enough affected columns at one point force the
+	// mixed->full precision escalation rung of the sweep ladder.
+	RefineFail float64
+
 	// JobFault is the probability that a job picked up by a serving-layer
 	// worker (internal/jobs) fails hard before its task runs: the job must
 	// end Failed with a typed injected error while the server keeps
@@ -122,6 +130,7 @@ func (in *Injector) Seed() int64 {
 //	CBS_CHAOS_ENERGY=<p>         sweep energy hard-fault rate (default 0)
 //	CBS_CHAOS_CKPT=<p>           checkpoint write-fault rate (default 0)
 //	CBS_CHAOS_TORN=<p>           torn journal-record rate (default 0)
+//	CBS_CHAOS_REFINE=<p>         mixed-precision refinement-failure rate (default 0)
 //	CBS_CHAOS_JOB=<p>            serving-layer job hard-fault rate (default 0)
 //	CBS_CHAOS_CACHE=<p>          forced result-cache miss rate (default 0)
 func FromEnv() *Injector {
@@ -154,6 +163,7 @@ func FromEnv() *Injector {
 		EnergyFault:      rate("CBS_CHAOS_ENERGY", 0),
 		CheckpointFault:  rate("CBS_CHAOS_CKPT", 0),
 		TornRecord:       rate("CBS_CHAOS_TORN", 0),
+		RefineFail:       rate("CBS_CHAOS_REFINE", 0),
 		JobFault:         rate("CBS_CHAOS_JOB", 0),
 		CacheFault:       rate("CBS_CHAOS_CACHE", 0),
 	})
@@ -207,6 +217,7 @@ const (
 	kindTorn      = 0x746e // "tn"
 	kindJob       = 0x6a62 // "jb"
 	kindCache     = 0x6361 // "ca"
+	kindRefine    = 0x7266 // "rf"
 )
 
 // Breakdown reports whether the BiCG solve at s should break down
@@ -234,6 +245,16 @@ func (in *Injector) FallbackFail(point, col int) bool {
 		return false
 	}
 	return in.hit(in.cfg.FallbackFail, kindFallback, point, col, 0)
+}
+
+// RefineFail reports whether the mixed-precision refinement of (point, col)
+// should have its corrections suppressed (every step of that column, so the
+// refinement budget is exhausted deterministically).
+func (in *Injector) RefineFail(point, col int) bool {
+	if in == nil || !in.colTargeted(col) {
+		return false
+	}
+	return in.hit(in.cfg.RefineFail, kindRefine, point, col, 0)
 }
 
 // PointFault returns a typed injected error when the worker picking up

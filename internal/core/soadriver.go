@@ -1,0 +1,141 @@
+package core
+
+// Split-complex (SoA) middle layer: the blocked quadrature-point loop of
+// solveAll on soa.Block planes. With Precision "complex128" the float64
+// plane solver is bit-identical to the AoS BlockBiCGDual, so this path is
+// the default; with Precision "mixed" the inner BiCG runs on float32
+// planes with iterative refinement back to float64 residual targets. The
+// recovery ladder and the moment accumulator keep their []complex128
+// interfaces: solutions are unpacked once per point at this boundary.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cbs/internal/chaos"
+	"cbs/internal/contour"
+	"cbs/internal/hamiltonian"
+	"cbs/internal/linsolve"
+	"cbs/internal/qep"
+	"cbs/internal/soa"
+	"cbs/internal/ssm"
+)
+
+// mixedFailLimit is the per-point escalation threshold: when more than
+// half a block's columns exhaust their refinement budget, float32 inner
+// solves are inadequate for this energy (conditioning, not bad luck) and
+// the whole solve fails with linsolve.ErrNoConvergence so the sweep ladder
+// can escalate mixed -> full precision. At or below the threshold the
+// failed columns go through the per-column full-precision recovery ladder
+// like any other unconverged column.
+func mixedFailLimit(nb int) int { return nb / 2 }
+
+// solvePointsSoA drains the point queue with the split-complex blocked
+// solver. It mirrors the AoS worker loop in solveAll: one BlockBiCGDualSoA
+// (or BlockBiCGDualMixed) per point, recovery ladder on the unpacked
+// complex solutions, one accumulator merge per point.
+func solvePointsSoA(ctx context.Context, q *qep.Problem, ring *contour.Ring, points <-chan int, b []complex128, bSoA *soa.Block[float64], acc *ssm.Accumulator, colGroups []*linsolve.GroupStop, c0 int, opts Options, res *Result, mu *sync.Mutex, droppedByCol []int, droppedPairs *[]DroppedPair) error {
+	n := q.Dim()
+	nb := bSoA.NB()
+	mixed := opts.precision() == PrecisionMixed
+	t64 := q.Op.SoA64()
+	var t32 *hamiltonian.SoATables[float32]
+	if mixed {
+		t32 = q.Op.SoA32()
+	}
+
+	// Per-worker state, reused across points: plane solution blocks, the
+	// Krylov workspace, the unpacked complex solutions feeding the ladder
+	// and the accumulator, and the ladder's column scratch.
+	xb := soa.NewBlock[float64](n, nb)
+	xdb := soa.NewBlock[float64](n, nb)
+	x := make([]complex128, n*nb)
+	xd := make([]complex128, n*nb)
+	bcol := make([]complex128, n)
+	xcol := make([]complex128, n)
+	xdcol := make([]complex128, n)
+	var ws *linsolve.WorkspaceSoA[float64]
+	var mws *linsolve.MixedWorkspace
+	if mixed {
+		mws = linsolve.NewMixedWorkspace(n, nb)
+	} else {
+		ws = linsolve.NewWorkspaceSoA[float64](n, nb)
+	}
+
+	for j := range points {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if injErr := opts.Chaos.PointFault(j); injErr != nil {
+			return fmt.Errorf("core: fatal fault at quadrature point %d: %w", j, injErr)
+		}
+		zOut := ring.Outer[j].Z
+		wOut := ring.Outer[j].W
+		zIn := ring.Inner[j].Z
+		wIn := ring.Inner[j].W
+		xb.Zero()
+		xdb.Zero()
+		apply := func(v, out *soa.Block[float64]) { qep.ApplyBlockSoA(q, t64, zOut, v, out) }
+		applyD := func(v, out *soa.Block[float64]) { qep.ApplyDaggerBlockSoA(q, t64, zOut, v, out) }
+		lopts := linsolve.Options{
+			Tol:       opts.BiCGTol,
+			MaxIter:   opts.MaxIter,
+			History:   opts.TrackHistories && c0 == 0,
+			Chaos:     opts.Chaos,
+			ChaosSite: chaos.Site{Point: j, Col: c0},
+		}
+		var rs []linsolve.Result
+		var local PointStats
+		if mixed {
+			apply32 := func(v, out *soa.Block[float32]) { qep.ApplyBlockSoA(q, t32, zOut, v, out) }
+			applyD32 := func(v, out *soa.Block[float32]) { qep.ApplyDaggerBlockSoA(q, t32, zOut, v, out) }
+			rs = linsolve.BlockBiCGDualMixed(apply, applyD, apply32, applyD32, bSoA, bSoA, xb, xdb, lopts, colGroups, mws)
+			failed := 0
+			for _, r := range rs {
+				local.Refines += r.RefineSteps
+				if r.RefineFailed {
+					failed++
+				}
+			}
+			local.RefineFailed = failed
+			if failed > mixedFailLimit(nb) {
+				return fmt.Errorf("core: mixed-precision refinement stagnated on %d/%d columns at quadrature point %d: %w", failed, nb, j, linsolve.ErrNoConvergence)
+			}
+		} else {
+			rs = linsolve.BlockBiCGDualSoA(apply, applyD, bSoA, bSoA, xb, xdb, lopts, colGroups, ws)
+		}
+		soa.Unpack(x, xb)
+		soa.Unpack(xd, xdb)
+		// Recovery ladder on the unpacked solutions (full precision, per
+		// failed column), then moment accumulation exactly as in the AoS
+		// path; dropped columns are zeroed before the accumulator sees
+		// them.
+		dropped, recMV := recoverBlockColumns(q, zOut, b, x, xd, nb, j, c0, colGroups, rs, opts, &local, bcol, xcol, xdcol)
+		acc.AddInterleaved(zOut, wOut, c0, nb, x)
+		acc.AddInterleaved(zIn, wIn, c0, nb, xd)
+		matVecs := recMV
+		for _, r := range rs {
+			local.Iterations += r.Iterations
+			if r.Converged {
+				local.Converged++
+			}
+			if r.StoppedEarly {
+				local.StoppedEarly++
+			}
+			matVecs += r.MatVecApplied
+		}
+		mu.Lock()
+		mergePointStats(&res.Points[j], &local)
+		if lopts.History && res.Points[j].History == nil {
+			res.Points[j].History = rs[0].History
+		}
+		for _, c := range dropped {
+			droppedByCol[c]++
+			*droppedPairs = append(*droppedPairs, DroppedPair{Point: j, Col: c})
+		}
+		res.MatVecs += matVecs
+		mu.Unlock()
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 	"cbs/internal/dist"
 	"cbs/internal/linsolve"
 	"cbs/internal/qep"
+	"cbs/internal/soa"
 	"cbs/internal/ssm"
 	"cbs/internal/zlinalg"
 )
@@ -69,6 +70,21 @@ type Options struct {
 	// right-hand side at every quadrature point (Fig. 5 data).
 	TrackHistories bool
 
+	// Kernels selects the blocked hot-path layout: "soa" (default; the
+	// split-complex planar kernels, bit-identical to AoS at float64) or
+	// "aos" (the interleaved []complex128 kernels, kept as the measured
+	// baseline of the bench trajectory). The Ndm > 1 distributed bottom
+	// layer always uses the per-column AoS path regardless.
+	Kernels string
+
+	// Precision selects the linear-solve arithmetic: "complex128"
+	// (default) or "mixed" — float32 split-plane inner BiCG with float64
+	// dot/norm accumulation plus iterative refinement back to complex128
+	// residual targets (see internal/linsolve.BlockBiCGDualMixed). Moment
+	// accumulation always stays complex128. Mixed requires the SoA
+	// kernels and the single-domain blocked path (Ndm = 1).
+	Precision string
+
 	Seed     int64 // probe block seed (deterministic runs)
 	Parallel Parallel
 
@@ -85,6 +101,31 @@ type Options struct {
 	// corruption); nil in production. See internal/chaos and the
 	// chaos-smoke CI job.
 	Chaos *chaos.Injector
+}
+
+// Kernel-layout and precision values for Options.Kernels / Options.Precision.
+const (
+	KernelsAoS = "aos"
+	KernelsSoA = "soa"
+
+	PrecisionComplex128 = "complex128"
+	PrecisionMixed      = "mixed"
+)
+
+// kernels returns the effective kernel layout ("" defaults to SoA).
+func (o Options) kernels() string {
+	if o.Kernels == "" {
+		return KernelsSoA
+	}
+	return o.Kernels
+}
+
+// precision returns the effective precision ("" defaults to complex128).
+func (o Options) precision() string {
+	if o.Precision == "" {
+		return PrecisionComplex128
+	}
+	return o.Precision
 }
 
 // DefaultOptions returns the paper's parameter set.
@@ -131,6 +172,10 @@ type PointStats struct {
 	Fallbacks   int     // escalations to restarted GMRES
 	Dropped     int     // columns dropped from the quadrature after the ladder
 	MaxResidual float64 // worst final relative residual among kept columns
+
+	// Mixed-precision activity (Precision "mixed" only).
+	Refines      int // iterative-refinement steps summed over columns
+	RefineFailed int // columns whose refinement budget ran out
 }
 
 // Result is the outcome of one CBS solve at a fixed energy.
@@ -198,6 +243,24 @@ func solveOnce(ctx context.Context, q *qep.Problem, opts Options) (*Result, erro
 	}
 	if opts.Nrh*opts.Nmm > q.Dim() {
 		return nil, fmt.Errorf("%w: Nrh*Nmm = %d > dimension %d", ErrSubspaceTooLarge, opts.Nrh*opts.Nmm, q.Dim())
+	}
+	switch opts.Kernels {
+	case "", KernelsAoS, KernelsSoA:
+	default:
+		return nil, fmt.Errorf("%w: unknown Kernels %q", ErrBadOptions, opts.Kernels)
+	}
+	switch opts.Precision {
+	case "", PrecisionComplex128, PrecisionMixed:
+	default:
+		return nil, fmt.Errorf("%w: unknown Precision %q", ErrBadOptions, opts.Precision)
+	}
+	if opts.precision() == PrecisionMixed {
+		if opts.kernels() == KernelsAoS {
+			return nil, fmt.Errorf("%w: Precision \"mixed\" requires the SoA kernels", ErrBadOptions)
+		}
+		if opts.Parallel.Ndm > 1 {
+			return nil, fmt.Errorf("%w: Precision \"mixed\" requires the single-domain blocked path (Ndm = 1)", ErrBadOptions)
+		}
 	}
 	tSetup := time.Now()
 	ring, err := contour.NewRing(opts.LambdaMin, opts.Nint)
@@ -324,16 +387,23 @@ func solveAll(ctx context.Context, q *qep.Problem, ring *contour.Ring, v *zlinal
 		go func(c0, c1 int) {
 			defer topWG.Done()
 			nb := c1 - c0
+			useSoA := distSolver == nil && opts.kernels() == KernelsSoA
 			// The block's right-hand sides, shared read-only by this block's
 			// workers: interleaved row-major for the blocked solver, plain
-			// columns for the distributed per-column path.
+			// columns for the distributed per-column path; the SoA path packs
+			// the interleaved block into split planes once per top block.
 			var b []complex128
+			var bSoA *soa.Block[float64]
 			var bcols [][]complex128
 			if distSolver == nil {
 				b = make([]complex128, n*nb)
 				for i := 0; i < n; i++ {
 					row := v.Data[i*v.Cols : i*v.Cols+v.Cols]
 					copy(b[i*nb:i*nb+nb], row[c0:c1])
+				}
+				if useSoA {
+					bSoA = soa.NewBlock[float64](n, nb)
+					soa.Pack(bSoA, b)
 				}
 			} else {
 				bcols = make([][]complex128, nb)
@@ -354,6 +424,13 @@ func solveAll(ctx context.Context, q *qep.Problem, ring *contour.Ring, v *zlinal
 					defer midWG.Done()
 					if distSolver != nil {
 						err := solvePointsDist(cctx, q, ring, points, bcols, acc, distSolver, groups, c0, opts, res, &mu, droppedByCol, &droppedPairs)
+						if err != nil {
+							setErr(err)
+						}
+						return
+					}
+					if useSoA {
+						err := solvePointsSoA(cctx, q, ring, points, b, bSoA, acc, groups[c0:c1], c0, opts, res, &mu, droppedByCol, &droppedPairs)
 						if err != nil {
 							setErr(err)
 						}
@@ -470,6 +547,8 @@ func mergePointStats(ps, local *PointStats) {
 	ps.Restarts += local.Restarts
 	ps.Fallbacks += local.Fallbacks
 	ps.Dropped += local.Dropped
+	ps.Refines += local.Refines
+	ps.RefineFailed += local.RefineFailed
 	if local.MaxResidual > ps.MaxResidual {
 		ps.MaxResidual = local.MaxResidual
 	}

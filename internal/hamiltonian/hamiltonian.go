@@ -55,6 +55,9 @@ type Operator struct {
 	// Precomputed periodic neighbour tables for x and y:
 	// xp[d-1][ix] = (ix+d) mod Nx, xm[d-1][ix] = (ix-d) mod Nx.
 	xp, xm, yp, ym [][]int32
+
+	// Lazily built split-complex coefficient tables (see soa.go).
+	soaCache
 }
 
 // Config controls the discretization.

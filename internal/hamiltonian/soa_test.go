@@ -1,0 +1,175 @@
+package hamiltonian
+
+import (
+	"testing"
+
+	"cbs/internal/lattice"
+	"cbs/internal/soa"
+)
+
+// alCellDims builds the Al(100) operator on an Nx x Ny x Nz grid with
+// stencil half-width nf.
+func alCellDims(t *testing.T, nx, ny, nz, nf int) *Operator {
+	t.Helper()
+	st, err := lattice.AlBulk100(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := Build(st, Config{Nx: nx, Ny: ny, Nz: nz, Nf: nf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+// soaRoundTrip packs v, runs the SoA kernel, and unpacks the result.
+func soaRoundTrip(op *Operator, v, out []complex128, nb int, run func(t *SoATables[float64], vb, ob *soa.Block[float64])) []complex128 {
+	n := op.N()
+	vb := soa.NewBlock[float64](n, nb)
+	ob := soa.NewBlock[float64](n, nb)
+	soa.Pack(vb, v)
+	soa.Pack(ob, out) // accumulate kernels start from the packed prior state
+	run(op.SoA64(), vb, ob)
+	got := make([]complex128, n*nb)
+	soa.Unpack(got, ob)
+	return got
+}
+
+// expectBitIdentical fails on the first element where the SoA result is not
+// bit-for-bit the AoS result (== on complex128 distinguishes every rounding
+// difference except -0 vs +0 and NaN payloads, neither of which these
+// kernels produce from finite input).
+func expectBitIdentical(t *testing.T, name string, nb int, got, want []complex128) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s nb=%d: element %d differs: soa %v, aos %v", name, nb, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSoAKernelsBitIdentical: the float64 SoA kernels must reproduce the
+// AoS blocked kernels bit-for-bit, across grids exercising both the fused
+// nf==4 fast paths (interior x segments, fused y quads, interior z planes)
+// and every generic/boundary fallback (nx < 2nf, nf != 4, boundary z).
+func TestSoAKernelsBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		op   *Operator
+	}{
+		{"fused-10x6x10-nf4", alCellDims(t, 10, 6, 10, 4)},
+		{"generic-x-6x6x6-nf4", alCellDims(t, 6, 6, 6, 4)},
+		{"generic-nf3-9x6x8", alCellDims(t, 9, 6, 8, 3)},
+	}
+	shift := 0.37
+	coefP := complex(0.3, -0.8)
+	coefM := complex(-0.45, 0.15)
+	for _, tc := range cases {
+		n := tc.op.N()
+		for _, nb := range []int{1, 3, 8, 16} {
+			v := randBlock(n, nb, int64(300+nb))
+			prior := randBlock(n, nb, int64(900+nb))
+
+			want := make([]complex128, n*nb)
+			tc.op.ApplyH0Block(v, want, nb)
+			got := soaRoundTrip(tc.op, v, make([]complex128, n*nb), nb,
+				func(tb *SoATables[float64], vb, ob *soa.Block[float64]) { tb.ApplyH0Block(vb, ob) })
+			expectBitIdentical(t, tc.name+"/H0", nb, got, want)
+
+			copy(want, prior)
+			tc.op.ApplyShiftedH0Block(shift, v, want, nb)
+			got = soaRoundTrip(tc.op, v, prior, nb,
+				func(tb *SoATables[float64], vb, ob *soa.Block[float64]) { tb.ApplyShiftedH0Block(shift, vb, ob) })
+			expectBitIdentical(t, tc.name+"/ShiftedH0", nb, got, want)
+
+			copy(want, prior)
+			tc.op.AccumHpBlock(coefP, v, want, nb)
+			got = soaRoundTrip(tc.op, v, prior, nb,
+				func(tb *SoATables[float64], vb, ob *soa.Block[float64]) {
+					tb.AccumHpBlock(real(coefP), imag(coefP), vb, ob)
+				})
+			expectBitIdentical(t, tc.name+"/AccumHp", nb, got, want)
+
+			copy(want, prior)
+			tc.op.AccumHmBlock(coefM, v, want, nb)
+			got = soaRoundTrip(tc.op, v, prior, nb,
+				func(tb *SoATables[float64], vb, ob *soa.Block[float64]) {
+					tb.AccumHmBlock(real(coefM), imag(coefM), vb, ob)
+				})
+			expectBitIdentical(t, tc.name+"/AccumHm", nb, got, want)
+		}
+	}
+}
+
+// TestSoAFloat32Close: the float32 tables must agree with float64 to
+// single-precision accuracy (the mixed-precision inner solve depends on the
+// kernels being the same arithmetic at lower precision, not a different
+// algorithm).
+func TestSoAFloat32Close(t *testing.T) {
+	op := alCellDims(t, 10, 6, 10, 4)
+	n := op.N()
+	nb := 8
+	v := randBlock(n, nb, 42)
+	want := make([]complex128, n*nb)
+	op.ApplyShiftedH0Block(0.37, v, want, nb)
+
+	vb := soa.NewBlock[float32](n, nb)
+	ob := soa.NewBlock[float32](n, nb)
+	soa.Pack(vb, v)
+	op.SoA32().ApplyShiftedH0Block(0.37, vb, ob)
+	got := make([]complex128, n*nb)
+	soa.Unpack(got, ob)
+
+	var maxAbs float64
+	for i := range want {
+		if a := cAbs(want[i]); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	for i := range want {
+		if d := cAbs(got[i] - want[i]); d > 1e-5*maxAbs {
+			t.Fatalf("element %d: float32 deviation %g exceeds 1e-5 of block max %g", i, d, maxAbs)
+		}
+	}
+}
+
+func cAbs(z complex128) float64 {
+	re, im := real(z), imag(z)
+	if re < 0 {
+		re = -re
+	}
+	if im < 0 {
+		im = -im
+	}
+	return re + im
+}
+
+// TestSoAApplyZeroAlloc extends the blocked zero-allocation pins to the SoA
+// kernels (both precisions), including widths beyond blockStackCols.
+func TestSoAApplyZeroAlloc(t *testing.T) {
+	op := alCellDims(t, 10, 6, 10, 4)
+	n := op.N()
+	for _, nb := range []int{4, blockStackCols + 16} {
+		v64 := soa.NewBlock[float64](n, nb)
+		o64 := soa.NewBlock[float64](n, nb)
+		v32 := soa.NewBlock[float32](n, nb)
+		o32 := soa.NewBlock[float32](n, nb)
+		t64 := op.SoA64()
+		t32 := op.SoA32()
+		kernels := []struct {
+			name string
+			fn   func()
+		}{
+			{"ApplyShiftedH0Block64", func() { t64.ApplyShiftedH0Block(0.5, v64, o64) }},
+			{"AccumHpBlock64", func() { t64.AccumHpBlock(0.3, -0.2, v64, o64) }},
+			{"AccumHmBlock64", func() { t64.AccumHmBlock(-0.1, 0.4, v64, o64) }},
+			{"ApplyShiftedH0Block32", func() { t32.ApplyShiftedH0Block(0.5, v32, o32) }},
+			{"AccumHpBlock32", func() { t32.AccumHpBlock(0.3, -0.2, v32, o32) }},
+		}
+		for _, k := range kernels {
+			if allocs := testing.AllocsPerRun(5, k.fn); allocs != 0 {
+				t.Errorf("nb=%d: %s allocates %.0f times per call, want 0", nb, k.name, allocs)
+			}
+		}
+	}
+}

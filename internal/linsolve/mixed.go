@@ -1,0 +1,250 @@
+package linsolve
+
+import (
+	"cbs/internal/soa"
+)
+
+// Mixed-precision dual block solve: the inner BiCG iterates on float32
+// planes (half the bandwidth and cache footprint of the float64 solve, with
+// dots/norms still accumulated in float64), and one or two steps of
+// iterative refinement lift each shifted-system solution back to float64:
+//
+//	solve32  A d = b        (relative tol ~ MixedInnerTol)
+//	repeat:  r = b - A x    (float64 residual, float64 operator)
+//	         solve32 A d = r
+//	         x += d
+//
+// Each refinement step contracts the error by roughly the inner solve's
+// relative accuracy (for contour-shifted systems, whose conditioning the
+// ring keeps moderate), so two steps reach ~1e-10 from a 1e-5 inner solve.
+// The moments accumulated downstream (internal/ssm) therefore see full
+// complex128 solutions; only the Krylov iteration runs in single precision.
+// A column whose refinement budget runs out without reaching the target is
+// flagged RefineFailed (and not Converged): the caller routes it through
+// the full-precision recovery ladder, and the sweep ladder escalates the
+// whole energy to Precision "complex128" when too many columns fail at
+// once (see internal/sweep).
+
+const (
+	// MixedInnerTol floors the float32 inner-solve tolerance: single
+	// precision cannot meaningfully iterate below ~10*eps32 relative
+	// residual, so asking for more only burns iterations.
+	MixedInnerTol = 1e-5
+
+	// MixedFinalTol floors the refinement target. Two refinement steps at
+	// inner accuracy 1e-5 reach ~1e-10 on well-conditioned systems; the
+	// floor guards against an unreachable caller tolerance (e.g. the
+	// paper's 1e-10 exactly at the float64 noise floor of a large system).
+	MixedFinalTol = 1e-9
+
+	// DefaultRefineSteps is the refinement budget per shifted system.
+	DefaultRefineSteps = 2
+)
+
+// MixedWorkspace carries the float32 inner-solve state and the float64
+// refinement scratch; one per worker, reused across quadrature points with
+// zero steady-state allocations.
+type MixedWorkspace struct {
+	n, nb int
+
+	ws32                 *WorkspaceSoA[float32]
+	b32, bd32, x32, xd32 *soa.Block[float32]
+
+	r64, rd64 *soa.Block[float64] // refinement residuals
+	q64, qd64 *soa.Block[float64] // A*x scratch
+
+	nrmB, nrmBD, rel, relD []float64
+	done                   []bool
+	refineBlocked          []bool // chaos-suppressed columns
+	results                []Result
+}
+
+// NewMixedWorkspace allocates a mixed workspace for n x nb solves.
+func NewMixedWorkspace(n, nb int) *MixedWorkspace {
+	w := &MixedWorkspace{}
+	w.Reserve(n, nb)
+	return w
+}
+
+// Reserve grows the workspace, reusing capacity when sufficient.
+func (w *MixedWorkspace) Reserve(n, nb int) {
+	w.n, w.nb = n, nb
+	if w.ws32 == nil {
+		w.ws32 = NewWorkspaceSoA[float32](n, nb)
+		w.b32 = soa.NewBlock[float32](n, nb)
+		w.bd32 = soa.NewBlock[float32](n, nb)
+		w.x32 = soa.NewBlock[float32](n, nb)
+		w.xd32 = soa.NewBlock[float32](n, nb)
+		w.r64 = soa.NewBlock[float64](n, nb)
+		w.rd64 = soa.NewBlock[float64](n, nb)
+		w.q64 = soa.NewBlock[float64](n, nb)
+		w.qd64 = soa.NewBlock[float64](n, nb)
+	} else {
+		w.ws32.Reserve(n, nb)
+		w.b32.Reserve(n, nb)
+		w.bd32.Reserve(n, nb)
+		w.x32.Reserve(n, nb)
+		w.xd32.Reserve(n, nb)
+		w.r64.Reserve(n, nb)
+		w.rd64.Reserve(n, nb)
+		w.q64.Reserve(n, nb)
+		w.qd64.Reserve(n, nb)
+	}
+	if cap(w.nrmB) < nb {
+		w.nrmB = make([]float64, nb)
+		w.nrmBD = make([]float64, nb)
+		w.rel = make([]float64, nb)
+		w.relD = make([]float64, nb)
+		w.done = make([]bool, nb)
+		w.refineBlocked = make([]bool, nb)
+		w.results = make([]Result, nb)
+	}
+}
+
+// MemoryBytes reports the workspace's resident bytes.
+func (w *MixedWorkspace) MemoryBytes() int64 {
+	b := w.ws32.MemoryBytes()
+	b += w.b32.MemoryBytes() + w.bd32.MemoryBytes() + w.x32.MemoryBytes() + w.xd32.MemoryBytes()
+	b += w.r64.MemoryBytes() + w.rd64.MemoryBytes() + w.q64.MemoryBytes() + w.qd64.MemoryBytes()
+	return b + int64(cap(w.nrmB))*(4*8+2+1)*2
+}
+
+// BlockBiCGDualMixed solves the nb primal/dual pairs like BlockBiCGDual but
+// with the float32 inner solver plus iterative refinement described above.
+// b, bd, x and xd are float64 plane blocks; x/xd hold the initial guesses
+// and receive the refined solutions. groups (may be nil) only receives
+// MarkConverged notifications — a mixed solve never stops early on the
+// majority rule, because its convergence is decided by the float64
+// refinement residual, not the inner iteration. The returned slice aliases
+// mws.results; mws may be nil.
+func BlockBiCGDualMixed(a64, ad64 BlockApplySoA[float64], a32, ad32 BlockApplySoA[float32], b, bd, x, xd *soa.Block[float64], opts Options, groups []*GroupStop, mws *MixedWorkspace) []Result {
+	n, nb := b.N(), b.NB()
+	if nb < 1 {
+		panic("linsolve: BlockBiCGDualMixed bad block width")
+	}
+	if bd.N() != n || bd.NB() != nb || x.N() != n || x.NB() != nb || xd.N() != n || xd.NB() != nb {
+		panic("linsolve: BlockBiCGDualMixed shape mismatch")
+	}
+	if groups != nil && len(groups) != nb {
+		panic("linsolve: BlockBiCGDualMixed groups length mismatch")
+	}
+	if mws == nil {
+		mws = NewMixedWorkspace(n, nb)
+	} else {
+		mws.Reserve(n, nb)
+	}
+	innerOpts := opts
+	innerOpts.Group = nil
+	if innerOpts.Tol < MixedInnerTol {
+		innerOpts.Tol = MixedInnerTol
+	}
+	finalTol := opts.Tol
+	if finalTol < MixedFinalTol {
+		finalTol = MixedFinalTol
+	}
+
+	results := mws.results[:nb]
+	rel, relD := mws.rel[:nb], mws.relD[:nb]
+	done := mws.done[:nb]
+	blocked := mws.refineBlocked[:nb]
+	for c := range results {
+		results[c] = Result{}
+		done[c] = false
+		blocked[c] = opts.Chaos.RefineFail(opts.ChaosSite.Point, opts.ChaosSite.Col+c)
+	}
+
+	// Inner solve of the original systems at float32, from the caller's
+	// initial guess.
+	soa.Convert(mws.b32, b)
+	soa.Convert(mws.bd32, bd)
+	soa.Convert(mws.x32, x)
+	soa.Convert(mws.xd32, xd)
+	rs := BlockBiCGDualSoA(a32, ad32, mws.b32, mws.bd32, mws.x32, mws.xd32, innerOpts, nil, mws.ws32)
+	for c := range results {
+		results[c].Iterations = rs[c].Iterations
+		results[c].MatVecApplied = rs[c].MatVecApplied
+		results[c].Breakdown = rs[c].Breakdown
+		results[c].History = rs[c].History
+		rs[c].History = nil // ownership moves to the mixed result
+	}
+	soa.Convert(x, mws.x32)
+	soa.Convert(xd, mws.xd32)
+
+	blockNormsSoA(mws.nrmB[:nb], b)
+	blockNormsSoA(mws.nrmBD[:nb], bd)
+	normsFloorOne(mws.nrmB[:nb])
+	normsFloorOne(mws.nrmBD[:nb])
+
+	for step := 0; ; step++ {
+		// Float64 residuals of the current iterates.
+		a64(x, mws.q64)
+		ad64(xd, mws.qd64)
+		subPlanes(mws.r64.Re, b.Re, mws.q64.Re)
+		subPlanes(mws.r64.Im, b.Im, mws.q64.Im)
+		subPlanes(mws.rd64.Re, bd.Re, mws.qd64.Re)
+		subPlanes(mws.rd64.Im, bd.Im, mws.qd64.Im)
+		residualNormsSoA(rel, mws.r64, mws.nrmB[:nb])
+		residualNormsSoA(relD, mws.rd64, mws.nrmBD[:nb])
+		allDone := true
+		for c := range done {
+			results[c].MatVecApplied += 2
+			results[c].Residual = rel[c]
+			results[c].DualResidual = relD[c]
+			done[c] = rel[c] <= finalTol && relD[c] <= finalTol
+			if !done[c] {
+				allDone = false
+			}
+		}
+		if allDone || step >= DefaultRefineSteps {
+			break
+		}
+
+		// Correction solve at float32 on the float64 residuals, from zero.
+		soa.Convert(mws.b32, mws.r64)
+		soa.Convert(mws.bd32, mws.rd64)
+		mws.x32.Zero()
+		mws.xd32.Zero()
+		innerOpts.History = false
+		crs := BlockBiCGDualSoA(a32, ad32, mws.b32, mws.bd32, mws.x32, mws.xd32, innerOpts, nil, mws.ws32)
+		for c := range results {
+			results[c].Iterations += crs[c].Iterations
+			results[c].MatVecApplied += crs[c].MatVecApplied
+			if !done[c] {
+				results[c].RefineSteps++
+			}
+		}
+		accumMixedCorrection(x, xd, mws.x32, mws.xd32, done, blocked)
+	}
+
+	for c := range results {
+		if results[c].Converged = done[c]; done[c] {
+			if groups != nil && groups[c] != nil {
+				groups[c].MarkConverged()
+			}
+		} else {
+			results[c].RefineFailed = true
+		}
+	}
+	return results
+}
+
+// accumMixedCorrection adds the promoted float32 corrections into the
+// float64 iterates, skipping columns already at target (their solutions
+// freeze, matching the masked-column semantics of the direct solver) and
+// chaos-blocked columns (whose refinement is forced to stagnate).
+func accumMixedCorrection(x, xd *soa.Block[float64], dx, dxd *soa.Block[float32], done, blocked []bool) {
+	n, nb := x.N(), x.NB()
+	for i := 0; i < n; i++ {
+		o := i * nb
+		for c := 0; c < nb; c++ {
+			if done[c] || blocked[c] {
+				continue
+			}
+			j := o + c
+			x.Re[j] += float64(dx.Re[j])
+			x.Im[j] += float64(dx.Im[j])
+			xd.Re[j] += float64(dxd.Re[j])
+			xd.Im[j] += float64(dxd.Im[j])
+		}
+	}
+}

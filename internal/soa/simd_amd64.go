@@ -1,0 +1,68 @@
+//go:build amd64
+
+package soa
+
+import "os"
+
+// HasAVX2 reports whether the AVX2 plane kernels are usable on this CPU
+// (AVX2 present, the OS saves YMM state, and the CBS_NO_AVX2 kill switch is
+// unset). Checked once at init; the leaf kernels branch on it per call.
+var HasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	if os.Getenv("CBS_NO_AVX2") != "" {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const (
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (XMM) and 2 (YMM) must both be OS-enabled.
+	if lo, _ := xgetbv(); lo&6 != 6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0 // AVX2
+}
+
+// cpuid executes CPUID with the given leaf and subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE).
+func xgetbv() (lo, hi uint32)
+
+// The AVX2 kernels; see simd_amd64.s. Each is the exact vector transcription
+// of its *Scalar sibling in simd.go: same per-element multiply/add order, no
+// FMA. Sources must be at least len(dst) long.
+
+//cbs:hotpath
+//go:noescape
+func axpyAVX2(dst, src []float64, c float64)
+
+//cbs:hotpath
+//go:noescape
+func axpyPairAVX2(dstRe, dstIm, srcRe, srcIm []float64, c float64)
+
+//cbs:hotpath
+//go:noescape
+func scalePairAVX2(dstRe, dstIm, srcRe, srcIm []float64, c float64)
+
+//cbs:hotpath
+//go:noescape
+func axpyCplxAVX2(dstRe, dstIm, srcRe, srcIm []float64, cr, ci float64)
+
+//cbs:hotpath
+//go:noescape
+func addPairScaledAVX2(dst, p, m []float64, c float64)
+
+//cbs:hotpath
+//go:noescape
+func fusePair4AVX2(dst, p1, m1, p2, m2, p3, m3, p4, m4 []float64, c1, c2, c3, c4 float64)
+
+//cbs:hotpath
+//go:noescape
+func fuseSingle8AVX2(dst, s1, s2, s3, s4, s5, s6, s7, s8 []float64, c1, c2, c3, c4 float64)

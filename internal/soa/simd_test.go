@@ -1,0 +1,124 @@
+package soa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The SIMD kernels must be bit-identical to their scalar siblings: the
+// solver's SoA==AoS parity rests on it. Every length from 0 through a few
+// vectors plus tails is checked, with denormals, negative zeros and mixed
+// magnitudes in the data.
+func simdFill(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		switch rng.Intn(8) {
+		case 0:
+			s[i] = math.Copysign(0, -1)
+		case 1:
+			s[i] = 5e-324 * float64(rng.Intn(100))
+		case 2:
+			s[i] = (rng.Float64() - 0.5) * 1e300
+		default:
+			s[i] = rng.NormFloat64()
+		}
+	}
+	return s
+}
+
+func eqBits(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: element %d = %g (%#x), scalar %g (%#x)",
+				name, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+func TestSIMDKernelsBitIdentical(t *testing.T) {
+	if !HasAVX2 {
+		t.Skip("no AVX2 on this machine; scalar paths are the reference")
+	}
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 64, 129} {
+		src := make([][]float64, 9)
+		for i := range src {
+			src[i] = simdFill(rng, n)
+		}
+		c1, c2, c3, c4 := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		dst0 := simdFill(rng, n)
+
+		run := func(name string, scalar, vector func(d []float64)) {
+			t.Helper()
+			want := append([]float64(nil), dst0...)
+			got := append([]float64(nil), dst0...)
+			scalar(want)
+			vector(got)
+			eqBits(t, name, got, want)
+		}
+
+		run("axpy",
+			func(d []float64) { axpyScalar(d, src[0], c1) },
+			func(d []float64) { axpyAVX2(d, src[0], c1) })
+		run("addPairScaled",
+			func(d []float64) { addPairScaledScalar(d, src[0], src[1], c1) },
+			func(d []float64) { addPairScaledAVX2(d, src[0], src[1], c1) })
+		run("fusePair4",
+			func(d []float64) {
+				fusePair4Scalar(d, src[0], src[1], src[2], src[3], src[4], src[5], src[6], src[7], c1, c2, c3, c4)
+			},
+			func(d []float64) {
+				fusePair4AVX2(d, src[0], src[1], src[2], src[3], src[4], src[5], src[6], src[7], c1, c2, c3, c4)
+			})
+		run("fuseSingle8",
+			func(d []float64) {
+				fuseSingle8Scalar(d, src[0], src[1], src[2], src[3], src[4], src[5], src[6], src[7], c1, c2, c3, c4)
+			},
+			func(d []float64) {
+				fuseSingle8AVX2(d, src[0], src[1], src[2], src[3], src[4], src[5], src[6], src[7], c1, c2, c3, c4)
+			})
+
+		// Two-plane kernels: dst planes are independent copies.
+		dstIm0 := simdFill(rng, n)
+		run2 := func(name string, scalar, vector func(dRe, dIm []float64)) {
+			t.Helper()
+			wantRe := append([]float64(nil), dst0...)
+			wantIm := append([]float64(nil), dstIm0...)
+			gotRe := append([]float64(nil), dst0...)
+			gotIm := append([]float64(nil), dstIm0...)
+			scalar(wantRe, wantIm)
+			vector(gotRe, gotIm)
+			eqBits(t, name+"/re", gotRe, wantRe)
+			eqBits(t, name+"/im", gotIm, wantIm)
+		}
+		run2("axpyPair",
+			func(dRe, dIm []float64) { axpyScalar(dRe, src[0], c1); axpyScalar(dIm, src[1], c1) },
+			func(dRe, dIm []float64) { axpyPairAVX2(dRe, dIm, src[0], src[1], c1) })
+		run2("scalePair",
+			func(dRe, dIm []float64) { scalePairScalar(dRe, dIm, src[0], src[1], c1) },
+			func(dRe, dIm []float64) { scalePairAVX2(dRe, dIm, src[0], src[1], c1) })
+		run2("axpyCplx",
+			func(dRe, dIm []float64) { axpyCplxScalar(dRe, dIm, src[0], src[1], c1, c2) },
+			func(dRe, dIm []float64) { axpyCplxAVX2(dRe, dIm, src[0], src[1], c1, c2) })
+	}
+}
+
+func TestSIMDKernelsZeroAlloc(t *testing.T) {
+	n := 67 // vector body + tail
+	dst := simdFill(rand.New(rand.NewSource(9)), n)
+	dst2 := append([]float64(nil), dst...)
+	s := simdFill(rand.New(rand.NewSource(10)), n)
+	if a := testing.AllocsPerRun(10, func() {
+		AxpyF64(dst, s, 0.5)
+		AxpyPairF64(dst, dst2, s, s, 0.25)
+		ScalePairF64(dst, dst2, s, s, 1.5)
+		AxpyCplxF64(dst, dst2, s, s, 0.5, -0.25)
+		AddPairScaledF64(dst, s, dst2, 0.125)
+		FusePair4F64(dst, s, s, s, s, s, s, s, s, 1, 2, 3, 4)
+		FuseSingle8F64(dst, s, s, s, s, s, s, s, s, 1, 2, 3, 4)
+	}); a != 0 {
+		t.Errorf("SIMD kernels allocate %.0f times per round, want 0", a)
+	}
+}

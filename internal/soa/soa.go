@@ -1,0 +1,148 @@
+// Package soa provides the split-complex storage layout of the blocked hot
+// path: a block of nb column vectors over n grid points is held as two
+// parallel float planes Re and Im, both indexed exactly like the row-major
+// []complex128 block they mirror (element (i, k) at position i*nb+k). The
+// interleaved split keeps the stencil's per-grid-point streaming pattern
+// while turning every inner loop into contiguous *real* arithmetic: the
+// complex multiply-adds of the AoS kernels decompose into independent
+// same-shape passes over the two planes, which the compiler turns into
+// straight-line float code with half the register pressure per lane.
+//
+// The planes are generic over float64 (the bit-exact production layout) and
+// float32 (the mixed-precision inner-solve layout); pack/unpack shims
+// convert at the []complex128 API boundary only. Kernels elsewhere must not
+// re-box plane elements into complex values inside hot loops and must not
+// re-slice the planes independently — both invariants are policed by the
+// soalayout vet analyzer.
+package soa
+
+// Float is the element type of a split-complex plane.
+type Float interface {
+	~float32 | ~float64
+}
+
+// Block is an n x nb split-complex block: Re[i*nb+k] and Im[i*nb+k] hold
+// the real and imaginary parts of element (row i, column k). The planes
+// always have identical length n*nb; construct blocks with NewBlock or
+// Reserve so the invariant holds, and treat the plane headers as read-only
+// outside this package (the soalayout analyzer enforces this).
+type Block[F Float] struct {
+	Re, Im []F
+
+	n, nb int
+}
+
+// NewBlock allocates an n x nb block with zeroed planes.
+func NewBlock[F Float](n, nb int) *Block[F] {
+	b := &Block[F]{}
+	b.Reserve(n, nb)
+	return b
+}
+
+// Reserve resizes the block to n x nb, reusing plane capacity when
+// sufficient (the steady-state contour loop never reallocates). Newly
+// exposed elements are NOT cleared; call Zero when a fresh block is needed.
+func (b *Block[F]) Reserve(n, nb int) {
+	if n < 0 || nb < 1 {
+		panic("soa: Reserve bad shape")
+	}
+	b.n, b.nb = n, nb
+	need := n * nb
+	if cap(b.Re) < need {
+		b.Re = make([]F, need)
+		b.Im = make([]F, need)
+		return
+	}
+	b.Re = b.Re[:need]
+	b.Im = b.Im[:need]
+}
+
+// N returns the row count.
+//
+//cbs:hotpath
+func (b *Block[F]) N() int { return b.n }
+
+// NB returns the column count.
+//
+//cbs:hotpath
+func (b *Block[F]) NB() int { return b.nb }
+
+// Len returns the plane length n*nb.
+//
+//cbs:hotpath
+func (b *Block[F]) Len() int { return b.n * b.nb }
+
+// Zero clears both planes.
+//
+//cbs:hotpath
+func (b *Block[F]) Zero() {
+	for i := range b.Re {
+		b.Re[i] = 0
+		b.Im[i] = 0
+	}
+}
+
+// MemoryBytes reports the resident bytes of both planes.
+func (b *Block[F]) MemoryBytes() int64 {
+	var f F
+	size := int64(8)
+	if _, ok := any(f).(float32); ok {
+		size = 4
+	}
+	return int64(cap(b.Re)+cap(b.Im)) * size
+}
+
+// Pack splits a row-major []complex128 block into the planes of dst
+// (boundary shim; dst must already have the matching shape).
+func Pack[F Float](dst *Block[F], src []complex128) {
+	if len(src) != dst.Len() {
+		panic("soa: Pack length mismatch")
+	}
+	re, im := dst.Re, dst.Im
+	for i, z := range src {
+		re[i] = F(real(z))
+		im[i] = F(imag(z))
+	}
+}
+
+// Unpack re-boxes the planes of src into a row-major []complex128 block
+// (boundary shim).
+func Unpack[F Float](dst []complex128, src *Block[F]) {
+	if len(dst) != src.Len() {
+		panic("soa: Unpack length mismatch")
+	}
+	re, im := src.Re, src.Im
+	for i := range dst {
+		dst[i] = complex(float64(re[i]), float64(im[i]))
+	}
+}
+
+// Convert copies src into dst element-wise with a float conversion: the
+// demote (float64 -> float32 rounds to nearest) and promote (exact) shims
+// of the mixed-precision refinement loop. Shapes must match.
+func Convert[D, S Float](dst *Block[D], src *Block[S]) {
+	if dst.Len() != src.Len() {
+		panic("soa: Convert length mismatch")
+	}
+	dre, dim := dst.Re, dst.Im
+	sre, sim := src.Re, src.Im
+	for i := range dre {
+		dre[i] = D(sre[i])
+		dim[i] = D(sim[i])
+	}
+}
+
+// AccumConvert accumulates dst += src element-wise with a float conversion:
+// the correction step x += d of iterative refinement, promoting the
+// float32 update into the float64 iterate. Shapes must match.
+func AccumConvert[D, S Float](dst *Block[D], src *Block[S]) {
+	if dst.Len() != src.Len() {
+		panic("soa: AccumConvert length mismatch")
+	}
+	dre, dim := dst.Re, dst.Im
+	sre, sim := src.Re, src.Im
+	for i := range dre {
+		dre[i] += D(sre[i])
+		dim[i] += D(sim[i])
+	}
+}

@@ -1,0 +1,113 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"cbs/internal/soa"
+)
+
+// TestApplyBlockSoAParity: the split-complex blocked CSR apply must be
+// bit-identical to the interleaved blocked apply (same arithmetic in the
+// same order; the real fast path only drops exact +-0 terms).
+func TestApplyBlockSoAParity(t *testing.T) {
+	op := testOperator(t)
+	blocks, err := FromOperator(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := op.N()
+	for _, m := range []*CSR{blocks.H0, blocks.HP, blocks.HM} {
+		for _, nb := range []int{1, 3, 8} {
+			rng := rand.New(rand.NewSource(int64(100 + nb)))
+			v := randVec(rng, n*nb)
+			want := make([]complex128, n*nb)
+			m.ApplyBlock(v, want, nb)
+
+			vb := soa.NewBlock[float64](n, nb)
+			soa.Pack(vb, v)
+			ob := soa.NewBlock[float64](n, nb)
+			m.ApplyBlockSoA(vb, ob)
+			got := make([]complex128, n*nb)
+			soa.Unpack(got, ob)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("nb=%d element %d: soa %v != aos %v", nb, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBlocksApplySoAParity: the stored-form blocked split applies (CSR +
+// factored nonlocal) must reproduce the per-column AoS applies exactly for
+// every Hamiltonian block.
+func TestBlocksApplySoAParity(t *testing.T) {
+	op := testOperator(t)
+	blocks, err := FromOperator(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := op.N()
+	cases := []struct {
+		name   string
+		aos    func(v, out []complex128)
+		soaFns func(v, out *soa.Block[float64])
+	}{
+		{"H0", blocks.ApplyH0, blocks.ApplyH0BlockSoA},
+		{"H+", blocks.ApplyHp, blocks.ApplyHpBlockSoA},
+		{"H-", blocks.ApplyHm, blocks.ApplyHmBlockSoA},
+	}
+	// nb spanning 1, a partial tile, and more than one maxProjCols tile.
+	for _, nb := range []int{1, 5, maxProjCols + 3} {
+		rng := rand.New(rand.NewSource(int64(200 + nb)))
+		v := randVec(rng, n*nb)
+		vb := soa.NewBlock[float64](n, nb)
+		soa.Pack(vb, v)
+		ob := soa.NewBlock[float64](n, nb)
+		got := make([]complex128, n*nb)
+		col := make([]complex128, n)
+		ref := make([]complex128, n)
+		for _, c := range cases {
+			c.soaFns(vb, ob)
+			soa.Unpack(got, ob)
+			for k := 0; k < nb; k++ {
+				for i := 0; i < n; i++ {
+					col[i] = v[i*nb+k]
+				}
+				c.aos(col, ref)
+				for i := 0; i < n; i++ {
+					if got[i*nb+k] != ref[i] {
+						t.Fatalf("%s nb=%d col %d row %d: soa %v != aos %v", c.name, nb, k, i, got[i*nb+k], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyBlockSoAZeroAlloc pins the steady-state allocation-free contract
+// of the split blocked applies.
+func TestApplyBlockSoAZeroAlloc(t *testing.T) {
+	op := testOperator(t)
+	blocks, err := FromOperator(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := op.N()
+	nb := maxProjCols + 3
+	vb := soa.NewBlock[float64](n, nb)
+	rng := rand.New(rand.NewSource(7))
+	for i := range vb.Re {
+		vb.Re[i] = rng.Float64()*2 - 1
+		vb.Im[i] = rng.Float64()*2 - 1
+	}
+	ob := soa.NewBlock[float64](n, nb)
+	if allocs := testing.AllocsPerRun(10, func() {
+		blocks.ApplyH0BlockSoA(vb, ob)
+		blocks.ApplyHpBlockSoA(vb, ob)
+		blocks.ApplyHmBlockSoA(vb, ob)
+	}); allocs != 0 {
+		t.Errorf("blocked SoA applies allocate %.0f times per run, want 0", allocs)
+	}
+}
