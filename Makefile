@@ -23,7 +23,10 @@ lint: cbscheck
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "unformatted files:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
-	$(GO) vet -vettool=$(abspath $(CBSCHECK)) ./...
+	$(GO) vet -vettool=$(abspath $(CBSCHECK)) \
+		-allowlist=$(abspath .cbscheck-allowlist) ./...
+	$(GO) vet -vettool=$(abspath $(CBSCHECK)) \
+		-allowlist=$(abspath .cbscheck-allowlist) -tests ./...
 
 # chaos-smoke drives the resilience tests under the env-gated fault
 # injector (internal/chaos) across a small deterministic seed matrix;

@@ -1,6 +1,6 @@
-// Command cbscheck is the repository's vettool: it bundles the five
+// Command cbscheck is the repository's vettool: it bundles the nine
 // cbs-specific analyzers (hotpathalloc, shapepanic, cmplxhot, lockedmerge,
-// soalayout)
+// soalayout, ctxflow, errsentinel, chaossite, fsyncdisc)
 // behind the cmd/go custom-vettool protocol, so CI can run
 //
 //	go vet -vettool=$(pwd)/bin/cbscheck ./...
@@ -20,6 +20,21 @@
 //     described by the JSON config, reading dependency facts from the
 //     PackageVetx files and always writing its own facts to VetxOutput.
 //
+// With -tests the analysis view includes _test.go files: in vettool mode
+// the test-variant units keep their test sources, and standalone loads use
+// `go list -test`. Analyzers that scope themselves to library code skip
+// test files on their own; analyzers whose invariants span production and
+// test code (chaossite's seed-matrix coverage) only activate fully under
+// -tests.
+//
+// -allowlist names a committed file of findings to suppress, one per line:
+//
+//	<analyzer>\t<file>\t<exact message>
+//
+// with the file matched by path suffix (so the committed form is
+// module-relative) and # starting a comment. It exists for findings that
+// cannot carry an in-source //cbs: waiver (generated code, fixtures).
+//
 // Analysis is restricted to this module's packages; for dependency units
 // outside the module the tool writes an empty facts file and succeeds, so
 // vetting the standard library costs nothing.
@@ -36,8 +51,12 @@ import (
 	"sort"
 	"strings"
 
+	"cbs/internal/analysis/chaossite"
 	"cbs/internal/analysis/cmplxhot"
+	"cbs/internal/analysis/ctxflow"
+	"cbs/internal/analysis/errsentinel"
 	"cbs/internal/analysis/framework"
+	"cbs/internal/analysis/fsyncdisc"
 	"cbs/internal/analysis/hotpathalloc"
 	"cbs/internal/analysis/load"
 	"cbs/internal/analysis/lockedmerge"
@@ -55,6 +74,17 @@ var analyzers = []*framework.Analyzer{
 	cmplxhot.Analyzer,
 	lockedmerge.Analyzer,
 	soalayout.Analyzer,
+	ctxflow.Analyzer,
+	errsentinel.Analyzer,
+	chaossite.Analyzer,
+	fsyncdisc.Analyzer,
+}
+
+// options carries the run-shaping flags through both driver modes.
+type options struct {
+	tests     bool       // keep _test.go files in the analysis view
+	asJSON    bool       // print diagnostics as JSON on stdout
+	allowlist *allowlist // findings suppressed by the committed allowlist
 }
 
 func main() {
@@ -66,6 +96,8 @@ func main() {
 
 	fs := flag.NewFlagSet("cbscheck", flag.ExitOnError)
 	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON to stdout instead of text to stderr")
+	testsFlag := fs.Bool("tests", false, "include _test.go files in the analysis view")
+	allowFlag := fs.String("allowlist", "", "file of findings to suppress (analyzer<TAB>file<TAB>message per line)")
 	enabled := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		enabled[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" analyzer: "+a.Doc)
@@ -92,14 +124,24 @@ func main() {
 		}
 	}
 
+	opts := options{tests: *testsFlag, asJSON: *jsonFlag}
+	if *allowFlag != "" {
+		al, err := loadAllowlist(*allowFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbscheck: %v\n", err)
+			os.Exit(1)
+		}
+		opts.allowlist = al
+	}
+
 	args := fs.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(unitcheck(args[0], active, *jsonFlag))
+		os.Exit(unitcheck(args[0], active, opts))
 	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(standalone(args, active, *jsonFlag))
+	os.Exit(standalone(args, active, opts))
 }
 
 // selfID hashes the tool binary so the build cache re-vets when it changes.
@@ -144,6 +186,54 @@ func emitFlags(fs *flag.FlagSet) {
 	fmt.Println()
 }
 
+// allowlist is the committed set of suppressed findings: exact (analyzer,
+// message) pairs keyed to a file by path suffix.
+type allowlist struct {
+	entries []allowEntry
+}
+
+type allowEntry struct {
+	analyzer string
+	file     string // matched as a path suffix of the diagnostic's filename
+	message  string // exact message text
+}
+
+// loadAllowlist parses an allowlist file. Blank lines and #-comments are
+// skipped; anything else must be analyzer<TAB>file<TAB>message.
+func loadAllowlist(path string) (*allowlist, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("allowlist: %w", err)
+	}
+	al := &allowlist{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("allowlist %s:%d: want analyzer<TAB>file<TAB>message", path, i+1)
+		}
+		al.entries = append(al.entries, allowEntry{analyzer: parts[0], file: parts[1], message: parts[2]})
+	}
+	return al, nil
+}
+
+// allows reports whether the finding is suppressed.
+func (al *allowlist) allows(analyzer, filename, message string) bool {
+	if al == nil {
+		return false
+	}
+	for _, e := range al.entries {
+		if e.analyzer == analyzer && e.message == message &&
+			(filename == e.file || strings.HasSuffix(filename, "/"+e.file)) {
+			return true
+		}
+	}
+	return false
+}
+
 // vetConfig mirrors the JSON unit description cmd/go writes to vet.cfg.
 type vetConfig struct {
 	ID          string
@@ -163,7 +253,7 @@ type vetConfig struct {
 }
 
 // unitcheck analyzes one vet.cfg unit and returns the process exit code.
-func unitcheck(cfgPath string, active []*framework.Analyzer, asJSON bool) int {
+func unitcheck(cfgPath string, active []*framework.Analyzer, opts options) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cbscheck: %v\n", err)
@@ -174,34 +264,58 @@ func unitcheck(cfgPath string, active []*framework.Analyzer, asJSON bool) int {
 		fmt.Fprintf(os.Stderr, "cbscheck: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
+	pkg, diags, err := runUnit(&cfg, active, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cbscheck: %v\n", err)
+		return 1
+	}
+	if pkg == nil || cfg.VetxOnly || len(diags) == 0 {
+		return 0
+	}
+	if opts.asJSON {
+		printJSON(cfg.ImportPath, pkg, diags)
+		return 0
+	}
+	printText(pkg, diags)
+	return 2
+}
 
+// runUnit is the driver core of unitcheck, separated so tests can feed it
+// hand-built unit configs: typecheck the unit, plumb dependency facts from
+// the PackageVetx files, run the analyzers, persist own facts to
+// VetxOutput. A nil returned package means the unit was skipped (outside
+// the module, no analyzable sources, or tolerated typecheck failure).
+func runUnit(cfg *vetConfig, active []*framework.Analyzer, opts options) (*load.Package, []framework.Diagnostic, error) {
 	// Dependency units outside the module carry no cbs facts; skip the
 	// typecheck entirely and hand cmd/go an empty facts file to cache.
 	// Test variants carry an ImportPath like "p [p.test]"; strip the suffix.
 	base := strings.Fields(cfg.ImportPath)[0]
 	if base != modulePrefix && !strings.HasPrefix(base, modulePrefix+"/") {
-		return writeVetx(cfg.VetxOutput, nil)
+		return nil, nil, writeVetx(cfg.VetxOutput, nil)
 	}
 
-	// Analyze only the non-test sources: the invariants govern library
-	// code, and external test units ("pkg_test") have no non-test files.
-	var goFiles []string
-	for _, name := range cfg.GoFiles {
-		if !strings.HasSuffix(name, "_test.go") {
-			goFiles = append(goFiles, name)
+	// Without -tests, analyze only the non-test sources: the invariants
+	// govern library code, and external test units ("pkg_test") have no
+	// non-test files. With -tests the unit keeps its full file set.
+	goFiles := cfg.GoFiles
+	if !opts.tests {
+		goFiles = nil
+		for _, name := range cfg.GoFiles {
+			if !strings.HasSuffix(name, "_test.go") {
+				goFiles = append(goFiles, name)
+			}
 		}
 	}
 	if len(goFiles) == 0 {
-		return writeVetx(cfg.VetxOutput, nil)
+		return nil, nil, writeVetx(cfg.VetxOutput, nil)
 	}
 
-	pkg, err := load.TypeCheckFiles(strings.Fields(cfg.ImportPath)[0], cfg.Dir, goFiles, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := load.TypeCheckFiles(base, cfg.Dir, goFiles, cfg.PackageFile, cfg.ImportMap)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return writeVetx(cfg.VetxOutput, nil)
+			return nil, nil, writeVetx(cfg.VetxOutput, nil)
 		}
-		fmt.Fprintf(os.Stderr, "cbscheck: %v\n", err)
-		return 1
+		return nil, nil, err
 	}
 
 	factCache := make(map[string]map[string]string)
@@ -226,27 +340,19 @@ func unitcheck(cfgPath string, active []*framework.Analyzer, asJSON bool) int {
 	}
 
 	ownFacts := make(map[string]string)
-	diags := runAnalyzers(pkg, active, readFact, func(key, data string) { ownFacts[key] = data })
+	diags := runAnalyzers(pkg, active, opts, readFact, func(key, data string) { ownFacts[key] = data })
 
-	if code := writeVetx(cfg.VetxOutput, ownFacts); code != 0 {
-		return code
+	if err := writeVetx(cfg.VetxOutput, ownFacts); err != nil {
+		return nil, nil, err
 	}
-	if cfg.VetxOnly || len(diags) == 0 {
-		return 0
-	}
-	if asJSON {
-		printJSON(cfg.ImportPath, pkg, diags)
-		return 0
-	}
-	printText(pkg, diags)
-	return 2
+	return pkg, diags, nil
 }
 
 // writeVetx persists the facts blob; cmd/go opens this file after every
 // successful run to cache it, so it must exist even when empty.
-func writeVetx(path string, facts map[string]string) int {
+func writeVetx(path string, facts map[string]string) error {
 	if path == "" {
-		return 0
+		return nil
 	}
 	if facts == nil {
 		facts = map[string]string{}
@@ -256,16 +362,21 @@ func writeVetx(path string, facts map[string]string) int {
 		err = os.WriteFile(path, blob, 0o666)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cbscheck: writing facts: %v\n", err)
-		return 1
+		return fmt.Errorf("writing facts: %w", err)
 	}
-	return 0
+	return nil
 }
 
 // standalone analyzes package patterns directly (no vet.cfg), propagating
 // facts in memory: `go list -deps` order guarantees dependencies first.
-func standalone(patterns []string, active []*framework.Analyzer, asJSON bool) int {
-	pkgs, err := load.Packages(".", patterns)
+func standalone(patterns []string, active []*framework.Analyzer, opts options) int {
+	var pkgs []*load.Package
+	var err error
+	if opts.tests {
+		pkgs, err = load.PackagesTests(".", patterns)
+	} else {
+		pkgs, err = load.Packages(".", patterns)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cbscheck: %v\n", err)
 		return 1
@@ -281,41 +392,46 @@ func standalone(patterns []string, active []*framework.Analyzer, asJSON bool) in
 			}
 			return m[key], true
 		}
-		diags := runAnalyzers(pkg, active, readFact, func(key, data string) { facts[key] = data })
+		diags := runAnalyzers(pkg, active, opts, readFact, func(key, data string) { facts[key] = data })
 		allFacts[pkg.ImportPath] = facts
 		if len(diags) == 0 {
 			continue
 		}
-		if asJSON {
+		if opts.asJSON {
 			printJSON(pkg.ImportPath, pkg, diags)
 		} else {
 			printText(pkg, diags)
 		}
 		exit = 2
 	}
-	if asJSON {
+	if opts.asJSON {
 		exit = 0
 	}
 	return exit
 }
 
 // runAnalyzers runs the active analyzers over one package and returns the
-// diagnostics in (file, offset) order.
-func runAnalyzers(pkg *load.Package, active []*framework.Analyzer,
+// diagnostics in (file, offset) order, with allowlisted findings dropped.
+func runAnalyzers(pkg *load.Package, active []*framework.Analyzer, opts options,
 	readFact func(string, string) (string, bool), writeFact func(string, string)) []framework.Diagnostic {
 
-	// Drop test files from the analysis view (standalone loads may include
-	// in-package _test.go files).
-	var files = pkg.Files[:0:0]
+	// The production view drops test files (standalone loads may include
+	// in-package _test.go files even without -tests). Only TestAware
+	// analyzers ever see the test-expanded view, and only under -tests.
+	prodFiles := pkg.Files[:0:0]
 	for _, f := range pkg.Files {
 		name := pkg.Fset.Position(f.Pos()).Filename
 		if !strings.HasSuffix(name, "_test.go") {
-			files = append(files, f)
+			prodFiles = append(prodFiles, f)
 		}
 	}
 
 	var diags []framework.Diagnostic
 	for _, a := range active {
+		files := prodFiles
+		if opts.tests && a.TestAware {
+			files = pkg.Files
+		}
 		pass := &framework.Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -330,7 +446,19 @@ func runAnalyzers(pkg *load.Package, active []*framework.Analyzer,
 			fmt.Fprintf(os.Stderr, "cbscheck: %s: %v\n", a.Name, err)
 		}
 	}
+	if opts.allowlist != nil {
+		kept := diags[:0]
+		for _, d := range diags {
+			if !opts.allowlist.allows(d.Analyzer, pkg.Fset.Position(d.Pos).Filename, d.Message) {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
 	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
 		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
@@ -348,26 +476,56 @@ func printText(pkg *load.Package, diags []framework.Diagnostic) {
 }
 
 // printJSON emits the go vet -json shape: {"importpath": {"analyzer": [...]}}.
+// The object is assembled by hand so the byte stream is deterministic:
+// analyzers in sorted-name order, diagnostics in (file, offset) order —
+// map-based marshaling would leave the ordering to the encoder.
 func printJSON(importPath string, pkg *load.Package, diags []framework.Diagnostic) {
 	type jsonDiag struct {
 		Posn    string `json:"posn"`
 		Message string `json:"message"`
 	}
 	byAnalyzer := make(map[string][]jsonDiag)
+	var names []string
 	for _, d := range diags {
+		if _, seen := byAnalyzer[d.Analyzer]; !seen {
+			names = append(names, d.Analyzer)
+		}
 		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
 			Posn:    pkg.Fset.Position(d.Pos).String(),
 			Message: d.Message,
 		})
 	}
-	out := map[string]map[string][]jsonDiag{importPath: byAnalyzer}
-	blob, err := json.MarshalIndent(out, "", "\t")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cbscheck: %v\n", err)
-		return
+	sort.Strings(names)
+
+	var b strings.Builder
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "\t%s: {\n", mustMarshal(importPath))
+	for i, name := range names {
+		// runAnalyzers sorted diags by (analyzer, file, offset), so each
+		// analyzer's slice is already position-ordered.
+		fmt.Fprintf(&b, "\t\t%s: ", mustMarshal(name))
+		blob, err := json.MarshalIndent(byAnalyzer[name], "\t\t", "\t")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbscheck: %v\n", err)
+			return
+		}
+		b.Write(blob)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
 	}
-	os.Stdout.Write(blob)
-	fmt.Println()
+	b.WriteString("\t}\n}")
+	fmt.Println(b.String())
+}
+
+// mustMarshal renders a string as a JSON string literal.
+func mustMarshal(s string) string {
+	blob, err := json.Marshal(s)
+	if err != nil {
+		return `"?"`
+	}
+	return string(blob)
 }
 
 // relPos trims the working directory from a position for readable output.

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"cbs/internal/analysis/chaossite"
+	"cbs/internal/analysis/ctxflow"
+	"cbs/internal/analysis/framework"
+)
+
+// listedUnit is the slice of `go list -json` output the test consumes to
+// assemble vet.cfg-equivalent unit configs, the same way cmd/go would.
+type listedUnit struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+}
+
+// listUnits runs go list -export over the fixture tree and indexes the
+// result by import path.
+func listUnits(t *testing.T, pattern string) map[string]*listedUnit {
+	t.Helper()
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-json", pattern)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list: %v", err)
+	}
+	units := make(map[string]*listedUnit)
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var u listedUnit
+		if err := dec.Decode(&u); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("go list output: %v", err)
+		}
+		q := u
+		units[u.ImportPath] = &q
+	}
+	return units
+}
+
+// unitConfig builds the vet.cfg-shaped description of one fixture unit:
+// export data for every listed package, the unit's own sources, and the
+// given dependency vetx files.
+func unitConfig(units map[string]*listedUnit, importPath string, vetx map[string]string, vetxOut string) *vetConfig {
+	exports := make(map[string]string)
+	importMap := make(map[string]string)
+	for _, u := range units {
+		if u.Export != "" {
+			exports[u.ImportPath] = u.Export
+		}
+		for from, to := range u.ImportMap {
+			importMap[from] = to
+		}
+	}
+	u := units[importPath]
+	return &vetConfig{
+		ImportPath:  importPath,
+		Dir:         u.Dir,
+		GoFiles:     append([]string(nil), u.GoFiles...),
+		ImportMap:   importMap,
+		PackageFile: exports,
+		PackageVetx: vetx,
+		VetxOutput:  vetxOut,
+	}
+}
+
+// TestUnitcheckFactRoundTrip drives runUnit the way cmd/go's vet drives
+// the tool over two module packages: factdep's chaossite fact is written
+// to a vetx file, handed to the dependent unit through PackageVetx, and
+// surfaces there as a cross-package duplicate-site diagnostic. Without the
+// vetx input the same unit analyzes clean — the analyzers degrade to
+// local-only enforcement instead of guessing at missing facts.
+func TestUnitcheckFactRoundTrip(t *testing.T) {
+	const (
+		depPath  = "cbs/cmd/cbscheck/testdata/src/factdep"
+		userPath = "cbs/cmd/cbscheck/testdata/src/factuser"
+	)
+	units := listUnits(t, "./testdata/src/factuser")
+	if units[depPath] == nil || units[userPath] == nil {
+		t.Fatalf("fixture packages missing from go list output")
+	}
+	tmp := t.TempDir()
+	active := []*framework.Analyzer{chaossite.Analyzer}
+	opts := options{}
+
+	// Analyze the dependency unit; its facts land in dep.vetx.
+	depVetx := filepath.Join(tmp, "dep.vetx")
+	pkg, diags, err := runUnit(unitConfig(units, depPath, nil, depVetx), active, opts)
+	if err != nil {
+		t.Fatalf("factdep unit: %v", err)
+	}
+	if pkg == nil {
+		t.Fatalf("factdep unit was skipped")
+	}
+	if len(diags) != 0 {
+		t.Fatalf("factdep unit: unexpected diagnostics: %v", diags)
+	}
+
+	// The vetx blob is the JSON fact map cmd/go caches; the chaossite table
+	// must decode back to the registered site.
+	blob, err := os.ReadFile(depVetx)
+	if err != nil {
+		t.Fatalf("reading vetx: %v", err)
+	}
+	var facts map[string]string
+	if err := json.Unmarshal(blob, &facts); err != nil {
+		t.Fatalf("vetx is not a fact map: %v", err)
+	}
+	table := framework.DecodeTable(facts[chaossite.FactKey])
+	if _, ok := table["shared.unit"]; !ok {
+		t.Fatalf("chaossites fact lost the registered site; table=%v", table)
+	}
+
+	// Dependent unit with the vetx plumbed: the collision surfaces.
+	userVetx := filepath.Join(tmp, "user.vetx")
+	cfg := unitConfig(units, userPath, map[string]string{depPath: depVetx}, userVetx)
+	pkg, diags, err = runUnit(cfg, active, opts)
+	if err != nil {
+		t.Fatalf("factuser unit: %v", err)
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, `"shared.unit" is already registered in `+depPath) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("factuser unit with facts: want cross-package duplicate diagnostic, got %v", messages(diags))
+	}
+
+	// Same unit, no PackageVetx: graceful degradation, no spurious report.
+	cfg = unitConfig(units, userPath, nil, filepath.Join(tmp, "user2.vetx"))
+	pkg, diags, err = runUnit(cfg, active, opts)
+	if err != nil {
+		t.Fatalf("factuser unit (no facts): %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("factuser unit without facts: want no diagnostics, got %v", messages(diags))
+	}
+}
+
+// TestDiagnosticOrderDeterministic pins the output contract of satellite
+// tooling (-json consumers, the allowlist): diagnostics come back sorted
+// by analyzer name then position, regardless of the order the analyzers
+// ran or reported in. ctxflow is deliberately registered first here; its
+// finding must still sort after chaossite's.
+func TestDiagnosticOrderDeterministic(t *testing.T) {
+	const (
+		depPath  = "cbs/cmd/cbscheck/testdata/src/factdep"
+		userPath = "cbs/cmd/cbscheck/testdata/src/factuser"
+	)
+	units := listUnits(t, "./testdata/src/factuser")
+	tmp := t.TempDir()
+	active := []*framework.Analyzer{ctxflow.Analyzer, chaossite.Analyzer}
+
+	depVetx := filepath.Join(tmp, "dep.vetx")
+	if _, _, err := runUnit(unitConfig(units, depPath, nil, depVetx), active, options{}); err != nil {
+		t.Fatalf("factdep unit: %v", err)
+	}
+	cfg := unitConfig(units, userPath, map[string]string{depPath: depVetx}, filepath.Join(tmp, "user.vetx"))
+	_, diags, err := runUnit(cfg, active, options{})
+	if err != nil {
+		t.Fatalf("factuser unit: %v", err)
+	}
+	if len(diags) < 2 {
+		t.Fatalf("want at least a chaossite and a ctxflow finding, got %v", messages(diags))
+	}
+	if diags[0].Analyzer != "chaossite" || diags[len(diags)-1].Analyzer != "ctxflow" {
+		t.Errorf("diagnostics not sorted by analyzer: %v", analyzerNames(diags))
+	}
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		return diags[i].Analyzer < diags[j].Analyzer ||
+			(diags[i].Analyzer == diags[j].Analyzer && diags[i].Pos < diags[j].Pos)
+	}) {
+		t.Errorf("diagnostics not in (analyzer, position) order: %v", messages(diags))
+	}
+}
+
+// analyzerNames renders the analyzer column for failure output.
+func analyzerNames(diags []framework.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Analyzer)
+	}
+	return out
+}
+
+// TestUnitcheckSkipsForeignUnits pins the outside-the-module fast path: an
+// empty facts file and no analysis.
+func TestUnitcheckSkipsForeignUnits(t *testing.T) {
+	vetx := filepath.Join(t.TempDir(), "fmt.vetx")
+	cfg := &vetConfig{ImportPath: "fmt", VetxOutput: vetx}
+	pkg, diags, err := runUnit(cfg, []*framework.Analyzer{chaossite.Analyzer}, options{})
+	if err != nil {
+		t.Fatalf("foreign unit: %v", err)
+	}
+	if pkg != nil || len(diags) != 0 {
+		t.Fatalf("foreign unit was analyzed: pkg=%v diags=%v", pkg, diags)
+	}
+	blob, err := os.ReadFile(vetx)
+	if err != nil || string(blob) != "{}" {
+		t.Fatalf("foreign unit vetx: %q, %v (want empty fact map)", blob, err)
+	}
+}
+
+// messages renders diagnostics for failure output.
+func messages(diags []framework.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Message)
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+// Package chaos models the real internal/chaos injector for the unitcheck
+// fact-plumbing fixtures.
+package chaos
+
+import "os"
+
+// Config carries the per-fault-kind rates.
+type Config struct {
+	CheckpointFault float64
+}
+
+// Injector draws deterministic faults.
+type Injector struct{ cfg Config }
+
+// New builds an injector.
+func New(cfg Config) *Injector { return &Injector{cfg: cfg} }
+
+// FromEnv arms every rate from its CBS_CHAOS_* key.
+func FromEnv() *Injector {
+	cfg := Config{}
+	if os.Getenv("CBS_CHAOS_CKPT") != "" {
+		cfg.CheckpointFault = 1
+	}
+	return New(cfg)
+}
+
+// CheckpointFault draws a journal-append fault.
+func (in *Injector) CheckpointFault(i int) bool {
+	return in != nil && in.cfg.CheckpointFault > 0 && i >= 0
+}

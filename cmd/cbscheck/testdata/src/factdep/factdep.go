@@ -1,0 +1,11 @@
+// Package factdep registers one chaos site; its published "chaossites"
+// fact is what the unitcheck round-trip test pushes through a vetx file.
+package factdep
+
+import chaos "cbs/cmd/cbscheck/testdata/src/chaosfix"
+
+// Arm hits this package's registered fault site.
+func Arm(in *chaos.Injector, i int) bool {
+	//cbs:chaossite shared.unit
+	return in.CheckpointFault(i)
+}

@@ -1,0 +1,28 @@
+// Package factuser reuses factdep's site name. The chaossite analyzer only
+// sees the collision when factdep's fact arrives through the driver — via
+// a PackageVetx file in unitcheck mode — and stays silent when no facts
+// are available (a bare vettool run), which is exactly what the unitcheck
+// round-trip test asserts on both sides.
+package factuser
+
+import (
+	"context"
+
+	chaos "cbs/cmd/cbscheck/testdata/src/chaosfix"
+	"cbs/cmd/cbscheck/testdata/src/factdep"
+)
+
+// Rearm reuses the site name factdep already published.
+func Rearm(in *chaos.Injector, i int) bool {
+	if factdep.Arm(in, i) {
+		return true
+	}
+	//cbs:chaossite shared.unit
+	return in.CheckpointFault(i + 1)
+}
+
+// Reroot forges a context root in library code — a ctxflow violation the
+// output-ordering test uses as its second-analyzer finding.
+func Reroot() context.Context {
+	return context.Background()
+}

@@ -8,6 +8,14 @@
 // expectation must be matched by a diagnostic on that line and every
 // diagnostic must be matched by an expectation; anything else fails the
 // test.
+//
+// Fixture packages may import other fixture packages (full module import
+// paths, e.g. cbs/internal/analysis/chaossite/testdata/src/chaosdep): the
+// harness analyzes every testdata package of the load in dependency order
+// with a live in-memory fact store, so cross-package fact flow (hot-path
+// sets, sentinel lists, chaos site tables) is exercised exactly as the
+// unitcheck driver would. // want comments are honored in every fixture
+// package of the chain.
 package analysistest
 
 import (
@@ -36,42 +44,78 @@ var wantRe = regexp.MustCompile("(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
 // // want comments.
 func Run(t *testing.T, a *framework.Analyzer, dir string) {
 	t.Helper()
-	pkgs, err := load.Packages(".", []string{"./" + strings.TrimPrefix(dir, "./")})
+	run(t, a, dir, false)
+}
+
+// RunTests is Run with the fixture's _test.go files folded into the
+// analysis view (the -tests driver mode), for analyzers whose invariants
+// span production and test code — chaossite's seed-matrix coverage rule
+// only activates when tests are visible.
+func RunTests(t *testing.T, a *framework.Analyzer, dir string) {
+	t.Helper()
+	run(t, a, dir, true)
+}
+
+func run(t *testing.T, a *framework.Analyzer, dir string, tests bool) {
+	t.Helper()
+	pattern := "./" + strings.TrimPrefix(dir, "./")
+	var pkgs []*load.Package
+	var err error
+	if tests {
+		pkgs, err = load.PackagesTests(".", []string{pattern})
+	} else {
+		pkgs, err = load.Packages(".", []string{pattern})
+	}
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
 	if len(pkgs) == 0 {
 		t.Fatalf("fixture %s: no packages loaded", dir)
 	}
-	// `go list -deps` emits dependencies first; the fixture package is last.
-	// Earlier module-local packages are fixture helpers (kept diagnostic-free).
-	pkg := pkgs[len(pkgs)-1]
 
+	// `go list -deps` emits dependencies before dependents, so analyzing the
+	// testdata packages in order satisfies every fact read from the store.
+	facts := make(map[string]map[string]string)
 	var wants []*expectation
-	for _, f := range pkg.Files {
-		wants = append(wants, collectWants(t, pkg, f)...)
-	}
-
 	var diags []framework.Diagnostic
-	pass := &framework.Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.Info,
-		Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
-		ReadFact:  func(string, string) (string, bool) { return "", false },
-		WriteFact: func(string, string) {},
-	}
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("%s: %v", a.Name, err)
-	}
-
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		if !claim(wants, pos.Filename, pos.Line, d.Message) {
-			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+	analyzed := false
+	for _, pkg := range pkgs {
+		if !strings.Contains(pkg.ImportPath, "/testdata/") {
+			continue // a module package pulled in as a dependency, not a fixture
 		}
+		analyzed = true
+		for _, f := range pkg.Files {
+			wants = append(wants, collectWants(t, pkg, f)...)
+		}
+		pkgFacts := make(map[string]string)
+		pass := &framework.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+			ReadFact: func(pkgPath, key string) (string, bool) {
+				m, known := facts[pkgPath]
+				return m[key], known
+			},
+			WriteFact: func(key, data string) { pkgFacts[key] = data },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		facts[pkg.ImportPath] = pkgFacts
+
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !claim(wants, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+			}
+		}
+		diags = diags[:0]
+	}
+	if !analyzed {
+		t.Fatalf("fixture %s: no testdata packages in load", dir)
 	}
 	for _, w := range wants {
 		if !w.matched {

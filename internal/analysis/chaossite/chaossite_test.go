@@ -1,0 +1,20 @@
+package chaossite_test
+
+import (
+	"testing"
+
+	"cbs/internal/analysis/analysistest"
+	"cbs/internal/analysis/chaossite"
+)
+
+// TestChaosSite runs with the fixture's test files in view (the -tests
+// driver mode), so the seed-matrix coverage rule is active.
+func TestChaosSite(t *testing.T) {
+	analysistest.RunTests(t, chaossite.Analyzer, "testdata/src/chaosuser")
+}
+
+// TestFromEnv checks the injector-package rule on a fixture chaos package
+// whose FromEnv misses a rate field.
+func TestFromEnv(t *testing.T) {
+	analysistest.Run(t, chaossite.Analyzer, "testdata/src/chaosenv")
+}

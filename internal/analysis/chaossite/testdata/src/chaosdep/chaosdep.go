@@ -1,0 +1,11 @@
+// Package chaosdep is the upstream fixture package: it registers one chaos
+// site whose name the downstream fixture tries to reuse, proving the
+// cross-package uniqueness check through the fact store.
+package chaosdep
+
+import "cbs/internal/analysis/chaossite/testdata/src/chaos"
+
+// Arm journals one record with fault injection.
+func Arm(in *chaos.Injector, i int) bool {
+	return in.CheckpointFault(i) //cbs:chaossite shared.site
+}

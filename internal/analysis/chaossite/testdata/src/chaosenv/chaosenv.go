@@ -1,0 +1,22 @@
+// Package chaos (fixture chaosenv) models an injector package whose
+// FromEnv forgets to arm one of the Config rate fields: a rate the seed
+// matrix cannot set hides its fault sites from every chaos-smoke run.
+package chaos
+
+// Config carries the per-fault-kind rates.
+type Config struct {
+	PointFault float64
+	TornRecord float64
+	Label      string // non-rate field: no arming obligation
+}
+
+// Injector draws deterministic faults.
+type Injector struct{ cfg Config }
+
+// New builds an injector.
+func New(cfg Config) *Injector { return &Injector{cfg: cfg} }
+
+// FromEnv forgets TornRecord.
+func FromEnv() *Injector { // want `FromEnv does not arm Config\.TornRecord`
+	return New(Config{PointFault: 0.5})
+}

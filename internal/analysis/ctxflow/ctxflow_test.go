@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"cbs/internal/analysis/analysistest"
+	"cbs/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "testdata/src/ctxfix")
+}

@@ -1,0 +1,118 @@
+// Package ctxfix is the ctxflow fixture: every diagnostic of the analyzer
+// has a positive case here, and each sanctioned shape (nil-default idiom,
+// reasoned waiver, Context-sibling call) a negative one.
+package ctxfix
+
+import "context"
+
+// Work is the bare form of a sibling pair.
+func Work() int { return 1 }
+
+// WorkContext is the plumbed sibling of Work.
+func WorkContext(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return 1
+}
+
+// Solo has no Context sibling, so calling it never drops anything.
+func Solo() int { return 2 }
+
+// forksRoot forks away from every caller's cancellation.
+func forksRoot() context.Context {
+	return context.Background() // want `context\.Background\(\) in library code forks away`
+}
+
+// forksTODO is the same violation spelled TODO.
+func forksTODO() context.Context {
+	return context.TODO() // want `context\.TODO\(\) in library code forks away`
+}
+
+// nilDefault is the sanctioned entry-point idiom: joining, not forking.
+func nilDefault(ctx context.Context) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return WorkContext(ctx)
+}
+
+// waived documents a deliberate detached lifetime.
+func waived() context.Context {
+	//cbs:ctxescape fixture models a detached background lifetime
+	return context.Background()
+}
+
+// waivedNoReason forgets the mandatory reason string.
+func waivedNoReason() context.Context {
+	//cbs:ctxescape
+	return context.Background() // want `//cbs:ctxescape waiver without a reason`
+}
+
+// dropsCtx calls the bare form from a plumbed frame.
+func dropsCtx(ctx context.Context) int {
+	_ = ctx
+	return Work() // want `call to ctxfix\.Work drops this function's ctx; call WorkContext`
+}
+
+// keepsCtx forwards through the sibling: clean.
+func keepsCtx(ctx context.Context) int {
+	return WorkContext(ctx) + Solo()
+}
+
+// dropWaived documents why the bare call is sound here.
+func dropWaived(ctx context.Context) int {
+	_ = ctx
+	//cbs:ctxescape fixture: result is pure, cancellation is checked by the caller
+	return Work()
+}
+
+//cbs:cancellable
+func noCtxParam(xs []int) int { // want `//cbs:cancellable function noCtxParam has no context\.Context parameter`
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//cbs:cancellable
+func noLoop(ctx context.Context) error { // want `//cbs:cancellable function noLoop has no loop: the annotation is stale`
+	return ctx.Err()
+}
+
+//cbs:cancellable
+func neverPolls(ctx context.Context, xs []int) int { // want `//cbs:cancellable function neverPolls never polls ctx\.Done\(\)/ctx\.Err\(\) inside its loop`
+	_ = ctx.Err() // polled outside the loop: does not count
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//cbs:cancellable
+func pollsDone(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		select {
+		case <-ctx.Done():
+			return s
+		default:
+		}
+		s += x
+	}
+	return s
+}
+
+//cbs:cancellable
+func pollsErr(ctx context.Context, n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return s
+		}
+		s += i
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"cbs/internal/analysis/analysistest"
+	"cbs/internal/analysis/errsentinel"
+)
+
+func TestErrSentinel(t *testing.T) {
+	analysistest.Run(t, errsentinel.Analyzer, "testdata/src/ladder")
+}

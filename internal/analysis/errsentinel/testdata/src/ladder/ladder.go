@@ -1,0 +1,118 @@
+// Package ladder is the errsentinel fixture consumer: wrapping, string
+// matching, and //cbs:errladder exhaustiveness against the sentinels
+// package sent publishes as facts.
+package ladder
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"cbs/internal/analysis/errsentinel/testdata/src/sent"
+)
+
+// ErrLocal is this package's own sentinel.
+var ErrLocal = errors.New("ladder: local")
+
+// wrapBad renders the cause with %v: the chain is lost.
+func wrapBad(err error) error {
+	return fmt.Errorf("solve failed: %v", err) // want `error formatted with %v loses its chain`
+}
+
+// wrapBadVerbMix loses the error among healthy verbs.
+func wrapBadVerbMix(n int, err error) error {
+	return fmt.Errorf("point %d: %s", n, err) // want `error formatted with %s loses its chain`
+}
+
+// wrapGood wraps with %w: clean.
+func wrapGood(err error) error {
+	return fmt.Errorf("solve failed: %w", err)
+}
+
+// wrapDouble wraps two causes: clean (go1.20 multi-%w).
+func wrapDouble(err error) error {
+	return fmt.Errorf("%w: %w", ErrLocal, err)
+}
+
+// wrapWaived serializes an error into a journal record, where carrying a
+// live chain would be wrong; the waiver documents that.
+func wrapWaived(err error) error {
+	//cbs:errtext journal records carry error text, not live chains
+	return fmt.Errorf("recorded: %v", err)
+}
+
+// wrapWaivedNoReason forgets the mandatory reason.
+func wrapWaivedNoReason(err error) error {
+	//cbs:errtext
+	return fmt.Errorf("recorded: %v", err) // want `//cbs:errtext waiver without a reason`
+}
+
+// compareText matches identity by string.
+func compareText(err error) bool {
+	return err.Error() == "sent: one" // want `error compared by Error\(\) string; match identity with errors\.Is`
+}
+
+// compareTextNeq is the negated spelling.
+func compareTextNeq(err error) bool {
+	return "sent: one" != err.Error() // want `error compared by Error\(\) string`
+}
+
+// switchText branches on error text.
+func switchText(err error) int {
+	switch err.Error() { // want `switch on err\.Error\(\) matches errors by string`
+	case "sent: one":
+		return 1
+	}
+	return 0
+}
+
+// containsText greps error text.
+func containsText(err error) bool {
+	return strings.Contains(err.Error(), "one") // want `strings\.Contains over err\.Error\(\) matches errors by string`
+}
+
+// prefixText is the HasPrefix spelling.
+func prefixText(err error) bool {
+	return strings.HasPrefix(err.Error(), "sent:") // want `strings\.HasPrefix over err\.Error\(\)`
+}
+
+// containsOther greps a non-error string: clean.
+func containsOther(s string) bool {
+	return strings.Contains(s, "one")
+}
+
+// compareIs matches identity the right way: clean.
+func compareIs(err error) bool {
+	return errors.Is(err, sent.ErrOne)
+}
+
+//cbs:errladder sent
+func fullLadder(err error) int {
+	switch {
+	case errors.Is(err, sent.ErrOne):
+		return 1
+	case errors.Is(err, sent.ErrTwo):
+		return 2
+	}
+	return 0
+}
+
+//cbs:errladder sent
+func partialLadder(err error) int { // want `escalation ladder partialLadder does not handle sent\.ErrTwo with errors\.Is`
+	if errors.Is(err, sent.ErrOne) {
+		return 1
+	}
+	return 0
+}
+
+//cbs:errladder nosuch
+func unknownPackage(err error) int { // want `//cbs:errladder names package "nosuch", which is not imported here`
+	_ = err
+	return 0
+}
+
+//cbs:errladder
+func bareDirective(err error) int { // want `//cbs:errladder without package names`
+	_ = err
+	return 0
+}

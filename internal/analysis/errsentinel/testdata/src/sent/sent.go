@@ -1,0 +1,22 @@
+// Package sent is the sentinel-exporting dependency of the errsentinel
+// fixture: the analyzer publishes its exported Err* error variables as the
+// "errsentinels" package fact, which the ladder fixture's exhaustiveness
+// check reads back.
+package sent
+
+import "errors"
+
+// ErrOne and ErrTwo are the sentinels the ladder must classify.
+var (
+	ErrOne = errors.New("sent: one")
+	ErrTwo = errors.New("sent: two")
+)
+
+// ErrCount is Err-prefixed but not an error: excluded from the fact.
+var ErrCount = 2
+
+// errHidden is unexported: excluded from the fact.
+var errHidden = errors.New("sent: hidden")
+
+// Use keeps the unexported sentinel referenced.
+func Use() error { return errHidden }

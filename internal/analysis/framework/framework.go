@@ -14,6 +14,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -22,6 +23,13 @@ type Analyzer struct {
 	Name string // command-line and diagnostic identifier
 	Doc  string // one-paragraph description of the invariant enforced
 	Run  func(*Pass) error
+
+	// TestAware analyzers understand _test.go files: under the driver's
+	// -tests mode they receive the test-expanded file view and are
+	// responsible for their own per-file scoping (framework.IsTestFile).
+	// Analyzers without it always receive the production view, so turning
+	// on -tests cannot make a library-code invariant judge test code.
+	TestAware bool
 }
 
 // Diagnostic is one finding of an analyzer.
@@ -79,6 +87,103 @@ func HasHotPathDirective(decl *ast.FuncDecl) bool {
 	return false
 }
 
+// Directive scans a function declaration's doc comment for a
+// "//cbs:<name>" directive and returns its argument string (the rest of
+// the line, space-trimmed) and whether the directive is present. A bare
+// directive returns ("", true).
+func Directive(decl *ast.FuncDecl, name string) (args string, ok bool) {
+	if decl == nil || decl.Doc == nil {
+		return "", false
+	}
+	prefix := "//cbs:" + name
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == prefix {
+			return "", true
+		}
+		if rest, found := strings.CutPrefix(text, prefix+" "); found {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// IsTestFile reports whether the file was parsed from a _test.go source.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// Waivers indexes the per-line waiver comments of one file. A waiver is
+//
+//	//cbs:<directive> <reason>
+//
+// on the flagged line itself or on the line immediately above it, and
+// suppresses that line's diagnostics for the analyzer owning the
+// directive. The reason string is mandatory: a waiver without one is
+// itself reported (through Waived), so every escape hatch in the tree
+// documents why it is sound.
+type Waivers struct {
+	pass *Pass
+	// byLine maps directive name -> waiving line -> reason comment.
+	byLine map[string]map[int]*ast.Comment
+}
+
+// NewWaivers collects the waiver comments of the pass's files for the
+// given directive names.
+func NewWaivers(pass *Pass, directives ...string) *Waivers {
+	w := &Waivers{pass: pass, byLine: make(map[string]map[int]*ast.Comment)}
+	for _, d := range directives {
+		w.byLine[d] = make(map[int]*ast.Comment)
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				name, _, _ := strings.Cut(text, " ")
+				name = strings.TrimPrefix(name, "cbs:")
+				lines, ok := w.byLine[name]
+				if !ok || !strings.HasPrefix(strings.TrimSpace(c.Text), "//cbs:"+name) {
+					continue
+				}
+				// The waiver covers its own line and the next one, so it
+				// can sit at the end of the flagged line or just above it.
+				line := pass.Fset.Position(c.Pos()).Line
+				lines[line] = c
+				lines[line+1] = c
+			}
+		}
+	}
+	return w
+}
+
+// Waived reports whether a diagnostic at pos is waived under directive.
+// A matching waiver with an empty reason is reported as its own
+// diagnostic (once per waiver comment) and still suppresses the finding,
+// so fixing the reason is the only way to a clean run.
+func (w *Waivers) Waived(pos token.Pos, directive string) bool {
+	lines := w.byLine[directive]
+	if lines == nil {
+		return false
+	}
+	c, ok := lines[w.pass.Fset.Position(pos).Line]
+	if !ok {
+		return false
+	}
+	reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), "//cbs:"+directive))
+	if reason == "" {
+		w.pass.Reportf(pos, "//cbs:%s waiver without a reason: state why this site is exempt", directive)
+		// Report once per comment: blank it so the next hit stays silent.
+		c2 := *c
+		c2.Text = "//cbs:" + directive + " (reported)"
+		for line, cc := range lines {
+			if cc == c {
+				lines[line] = &c2
+			}
+		}
+	}
+	return true
+}
+
 // FuncKey returns the stable cross-package identifier of a function object,
 // e.g. "(*cbs/internal/hamiltonian.Operator).ApplyH0Block" or
 // "cbs/internal/fd.MustStencil". It is used both when exporting hot-path
@@ -110,24 +215,80 @@ func HotFuncs(files []*ast.File, info *types.Info) map[string]*ast.FuncDecl {
 	return out
 }
 
-// EncodeSet serializes a fact set (one key per line, sorted by map order is
-// not required: consumers only test membership).
+// EncodeSet serializes a fact set (one key per line, sorted so the blob is
+// byte-deterministic and vetx cache entries stay stable across runs).
 func EncodeSet(set map[string]*ast.FuncDecl) string {
-	var b strings.Builder
+	keys := make([]string, 0, len(set))
 	for k := range set {
-		b.WriteString(k)
-		b.WriteByte('\n')
+		keys = append(keys, k)
 	}
-	return b.String()
+	return EncodeList(keys)
 }
 
 // DecodeSet parses an EncodeSet blob back into a membership set.
 func DecodeSet(data string) map[string]bool {
 	out := make(map[string]bool)
+	for _, line := range DecodeList(data) {
+		out[line] = true
+	}
+	return out
+}
+
+// EncodeList serializes a string list as a sorted newline-joined fact blob.
+// It is the shared scalar encoding of the fact store: membership sets
+// (hotpathalloc's hot functions, errsentinel's sentinel names) are lists
+// whose consumers only test membership.
+func EncodeList(items []string) string {
+	sorted := append([]string(nil), items...)
+	sort.Strings(sorted)
+	var b strings.Builder
+	for _, it := range sorted {
+		b.WriteString(it)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DecodeList parses an EncodeList blob back into its items (sorted order).
+func DecodeList(data string) []string {
+	var out []string
 	for _, line := range strings.Split(data, "\n") {
 		if line != "" {
-			out[line] = true
+			out = append(out, line)
 		}
+	}
+	return out
+}
+
+// EncodeTable serializes a string-to-string map as a sorted key\tvalue fact
+// blob: the shared associative encoding of the fact store (chaossite's
+// site-name -> definition-site table). Keys and values must not contain
+// tabs or newlines.
+func EncodeTable(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\t')
+		b.WriteString(m[k])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DecodeTable parses an EncodeTable blob back into a map.
+func DecodeTable(data string) map[string]string {
+	out := make(map[string]string)
+	for _, line := range strings.Split(data, "\n") {
+		if line == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(line, "\t")
+		out[k] = v
 	}
 	return out
 }

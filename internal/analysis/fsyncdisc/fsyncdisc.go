@@ -1,0 +1,270 @@
+// Package fsyncdisc enforces the journal durability discipline of PR 5:
+// a checkpoint only counts once it is on disk, so the write path follows
+// temp-file -> write -> fsync -> rename (+ directory fsync), and every
+// append is fsynced before the caller is told the record is durable.
+//
+// In library code (non-main packages, non-test files) the analyzer checks:
+//
+//   - os.Rename is only called inside functions annotated //cbs:durable —
+//     a bare rename onto a live path is exactly the half-written-header
+//     crash window the temp-file dance exists to close.
+//
+//   - inside a //cbs:durable function, a rename is lexically preceded by a
+//     file .Sync() (the temp file's contents are durable before they get a
+//     name) and followed by a directory-sync call (a function whose name
+//     contains "syncDir"), so the rename itself survives a crash.
+//
+//   - inside a //cbs:durable function, the last .Write/.WriteString on each
+//     *os.File is lexically followed by .Sync() on the same file — an
+//     append that returns before fsync reports durability it doesn't have.
+//
+//   - a .Sync() whose error is discarded (statement position) is flagged
+//     anywhere: fsync is the one call whose failure *is* the data loss.
+//     Deliberate best-effort syncs (directory fsync on filesystems that
+//     refuse it, chaos torn-record simulation) take //cbs:fsyncrelaxed
+//     with a reason.
+//
+//   - a //cbs:durable annotation on a function with no sync and no rename
+//     is stale and reported.
+package fsyncdisc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cbs/internal/analysis/framework"
+)
+
+// Analyzer is the fsyncdisc analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "fsyncdisc",
+	Doc:  "enforce temp-file/fsync/rename ordering and checked fsync errors in //cbs:durable journal code",
+	Run:  run,
+
+	TestAware: true,
+}
+
+// DurableDirective scopes the discipline: //cbs:durable on a function doc.
+const DurableDirective = "durable"
+
+// WaiverDirective is the escape hatch: //cbs:fsyncrelaxed <reason>.
+const WaiverDirective = "fsyncrelaxed"
+
+type syncCall struct {
+	recv      string
+	pos       ast.Node
+	discarded bool // statement position: the error is dropped
+}
+
+type writeCall struct {
+	recv string
+	pos  ast.Node
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // CLIs delegate durability to the library layers
+	}
+	waivers := framework.NewWaivers(pass, WaiverDirective)
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass.Fset, f) {
+			continue // tests tear files deliberately
+		}
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			checkFunc(pass, waivers, decl)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, waivers *framework.Waivers, decl *ast.FuncDecl) {
+	_, durable := framework.Directive(decl, DurableDirective)
+
+	var renames []ast.Node
+	var syncs []syncCall
+	var writes []writeCall
+	var dirSyncs []ast.Node
+
+	// First pass: statement-position Sync calls have their error discarded.
+	discardedSyncs := make(map[*ast.CallExpr]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if stmt, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := stmt.X.(*ast.CallExpr); ok && isFileMethod(pass, call, "Sync") {
+				discardedSyncs[call] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isOSRename(pass, call):
+			renames = append(renames, call)
+		case isFileMethod(pass, call, "Sync"):
+			syncs = append(syncs, syncCall{recv: recvKey(call), pos: call, discarded: discardedSyncs[call]})
+		case isFileMethod(pass, call, "Write", "WriteString", "WriteAt"):
+			writes = append(writes, writeCall{recv: recvKey(call), pos: call})
+		case isDirSyncCall(call):
+			dirSyncs = append(dirSyncs, call)
+		}
+		return true
+	})
+
+	// Discarded fsync errors: the one failure that is the data loss.
+	for _, s := range syncs {
+		if s.discarded && !waivers.Waived(s.pos.Pos(), WaiverDirective) {
+			pass.Reportf(s.pos.Pos(), "fsync error discarded: Sync failure means the data is not durable; check it (or waive with //cbs:fsyncrelaxed <reason>)")
+		}
+	}
+
+	if !durable {
+		for _, r := range renames {
+			if !waivers.Waived(r.Pos(), WaiverDirective) {
+				pass.Reportf(r.Pos(), "os.Rename outside a //cbs:durable function: publishing a file without the write->fsync->rename discipline leaves a torn-file crash window")
+			}
+		}
+		return
+	}
+
+	if len(renames) == 0 && len(syncs) == 0 && len(writes) == 0 {
+		pass.Reportf(decl.Pos(), "//cbs:durable function %s neither syncs nor renames: the annotation is stale", decl.Name.Name)
+		return
+	}
+
+	// Rename ordering: contents durable before the name, name durable after.
+	for _, r := range renames {
+		if waivers.Waived(r.Pos(), WaiverDirective) {
+			continue
+		}
+		preceded := false
+		for _, s := range syncs {
+			if s.pos.Pos() < r.Pos() {
+				preceded = true
+			}
+		}
+		if !preceded {
+			pass.Reportf(r.Pos(), "rename without a preceding file Sync: the temp file's contents must be durable before they get a name")
+		}
+		followed := false
+		for _, ds := range dirSyncs {
+			if ds.Pos() > r.Pos() {
+				followed = true
+			}
+		}
+		if !followed {
+			pass.Reportf(r.Pos(), "rename without a following directory sync (syncDir call): the rename itself is not durable until the directory entry is fsynced")
+		}
+	}
+
+	// Append ordering: each file's last write is followed by its fsync.
+	lastWrite := make(map[string]writeCall)
+	for _, w := range writes {
+		if w.recv == "" {
+			continue
+		}
+		if prev, ok := lastWrite[w.recv]; !ok || w.pos.Pos() > prev.pos.Pos() {
+			lastWrite[w.recv] = w
+		}
+	}
+	for recv, w := range lastWrite {
+		if waivers.Waived(w.pos.Pos(), WaiverDirective) {
+			continue
+		}
+		synced := false
+		for _, s := range syncs {
+			if s.recv == recv && s.pos.Pos() > w.pos.Pos() {
+				synced = true
+			}
+		}
+		if !synced {
+			pass.Reportf(w.pos.Pos(), "write to %s is not followed by %s.Sync(): the record is reported durable before it is on disk", recv, recv)
+		}
+	}
+}
+
+// isOSRename reports whether call is os.Rename(...).
+func isOSRename(pass *framework.Pass, call *ast.CallExpr) bool {
+	fn := framework.CalleeOf(pass.TypesInfo, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "Rename"
+}
+
+// isFileMethod reports whether call is one of the named methods on an
+// (possibly pointer-to) os.File value.
+func isFileMethod(pass *framework.Pass, call *ast.CallExpr, names ...string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
+}
+
+// isDirSyncCall reports whether call invokes a directory-sync helper (a
+// function whose name contains "syncdir", case-insensitively — the
+// convention this repo uses for fsyncing a parent directory).
+func isDirSyncCall(call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "syncdir")
+}
+
+// recvKey renders the receiver expression of a method call as a stable
+// textual key ("tf", "j.f"), or "" for receivers too dynamic to track.
+func recvKey(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return exprKey(sel.X)
+}
+
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}

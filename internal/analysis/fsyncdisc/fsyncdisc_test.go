@@ -1,0 +1,12 @@
+package fsyncdisc_test
+
+import (
+	"testing"
+
+	"cbs/internal/analysis/analysistest"
+	"cbs/internal/analysis/fsyncdisc"
+)
+
+func TestFsyncDisc(t *testing.T) {
+	analysistest.Run(t, fsyncdisc.Analyzer, "testdata/src/durfix")
+}

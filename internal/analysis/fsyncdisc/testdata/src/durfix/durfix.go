@@ -1,0 +1,127 @@
+// Package durfix is the fsyncdisc fixture: the full temp-file -> write ->
+// fsync -> rename -> dir-sync dance as the clean case, and one positive
+// case per diagnostic.
+package durfix
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Publish is the sanctioned shape: contents fsynced before the rename,
+// directory entry fsynced after it.
+//
+//cbs:durable
+func Publish(path string, payload []byte) error {
+	tmp := path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := tf.Write(payload); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(path)
+}
+
+// Append is the sanctioned append shape: the write is followed by fsync on
+// the same file.
+//
+//cbs:durable
+func Append(f *os.File, line []byte) error {
+	if _, err := f.Write(line); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// renameOutside publishes without any durability discipline.
+func renameOutside(tmp, path string) error {
+	return os.Rename(tmp, path) // want `os\.Rename outside a //cbs:durable function`
+}
+
+// renameWaived documents why a bare rename is sound here.
+func renameWaived(tmp, path string) error {
+	//cbs:fsyncrelaxed scratch files under TMPDIR, lost on crash by design
+	return os.Rename(tmp, path)
+}
+
+// renameUnordered renames inside a durable function but skips both the
+// content fsync and the directory fsync.
+//
+//cbs:durable
+func renameUnordered(path string, payload []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, payload, 0o644); err != nil {
+		return err
+	}
+	err := os.Rename(tmp, path) // want `rename without a preceding file Sync` `rename without a following directory sync`
+	f, ferr := os.Open(path)
+	if ferr != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil { // too late: after the rename
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// appendNoSync reports durability it does not have.
+//
+//cbs:durable
+func appendNoSync(f *os.File, line []byte) error {
+	_, err := f.Write(line) // want `write to f is not followed by f\.Sync\(\)`
+	return err
+}
+
+// discardedSync drops the one error that is the data loss.
+func discardedSync(f *os.File) {
+	f.Sync() // want `fsync error discarded`
+}
+
+// discardedSyncWaived is the chaos torn-record shape: the fragment's sync
+// models a crash, its error is irrelevant by construction.
+func discardedSyncWaived(f *os.File, line []byte) error {
+	f.Write(line[:len(line)/2])
+	//cbs:fsyncrelaxed torn-record simulation: the fragment models a crash
+	f.Sync()
+	return nil
+}
+
+// discardedSyncNoReason forgets the mandatory reason.
+func discardedSyncNoReason(f *os.File) {
+	//cbs:fsyncrelaxed
+	f.Sync() // want `//cbs:fsyncrelaxed waiver without a reason`
+}
+
+// staleDurable claims the discipline and uses none of it.
+//
+//cbs:durable
+func staleDurable(path string) error { // want `//cbs:durable function staleDurable neither syncs nor renames`
+	return os.Remove(path)
+}
+
+// syncDir fsyncs the directory containing path.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

@@ -39,6 +39,7 @@ type listedPackage struct {
 	Dir        string
 	Name       string
 	Standard   bool
+	ForTest    string
 	Export     string
 	GoFiles    []string
 	CgoFiles   []string
@@ -51,25 +52,45 @@ type listedPackage struct {
 // current module), in dependency order. Dependencies outside the module are
 // consumed as export data only.
 func Packages(dir string, patterns []string) ([]*Package, error) {
-	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	return packages(dir, patterns, false)
+}
+
+// PackagesTests is Packages with in-package test files folded in: for every
+// package that has tests, the test-expanded variant ("p [p.test]", whose
+// file set is the production files plus the in-package _test.go files) is
+// loaded in place of the bare package, and external test packages
+// ("p_test") are loaded as their own units. Generated test mains are
+// skipped. The returned ImportPath is the bare package path, so facts and
+// diagnostics key identically to an ordinary load.
+func PackagesTests(dir string, patterns []string) ([]*Package, error) {
+	return packages(dir, patterns, true)
+}
+
+func packages(dir string, patterns []string, tests bool) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-deps", "-json"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go list: %v", err)
+		return nil, fmt.Errorf("go list: %w", err)
 	}
 
 	exports := make(map[string]string)   // import path -> export data file
 	importMap := make(map[string]string) // source import path -> resolved path
 	var targets []*listedPackage
+	hasTestVariant := make(map[string]bool) // bare paths superseded by "p [p.test]"
 	dec := json.NewDecoder(strings.NewReader(string(out)))
 	for {
 		var p listedPackage
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list output: %v", err)
+			return nil, fmt.Errorf("go list output: %w", err)
 		}
 		if p.Error != nil {
 			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
@@ -80,14 +101,24 @@ func Packages(dir string, patterns []string) ([]*Package, error) {
 		for from, to := range p.ImportMap {
 			importMap[from] = to
 		}
-		if !p.Standard && p.Dir != "" && !strings.Contains(p.ImportPath, "vendor/") {
-			q := p
-			targets = append(targets, &q)
+		if p.Standard || p.Dir == "" || strings.Contains(p.ImportPath, "vendor/") {
+			continue
 		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // generated test main
+		}
+		if p.ForTest != "" && p.ForTest == basePath(p.ImportPath) {
+			hasTestVariant[p.ForTest] = true
+		}
+		q := p
+		targets = append(targets, &q)
 	}
 
 	var pkgs []*Package
 	for _, lp := range targets {
+		if tests && lp.ForTest == "" && hasTestVariant[lp.ImportPath] {
+			continue // superseded by its test-expanded variant
+		}
 		pkg, err := typeCheck(lp, exports, importMap)
 		if err != nil {
 			return nil, err
@@ -95,6 +126,11 @@ func Packages(dir string, patterns []string) ([]*Package, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// basePath strips the " [p.test]" suffix of a test-variant import path.
+func basePath(importPath string) string {
+	return strings.Fields(importPath)[0]
 }
 
 // TypeCheckFiles type-checks one package from explicit file names using the
@@ -109,7 +145,7 @@ func TypeCheckFiles(importPath, dir string, goFiles []string, exports, importMap
 		}
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("parse %s: %v", name, err)
+			return nil, fmt.Errorf("parse %s: %w", name, err)
 		}
 		files = append(files, f)
 	}
@@ -138,7 +174,7 @@ func TypeCheckFiles(importPath, dir string, goFiles []string, exports, importMap
 	conf := &types.Config{Importer: imp, Error: func(error) {}}
 	tpkg, err := conf.Check(importPath, fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
 	}
 	return &Package{
 		ImportPath: importPath,
@@ -153,7 +189,9 @@ func TypeCheckFiles(importPath, dir string, goFiles []string, exports, importMap
 func typeCheck(lp *listedPackage, exports, importMap map[string]string) (*Package, error) {
 	goFiles := append(append([]string(nil), lp.GoFiles...), lp.CgoFiles...)
 	sort.Strings(goFiles)
-	pkg, err := TypeCheckFiles(lp.ImportPath, lp.Dir, goFiles, exports, importMap)
+	// Test-expanded variants type-check under the bare import path so facts
+	// and analyzer package-path checks key identically to an ordinary load.
+	pkg, err := TypeCheckFiles(basePath(lp.ImportPath), lp.Dir, goFiles, exports, importMap)
 	if err != nil {
 		return nil, err
 	}

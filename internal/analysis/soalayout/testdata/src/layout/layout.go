@@ -24,6 +24,19 @@ func headerAppend(b *soa.Block[float64], x float64) {
 	b.Re = append(b.Re, x) // want `write to the \.Re plane header`
 }
 
+// pointerLiteral takes the address of a literal directly — the pointer
+// spelling must not slip past the composite-literal rule.
+func pointerLiteral(n int) *soa.Block[float32] {
+	return &soa.Block[float32]{ // want `soa\.Block composite literal`
+		Re: make([]float32, n),
+		Im: make([]float32, n),
+	}
+}
+
+// packageBlock smuggles a literal in at package level, outside any
+// function body (the GenDecl walk).
+var packageBlock = soa.Block[float64]{} // want `soa\.Block composite literal`
+
 // cleanConstruction is the sanctioned idiom: NewBlock, element writes,
 // Reserve for reshaping, shims outside kernels.
 func cleanConstruction(n, nb int, src []complex128) *soa.Block[float64] {
@@ -44,6 +57,15 @@ func hotShim(b *soa.Block[float64], scratch []complex128) {
 		scratch[i] *= 2
 	}
 	soa.Pack(b, scratch) // want `soa\.Pack inside a hot-path kernel`
+}
+
+// hotConvert downcasts between precisions inside a kernel — the mixed-
+// precision conversion shims are boundary operations like Pack/Unpack.
+//
+//cbs:hotpath
+func hotConvert(dst *soa.Block[float32], src *soa.Block[float64]) {
+	soa.Convert(dst, src)      // want `soa\.Convert inside a hot-path kernel`
+	soa.AccumConvert(src, dst) // want `soa\.AccumConvert inside a hot-path kernel`
 }
 
 // hotReconstruct re-materializes complex elements from the planes inside a

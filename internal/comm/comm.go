@@ -179,6 +179,7 @@ func (c *Communicator) Send(dst int, data []complex128) {
 	link := c.rank*c.w.size + dst
 	if c.w.inj != nil {
 		seq := c.w.sendSeq[link].Add(1) - 1
+		//cbs:chaossite comm.halo
 		if c.w.inj.CorruptHalo(c.rank, dst, seq) {
 			for i := range buf {
 				buf[i] = 0

@@ -74,6 +74,7 @@ func recoverColumn(q *qep.Problem, z complex128, b, x, xd []complex128, j, col i
 		}
 	}
 
+	//cbs:chaossite ladder.fallback
 	if !opts.Chaos.FallbackFail(j, col) {
 		for i := range x {
 			x[i] = 0

@@ -32,11 +32,14 @@ func (e *ScanError) Unwrap() error { return e.Err }
 // alongside a *ScanError naming the offending energy — callers that can
 // use partial data (plots, sweep resumption) must not discard it.
 func EnergyScan(q *qep.Problem, es []float64, opts Options) ([]*Result, error) {
+	//cbs:ctxescape public pre-context wrapper: callers without a ctx get the root by definition
 	return EnergyScanContext(context.Background(), q, es, opts)
 }
 
 // EnergyScanContext is EnergyScan under a context: cancellation stops the
 // scan before the next energy and the error wraps ctx.Err().
+//
+//cbs:cancellable
 func EnergyScanContext(ctx context.Context, q *qep.Problem, es []float64, opts Options) ([]*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -46,6 +49,7 @@ func EnergyScanContext(ctx context.Context, q *qep.Problem, es []float64, opts O
 		if err := ctx.Err(); err != nil {
 			return out, &ScanError{Index: i, Energy: e, Err: err}
 		}
+		//cbs:chaossite scan.energy
 		if err := opts.Chaos.EnergyFault(i); err != nil {
 			return out, &ScanError{Index: i, Energy: e, Err: err}
 		}
@@ -69,11 +73,14 @@ func EnergyScanContext(ctx context.Context, q *qep.Problem, es []float64, opts O
 // completed results are returned alongside it, with nil holes for energies
 // that never finished.
 func EnergyScanParallel(q *qep.Problem, es []float64, opts Options, workers int) ([]*Result, error) {
+	//cbs:ctxescape public pre-context wrapper: callers without a ctx get the root by definition
 	return EnergyScanParallelContext(context.Background(), q, es, opts, workers)
 }
 
 // EnergyScanParallelContext is EnergyScanParallel under a caller context:
 // cancellation or a deadline winds down all scan workers promptly.
+//
+//cbs:cancellable
 func EnergyScanParallelContext(ctx context.Context, q *qep.Problem, es []float64, opts Options, workers int) ([]*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -102,6 +109,7 @@ func EnergyScanParallelContext(ctx context.Context, q *qep.Problem, es []float64
 				if cctx.Err() != nil {
 					return
 				}
+				//cbs:chaossite scan.energy-par
 				if err := opts.Chaos.EnergyFault(i); err != nil {
 					errs[i] = err
 					cancel()

@@ -67,6 +67,7 @@ func solvePointsSoA(ctx context.Context, q *qep.Problem, ring *contour.Ring, poi
 		if ctx.Err() != nil {
 			return nil
 		}
+		//cbs:chaossite solver.soa-point
 		if injErr := opts.Chaos.PointFault(j); injErr != nil {
 			return fmt.Errorf("core: fatal fault at quadrature point %d: %w", j, injErr)
 		}

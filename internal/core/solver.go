@@ -202,6 +202,7 @@ type Result struct {
 // AutoExpand set it retries with a larger probe block when the moment
 // subspace saturates.
 func Solve(q *qep.Problem, opts Options) (*Result, error) {
+	//cbs:ctxescape public pre-context wrapper: callers without a ctx get the root by definition
 	return SolveContext(context.Background(), q, opts)
 }
 
@@ -451,6 +452,7 @@ func solveAll(ctx context.Context, q *qep.Problem, ring *contour.Ring, v *zlinal
 						if cctx.Err() != nil {
 							return
 						}
+						//cbs:chaossite solver.point-par
 						if injErr := opts.Chaos.PointFault(j); injErr != nil {
 							setErr(fmt.Errorf("core: fatal fault at quadrature point %d: %w", j, injErr))
 							return
@@ -579,6 +581,7 @@ func solvePointsDist(ctx context.Context, q *qep.Problem, ring *contour.Ring, po
 			// or by the caller (which solveAll reports).
 			return nil
 		}
+		//cbs:chaossite solver.point
 		if injErr := opts.Chaos.PointFault(j); injErr != nil {
 			return fmt.Errorf("core: fatal fault at quadrature point %d: %w", j, injErr)
 		}

@@ -218,6 +218,7 @@ func (s *Solver) rankSolve(ctx context.Context, c *comm.Communicator, rank int, 
 		complex(norm2sq(rd), 0),
 	})
 	rho := init[0]
+	//cbs:chaossite dist.breakdown
 	if opts.Chaos.Breakdown(opts.ChaosSite) {
 		// Injected Lanczos breakdown. The decision is a pure hash of the
 		// chaos site, so every rank zeroes rho identically — no divergence

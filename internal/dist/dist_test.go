@@ -239,6 +239,34 @@ func TestSolveDualCancellation(t *testing.T) {
 	}
 }
 
+// TestInjectedBreakdownDistributed: a certain-rate injector on the
+// dist.breakdown site zeroes rho identically on every rank, so the
+// distributed dual solve reports an immediate collective breakdown.
+func TestInjectedBreakdownDistributed(t *testing.T) {
+	q := testProblem(t)
+	n := q.Dim()
+	rng := rand.New(rand.NewSource(8))
+	b := randVec(rng, n)
+	s, err := NewSolver(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, n)
+	xd := make([]complex128, n)
+	inj := chaos.New(3, chaos.Config{Breakdown: 1})
+	res, _, err := s.SolveDual(context.Background(), complex(1.1, 0.6), b, b, x, xd,
+		linsolve.Options{Tol: 1e-11, MaxIter: 50, Chaos: inj, ChaosSite: chaos.Site{Point: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Breakdown {
+		t.Fatalf("injected breakdown did not trigger: %+v", res)
+	}
+	if res.Iterations != 0 {
+		t.Errorf("breakdown after %d iterations, want 0", res.Iterations)
+	}
+}
+
 // TestHaloChaosCorruption: an injector on the fabric corrupts the halo
 // exchange deterministically -- the distributed apply deviates from the
 // serial operator, identically across repeated runs.

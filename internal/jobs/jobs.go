@@ -180,6 +180,7 @@ func New(cfg Config) *Manager {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	//cbs:ctxescape manager-owned base context: job lifetimes are detached from the constructing caller
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
@@ -359,6 +360,7 @@ func (m *Manager) run(j *job) {
 		out Outcome
 		err error
 	)
+	//cbs:chaossite jobs.run
 	if err = m.cfg.Chaos.JobFault(j.seq); err == nil {
 		out, err = j.task(j.ctx, func(done, total int) {
 			j.mu.Lock()

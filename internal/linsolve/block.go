@@ -189,6 +189,7 @@ func BlockBiCGDual(a, ad BlockApply, b, bd, x, xd []complex128, nb int, opts Opt
 		for c := range rho {
 			s := opts.ChaosSite
 			s.Col += c
+			//cbs:chaossite bicg.block-breakdown
 			if opts.Chaos.Breakdown(s) {
 				rho[c] = 0
 			}

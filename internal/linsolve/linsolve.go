@@ -122,6 +122,7 @@ func BiCGDual(a, ad Apply, b, bd []complex128, x, xd []complex128, opts Options)
 	}
 
 	rho := zlinalg.Dot(rd, r)
+	//cbs:chaossite bicg.breakdown
 	if opts.Chaos.Breakdown(opts.ChaosSite) {
 		// Injected Lanczos breakdown: the shadow inner product vanishes
 		// before the first iteration (see internal/chaos).

@@ -150,6 +150,7 @@ func BlockBiCGDualMixed(a64, ad64 BlockApplySoA[float64], a32, ad32 BlockApplySo
 	for c := range results {
 		results[c] = Result{}
 		done[c] = false
+		//cbs:chaossite mixed.refine
 		blocked[c] = opts.Chaos.RefineFail(opts.ChaosSite.Point, opts.ChaosSite.Col+c)
 	}
 

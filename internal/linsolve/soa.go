@@ -220,6 +220,7 @@ func BlockBiCGDualSoA[F soa.Float](a, ad BlockApplySoA[F], b, bd, x, xd *soa.Blo
 		for c := range rho {
 			s := opts.ChaosSite
 			s.Col += c
+			//cbs:chaossite bicg.soa-breakdown
 			if opts.Chaos.Breakdown(s) {
 				rho[c] = 0
 			}

@@ -113,6 +113,7 @@ func (c *Cache) SetChaos(in *chaos.Injector) {
 func (c *Cache) Do(ctx context.Context, key string, solve SolveFunc) (*core.Result, Outcome, error) {
 	for {
 		c.mu.Lock()
+		//cbs:chaossite rescache.do
 		if e, ok := c.items[key]; ok && !c.chaos.CacheFault(key) {
 			c.moveToFront(e)
 			c.stats.Hits++
@@ -170,6 +171,7 @@ func (c *Cache) Get(key string) (*core.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.items[key]
+	//cbs:chaossite rescache.get
 	if !ok || c.chaos.CacheFault(key) {
 		return nil, false
 	}

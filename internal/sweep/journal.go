@@ -193,6 +193,8 @@ func unframe(line []byte) ([]byte, bool) {
 // The header (magic, version, fingerprint) is written to a temp file,
 // fsynced, and renamed into place, so the journal either exists with a
 // valid header or not at all.
+//
+//cbs:durable
 func Create(path, fingerprint string) (*Journal, error) {
 	payload, err := json.Marshal(header{Magic: journalMagic, Version: journalVersion, Fingerprint: fingerprint})
 	if err != nil {
@@ -237,6 +239,8 @@ func Create(path, fingerprint string) (*Journal, error) {
 // terminator, so appending after it would corrupt the next record too. If
 // the file does not exist a fresh journal is created and no records are
 // returned.
+//
+//cbs:durable
 func Resume(path, fingerprint string) (*Journal, []Record, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -260,7 +264,11 @@ func Resume(path, fingerprint string) (*Journal, []Record, error) {
 		return nil, nil, err
 	}
 	if goodEnd < int64(len(data)) {
-		f.Sync() // make the truncation as durable as the appends
+		// Make the truncation as durable as the appends.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
 	}
 	return &Journal{f: f, path: path}, recs, nil
 }
@@ -343,27 +351,31 @@ func (j *Journal) Path() string { return j.path }
 // producing results it cannot protect. Under chaos, a CheckpointFault fails
 // the append outright and a TornRecord writes only a prefix of the frame
 // (the on-disk image of a crash between write and fsync) before failing.
+//
+//cbs:durable
 func (j *Journal) Append(rec Record) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrCheckpoint, err)
+		return fmt.Errorf("%w: %w", ErrCheckpoint, err)
 	}
 	line := frame(payload)
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	//cbs:chaossite journal.ckpt
 	if err := j.chaos.CheckpointFault(rec.Index); err != nil {
 		return fmt.Errorf("%w: %w", ErrCheckpoint, err)
 	}
+	//cbs:chaossite journal.torn
 	if j.chaos.TornRecord(rec.Index) {
 		j.f.Write(line[:len(line)/2])
-		j.f.Sync()
+		j.f.Sync() //cbs:fsyncrelaxed torn-record simulation: the fragment models a crash, its fate is irrelevant
 		return fmt.Errorf("%w: %w", ErrCheckpoint, chaos.ErrInjected)
 	}
 	if _, err := j.f.Write(line); err != nil {
-		return fmt.Errorf("%w: %v", ErrCheckpoint, err)
+		return fmt.Errorf("%w: %w", ErrCheckpoint, err)
 	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("%w: %v", ErrCheckpoint, err)
+		return fmt.Errorf("%w: %w", ErrCheckpoint, err)
 	}
 	return nil
 }
@@ -385,6 +397,6 @@ func syncDir(path string) {
 	if err != nil {
 		return
 	}
-	d.Sync()
+	d.Sync() //cbs:fsyncrelaxed best-effort: some filesystems refuse directory fsync
 	d.Close()
 }

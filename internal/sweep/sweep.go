@@ -188,6 +188,8 @@ func (c Config) normalize() Config {
 // reported in the Report, never as a Run error. On cancellation every
 // completed energy has already been checkpointed (each record is fsynced
 // as it completes) and the report marks the remainder Skipped.
+//
+//cbs:cancellable
 func Run(ctx context.Context, solve SolveFunc, es []float64, opts core.Options, cfg Config) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -337,7 +339,12 @@ func recordOf(er EnergyResult) Record {
 	return rec
 }
 
-// runEnergy drives one energy through the retry policy.
+// runEnergy drives one energy through the retry policy. It is the repo's
+// error-classification ladder: every sentinel the solver stack can surface
+// must be mapped to a retry, an escalation, or a terminal failure here.
+//
+//cbs:cancellable
+//cbs:errladder core linsolve contour
 func runEnergy(ctx context.Context, solve SolveFunc, i int, e float64, base core.Options, cfg Config) EnergyResult {
 	er := EnergyResult{Index: i, Energy: e}
 	aopts := base
@@ -381,6 +388,7 @@ func runEnergy(ctx context.Context, solve SolveFunc, i int, e float64, base core
 			res *core.Result
 			err error
 		)
+		//cbs:chaossite sweep.energy
 		if err = cfg.Chaos.EnergyFault(i); err == nil {
 			res, err = solve(ctx, e, aopts)
 		}
@@ -414,7 +422,9 @@ func runEnergy(ctx context.Context, solve SolveFunc, i int, e float64, base core
 				return finish(saturated, true)
 			}
 			return fail(err) // the base parameterization is wrong: terminal
-		case errors.Is(err, core.ErrBadOptions):
+		case errors.Is(err, core.ErrBadOptions), errors.Is(err, contour.ErrBadParams):
+			// Both mean the energy was posed with parameters the stack
+			// rejects outright; no amount of retrying reposes it.
 			return fail(err)
 		case errors.Is(err, contour.ErrTooManyDropped):
 			er.Escalations = append(er.Escalations, fmt.Sprintf("nint %d->%d (too many dropped)", aopts.Nint, 2*aopts.Nint))
