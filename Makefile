@@ -1,7 +1,7 @@
 GO ?= go
 CBSCHECK := bin/cbscheck
 
-.PHONY: all build test race lint cbscheck fuzz-smoke chaos-smoke sweep-smoke serve-smoke bench bench-smoke
+.PHONY: all build test race lint cbscheck fuzz-smoke chaos-smoke sweep-smoke serve-smoke serve-chaos bench bench-smoke
 
 all: build test
 
@@ -46,8 +46,23 @@ sweep-smoke:
 		CBS_CHAOS=1 CBS_CHAOS_SEED=$$seed \
 		CBS_CHAOS_ENERGY=0.2 CBS_CHAOS_CKPT=0.1 CBS_CHAOS_TORN=0.1 \
 		CBS_CHAOS_JOB=0.2 CBS_CHAOS_CACHE=0.2 \
+		CBS_CHAOS_JOBLOG=0.2 CBS_CHAOS_ADOPT=0.2 \
 		$(GO) test -count=2 ./internal/sweep ./internal/chaos \
 			./internal/jobs ./internal/rescache || exit 1; \
+	done
+
+# serve-chaos is the crash-safety matrix: the kill-and-restart acceptance
+# test and the job-store / SSE / fairness suites under -race, with the
+# job-log and re-adoption fault sites (CBS_CHAOS_JOBLOG, CBS_CHAOS_ADOPT)
+# armed across deterministic seeds. The suites arm explicit per-site rates
+# in-test and read the seed from CBS_CHAOS_SEED, so each matrix entry
+# faults a different subset of appends and adoptions; -count=2 defeats the
+# test cache.
+serve-chaos:
+	for seed in 1 2 3; do \
+		CBS_CHAOS=1 CBS_CHAOS_SEED=$$seed \
+		CBS_CHAOS_JOBLOG=0.3 CBS_CHAOS_ADOPT=1 \
+		$(GO) test -race -count=2 ./internal/jobs ./cmd/cbsd || exit 1; \
 	done
 
 # serve-smoke stands a real cbsd (random port, real Al(100) model on a
@@ -63,11 +78,12 @@ fuzz-smoke:
 
 # bench reruns the tracked Fig. 4a-style benchmark trio — {AoS, SoA,
 # SoA+mixed} over the blocked stencil and a full contour solve — at the
-# recorded size and rewrites the BENCH_PR6.json snapshot at the repo root
-# (schema cbs-bench/v1). The 1.5x floor is the PR's acceptance bar for the
-# SoA stencil against the in-run AoS baseline.
+# recorded size and rewrites the current PR's snapshot at the repo root
+# (schema cbs-bench/v1; BENCH_PR6.json started the trajectory, BENCH_PR8.json
+# is the latest point). The 1.5x floor is the acceptance bar for the SoA
+# stencil against the in-run AoS baseline.
 bench:
-	$(GO) run ./cmd/serialperf -bench-json BENCH_PR6.json -bench-al-n 10 -assert-speedup 1.5
+	$(GO) run ./cmd/serialperf -bench-json BENCH_PR8.json -bench-al-n 10 -assert-speedup 1.5
 
 # bench-smoke is the CI gate: a reduced-size run of the same trio that must
 # keep the SoA stencil at least on par with AoS (catching kernel-dispatch
@@ -76,3 +92,4 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/serialperf -bench-json /tmp/cbs_bench_smoke.json -bench-al-n 6 -assert-speedup 1.0
 	$(GO) run ./cmd/serialperf -bench-verify BENCH_PR6.json
+	$(GO) run ./cmd/serialperf -bench-verify BENCH_PR8.json

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+// decodeBody decodes a response body, closing it.
+func decodeBody(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBandsEndpoint: POST /v1/bands sweeps the window and projects every
+// eigenpair to (E, k/(pi/a)) rows; kmax_im filters evanescent branches at
+// presentation time without changing the job's fingerprint.
+func TestBandsEndpoint(t *testing.T) {
+	fb := &fakeBackend{}
+	_, ts := newTestServer(t, fb, nil)
+
+	var sub submitResponse
+	resp := postJSON(t, ts.URL+"/v1/bands", `{"energies_ev": [0.1, 0.2]}`, &sub)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST bands: HTTP %d", resp.StatusCode)
+	}
+	j := waitJob(t, ts.URL, sub.ID)
+	if j.State != "done" || j.Kind != "bands" {
+		t.Fatalf("bands job: state %s kind %s (%s)", j.State, j.Kind, j.Error)
+	}
+	if j.Bands == nil {
+		t.Fatal("done bands job has no bands projection")
+	}
+	if len(j.Bands.Rows) != 2 { // one eigenpair per energy from the fake
+		t.Fatalf("%d band rows, want 2: %+v", len(j.Bands.Rows), j.Bands.Rows)
+	}
+	// The fake solve returns K = 0.3 + 0.05i (1/bohr) at a = 7.5 bohr:
+	// k·a/pi = K * a/pi.
+	scale := 7.5 / math.Pi
+	for _, row := range j.Bands.Rows {
+		if math.Abs(row.KRePiA-0.3*scale) > 1e-12 || math.Abs(row.KImPiA-0.05*scale) > 1e-12 {
+			t.Errorf("row %+v, want k = (%g, %g) pi/a", row, 0.3*scale, 0.05*scale)
+		}
+	}
+
+	// kmax_im below the fake's decay rate filters every row, shares the
+	// fingerprint (the filter is not part of the computation), and the
+	// sweep report stays complete.
+	var sub2 submitResponse
+	body := fmt.Sprintf(`{"energies_ev": [0.1, 0.2], "kmax_im": %g}`, 0.04*scale)
+	postJSON(t, ts.URL+"/v1/bands", body, &sub2)
+	if sub2.Fingerprint != sub.Fingerprint {
+		t.Errorf("kmax_im changed the fingerprint: %s vs %s", sub2.Fingerprint, sub.Fingerprint)
+	}
+	j2 := waitJob(t, ts.URL, sub2.ID)
+	if j2.State != "done" || len(j2.Bands.Rows) != 0 {
+		t.Fatalf("filtered bands job: state %s rows %+v, want done with 0 rows", j2.State, j2.Bands.Rows)
+	}
+	if j2.Bands.KmaxIm == 0 || j2.Sweep == nil || j2.Sweep.OK != 2 {
+		t.Errorf("filter must echo kmax_im and keep the sweep report: %+v / %+v", j2.Bands, j2.Sweep)
+	}
+
+	// A bands job and the equivalent sweep are the same computation.
+	var sweepSub submitResponse
+	postJSON(t, ts.URL+"/v1/sweep", `{"energies_ev": [0.1, 0.2]}`, &sweepSub)
+	if sweepSub.Fingerprint != sub.Fingerprint {
+		t.Errorf("bands fingerprint %s != equivalent sweep %s", sub.Fingerprint, sweepSub.Fingerprint)
+	}
+
+	// Invalid filter: typed 400.
+	if resp := postJSON(t, ts.URL+"/v1/bands", `{"energies_ev": [0.1], "kmax_im": -1}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("kmax_im < 0: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/bands", `{}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty bands request: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestCancelIdempotentOnTerminal: DELETE on a finished job is a 200 with
+// the terminal state — retrying a cancel is always safe — while DELETE on
+// a live job stays a 202.
+func TestCancelIdempotentOnTerminal(t *testing.T) {
+	fb := &fakeBackend{}
+	_, ts := newTestServer(t, fb, nil)
+	var sub submitResponse
+	postJSON(t, ts.URL+"/v1/solve", `{"energy_ev": 0.3}`, &sub)
+	if j := waitJob(t, ts.URL, sub.ID); j.State != "done" {
+		t.Fatalf("job ended %s", j.State)
+	}
+	for i := 0; i < 2; i++ { // idempotent: same answer every time
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sub.ID, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		}
+		decodeBody(t, resp, &body)
+		if resp.StatusCode != http.StatusOK || body.State != "done" {
+			t.Fatalf("DELETE %d on terminal job: HTTP %d state %q, want 200 done", i, resp.StatusCode, body.State)
+		}
+	}
+}
+
+// TestRetryAfterJitter: 429s carry a jittered Retry-After around the 5s
+// base (±20%) so rejected clients do not stampede back in lockstep.
+func TestRetryAfterJitter(t *testing.T) {
+	fb := &fakeBackend{gate: make(chan struct{})}
+	defer close(fb.gate)
+	_, ts := newTestServer(t, fb, func(cfg *serverConfig) {
+		cfg.workers = 1
+		cfg.queueDepth = 1
+	})
+	// Fill the system (1 running + 1 queued), then draw rejections.
+	for i := 0; i < 2; i++ {
+		body := fmt.Sprintf(`{"energy_ev": %g}`, 0.1*float64(i+1))
+		if resp := postJSON(t, ts.URL+"/v1/solve", body, nil); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill request %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		body := fmt.Sprintf(`{"energy_ev": %g}`, 1.0+0.1*float64(i))
+		resp := postJSON(t, ts.URL+"/v1/solve", body, nil)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("overflow request %d: HTTP %d, want 429", i, resp.StatusCode)
+		}
+		ra := resp.Header.Get("Retry-After")
+		secs, err := strconv.Atoi(ra)
+		if err != nil {
+			t.Fatalf("Retry-After %q is not an integer: %v", ra, err)
+		}
+		if secs < 4 || secs > 6 { // 5s ± 20%, rounded
+			t.Errorf("Retry-After %ds outside the jitter window [4, 6]", secs)
+		}
+	}
+}

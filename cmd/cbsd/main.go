@@ -8,20 +8,25 @@
 //
 // API (JSON):
 //
-//	POST   /v1/solve      {"energy_ev": 0.25, "options": {"nint": 8}}   -> 202 {id, status_url, fingerprint}
-//	POST   /v1/sweep      {"emin_ev": -1, "emax_ev": 1, "ne": 21}       -> 202 {id, status_url, fingerprint}
-//	GET    /v1/jobs/{id}  (?vectors=1 to include eigenvectors)          -> job state, progress, results
-//	DELETE /v1/jobs/{id}  cancel (a canceled sweep keeps its journal)
-//	GET    /healthz       200 serving | 503 draining
-//	GET    /metrics       expvar: cache hits/misses, queue depth, in-flight, solve latency
+//	POST   /v1/solve           {"energy_ev": 0.25, "options": {"nint": 8}}   -> 202 {id, status_url, fingerprint}
+//	POST   /v1/sweep           {"emin_ev": -1, "emax_ev": 1, "ne": 21}       -> 202 {id, status_url, fingerprint}
+//	POST   /v1/bands           {"emin_ev": -1, "emax_ev": 1, "ne": 21, "kmax_im": 0.5} -> 202 (batch band structure)
+//	GET    /v1/jobs/{id}       (?vectors=1 to include eigenvectors)          -> job state, progress, results
+//	GET    /v1/jobs/{id}/events  SSE stream: state transitions + per-energy progress, Last-Event-ID replay
+//	DELETE /v1/jobs/{id}       cancel; idempotent on finished jobs (200 + terminal state)
+//	GET    /healthz            200 serving | 503 draining
+//	GET    /metrics            expvar: cache hits/misses, queue depth, in-flight, solve latency
 //
-// Backpressure: a bounded worker pool behind a fixed-depth queue; a full
-// queue rejects with 429 + Retry-After instead of queueing unboundedly.
-// Durability: with -checkpoint-dir set, sweeps journal per energy under
-// <dir>/<fingerprint>.journal; SIGTERM drains in-flight work (grace
+// Backpressure: a bounded worker pool behind fixed-depth per-client
+// queues (weighted round-robin across X-CBS-Client identities); a full
+// queue rejects with 429 + jittered Retry-After instead of queueing
+// unboundedly. Durability: with -checkpoint-dir set, sweeps journal per
+// energy under <dir>/<fingerprint>.journal and every job transition
+// journals to <dir>/jobs.log; SIGTERM drains in-flight work (grace
 // period, then context cancellation — the journal already holds every
-// completed energy), and resubmitting the same sweep to a restarted
-// server resumes instead of re-solving.
+// completed energy); a killed server replays the job log on restart and
+// re-adopts every unfinished job, resuming sweeps from their journals or
+// failing them with a typed "lost to restart" error.
 package main
 
 import (
@@ -88,16 +93,20 @@ func main() {
 	inj := chaos.FromEnv()
 	defaults.Chaos = inj
 
-	srv := newServer(serverConfig{
+	srv, err := newServer(serverConfig{
 		backend:       modelBackend(model, ef),
 		workers:       *workers,
 		queueDepth:    *queueDepth,
 		cacheEntries:  *cacheEntries,
 		sweepWorkers:  *sweepWorkers,
 		checkpointDir: *checkpointDir,
+		drainGrace:    *drainGrace,
 		defaults:      defaults,
 		chaos:         inj,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

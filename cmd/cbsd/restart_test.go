@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestKillRestartAcceptance is the crash-safety acceptance run: a server
+// with a checkpoint directory is killed abruptly (no drain, no journal
+// flushes — the in-process SIGKILL model) with a mix of finished,
+// running, and queued jobs. A successor on the same directory must:
+//
+//   - resolve every pre-crash job ID: finished jobs come back as restored
+//     terminal snapshots, unfinished ones are re-adopted and run to done
+//     (resuming sweeps from their checkpoint journals, not re-solving);
+//   - leave no orphaned sweep journals — every <fp>.journal in the
+//     checkpoint dir belongs to a job in the job log;
+//   - continue every job's SSE stream gaplessly: a client that reconnects
+//     with its pre-crash Last-Event-ID sees the remaining events with
+//     contiguous ids through the terminal one.
+func TestKillRestartAcceptance(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	fb := &fakeBackend{gate: gate, perGate: func(e float64) bool {
+		return e > 0.1 // ev >= ~0.3: the sweep blocks from its third energy on
+	}}
+	s1, ts1 := newTestServer(t, fb, func(cfg *serverConfig) {
+		cfg.workers = 1
+		cfg.checkpointDir = dir
+	})
+
+	// Job 1 finishes before the crash.
+	var doneSub submitResponse
+	postJSON(t, ts1.URL+"/v1/solve", `{"energy_ev": -0.5}`, &doneSub)
+	if j := waitJob(t, ts1.URL, doneSub.ID); j.State != "done" {
+		t.Fatalf("pre-crash solve ended %s", j.State)
+	}
+
+	// Job 2 is a sweep caught mid-flight: two energies journaled, the
+	// third blocked on the gate when the server dies.
+	var sweepSub submitResponse
+	postJSON(t, ts1.URL+"/v1/sweep",
+		`{"energies_ev": [-0.2, -0.1, 0.3, 0.4, 0.5], "options": {"nint": 8}}`, &sweepSub)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j := getJob(t, ts1.URL, sweepSub.ID)
+		if j.Progress != nil && j.Progress.Done >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never journaled its first two energies")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// An SSE client is mid-stream when the server dies: remember where it
+	// got to.
+	c := openSSE(t, ts1.URL, sweepSub.ID, "")
+	var lastSeen int64
+	for lastSeen == 0 {
+		ev, ok := c.next(t)
+		if !ok {
+			t.Fatal("SSE stream ended before the crash")
+		}
+		if ev.Data.Ev == "progress" && ev.Data.Done >= 2 {
+			lastSeen = ev.ID
+		}
+	}
+	c.close()
+
+	// Jobs 3 and 4 are still queued behind the single worker.
+	var queuedSweep, queuedSolve submitResponse
+	postJSON(t, ts1.URL+"/v1/sweep", `{"energies_ev": [-0.3, -0.25]}`, &queuedSweep)
+	postJSON(t, ts1.URL+"/v1/solve", `{"energy_ev": -0.4}`, &queuedSolve)
+
+	s1.mgr.Kill() // SIGKILL: no drain, no terminal records, contexts die
+	ts1.Close()
+
+	// Successor on the same checkpoint dir, physics unblocked.
+	fb2 := &fakeBackend{}
+	_, ts2 := newTestServer(t, fb2, func(cfg *serverConfig) {
+		cfg.checkpointDir = dir
+	})
+
+	// Every pre-crash ID resolves; unfinished jobs run to done.
+	finished := getJob(t, ts2.URL, doneSub.ID)
+	if finished.State != "done" || !finished.Restored {
+		t.Errorf("finished pre-crash job replayed as %s restored=%v, want done restored snapshot",
+			finished.State, finished.Restored)
+	}
+	for _, id := range []string{sweepSub.ID, queuedSweep.ID, queuedSolve.ID} {
+		if j := waitJob(t, ts2.URL, id); j.State != "done" {
+			t.Fatalf("re-adopted job %s ended %s (%s)", id, j.State, j.Error)
+		}
+	}
+
+	// The interrupted sweep resumed from its journal: the two pre-crash
+	// energies were restored, not re-solved.
+	j := getJob(t, ts2.URL, sweepSub.ID)
+	if j.Sweep == nil || j.Sweep.Restored != 2 || j.Sweep.OK != 5 {
+		t.Fatalf("resumed sweep report %+v, want restored=2 ok=5", j.Sweep)
+	}
+	// Successor solves: 3 sweep energies + 2 queued-sweep energies + 1
+	// queued solve; the finished job was never re-run.
+	if got := fb2.calls.Load(); got != 6 {
+		t.Errorf("successor executed %d solves, want 6 (journaled energies restored, finished job untouched)", got)
+	}
+
+	// No orphaned sweep journals: every journal's fingerprint belongs to a
+	// job the log knows.
+	known := map[string]bool{sweepSub.Fingerprint: true, queuedSweep.Fingerprint: true}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journals := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".journal") {
+			continue
+		}
+		journals++
+		fp := strings.TrimSuffix(e.Name(), ".journal")
+		if !known[fp] {
+			t.Errorf("orphaned sweep journal %s: no job in the log references it", e.Name())
+		}
+	}
+	if journals == 0 {
+		t.Error("no sweep journals survived the crash")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jobs.log")); err != nil {
+		t.Fatalf("job log missing after restart: %v", err)
+	}
+
+	// SSE reconnect: resuming from the pre-crash Last-Event-ID replays the
+	// rest of the stream — re-adoption, re-run, terminal — with contiguous
+	// ids and no duplicates.
+	c2 := openSSE(t, ts2.URL, sweepSub.ID, strconv.FormatInt(lastSeen, 10))
+	defer c2.close()
+	prev := lastSeen
+	sawRequeue, sawFinal := false, false
+	for {
+		ev, ok := c2.next(t)
+		if !ok {
+			break
+		}
+		if ev.ID != prev+1 {
+			t.Fatalf("SSE gap across restart: %d -> %d", prev, ev.ID)
+		}
+		prev = ev.ID
+		if ev.Data.Ev == "state" && ev.Data.State == "queued" {
+			sawRequeue = true
+		}
+		if ev.Data.Final {
+			sawFinal = true
+			if ev.Data.State != "done" {
+				t.Errorf("stream ends %s, want done", ev.Data.State)
+			}
+		}
+	}
+	if !sawRequeue || !sawFinal {
+		t.Errorf("reconnected stream missed re-adoption (%v) or terminal (%v) events", sawRequeue, sawFinal)
+	}
+
+	// The successor accepts new work and numbers past the replayed IDs.
+	var newSub submitResponse
+	postJSON(t, ts2.URL+"/v1/solve", `{"energy_ev": 0.7}`, &newSub)
+	if newSub.ID <= queuedSolve.ID {
+		t.Errorf("post-restart ID %s does not advance past pre-crash %s", newSub.ID, queuedSolve.ID)
+	}
+	if waitJob(t, ts2.URL, newSub.ID).State != "done" {
+		t.Error("post-restart submission failed")
+	}
+
+	// A graceful drain of the successor leaves a log a third generation
+	// replays without re-adopting anything live.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := activeServer.Load().Drain(ctx); err != nil {
+		t.Fatalf("successor drain: %v", err)
+	}
+	resp, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("drained successor healthz: HTTP %d, want 503", resp.StatusCode)
+	}
+}

@@ -9,8 +9,12 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
+	"math/rand"
+	"net"
 	"net/http"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,10 +57,16 @@ type serverConfig struct {
 	cacheEntries int
 	// sweepWorkers is the per-sweep energy concurrency.
 	sweepWorkers int
-	// checkpointDir, when non-empty, journals every sweep under
-	// <dir>/<fingerprint>.journal and resumes automatically when the same
-	// sweep is submitted again (after a crash or restart).
+	// checkpointDir, when non-empty, makes the server crash-safe: every
+	// sweep journals under <dir>/<fingerprint>.journal, every job event
+	// journals to <dir>/jobs.log, and a restarted server replays the job
+	// log and re-adopts unfinished jobs (resuming their sweep journals)
+	// before accepting traffic.
 	checkpointDir string
+	// drainGrace bounds Drain when its context has no deadline (0 waits).
+	drainGrace time.Duration
+	// heartbeat is the SSE keepalive period (0 uses 15s; tests shorten).
+	heartbeat time.Duration
 	// defaults are the server's base solver options; request options
 	// override field-by-field.
 	defaults core.Options
@@ -87,7 +97,13 @@ var activeServer atomic.Pointer[server]
 var publishOnce sync.Once
 
 // newServer assembles a server and makes it the active metrics target.
-func newServer(cfg serverConfig) *server {
+// With a checkpoint directory it opens (or replays) the persistent job
+// log first: jobs journaled by a previous process are re-adopted — their
+// tasks rebuilt from the journaled request spec and re-enqueued under
+// their original IDs — or typed-failed, before the first request lands.
+// A job log written for a different operator is a startup error, not a
+// silent reset.
+func newServer(cfg serverConfig) (*server, error) {
 	if cfg.workers < 1 {
 		cfg.workers = 1
 	}
@@ -100,20 +116,41 @@ func newServer(cfg serverConfig) *server {
 	if cfg.sweepWorkers < 1 {
 		cfg.sweepWorkers = 1
 	}
+
+	var store *jobs.Store
+	var replayed []jobs.ReplayedJob
+	if cfg.checkpointDir != "" {
+		var err error
+		store, replayed, err = jobs.OpenStore(
+			filepath.Join(cfg.checkpointDir, "jobs.log"),
+			fingerprint.Operator(cfg.backend.desc),
+		)
+		if err != nil {
+			return nil, fmt.Errorf("opening job log: %w", err)
+		}
+		store.SetChaos(cfg.chaos)
+	}
+
 	s := &server{
-		cfg:   cfg,
-		mgr:   jobs.New(jobs.Config{Workers: cfg.workers, QueueDepth: cfg.queueDepth, Chaos: cfg.chaos}),
+		cfg: cfg,
+		mgr: jobs.New(jobs.Config{
+			Workers: cfg.workers, QueueDepth: cfg.queueDepth,
+			Store: store, DrainGrace: cfg.drainGrace, Chaos: cfg.chaos,
+		}),
 		cache: rescache.New(cfg.cacheEntries),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
 	s.cache.SetChaos(cfg.chaos)
+	s.mgr.Adopt(replayed, s.rebuildTask)
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", expvar.Handler())
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/bands", s.handleBands)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 
 	activeServer.Store(s)
@@ -125,7 +162,7 @@ func newServer(cfg serverConfig) *server {
 			return nil
 		}))
 	})
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP entry point.
@@ -149,11 +186,13 @@ func (s *server) metricsSnapshot() any {
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"cache": map[string]any{
 			"hits": cs.Hits, "misses": cs.Misses, "deduped": cs.Deduped,
+			"puts":      cs.Puts,
 			"evictions": cs.Evictions, "entries": cs.Entries, "in_flight": cs.InFlight,
 		},
 		"jobs": map[string]any{
 			"submitted": jm.Submitted, "rejected": jm.Rejected,
 			"completed": jm.Completed, "failed": jm.Failed, "canceled": jm.Canceled,
+			"readopted": jm.Readopted, "restored": jm.Restored, "log_errors": jm.LogErrors,
 			"queue_depth": jm.QueueDepth, "in_flight": jm.InFlight,
 			"busy_ms": float64(jm.BusyNanos) / 1e6,
 		},
@@ -251,6 +290,33 @@ type sweepRequest struct {
 	Options    *optionsJSON `json:"options,omitempty"`
 }
 
+// bandsRequest is POST /v1/bands: a batch complex-band-structure request —
+// an energy window (or explicit list) swept through the sweep engine, with
+// the k-path projection built server-side. kmax_im (in units of pi/a)
+// optionally drops fast-decaying evanescent branches from the projection;
+// it is presentation-only and does not change the computation or its
+// fingerprint.
+type bandsRequest struct {
+	EnergiesEV []float64    `json:"energies_ev,omitempty"`
+	EminEV     *float64     `json:"emin_ev,omitempty"`
+	EmaxEV     *float64     `json:"emax_ev,omitempty"`
+	NE         int          `json:"ne,omitempty"`
+	KmaxIm     float64      `json:"kmax_im,omitempty"`
+	Options    *optionsJSON `json:"options,omitempty"`
+}
+
+// jobSpec is the journaled form of a request: everything needed to
+// rebuild the job's task after a restart, in server units (hartree) with
+// the client's option overlay — the overlay is replayed onto the current
+// defaults, and the fingerprint guard catches any drift.
+type jobSpec struct {
+	Type            string       `json:"type"` // solve | sweep | bands
+	EnergyHartree   float64      `json:"energy_hartree,omitempty"`
+	EnergiesHartree []float64    `json:"energies_hartree,omitempty"`
+	KmaxIm          float64      `json:"kmax_im,omitempty"`
+	Options         *optionsJSON `json:"options,omitempty"`
+}
+
 // submitResponse acknowledges an accepted job (HTTP 202).
 type submitResponse struct {
 	ID          string `json:"id"`
@@ -292,11 +358,30 @@ type sweepJSON struct {
 	Energies []energyJSON `json:"energies"`
 }
 
+// bandRowJSON is one (energy, k) point of a bands projection: the complex
+// Bloch wavevector in units of pi/a (Re on a propagating branch, |Im| the
+// decay rate of an evanescent one).
+type bandRowJSON struct {
+	EnergyEV float64 `json:"energy_ev"`
+	KRePiA   float64 `json:"k_re_pi_a"`
+	KImPiA   float64 `json:"k_im_pi_a"`
+	Residual float64 `json:"residual,omitempty"`
+}
+
+// bandsJSON is the batch band-structure projection of a bands job.
+type bandsJSON struct {
+	KmaxIm float64       `json:"kmax_im,omitempty"`
+	Rows   []bandRowJSON `json:"rows"`
+}
+
 // jobJSON is GET /v1/jobs/{id}.
 type jobJSON struct {
 	ID           string            `json:"id"`
 	Kind         jobs.Kind         `json:"kind"`
 	State        jobs.State        `json:"state"`
+	Client       string            `json:"client,omitempty"`
+	Fingerprint  string            `json:"fingerprint,omitempty"`
+	Restored     bool              `json:"restored,omitempty"`
 	Submitted    string            `json:"submitted"`
 	Started      string            `json:"started,omitempty"`
 	Finished     string            `json:"finished,omitempty"`
@@ -306,6 +391,7 @@ type jobJSON struct {
 	CellLength   float64           `json:"cell_length_bohr,omitempty"`
 	Result       *sweep.ResultJSON `json:"result,omitempty"`
 	Sweep        *sweepJSON        `json:"sweep,omitempty"`
+	Bands        *bandsJSON        `json:"bands,omitempty"`
 }
 
 // --- handlers ---
@@ -319,13 +405,28 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint:errcheck // response already committed
 }
 
+// retryAfterSeconds is the base 429 backoff hint. Each response jitters
+// it by ±20% so a burst of rejected clients does not come back as the
+// same synchronized burst one backoff later (retry stampede).
+const retryAfterSeconds = 5.0
+
+func retryAfter() string {
+	jittered := retryAfterSeconds * (0.8 + 0.4*rand.Float64())
+	secs := int(math.Round(jittered))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 // writeError maps the job layer's typed sentinels onto HTTP status codes:
-// a full queue is 429 with Retry-After (back off, the pool is saturated),
-// draining is 503 (the process is going away), unknown IDs are 404.
+// a full queue is 429 with a jittered Retry-After (back off, the pool is
+// saturated), draining is 503 (the process is going away), unknown IDs
+// are 404.
 func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfter())
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 	case errors.Is(err, jobs.ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
@@ -356,6 +457,131 @@ func (s *server) resolveEnergy(req solveRequest) (float64, error) {
 	}
 }
 
+// clientID extracts the fairness key of a request: the X-CBS-Client
+// header if the caller identifies itself, else the remote host — every
+// unnamed caller on one machine shares a queue.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-CBS-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// clientWeight reads the X-CBS-Weight header (1..8; the jobs layer
+// clamps). Weight buys a proportionally larger dispatch share under
+// contention, nothing when the server is idle.
+func clientWeight(r *http.Request) int {
+	if v := r.Header.Get("X-CBS-Weight"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return 1
+}
+
+// submit journals and enqueues a job built from spec, answering 202 with
+// the job ID or the mapped error.
+func (s *server) submit(w http.ResponseWriter, r *http.Request, kind jobs.Kind, fp string, spec jobSpec, task jobs.Task) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	id, err := s.mgr.Submit(jobs.Submission{
+		Kind:        kind,
+		Client:      clientID(r),
+		Weight:      clientWeight(r),
+		Fingerprint: fp,
+		Spec:        raw,
+		Task:        task,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID: id, StatusURL: "/v1/jobs/" + id, Fingerprint: fp,
+	})
+}
+
+// solveTask builds the task of a single-energy solve: a cache-and-
+// singleflight wrapped backend call.
+func (s *server) solveTask(e float64, opts core.Options, fp string) jobs.Task {
+	return func(ctx context.Context, _ func(int, int)) (jobs.Outcome, error) {
+		res, outcome, err := s.cache.Do(ctx, fp, func(ctx context.Context) (*core.Result, error) {
+			t0 := time.Now()
+			res, err := s.cfg.backend.solve(ctx, e, opts)
+			s.solveCount.Add(1)
+			s.solveNanos.Add(int64(time.Since(t0)))
+			return res, err
+		})
+		return jobs.Outcome{Result: res, CacheOutcome: outcome}, err
+	}
+}
+
+// sweepTask builds the task of a sweep (or bands) job. fp keys the
+// checkpoint journal; for a re-adopted job it is the journaled
+// fingerprint, so a drifted server fails the resume (typed
+// ErrFingerprintMismatch) instead of passing off different physics under
+// an old job ID.
+func (s *server) sweepTask(es []float64, opts core.Options, fp string) jobs.Task {
+	return func(ctx context.Context, progress func(int, int)) (jobs.Outcome, error) {
+		var done atomic.Int64
+		scfg := sweep.Config{
+			Workers:      s.cfg.sweepWorkers,
+			OperatorDesc: s.cfg.backend.desc,
+			Chaos:        s.cfg.chaos,
+			OnEnergy: func(er sweep.EnergyResult) {
+				progress(int(done.Add(1)), len(es))
+				// Cross-pollinate the solve cache: a sweep energy is a
+				// one-element sweep by fingerprint construction, so a
+				// later POST /v1/solve at this energy is a cache hit.
+				if er.Result != nil {
+					s.cache.Put(fingerprint.Solve(s.cfg.backend.desc, er.Energy, opts), er.Result)
+				}
+			},
+		}
+		if s.cfg.checkpointDir != "" {
+			// Journal keyed by the sweep's own fingerprint: resubmitting
+			// the same sweep after a crash or restart resumes instead of
+			// re-solving (Resume creates the file if it does not exist).
+			scfg.CheckpointPath = filepath.Join(s.cfg.checkpointDir, fp+".journal")
+			scfg.Resume = true
+		}
+		report, err := s.cfg.backend.sweep(ctx, es, opts, scfg)
+		return jobs.Outcome{Report: report}, err
+	}
+}
+
+// rebuildTask reconstructs a replayed job's task from its journaled spec
+// (the restart re-adoption path). The option overlay replays onto the
+// *current* defaults; sweeps resume against the journaled fingerprint, so
+// any drift in defaults or operator fails the resume rather than serving
+// changed physics under the old ID.
+func (s *server) rebuildTask(rj jobs.ReplayedJob) (jobs.Task, error) {
+	var spec jobSpec
+	if err := json.Unmarshal(rj.Spec, &spec); err != nil {
+		return nil, fmt.Errorf("unreadable job spec: %w", err)
+	}
+	opts := spec.Options.apply(s.cfg.defaults)
+	switch spec.Type {
+	case "solve":
+		fp := fingerprint.Solve(s.cfg.backend.desc, spec.EnergyHartree, opts)
+		return s.solveTask(spec.EnergyHartree, opts, fp), nil
+	case "sweep", "bands":
+		if len(spec.EnergiesHartree) == 0 {
+			return nil, errors.New("job spec has no energies")
+		}
+		return s.sweepTask(spec.EnergiesHartree, opts, rj.Fingerprint), nil
+	default:
+		return nil, fmt.Errorf("unknown job spec type %q", spec.Type)
+	}
+}
+
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req solveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -369,25 +595,8 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := req.Options.apply(s.cfg.defaults)
 	fp := fingerprint.Solve(s.cfg.backend.desc, e, opts)
-
-	task := func(ctx context.Context, _ func(int, int)) (jobs.Outcome, error) {
-		res, outcome, err := s.cache.Do(ctx, fp, func(ctx context.Context) (*core.Result, error) {
-			t0 := time.Now()
-			res, err := s.cfg.backend.solve(ctx, e, opts)
-			s.solveCount.Add(1)
-			s.solveNanos.Add(int64(time.Since(t0)))
-			return res, err
-		})
-		return jobs.Outcome{Result: res, CacheOutcome: outcome}, err
-	}
-	id, err := s.mgr.Submit(jobs.KindSolve, task)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, submitResponse{
-		ID: id, StatusURL: "/v1/jobs/" + id, Fingerprint: fp,
-	})
+	spec := jobSpec{Type: "solve", EnergyHartree: e, Options: req.Options}
+	s.submit(w, r, jobs.KindSolve, fp, spec, s.solveTask(e, opts, fp))
 }
 
 // sweepEnergies expands a sweep request to its hartree energy list.
@@ -426,41 +635,36 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := req.Options.apply(s.cfg.defaults)
 	fp := fingerprint.Key(s.cfg.backend.desc, es, opts)
+	spec := jobSpec{Type: "sweep", EnergiesHartree: es, Options: req.Options}
+	s.submit(w, r, jobs.KindSweep, fp, spec, s.sweepTask(es, opts, fp))
+}
 
-	task := func(ctx context.Context, progress func(int, int)) (jobs.Outcome, error) {
-		var done atomic.Int64
-		scfg := sweep.Config{
-			Workers:      s.cfg.sweepWorkers,
-			OperatorDesc: s.cfg.backend.desc,
-			Chaos:        s.cfg.chaos,
-			OnEnergy: func(er sweep.EnergyResult) {
-				progress(int(done.Add(1)), len(es))
-				// Cross-pollinate the solve cache: a sweep energy is a
-				// one-element sweep by fingerprint construction, so a
-				// later POST /v1/solve at this energy is a cache hit.
-				if er.Result != nil {
-					s.cache.Put(fingerprint.Solve(s.cfg.backend.desc, er.Energy, opts), er.Result)
-				}
-			},
-		}
-		if s.cfg.checkpointDir != "" {
-			// Journal keyed by the sweep's own fingerprint: resubmitting
-			// the same sweep after a crash or restart resumes instead of
-			// re-solving (Resume creates the file if it does not exist).
-			scfg.CheckpointPath = filepath.Join(s.cfg.checkpointDir, fp+".journal")
-			scfg.Resume = true
-		}
-		report, err := s.cfg.backend.sweep(ctx, es, opts, scfg)
-		return jobs.Outcome{Report: report}, err
+// handleBands is the batch endpoint: one request sweeps an energy window
+// and comes back as band-structure rows (GET projects k in units of
+// pi/a). A bands job shares its fingerprint — and therefore its
+// checkpoint journal and cache entries — with the equivalent sweep: the
+// kmax_im filter is presentation-time and costs nothing to change.
+func (s *server) handleBands(w http.ResponseWriter, r *http.Request) {
+	var req bandsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
 	}
-	id, err := s.mgr.Submit(jobs.KindSweep, task)
+	if req.KmaxIm < 0 {
+		writeError(w, errors.New("kmax_im must be >= 0"))
+		return
+	}
+	es, err := s.sweepEnergies(sweepRequest{
+		EnergiesEV: req.EnergiesEV, EminEV: req.EminEV, EmaxEV: req.EmaxEV, NE: req.NE,
+	})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, submitResponse{
-		ID: id, StatusURL: "/v1/jobs/" + id, Fingerprint: fp,
-	})
+	opts := req.Options.apply(s.cfg.defaults)
+	fp := fingerprint.Key(s.cfg.backend.desc, es, opts)
+	spec := jobSpec{Type: "bands", EnergiesHartree: es, KmaxIm: req.KmaxIm, Options: req.Options}
+	s.submit(w, r, jobs.KindBands, fp, spec, s.sweepTask(es, opts, fp))
 }
 
 // stripVectors drops the eigenvector payload (the dominant weight of a
@@ -495,6 +699,7 @@ func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 
 	out := jobJSON{
 		ID: snap.ID, Kind: snap.Kind, State: snap.State,
+		Client: snap.Client, Fingerprint: snap.Fingerprint, Restored: snap.Restored,
 		Submitted:    snap.Submitted.UTC().Format(time.RFC3339Nano),
 		CacheOutcome: snap.Outcome.CacheOutcome,
 		CellLength:   s.cfg.backend.a,
@@ -535,17 +740,137 @@ func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 			sj.Energies = append(sj.Energies, ej)
 		}
 		out.Sweep = sj
+		if snap.Kind == jobs.KindBands {
+			out.Bands = s.bandsProjection(snap, rep)
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
+// bandsProjection flattens a bands job's sweep report into (E, k) rows
+// with k in units of pi/a, dropping evanescent branches beyond the
+// request's kmax_im.
+func (s *server) bandsProjection(snap jobs.Snapshot, rep *sweep.Report) *bandsJSON {
+	var spec jobSpec
+	json.Unmarshal(snap.Spec, &spec) //nolint:errcheck // the spec was journaled by us; a zero KmaxIm just keeps every row
+	scale := s.cfg.backend.a / math.Pi
+	bj := &bandsJSON{KmaxIm: spec.KmaxIm}
+	for _, er := range rep.Results {
+		if er.Result == nil {
+			continue
+		}
+		for _, p := range er.Result.Pairs {
+			kIm := imag(p.K) * scale
+			if spec.KmaxIm > 0 && math.Abs(kIm) > spec.KmaxIm {
+				continue
+			}
+			bj.Rows = append(bj.Rows, bandRowJSON{
+				EnergyEV: units.HartreeToEV(er.Energy - s.cfg.backend.ef),
+				KRePiA:   real(p.K) * scale,
+				KImPiA:   kIm,
+				Residual: p.Residual,
+			})
+		}
+	}
+	return bj
+}
+
+// handleJobEvents is the SSE stream of one job's lifecycle: every state
+// transition and progress tick as a sequenced event, a comment heartbeat
+// while idle, and Last-Event-ID replay on reconnect — the sequence
+// numbers come from the job log, so the replay is gapless even across a
+// server restart.
+func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	var after int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, fmt.Errorf("bad Last-Event-ID %q: %w", v, err))
+			return
+		}
+		after = n
+	}
+	past, live, cancel, err := s.mgr.Watch(r.PathValue("id"), after)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errors.New("streaming unsupported by this connection"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(ev jobs.Event) bool {
+		data, merr := json.Marshal(ev)
+		if merr != nil {
+			return true
+		}
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Ev, data)
+		fl.Flush()
+		return ev.Final
+	}
+	for _, ev := range past {
+		if writeEvent(ev) {
+			return
+		}
+	}
+	if live == nil {
+		return // terminal job: the backlog was the whole story
+	}
+	hb := s.cfg.heartbeat
+	if hb <= 0 {
+		hb = 15 * time.Second
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				// We fell subBuffer events behind and were disconnected;
+				// the client's EventSource reconnects with Last-Event-ID
+				// and replays the gap.
+				return
+			}
+			if writeEvent(ev) {
+				return
+			}
+		case <-ticker.C:
+			fmt.Fprint(w, ": hb\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: cancellation for live jobs
+// (202 — the wind-down is asynchronous), idempotent success for jobs
+// already in a terminal state (200 with that state, so retrying a cancel
+// is always safe).
 func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	snap, err := s.mgr.Get(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if snap.State.Terminal() {
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "state": snap.State})
+		return
+	}
 	if err := s.mgr.Cancel(id); err != nil {
 		writeError(w, err)
 		return
 	}
-	snap, err := s.mgr.Get(id)
+	snap, err = s.mgr.Get(id)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -71,7 +71,10 @@ func newTestServer(t *testing.T, fb *fakeBackend, mut func(*serverConfig)) (*ser
 	if mut != nil {
 		mut(&cfg)
 	}
-	s := newServer(cfg)
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() {

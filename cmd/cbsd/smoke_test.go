@@ -68,7 +68,7 @@ func TestServeSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(serverConfig{
+	srv, err := newServer(serverConfig{
 		backend:      modelBackend(model, ef),
 		workers:      2,
 		queueDepth:   8,
@@ -76,6 +76,9 @@ func TestServeSmoke(t *testing.T) {
 		sweepWorkers: 1,
 		defaults:     cbs.DefaultOptions(),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// A real listener on a random port, served exactly as main serves.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed server-sent event frame.
+type sseEvent struct {
+	ID    int64
+	Event string
+	Data  struct {
+		Seq   int64  `json:"seq"`
+		Ev    string `json:"ev"`
+		State string `json:"state"`
+		Done  int    `json:"done"`
+		Total int    `json:"total"`
+		Error string `json:"error"`
+		Final bool   `json:"final"`
+	}
+}
+
+// sseClient reads one /v1/jobs/{id}/events stream.
+type sseClient struct {
+	resp       *http.Response
+	rd         *bufio.Reader
+	cancel     context.CancelFunc
+	heartbeats int
+}
+
+// openSSE connects to a job's event stream, optionally resuming from
+// lastEventID (the SSE reconnect header).
+func openSSE(t *testing.T, base, id, lastEventID string) *sseClient {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("GET events: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+	return &sseClient{resp: resp, rd: bufio.NewReader(resp.Body), cancel: cancel}
+}
+
+func (c *sseClient) close() {
+	c.resp.Body.Close()
+	c.cancel()
+}
+
+// next parses frames until the next real event, counting comment
+// heartbeats along the way; ok is false when the stream ends.
+func (c *sseClient) next(t *testing.T) (sseEvent, bool) {
+	t.Helper()
+	var ev sseEvent
+	got := false
+	for {
+		line, err := c.rd.ReadString('\n')
+		if err != nil {
+			return sseEvent{}, false
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if got {
+				return ev, true
+			}
+		case strings.HasPrefix(line, ": "):
+			c.heartbeats++
+		case strings.HasPrefix(line, "id: "):
+			n, err := strconv.ParseInt(line[4:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			ev.ID = n
+			got = true
+		case strings.HasPrefix(line, "event: "):
+			ev.Event = line[7:]
+			got = true
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(line[6:]), &ev.Data); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+			got = true
+		}
+	}
+}
+
+// TestJobEventsSSE: the live stream delivers queued → running → terminal
+// with contiguous event ids, heartbeat comments while idle, and closes
+// after the final event.
+func TestJobEventsSSE(t *testing.T) {
+	fb := &fakeBackend{gate: make(chan struct{})}
+	_, ts := newTestServer(t, fb, func(cfg *serverConfig) {
+		cfg.heartbeat = 20 * time.Millisecond
+	})
+	var sub submitResponse
+	postJSON(t, ts.URL+"/v1/solve", `{"energy_ev": 0.25}`, &sub)
+
+	c := openSSE(t, ts.URL, sub.ID, "")
+	defer c.close()
+	ev1, ok := c.next(t)
+	if !ok || ev1.ID != 1 || ev1.Data.State != "queued" {
+		t.Fatalf("first event %+v ok=%v, want id 1 queued", ev1, ok)
+	}
+	ev2, ok := c.next(t)
+	if !ok || ev2.ID != 2 || ev2.Data.State != "running" {
+		t.Fatalf("second event %+v ok=%v, want id 2 running", ev2, ok)
+	}
+	// The job is gated: the stream idles and must keep the connection
+	// alive with comment heartbeats.
+	time.Sleep(80 * time.Millisecond)
+	close(fb.gate)
+	ev3, ok := c.next(t)
+	if !ok || ev3.ID != 3 || ev3.Data.State != "done" || !ev3.Data.Final {
+		t.Fatalf("third event %+v ok=%v, want id 3 final done", ev3, ok)
+	}
+	if _, ok := c.next(t); ok {
+		t.Error("stream stayed open after the final event")
+	}
+	if c.heartbeats == 0 {
+		t.Error("no heartbeats on an idle stream")
+	}
+	for _, ev := range []sseEvent{ev1, ev2, ev3} {
+		if ev.ID != ev.Data.Seq {
+			t.Errorf("SSE id %d != payload seq %d", ev.ID, ev.Data.Seq)
+		}
+		if ev.Event != ev.Data.Ev {
+			t.Errorf("SSE event %q != payload ev %q", ev.Event, ev.Data.Ev)
+		}
+	}
+}
+
+// TestJobEventsLastEventID: reconnecting with Last-Event-ID replays only
+// the missed suffix; a malformed header is a 400, not a hung stream.
+func TestJobEventsLastEventID(t *testing.T) {
+	fb := &fakeBackend{}
+	_, ts := newTestServer(t, fb, nil)
+	var sub submitResponse
+	postJSON(t, ts.URL+"/v1/sweep", `{"energies_ev": [0.1, 0.2, 0.3]}`, &sub)
+	if j := waitJob(t, ts.URL, sub.ID); j.State != "done" {
+		t.Fatalf("sweep ended %s", j.State)
+	}
+
+	// Full replay first, to learn the final seq.
+	c := openSSE(t, ts.URL, sub.ID, "")
+	var all []sseEvent
+	for {
+		ev, ok := c.next(t)
+		if !ok {
+			break
+		}
+		all = append(all, ev)
+	}
+	c.close()
+	if len(all) < 4 { // queued, running, >=1 progress, done
+		t.Fatalf("full replay has %d events, want >= 4: %+v", len(all), all)
+	}
+	for i, ev := range all {
+		if ev.ID != int64(i+1) {
+			t.Fatalf("replay ids not contiguous: %+v", all)
+		}
+	}
+	if last := all[len(all)-1]; !last.Data.Final || last.Data.State != "done" {
+		t.Fatalf("replay ends with %+v, want final done", last)
+	}
+
+	// Resume from the middle: only ids > 2 come back.
+	c2 := openSSE(t, ts.URL, sub.ID, "2")
+	defer c2.close()
+	var tail []sseEvent
+	for {
+		ev, ok := c2.next(t)
+		if !ok {
+			break
+		}
+		tail = append(tail, ev)
+	}
+	if len(tail) != len(all)-2 || tail[0].ID != 3 {
+		t.Fatalf("resume from 2 replayed %+v, want events 3..%d", tail, len(all))
+	}
+
+	// Malformed Last-Event-ID: typed 400.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+sub.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", "bogus")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad Last-Event-ID: HTTP %d, want 400", resp.StatusCode)
+	}
+}

@@ -73,6 +73,8 @@ var methodConfigFields = map[string][]string{
 	"TornRecord":      {"TornRecord"},
 	"JobFault":        {"JobFault"},
 	"CacheFault":      {"CacheFault"},
+	"JobLogFault":     {"JobLogFault"},
+	"AdoptFault":      {"AdoptFault"},
 }
 
 // methodEnvKeys maps fault methods to their seed-matrix env keys.
@@ -87,6 +89,8 @@ var methodEnvKeys = map[string]string{
 	"TornRecord":      "CBS_CHAOS_TORN",
 	"JobFault":        "CBS_CHAOS_JOB",
 	"CacheFault":      "CBS_CHAOS_CACHE",
+	"JobLogFault":     "CBS_CHAOS_JOBLOG",
+	"AdoptFault":      "CBS_CHAOS_ADOPT",
 }
 
 type site struct {

@@ -85,6 +85,19 @@ type Config struct {
 	// return correct results, just without the shortcut.
 	CacheFault float64
 
+	// JobLogFault is the probability that one append to the persistent job
+	// log (internal/jobs store) fails: half the hits fail cleanly before
+	// writing (a full-disk / EIO stand-in), the other half tear mid-write —
+	// only a prefix of the frame reaches the file, the on-disk image of a
+	// crash between write and fsync. Either way the append reports a typed
+	// failure; the restart replay must drop the fragment and keep serving.
+	JobLogFault float64
+	// AdoptFault is the probability that the restart re-adoption of one
+	// replayed job fails hard before its task is rebuilt: the job must end
+	// Failed with a typed injected error (never silently vanish) while the
+	// rest of the recovery proceeds.
+	AdoptFault float64
+
 	// Columns, when non-empty, restricts the column-scoped injections
 	// (Breakdown, RestartBreakdown, FallbackFail) to the listed probe
 	// columns.
@@ -133,6 +146,8 @@ func (in *Injector) Seed() int64 {
 //	CBS_CHAOS_REFINE=<p>         mixed-precision refinement-failure rate (default 0)
 //	CBS_CHAOS_JOB=<p>            serving-layer job hard-fault rate (default 0)
 //	CBS_CHAOS_CACHE=<p>          forced result-cache miss rate (default 0)
+//	CBS_CHAOS_JOBLOG=<p>         torn/failed job-log append rate (default 0)
+//	CBS_CHAOS_ADOPT=<p>          restart re-adoption fault rate (default 0)
 func FromEnv() *Injector {
 	if os.Getenv("CBS_CHAOS") == "" {
 		return nil
@@ -166,6 +181,8 @@ func FromEnv() *Injector {
 		RefineFail:       rate("CBS_CHAOS_REFINE", 0),
 		JobFault:         rate("CBS_CHAOS_JOB", 0),
 		CacheFault:       rate("CBS_CHAOS_CACHE", 0),
+		JobLogFault:      rate("CBS_CHAOS_JOBLOG", 0),
+		AdoptFault:       rate("CBS_CHAOS_ADOPT", 0),
 	})
 }
 
@@ -218,6 +235,8 @@ const (
 	kindJob       = 0x6a62 // "jb"
 	kindCache     = 0x6361 // "ca"
 	kindRefine    = 0x7266 // "rf"
+	kindJobLog    = 0x6a6c // "jl"
+	kindAdopt     = 0x6164 // "ad"
 )
 
 // Breakdown reports whether the BiCG solve at s should break down
@@ -358,6 +377,37 @@ func (in *Injector) CacheFault(key string) bool {
 	h.Write([]byte(key))
 	s := h.Sum64()
 	return in.hit(in.cfg.CacheFault, kindCache, int(s&0x7fffffff), int(s>>33), 0)
+}
+
+// JobLogFault decides the fate of the job-log append for the record with
+// the given per-log sequence number: a nil error is a clean append; a
+// non-nil error with torn=false is a clean failure (nothing written); a
+// non-nil error with torn=true means the append was cut mid-write and a
+// CRC-failing fragment is on disk. The site is the record sequence number,
+// so the decision is independent of pool scheduling.
+func (in *Injector) JobLogFault(seq int) (torn bool, err error) {
+	if in == nil {
+		return false, nil
+	}
+	if !in.hit(in.cfg.JobLogFault, kindJobLog, seq, 0, 0) {
+		return false, nil
+	}
+	// A second draw splits hits between clean failures and torn writes.
+	torn = in.hit(0.5, kindJobLog, seq, 1, 0)
+	return torn, fmt.Errorf("%w: job-log append fault at record %d (torn=%t)", ErrInjected, seq, torn)
+}
+
+// AdoptFault returns a typed injected error when the restart re-adoption
+// of the replayed job with the given submission sequence number should
+// fail, nil otherwise.
+func (in *Injector) AdoptFault(seq int) error {
+	if in == nil {
+		return nil
+	}
+	if !in.hit(in.cfg.AdoptFault, kindAdopt, seq, 0, 0) {
+		return nil
+	}
+	return fmt.Errorf("%w: re-adoption fault at job %d", ErrInjected, seq)
 }
 
 // TornRecord reports whether the journal append for the energy record at

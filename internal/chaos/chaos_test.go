@@ -204,12 +204,20 @@ func TestFromEnv(t *testing.T) {
 	}
 	t.Setenv("CBS_CHAOS_JOB", "1")
 	t.Setenv("CBS_CHAOS_CACHE", "1")
+	t.Setenv("CBS_CHAOS_JOBLOG", "1")
+	t.Setenv("CBS_CHAOS_ADOPT", "1")
 	in = FromEnv()
 	if err := in.JobFault(0); err == nil {
 		t.Error("CBS_CHAOS_JOB=1 must inject job faults")
 	}
 	if !in.CacheFault("k") {
 		t.Error("CBS_CHAOS_CACHE=1 must force cache misses")
+	}
+	if _, err := in.JobLogFault(0); err == nil {
+		t.Error("CBS_CHAOS_JOBLOG=1 must inject job-log faults")
+	}
+	if err := in.AdoptFault(0); err == nil {
+		t.Error("CBS_CHAOS_ADOPT=1 must inject re-adoption faults")
 	}
 }
 

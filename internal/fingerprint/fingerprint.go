@@ -64,3 +64,16 @@ func Key(operatorDesc string, es []float64, opts core.Options) string {
 func Solve(operatorDesc string, e float64, opts core.Options) string {
 	return Key(operatorDesc, []float64{e}, opts)
 }
+
+// Operator digests the operator descriptor alone: the identity of the
+// served physics independent of any particular request. The job log
+// (internal/jobs) stamps this into its header so a restarted server
+// refuses to re-adopt jobs recorded against a different model — the same
+// guard the sweep journal applies per-sweep, lifted to the whole store.
+// Same stability contract as Key: pinned by golden test, bump the domain
+// string on any incompatible change.
+func Operator(operatorDesc string) string {
+	h := fnv.New64a()
+	h.Write([]byte("cbs-operator/v1\x00" + operatorDesc))
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -33,6 +33,18 @@ func TestGoldenFingerprints(t *testing.T) {
 			got:  Solve(desc, 0.125, core.DefaultOptions()),
 			want: "9d7d68e62ec8b1ad",
 		},
+		{
+			// Job logs stamp this into their header; a change orphans every
+			// deployed job log on restart.
+			name: "operator identity",
+			got:  Operator(desc),
+			want: "e8f99e21c4460168",
+		},
+		{
+			name: "empty operator identity",
+			got:  Operator(""),
+			want: "c1f58555e4c1f62c",
+		},
 	}
 	for _, c := range cases {
 		if c.got != c.want {

@@ -1,0 +1,132 @@
+// events.go is the per-job event stream: every lifecycle transition and
+// progress tick becomes a sequenced Event, buffered for replay (SSE
+// Last-Event-ID) and fanned out live to subscribers. The sequence numbers
+// are the same ones the job log journals, so a stream survives a server
+// restart: replayed events come back with their original seqs and a
+// reconnecting client resumes gaplessly from wherever it left off.
+package jobs
+
+import "sync"
+
+// Event is one observable moment of a job's life.
+type Event struct {
+	// Seq numbers the job's events from 1, monotonically; it is the SSE
+	// event id and the Last-Event-ID resume point.
+	Seq int64 `json:"seq"`
+	// Ev is the event kind: "state" (a lifecycle transition) or
+	// "progress" (a completed step of a running task).
+	Ev string `json:"ev"`
+	// State is the job state after the event (for progress events, the
+	// state the progress happened in: running).
+	State State `json:"state"`
+	// Done/Total carry task progress on progress events.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// Err is the terminal error text, on failed/canceled finals.
+	Err string `json:"error,omitempty"`
+	// Final marks the last event a job will ever emit.
+	Final bool `json:"final"`
+}
+
+// subBuffer bounds a subscriber's unread backlog. A subscriber that falls
+// this far behind is disconnected (its channel closes mid-stream) and is
+// expected to reconnect with Last-Event-ID — the buffer replays what it
+// missed, so slowness costs a round-trip, never a gap.
+const subBuffer = 64
+
+// eventBuf is one job's event history plus its live subscribers.
+type eventBuf struct {
+	mu     sync.Mutex
+	seq    int64 // last assigned sequence number
+	events []Event
+	subs   map[int]chan Event
+	nextID int
+	closed bool // a Final event has been published
+}
+
+func newEventBuf() *eventBuf {
+	return &eventBuf{subs: make(map[int]chan Event)}
+}
+
+// seed preloads replayed events (restart re-adoption) so their original
+// sequence numbers stay authoritative; new events continue past them.
+func (b *eventBuf) seed(events []Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = append(b.events, events...)
+	for _, ev := range events {
+		if ev.Seq > b.seq {
+			b.seq = ev.Seq
+		}
+		if ev.Final {
+			b.closed = true
+		}
+	}
+}
+
+// next assigns the following sequence number without publishing — the
+// caller journals the event first, then publishes exactly what it wrote.
+func (b *eventBuf) next() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq++
+	return b.seq
+}
+
+// publish appends ev to the history and delivers it to every subscriber.
+// A subscriber whose buffer is full is closed and dropped: it will
+// reconnect and replay. After a Final event every subscriber is closed —
+// the stream is over.
+func (b *eventBuf) publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return // nothing follows a final event
+	}
+	b.events = append(b.events, ev)
+	for id, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default:
+			close(ch)
+			delete(b.subs, id)
+		}
+	}
+	if ev.Final {
+		b.closed = true
+		for id, ch := range b.subs {
+			close(ch)
+			delete(b.subs, id)
+		}
+	}
+}
+
+// watch returns the buffered events after afterSeq and, if the stream is
+// still live, a channel of subsequent events plus a cancel function. For
+// a finished job the channel is nil — the backlog is the whole story.
+func (b *eventBuf) watch(afterSeq int64) ([]Event, <-chan Event, func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var past []Event
+	for _, ev := range b.events {
+		if ev.Seq > afterSeq {
+			past = append(past, ev)
+		}
+	}
+	if b.closed {
+		return past, nil, func() {}
+	}
+	ch := make(chan Event, subBuffer)
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = ch
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if _, ok := b.subs[id]; ok {
+			close(ch)
+			delete(b.subs, id)
+		}
+	}
+	return past, ch, cancel
+}

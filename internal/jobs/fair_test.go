@@ -1,0 +1,270 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runOrder submits jobs for the given clients against a 1-worker pool and
+// returns the order the tasks actually executed. The first job is held
+// until every submission is queued, so the scheduler — not submission
+// timing — decides the order.
+func runOrder(t *testing.T, weights map[string]int, labels []string) []string {
+	t.Helper()
+	m := New(Config{Workers: 1, QueueDepth: 32})
+	var mu sync.Mutex
+	var order []string
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	ids := make([]string, len(labels))
+	for i, lbl := range labels {
+		client := lbl[:1] // "a3" -> client "a"
+		task := func(ctx context.Context, _ func(int, int)) (Outcome, error) {
+			mu.Lock()
+			order = append(order, lbl)
+			mu.Unlock()
+			if len(order) == 1 {
+				started <- lbl
+				<-release // hold the pool until every submission is queued
+			}
+			return Outcome{}, nil
+		}
+		id, err := m.Submit(Submission{Kind: KindSolve, Client: client, Weight: weights[client], Task: task})
+		if err != nil {
+			t.Fatalf("submit %s: %v", lbl, err)
+		}
+		ids[i] = id
+		if i == 0 {
+			<-started
+		}
+	}
+	close(release)
+	for _, id := range ids {
+		waitState(t, m, id, StateDone)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return order
+}
+
+// TestFairRoundRobinInterleaves: with equal weights, a client that shows
+// up with 2 jobs behind another client's 6 gets served alternately, not
+// after the backlog. The 1-worker pool makes the dispatch order exact.
+func TestFairRoundRobinInterleaves(t *testing.T) {
+	order := runOrder(t,
+		map[string]int{"a": 1, "b": 1},
+		[]string{"a1", "a2", "a3", "a4", "a5", "a6", "b1", "b2"})
+	want := []string{"a1", "a2", "b1", "a3", "b2", "a4", "a5", "a6"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v (strict alternation once both clients are queued)", order, want)
+		}
+	}
+}
+
+// TestFairWeightedShare: a weight-3 client dispatches up to 3 jobs per
+// ring pass against a weight-1 client's 1.
+func TestFairWeightedShare(t *testing.T) {
+	order := runOrder(t,
+		map[string]int{"a": 3, "b": 1},
+		[]string{"a1", "a2", "a3", "a4", "a5", "a6", "b1", "b2"})
+	want := []string{"a1", "a2", "a3", "a4", "b1", "a5", "a6", "b2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v (3:1 weighted rounds)", order, want)
+		}
+	}
+}
+
+// TestPerClientInFlightCap: with 2 workers and a cap of 1, a client
+// already running a job is passed over while the other client is below
+// the cap — but the cap never idles a worker when only one client has
+// work (work conservation).
+func TestPerClientInFlightCap(t *testing.T) {
+	m := New(Config{Workers: 2, QueueDepth: 32, PerClientInFlight: 1})
+	started := make(chan string, 8)
+	rel := map[string]chan struct{}{}
+	var ids []string
+	add := func(client, lbl string) {
+		t.Helper()
+		rel[lbl] = make(chan struct{})
+		id, err := m.Submit(Submission{Kind: KindSolve, Client: client, Task: blockingTask(started, rel[lbl], lbl)})
+		if err != nil {
+			t.Fatalf("submit %s: %v", lbl, err)
+		}
+		ids = append(ids, id)
+	}
+
+	add("a", "a1")
+	if got := <-started; got != "a1" {
+		t.Fatalf("first start %q, want a1", got)
+	}
+	add("b", "b1") // second worker takes the other client
+	if got := <-started; got != "b1" {
+		t.Fatalf("second start %q, want b1", got)
+	}
+	add("a", "a2")
+	add("a", "a3")
+	add("b", "b2")
+
+	// Freeing a's slot hands the worker to a2 — b is at its cap.
+	close(rel["a1"])
+	if got := <-started; got != "a2" {
+		t.Fatalf("after a1 finished, %q started, want a2 (b is at cap)", got)
+	}
+	// Freeing b's slot hands the worker to b2, NOT a3: a is at its cap
+	// while b sits below it.
+	close(rel["b1"])
+	if got := <-started; got != "b2" {
+		t.Fatalf("after b1 finished, %q started, want b2 (cap must bind against a)", got)
+	}
+	// Work conservation: with b drained, a may exceed alternation.
+	close(rel["a2"])
+	if got := <-started; got != "a3" {
+		t.Fatalf("after a2 finished, %q started, want a3", got)
+	}
+	close(rel["b2"])
+	close(rel["a3"])
+	for _, id := range ids {
+		waitState(t, m, id, StateDone)
+	}
+}
+
+// TestWatchLiveStream: a subscriber sees the full gapless event sequence
+// — queued, running, progress ticks, terminal — and the channel closes on
+// the final event.
+func TestWatchLiveStream(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	id, err := submit(m, KindSweep, func(ctx context.Context, progress func(int, int)) (Outcome, error) {
+		<-release
+		progress(1, 2)
+		progress(2, 2)
+		return Outcome{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	past, live, cancel, err := m.Watch(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	close(release)
+
+	events := append([]Event(nil), past...)
+	if live != nil {
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case ev, ok := <-live:
+				if !ok {
+					goto drained
+				}
+				events = append(events, ev)
+			case <-deadline:
+				t.Fatal("event channel never closed after the final event")
+			}
+		}
+	}
+drained:
+	if len(events) < 5 {
+		t.Fatalf("saw %d events %+v, want >= 5 (queued, running, 2 progress, done)", len(events), events)
+	}
+	for i, ev := range events {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("event %d seq %d — gap in stream %+v", i, ev.Seq, events)
+		}
+	}
+	last := events[len(events)-1]
+	if !last.Final || last.State != StateDone {
+		t.Errorf("stream ends with %+v, want final done", last)
+	}
+	// Watching from a mid-stream cursor replays only the suffix.
+	tail, tailLive, cancel2, err := m.Watch(id, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel2()
+	if tailLive != nil {
+		t.Error("terminal job handed out a live channel")
+	}
+	if len(tail) != len(events)-2 || tail[0].Seq != 3 {
+		t.Errorf("replay after seq 2 = %+v, want events 3..%d", tail, len(events))
+	}
+}
+
+// TestWatchLaggedSubscriberReconnects: a subscriber that stops reading is
+// disconnected (channel closed mid-stream) rather than blocking the
+// publisher; reconnecting with the last seen seq replays the missed
+// suffix with no gap — the SSE Last-Event-ID contract at the package
+// level.
+func TestWatchLaggedSubscriberReconnects(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	const ticks = 3 * subBuffer // far past the per-subscriber buffer
+	id, err := submit(m, KindSweep, func(ctx context.Context, progress func(int, int)) (Outcome, error) {
+		<-release
+		for i := 1; i <= ticks; i++ {
+			progress(i, ticks)
+		}
+		return Outcome{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	past, live, cancel, err := m.Watch(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if live == nil {
+		t.Fatal("no live channel for a queued job")
+	}
+	close(release)
+	waitState(t, m, id, StateDone) // publisher outran the unread subscriber
+
+	var last int64
+	for _, ev := range past {
+		last = ev.Seq
+	}
+	got := 0
+	for ev := range live { // closed by the overflow disconnect
+		if ev.Seq != last+1 {
+			t.Fatalf("buffered stream jumped %d -> %d", last, ev.Seq)
+		}
+		last = ev.Seq
+		got++
+	}
+	if got > subBuffer {
+		t.Errorf("lagged subscriber buffered %d events, cap is %d", got, subBuffer)
+	}
+	if last >= int64(ticks)+2 {
+		t.Fatalf("slow subscriber saw seq %d of ~%d — it was never cut off", last, ticks+3)
+	}
+
+	// Reconnect with Last-Event-ID = last: the suffix replays gaplessly
+	// through the terminal event.
+	tail, tailLive, cancel2, err := m.Watch(id, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel2()
+	if tailLive != nil {
+		t.Error("terminal job handed out a live channel on reconnect")
+	}
+	if len(tail) == 0 {
+		t.Fatal("reconnect replayed nothing")
+	}
+	for _, ev := range tail {
+		if ev.Seq != last+1 {
+			t.Fatalf("reconnect stream jumped %d -> %d", last, ev.Seq)
+		}
+		last = ev.Seq
+	}
+	if fin := tail[len(tail)-1]; !fin.Final || fin.State != StateDone {
+		t.Errorf("reconnected stream ends with %+v, want final done", fin)
+	}
+}

@@ -14,6 +14,13 @@ import (
 	"cbs/internal/core"
 )
 
+// submit is shorthand for the plain single-task submissions of these
+// tests (no client identity, no spec — the fairness and persistence
+// tests build full Submissions themselves).
+func submit(m *Manager, kind Kind, task Task) (string, error) {
+	return m.Submit(Submission{Kind: kind, Task: task})
+}
+
 // blockingTask returns a task that reports in on started (if non-nil) and
 // holds until release closes.
 func blockingTask(started chan<- string, release <-chan struct{}, id string) Task {
@@ -43,7 +50,7 @@ func TestQueueOverflowRejectsTyped(t *testing.T) {
 	// wait for the worker to hold it, then fill the queue behind it.
 	ids := make([]string, 3)
 	for i := range ids {
-		id, err := m.Submit(KindSolve, blockingTask(started, release, "t"))
+		id, err := submit(m, KindSolve, blockingTask(started, release, "t"))
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -55,7 +62,7 @@ func TestQueueOverflowRejectsTyped(t *testing.T) {
 
 	submitDone := make(chan error, 1)
 	go func() {
-		_, err := m.Submit(KindSolve, blockingTask(nil, release, "overflow"))
+		_, err := submit(m, KindSolve, blockingTask(nil, release, "overflow"))
 		submitDone <- err
 	}()
 	select {
@@ -83,7 +90,7 @@ func TestJobLifecycle(t *testing.T) {
 	m := New(Config{Workers: 1, QueueDepth: 4})
 	release := make(chan struct{})
 	progressed := make(chan struct{})
-	id, err := m.Submit(KindSweep, func(ctx context.Context, progress func(int, int)) (Outcome, error) {
+	id, err := submit(m, KindSweep, func(ctx context.Context, progress func(int, int)) (Outcome, error) {
 		progress(3, 7)
 		close(progressed)
 		<-release
@@ -122,13 +129,13 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 
-	runID, err := m.Submit(KindSolve, blockingTask(started, release, "running"))
+	runID, err := submit(m, KindSolve, blockingTask(started, release, "running"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-started
 	var ran sync.Map
-	queuedID, err := m.Submit(KindSolve, func(ctx context.Context, _ func(int, int)) (Outcome, error) {
+	queuedID, err := submit(m, KindSolve, func(ctx context.Context, _ func(int, int)) (Outcome, error) {
 		ran.Store("queued", true)
 		return Outcome{}, nil
 	})
@@ -167,12 +174,12 @@ func TestDrain(t *testing.T) {
 	m := New(Config{Workers: 1, QueueDepth: 4})
 	started := make(chan string, 1)
 	release := make(chan struct{})
-	runID, err := m.Submit(KindSolve, blockingTask(started, release, "inflight"))
+	runID, err := submit(m, KindSolve, blockingTask(started, release, "inflight"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-started
-	queuedID, err := m.Submit(KindSolve, blockingTask(nil, release, "queued"))
+	queuedID, err := submit(m, KindSolve, blockingTask(nil, release, "queued"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +194,7 @@ func TestDrain(t *testing.T) {
 		t.Fatalf("drain: %v", err)
 	}
 
-	if _, err := m.Submit(KindSolve, blockingTask(nil, release, "late")); !errors.Is(err, ErrDraining) {
+	if _, err := submit(m, KindSolve, blockingTask(nil, release, "late")); !errors.Is(err, ErrDraining) {
 		t.Errorf("submit while draining err = %v, want ErrDraining", err)
 	}
 	snap, _ := m.Get(runID)
@@ -205,7 +212,7 @@ func TestDrain(t *testing.T) {
 func TestDrainForceCancelsAfterGrace(t *testing.T) {
 	m := New(Config{Workers: 1, QueueDepth: 4})
 	started := make(chan string, 1)
-	id, err := m.Submit(KindSolve, func(ctx context.Context, _ func(int, int)) (Outcome, error) {
+	id, err := submit(m, KindSolve, func(ctx context.Context, _ func(int, int)) (Outcome, error) {
 		started <- "x"
 		<-ctx.Done() // refuses to finish until canceled
 		return Outcome{}, ctx.Err()
@@ -229,7 +236,7 @@ func TestDrainForceCancelsAfterGrace(t *testing.T) {
 // typed chaos error and the pool keeps serving.
 func TestChaosJobFault(t *testing.T) {
 	m := New(Config{Workers: 1, QueueDepth: 8, Chaos: chaos.New(1, chaos.Config{JobFault: 1})})
-	id, err := m.Submit(KindSolve, func(ctx context.Context, _ func(int, int)) (Outcome, error) {
+	id, err := submit(m, KindSolve, func(ctx context.Context, _ func(int, int)) (Outcome, error) {
 		t.Error("task ran despite injected pickup fault")
 		return Outcome{}, nil
 	})
@@ -268,7 +275,7 @@ func TestChaosSeedMatrix(t *testing.T) {
 	var ran atomic.Int64
 	ids := make([]string, n)
 	for i := 0; i < n; i++ {
-		id, err := m.Submit(KindSolve, func(ctx context.Context, _ func(int, int)) (Outcome, error) {
+		id, err := submit(m, KindSolve, func(ctx context.Context, _ func(int, int)) (Outcome, error) {
 			ran.Add(1)
 			return Outcome{}, nil
 		})

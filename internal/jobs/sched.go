@@ -1,0 +1,148 @@
+// sched.go is the fair dispatch policy: queued jobs live in per-client
+// FIFOs served by weighted round-robin, so one chatty client cannot
+// starve everyone else out of the worker pool. Two mechanisms:
+//
+//   - weighted round-robin: the scheduler cycles client queues in a ring,
+//     letting each client dispatch up to `weight` jobs (1..8, from the
+//     submission) before the cursor moves on. Equal weights degrade to
+//     plain round-robin; a weight-4 client gets ~4x the dispatch share of
+//     a weight-1 client under contention.
+//
+//   - per-client in-flight cap: a client already running `cap` jobs is
+//     passed over while any other client with queued work is below the
+//     cap. The cap is work-conserving: when only capped clients have
+//     queued work, it is ignored — fairness never idles a worker.
+//
+// The scheduler is not safe for concurrent use; the Manager calls it
+// under its own lock. Total queued depth (the 429 bound) is the sum over
+// clients — the global backpressure contract is unchanged.
+package jobs
+
+// schedClient is one client's queue state.
+type schedClient struct {
+	id       string
+	weight   int
+	credit   int // dispatches left before the cursor moves on
+	inflight int // jobs running now
+	fifo     []*job
+}
+
+// sched is the weighted round-robin dispatcher.
+type sched struct {
+	cap     int // per-client in-flight cap (work-conserving)
+	clients map[string]*schedClient
+	ring    []*schedClient
+	cursor  int
+	depth   int // total queued jobs
+}
+
+func newSched(perClientCap int) *sched {
+	if perClientCap < 1 {
+		perClientCap = 1
+	}
+	return &sched{cap: perClientCap, clients: make(map[string]*schedClient)}
+}
+
+// push queues a job under its client, creating the client on first use.
+// The client's weight follows its most recent submission.
+func (s *sched) push(j *job) {
+	c := s.clients[j.client]
+	if c == nil {
+		c = &schedClient{id: j.client, weight: j.weight, credit: j.weight}
+		s.clients[j.client] = c
+		s.ring = append(s.ring, c)
+	}
+	c.weight = j.weight
+	if c.credit > c.weight {
+		c.credit = c.weight
+	}
+	c.fifo = append(c.fifo, j)
+	s.depth++
+}
+
+// pick dispatches the next job under the WRR policy, or nil when nothing
+// is eligible (empty, or every queued client is at its in-flight cap
+// while idle capacity should wait for an uncapped client — which cannot
+// happen, see below: the cap only binds when another client is under it).
+func (s *sched) pick() *job {
+	if s.depth == 0 {
+		return nil
+	}
+	// Work-conserving cap: the cap only binds while some other queued
+	// client is below it; otherwise a capped client may run.
+	anyBelow := false
+	for _, c := range s.ring {
+		if len(c.fifo) > 0 && c.inflight < s.cap {
+			anyBelow = true
+			break
+		}
+	}
+	// Two passes around the ring: the first may spend stale credit, the
+	// second runs with fresh credit, so a queued eligible client is always
+	// found within 2n steps.
+	for i := 0; i < 2*len(s.ring); i++ {
+		c := s.ring[s.cursor]
+		if len(c.fifo) > 0 && c.credit > 0 && (!anyBelow || c.inflight < s.cap) {
+			j := c.fifo[0]
+			c.fifo = c.fifo[1:]
+			c.credit--
+			c.inflight++
+			s.depth--
+			if c.credit == 0 || len(c.fifo) == 0 {
+				s.advance()
+			}
+			return j
+		}
+		s.advance()
+	}
+	return nil
+}
+
+// advance refreshes the departing client's credit and moves the cursor.
+func (s *sched) advance() {
+	if len(s.ring) == 0 {
+		return
+	}
+	s.ring[s.cursor].credit = s.ring[s.cursor].weight
+	s.cursor = (s.cursor + 1) % len(s.ring)
+}
+
+// release returns a client's in-flight slot after its job finished, and
+// retires the client entirely once it is idle with nothing queued (the
+// ring must not grow without bound across distinct client IDs).
+func (s *sched) release(clientID string) {
+	c := s.clients[clientID]
+	if c == nil {
+		return
+	}
+	if c.inflight > 0 {
+		c.inflight--
+	}
+	if c.inflight == 0 && len(c.fifo) == 0 {
+		delete(s.clients, clientID)
+		for i, rc := range s.ring {
+			if rc == c {
+				s.ring = append(s.ring[:i], s.ring[i+1:]...)
+				if s.cursor > i || s.cursor >= len(s.ring) {
+					s.cursor--
+				}
+				if s.cursor < 0 {
+					s.cursor = 0
+				}
+				break
+			}
+		}
+	}
+}
+
+// drainAll empties every queue (manager shutdown), returning the jobs in
+// client-ring order for cancellation.
+func (s *sched) drainAll() []*job {
+	var out []*job
+	for _, c := range s.ring {
+		out = append(out, c.fifo...)
+		c.fifo = nil
+	}
+	s.depth = 0
+	return out
+}

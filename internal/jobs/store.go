@@ -1,0 +1,332 @@
+// store.go is the persistent job log: the serving layer's instance of the
+// shared internal/journal framing (CRC-framed JSONL, atomic header
+// creation, fsynced appends, torn-tail truncation). One record per job
+// *event* — every lifecycle transition and every progress tick — so the
+// log is simultaneously the crash-recovery source of truth and the
+// replayable event stream behind SSE Last-Event-ID: a client that
+// reconnects after a server restart still sees a gapless sequence.
+//
+// Header identity: the log is stamped with fingerprint.Operator of the
+// served model. A restarted server refuses to replay a log written for a
+// different operator (ErrLogMismatch) — re-adopting those jobs would
+// resume physics the server can no longer compute.
+//
+// Durability policy (who must not lose what):
+//   - the "queued" record is written before Submit succeeds; if it cannot
+//     be made durable the submission is rejected (ErrJobLog). An accepted
+//     job is therefore always recoverable.
+//   - later records (running, progress, terminal) are best-effort: a lost
+//     terminal record replays the job as running, re-adoption re-enqueues
+//     it, and the sweep journal's per-energy records make the re-run
+//     cheap. Lost progress only shortens the replayed event stream.
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cbs/internal/chaos"
+	"cbs/internal/journal"
+)
+
+// Typed sentinels of the job store.
+var (
+	// ErrJobLog means a job-log write failed at a point where losing the
+	// record would lose the job: the submission is rejected rather than
+	// accepted into a state a restart cannot see.
+	ErrJobLog = errors.New("jobs: job log write failed")
+	// ErrLogMismatch means the job log on disk was written by a different
+	// operator (or an incompatible log version): replaying it would adopt
+	// jobs whose physics this server cannot reproduce.
+	ErrLogMismatch = errors.New("jobs: job log does not match this server")
+	// ErrLostToRestart marks a job that survived in the log but could not
+	// be re-adopted after restart: its request spec no longer rebuilds a
+	// runnable task (or re-adoption itself faulted). The job resolves as
+	// failed instead of silently vanishing.
+	ErrLostToRestart = errors.New("jobs: job lost to server restart")
+)
+
+// logMagic / logVersion identify the file type; bump the version on any
+// incompatible record-format change.
+const (
+	logMagic   = "cbs-job-log"
+	logVersion = 1
+)
+
+// logHeader is the first line of every job log.
+type logHeader struct {
+	Magic    string `json:"magic"`
+	Version  int    `json:"version"`
+	Operator string `json:"operator"`
+}
+
+// Record event kinds.
+const (
+	evState    = "state"
+	evProgress = "progress"
+)
+
+// logRecord is one journaled job event.
+type logRecord struct {
+	Job string `json:"job"`
+	Seq int64  `json:"seq"` // per-job event sequence, from 1
+	Ev  string `json:"ev"`  // evState | evProgress
+	// State transition payload (evState).
+	State State  `json:"state,omitempty"`
+	Err   string `json:"error,omitempty"`
+	// Submission identity, present on queued records only: everything a
+	// restarted server needs to rebuild and re-enqueue the job.
+	Kind        Kind            `json:"kind,omitempty"`
+	Client      string          `json:"client,omitempty"`
+	Weight      int             `json:"weight,omitempty"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Spec        json.RawMessage `json:"spec,omitempty"`
+	// Progress payload (evProgress).
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// Unix is the event time in nanoseconds since the epoch.
+	Unix int64 `json:"unix,omitempty"`
+}
+
+// ReplayedJob is one job folded out of the log on restart: its last
+// journaled state plus the full event stream for SSE replay.
+type ReplayedJob struct {
+	ID          string
+	Kind        Kind
+	Client      string
+	Weight      int
+	Fingerprint string
+	Spec        json.RawMessage
+	State       State
+	Err         string
+	Done, Total int
+	Submitted   time.Time
+	Started     time.Time
+	Finished    time.Time
+	Events      []Event
+}
+
+// Store is the open job log. A nil *Store disables persistence — the
+// manager runs in-memory exactly as before.
+type Store struct {
+	f     *journal.File
+	path  string
+	chaos *chaos.Injector
+	mu    sync.Mutex
+	// seq numbers appends (all jobs interleaved) so chaos decisions are
+	// deterministic per site under a fixed seed.
+	seq int64
+}
+
+// OpenStore opens (or creates) the job log at path and replays every
+// intact record. The header must carry the given operator identity —
+// fingerprint.Operator of the served model — or ErrLogMismatch is
+// returned and nothing is replayed. Torn or corrupt lines (a crash
+// mid-append) are dropped; a torn tail is truncated before the log
+// reopens for appending.
+func OpenStore(path, operator string) (*Store, []ReplayedJob, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		f, cerr := createStore(path, operator)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		return newStore(f, path), nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	replayed, goodEnd, err := parseLog(data, operator)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := journal.OpenAppend(path, goodEnd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: reopening job log: %w", err)
+	}
+	return newStore(f, path), replayed, nil
+}
+
+// createStore writes a fresh log header (atomic: temp + fsync + rename
+// inside internal/journal).
+func createStore(path, operator string) (*journal.File, error) {
+	payload, err := json.Marshal(logHeader{Magic: logMagic, Version: logVersion, Operator: operator})
+	if err != nil {
+		return nil, err
+	}
+	return journal.Create(path, payload)
+}
+
+func newStore(f *journal.File, path string) *Store {
+	return &Store{f: f, path: path}
+}
+
+// SetChaos arms fault injection on log appends (nil-safe, test/CI only).
+func (st *Store) SetChaos(in *chaos.Injector) {
+	if st != nil {
+		st.chaos = in
+	}
+}
+
+// Path returns the log's file path ("" for a nil store).
+func (st *Store) Path() string {
+	if st == nil {
+		return ""
+	}
+	return st.path
+}
+
+// Close releases the log file (nil-safe).
+func (st *Store) Close() error {
+	if st == nil {
+		return nil
+	}
+	return st.f.Close()
+}
+
+// nextSeq hands out the store-global append sequence number.
+func (st *Store) nextSeq() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := st.seq
+	st.seq++
+	return n
+}
+
+// append durably logs one record. A nil store accepts everything. Under
+// chaos a JobLogFault either fails the append cleanly or writes a torn
+// fragment first (the on-disk image of a crash mid-append) — either way
+// the record is not durable and the error says so.
+func (st *Store) append(rec logRecord) error {
+	if st == nil {
+		return nil
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrJobLog, err)
+	}
+	n := st.nextSeq()
+	//cbs:chaossite joblog.append
+	if torn, ferr := st.chaos.JobLogFault(int(n)); ferr != nil {
+		if torn {
+			st.f.AppendTorn(payload)
+		}
+		return fmt.Errorf("%w: %w", ErrJobLog, ferr)
+	}
+	if err := st.f.Append(payload); err != nil {
+		return fmt.Errorf("%w: %w", ErrJobLog, err)
+	}
+	return nil
+}
+
+// parseLog validates the header and folds the surviving records into
+// per-job replay state, in first-seen order.
+func parseLog(data []byte, operator string) ([]ReplayedJob, int64, error) {
+	var goodEnd int64
+	sawHeader := false
+	byID := make(map[string]*ReplayedJob)
+	var order []string
+	for _, line := range journal.Lines(data) {
+		if !sawHeader {
+			if line.Payload == nil {
+				return nil, 0, fmt.Errorf("%w: corrupt header frame", ErrLogMismatch)
+			}
+			var h logHeader
+			if err := json.Unmarshal(line.Payload, &h); err != nil || h.Magic != logMagic {
+				return nil, 0, fmt.Errorf("%w: bad header", ErrLogMismatch)
+			}
+			if h.Version != logVersion {
+				return nil, 0, fmt.Errorf("%w: log version %d, want %d", ErrLogMismatch, h.Version, logVersion)
+			}
+			if h.Operator != operator {
+				return nil, 0, fmt.Errorf("%w: log operator %s, server %s", ErrLogMismatch, h.Operator, operator)
+			}
+			sawHeader = true
+			goodEnd = line.End
+			continue
+		}
+		if line.Payload == nil {
+			continue // torn or corrupt record: the event is lost, not the job
+		}
+		var rec logRecord
+		if err := json.Unmarshal(line.Payload, &rec); err != nil || rec.Job == "" {
+			continue
+		}
+		goodEnd = line.End
+		rj := byID[rec.Job]
+		if rj == nil {
+			rj = &ReplayedJob{ID: rec.Job, State: StateQueued, Weight: 1}
+			byID[rec.Job] = rj
+			order = append(order, rec.Job)
+		}
+		foldRecord(rj, rec)
+	}
+	if !sawHeader {
+		return nil, 0, fmt.Errorf("%w: empty file", ErrLogMismatch)
+	}
+	out := make([]ReplayedJob, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out, goodEnd, nil
+}
+
+// foldRecord applies one event to the replayed job state.
+func foldRecord(rj *ReplayedJob, rec logRecord) {
+	ev := Event{Seq: rec.Seq, Ev: rec.Ev, State: rec.State, Done: rec.Done, Total: rec.Total, Err: rec.Err}
+	switch rec.Ev {
+	case evState:
+		rj.State = rec.State
+		if rec.Err != "" {
+			rj.Err = rec.Err
+		}
+		t := time.Unix(0, rec.Unix)
+		switch rec.State {
+		case StateQueued:
+			rj.Submitted = t
+			if rec.Kind != "" {
+				rj.Kind = rec.Kind
+			}
+			if rec.Client != "" {
+				rj.Client = rec.Client
+			}
+			if rec.Weight > 0 {
+				rj.Weight = rec.Weight
+			}
+			if rec.Fingerprint != "" {
+				rj.Fingerprint = rec.Fingerprint
+			}
+			if len(rec.Spec) > 0 {
+				rj.Spec = rec.Spec
+			}
+		case StateRunning:
+			rj.Started = t
+		default:
+			rj.Finished = t
+		}
+		ev.Final = rec.State.Terminal()
+	case evProgress:
+		rj.Done, rj.Total = rec.Done, rec.Total
+		ev.State = StateRunning
+	default:
+		return // unknown event kind from a future version: skip
+	}
+	rj.Events = append(rj.Events, ev)
+}
+
+// replayedSeq extracts the numeric tail of a replayed job ID ("j000017"
+// -> 17) so a restarted manager continues numbering past it.
+func replayedSeq(id string) int {
+	s := strings.TrimPrefix(id, "j")
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0
+	}
+	return n
+}

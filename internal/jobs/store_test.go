@@ -1,0 +1,449 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cbs/internal/chaos"
+	"cbs/internal/core"
+)
+
+// openStore opens the test job log, failing the test on error.
+func openStore(t *testing.T, path, operator string) (*Store, []ReplayedJob) {
+	t.Helper()
+	st, replayed, err := OpenStore(path, operator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, replayed
+}
+
+// findReplayed returns the replayed job with the given ID.
+func findReplayed(t *testing.T, rjs []ReplayedJob, id string) ReplayedJob {
+	t.Helper()
+	for _, rj := range rjs {
+		if rj.ID == id {
+			return rj
+		}
+	}
+	t.Fatalf("job %s not replayed (%d jobs: %+v)", id, len(rjs), rjs)
+	return ReplayedJob{}
+}
+
+// TestStoreRoundTrip: jobs journaled by one manager replay from the log
+// with their identity, terminal state, and event sequence intact.
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	st, replayed := openStore(t, path, "op-v1")
+	if len(replayed) != 0 {
+		t.Fatalf("fresh log replayed %d jobs", len(replayed))
+	}
+	m := New(Config{Workers: 1, QueueDepth: 8, Store: st})
+	doneID, err := m.Submit(Submission{
+		Kind: KindSweep, Client: "alice", Weight: 3,
+		Fingerprint: "fp123", Spec: json.RawMessage(`{"ne":5}`),
+		Task: func(ctx context.Context, progress func(int, int)) (Outcome, error) {
+			progress(2, 5)
+			return Outcome{Result: &core.Result{Energy: 1}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, doneID, StateDone)
+	failID, err := submit(m, KindSolve, func(ctx context.Context, _ func(int, int)) (Outcome, error) {
+		return Outcome{}, errors.New("solver exploded")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, failID, StateFailed)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	_, replayed = openStore(t, path, "op-v1")
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(replayed))
+	}
+	rj := findReplayed(t, replayed, doneID)
+	if rj.State != StateDone || rj.Kind != KindSweep || rj.Client != "alice" || rj.Weight != 3 {
+		t.Errorf("replayed job %+v, want done sweep alice w3", rj)
+	}
+	if rj.Fingerprint != "fp123" || string(rj.Spec) != `{"ne":5}` {
+		t.Errorf("identity lost: fp %q spec %q", rj.Fingerprint, rj.Spec)
+	}
+	if rj.Done != 2 || rj.Total != 5 {
+		t.Errorf("replayed progress %d/%d, want 2/5", rj.Done, rj.Total)
+	}
+	// Events: queued, running, progress, done — strictly sequential seqs.
+	if len(rj.Events) != 4 {
+		t.Fatalf("replayed %d events, want 4: %+v", len(rj.Events), rj.Events)
+	}
+	for i, ev := range rj.Events {
+		if ev.Seq != int64(i+1) {
+			t.Errorf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	if !rj.Events[3].Final || rj.Events[3].State != StateDone {
+		t.Errorf("last event %+v, want final done", rj.Events[3])
+	}
+	fj := findReplayed(t, replayed, failID)
+	if fj.State != StateFailed || fj.Err == "" {
+		t.Errorf("failed job replayed as %+v", fj)
+	}
+}
+
+// TestStoreOperatorMismatch: a log written for one operator refuses to
+// replay under another — typed, at startup, with no partial adoption.
+func TestStoreOperatorMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	st, _ := openStore(t, path, "operator-a")
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := OpenStore(path, "operator-b")
+	if !errors.Is(err, ErrLogMismatch) {
+		t.Fatalf("mismatched operator opened with err = %v, want ErrLogMismatch", err)
+	}
+}
+
+// TestKillRestartReadopt is the crash-recovery invariant at the package
+// level: SIGKILL (modeled by Kill — journaling stops, contexts die) with
+// one job running and one queued; a successor manager replays the log,
+// re-adopts both under their original IDs, runs them to completion, and
+// numbers new submissions past the replayed IDs. Event sequences continue
+// across the restart without gaps.
+func TestKillRestartReadopt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	st, _ := openStore(t, path, "op-v1")
+	m := New(Config{Workers: 1, QueueDepth: 8, Store: st})
+
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	runID, err := m.Submit(Submission{
+		Kind: KindSweep, Client: "alice", Spec: json.RawMessage(`{"which":"run"}`),
+		Task: blockingTask(started, release, "r"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queuedID, err := m.Submit(Submission{
+		Kind: KindSolve, Client: "bob", Spec: json.RawMessage(`{"which":"queued"}`),
+		Task: blockingTask(nil, release, "q"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m.Kill() // the process dies mid-flight
+
+	st2, replayed := openStore(t, path, "op-v1")
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(replayed))
+	}
+	if rj := findReplayed(t, replayed, runID); rj.State != StateRunning {
+		t.Errorf("killed running job replayed as %s, want running (terminal record was never written)", rj.State)
+	}
+	if rj := findReplayed(t, replayed, queuedID); rj.State != StateQueued {
+		t.Errorf("killed queued job replayed as %s, want queued", rj.State)
+	}
+
+	m2 := New(Config{Workers: 2, QueueDepth: 8, Store: st2})
+	var rebuilt atomic.Int64
+	requeued, restored, failed := m2.Adopt(replayed, func(rj ReplayedJob) (Task, error) {
+		rebuilt.Add(1)
+		return func(ctx context.Context, _ func(int, int)) (Outcome, error) {
+			return Outcome{Result: &core.Result{Energy: 42}}, nil
+		}, nil
+	})
+	if requeued != 2 || restored != 0 || failed != 0 {
+		t.Fatalf("adopt = (%d requeued, %d restored, %d failed), want (2, 0, 0)", requeued, restored, failed)
+	}
+	if rebuilt.Load() != 2 {
+		t.Errorf("rebuild ran %d times, want 2", rebuilt.Load())
+	}
+	waitState(t, m2, runID, StateDone)
+	waitState(t, m2, queuedID, StateDone)
+	snap, err := m2.Get(runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Outcome.Result == nil || snap.Outcome.Result.Energy != 42 {
+		t.Errorf("re-adopted job outcome %+v, want the rebuilt task's result", snap.Outcome)
+	}
+
+	// The event stream is gapless across the crash: seqs 1..n. (Get can
+	// report done a beat before the final event publishes, so drain the
+	// live channel too.)
+	events, live, cancel, err := m2.Watch(runID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if live != nil {
+		timeout := time.After(5 * time.Second)
+		for open := true; open; {
+			select {
+			case ev, ok := <-live:
+				if !ok {
+					open = false
+					break
+				}
+				events = append(events, ev)
+			case <-timeout:
+				t.Fatal("event stream never delivered the final event")
+			}
+		}
+	}
+	for i, ev := range events {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d — the stream has a gap: %+v", i, ev.Seq, events)
+		}
+	}
+	last := events[len(events)-1]
+	if !last.Final || last.State != StateDone {
+		t.Errorf("stream ends with %+v, want final done", last)
+	}
+
+	// New submissions number past every replayed ID.
+	newID, err := submit(m2, KindSolve, func(ctx context.Context, _ func(int, int)) (Outcome, error) {
+		return Outcome{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID == runID || newID == queuedID || !(newID > queuedID) {
+		t.Errorf("post-restart ID %s collides with replayed IDs %s/%s", newID, runID, queuedID)
+	}
+	if mt := m2.Metrics(); mt.Readopted != 2 {
+		t.Errorf("readopted metric = %d, want 2", mt.Readopted)
+	}
+	ctx, cancelDrain := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelDrain()
+	m2.Drain(ctx) //nolint:errcheck
+}
+
+// TestAdoptTerminalRestored: a job that finished before the crash is
+// restored as a queryable terminal snapshot, marked Restored, with its
+// task never rebuilt.
+func TestAdoptTerminalRestored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	st, _ := openStore(t, path, "op-v1")
+	m := New(Config{Workers: 1, QueueDepth: 8, Store: st})
+	id, err := submit(m, KindSolve, func(ctx context.Context, _ func(int, int)) (Outcome, error) {
+		return Outcome{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, id, StateDone)
+	m.Kill()
+
+	st2, replayed := openStore(t, path, "op-v1")
+	m2 := New(Config{Workers: 1, QueueDepth: 8, Store: st2})
+	requeued, restored, failed := m2.Adopt(replayed, func(rj ReplayedJob) (Task, error) {
+		t.Errorf("rebuild called for terminal job %s", rj.ID)
+		return nil, nil
+	})
+	if requeued != 0 || restored != 1 || failed != 0 {
+		t.Fatalf("adopt = (%d, %d, %d), want (0, 1, 0)", requeued, restored, failed)
+	}
+	snap, err := m2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateDone || !snap.Restored {
+		t.Errorf("restored job %+v, want done+Restored", snap)
+	}
+	// Its event stream is closed: Watch returns the backlog and no channel.
+	events, live, cancel, err := m2.Watch(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if live != nil {
+		t.Error("terminal restored job returned a live event channel")
+	}
+	if len(events) == 0 || !events[len(events)-1].Final {
+		t.Errorf("restored backlog %+v, want a final event", events)
+	}
+	ctx, cancelDrain := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelDrain()
+	m2.Drain(ctx) //nolint:errcheck
+}
+
+// TestAdoptRebuildFailure: a replayed job whose spec no longer rebuilds
+// fails with the typed ErrLostToRestart — it resolves, it does not vanish.
+func TestAdoptRebuildFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	st, _ := openStore(t, path, "op-v1")
+	m := New(Config{Workers: 1, QueueDepth: 8, Store: st})
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	id, err := submit(m, KindSolve, blockingTask(started, release, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	close(release)
+	m.Kill()
+
+	st2, replayed := openStore(t, path, "op-v1")
+	m2 := New(Config{Workers: 1, QueueDepth: 8, Store: st2})
+	requeued, restored, failed := m2.Adopt(replayed, func(rj ReplayedJob) (Task, error) {
+		return nil, errors.New("spec version retired")
+	})
+	if requeued != 0 || restored != 0 || failed != 1 {
+		t.Fatalf("adopt = (%d, %d, %d), want (0, 0, 1)", requeued, restored, failed)
+	}
+	snap, err := m2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateFailed || !errors.Is(snap.Err, ErrLostToRestart) {
+		t.Errorf("unre-adoptable job = %s / %v, want failed / ErrLostToRestart", snap.State, snap.Err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m2.Drain(ctx) //nolint:errcheck
+}
+
+// TestChaosAdoptFault: with CBS_CHAOS_ADOPT-style re-adoption faults
+// armed at rate 1, every unfinished replayed job typed-fails with both
+// ErrLostToRestart and the chaos sentinel — and still resolves by ID.
+func TestChaosAdoptFault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	st, _ := openStore(t, path, "op-v1")
+	m := New(Config{Workers: 1, QueueDepth: 8, Store: st})
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	id, err := submit(m, KindSolve, blockingTask(started, release, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	close(release)
+	m.Kill()
+
+	st2, replayed := openStore(t, path, "op-v1")
+	m2 := New(Config{Workers: 1, QueueDepth: 8, Store: st2,
+		Chaos: chaos.New(chaosSeed(), chaos.Config{AdoptFault: 1})})
+	requeued, restored, failed := m2.Adopt(replayed, func(rj ReplayedJob) (Task, error) {
+		t.Error("rebuild ran despite injected adoption fault")
+		return nil, nil
+	})
+	if requeued != 0 || restored != 0 || failed != 1 {
+		t.Fatalf("adopt under faults = (%d, %d, %d), want (0, 0, 1)", requeued, restored, failed)
+	}
+	snap, err := m2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(snap.Err, ErrLostToRestart) || !errors.Is(snap.Err, chaos.ErrInjected) {
+		t.Errorf("err = %v, want ErrLostToRestart wrapping chaos.ErrInjected", snap.Err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m2.Drain(ctx) //nolint:errcheck
+}
+
+// TestChaosJobLogSubmitRejected: when the queued record cannot be made
+// durable (CBS_CHAOS_JOBLOG at rate 1), the submission is rejected with
+// ErrJobLog and no job exists — accepted means recoverable.
+func TestChaosJobLogSubmitRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	st, _ := openStore(t, path, "op-v1")
+	st.SetChaos(chaos.New(chaosSeed(), chaos.Config{JobLogFault: 1}))
+	m := New(Config{Workers: 1, QueueDepth: 8, Store: st})
+	id, err := submit(m, KindSolve, func(ctx context.Context, _ func(int, int)) (Outcome, error) {
+		t.Error("task ran though its submission was rejected")
+		return Outcome{}, nil
+	})
+	if !errors.Is(err, ErrJobLog) || !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("submit err = %v (id %q), want ErrJobLog wrapping chaos.ErrInjected", err, id)
+	}
+	if mt := m.Metrics(); mt.Submitted != 0 || mt.Rejected != 1 || mt.QueueDepth != 0 {
+		t.Errorf("metrics %+v, want nothing accepted", mt)
+	}
+	// The log (possibly holding a torn fragment from the fault) must still
+	// replay cleanly: torn tails are a modeled crash, not corruption.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m.Drain(ctx) //nolint:errcheck
+	_, replayed := openStore(t, path, "op-v1")
+	if len(replayed) != 0 {
+		t.Errorf("rejected submission left %d jobs in the log", len(replayed))
+	}
+}
+
+// TestChaosJobLogSeedMatrix drives a full workload under a partial
+// job-log fault rate (the CBS_CHAOS_JOBLOG seed matrix): submissions
+// either reject typed or accept-and-complete, best-effort append failures
+// are counted rather than fatal, and the surviving log always replays —
+// every accepted job is either journaled terminal or re-adoptable.
+func TestChaosJobLogSeedMatrix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	st, _ := openStore(t, path, "op-v1")
+	st.SetChaos(chaos.New(chaosSeed(), chaos.Config{JobLogFault: 0.3}))
+	m := New(Config{Workers: 2, QueueDepth: 64, Store: st})
+	accepted := make(map[string]bool)
+	rejected := 0
+	for i := 0; i < 32; i++ {
+		id, err := m.Submit(Submission{
+			Kind: KindSolve, Client: fmt.Sprintf("c%d", i%3),
+			Spec: json.RawMessage(`{}`),
+			Task: func(ctx context.Context, _ func(int, int)) (Outcome, error) {
+				return Outcome{}, nil
+			},
+		})
+		if err != nil {
+			if !errors.Is(err, ErrJobLog) {
+				t.Fatalf("submit %d: %v, want ErrJobLog rejections only", i, err)
+			}
+			rejected++
+			continue
+		}
+		accepted[id] = true
+	}
+	for id := range accepted {
+		waitState(t, m, id, StateDone)
+	}
+	mt := m.Metrics()
+	if int(mt.Submitted) != len(accepted) || int(mt.Rejected) != rejected {
+		t.Errorf("metrics %+v vs accepted=%d rejected=%d", mt, len(accepted), rejected)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m.Drain(ctx) //nolint:errcheck
+
+	// Every accepted job replays; faults must never corrupt the log.
+	_, replayed := openStore(t, path, "op-v1")
+	if len(replayed) != len(accepted) {
+		t.Fatalf("replayed %d jobs, accepted %d", len(replayed), len(accepted))
+	}
+	for _, rj := range replayed {
+		if !accepted[rj.ID] {
+			t.Errorf("log invented job %s", rj.ID)
+		}
+		// A job whose terminal append was dropped replays as queued or
+		// running — that is re-adoptable, not lost. Finished appends
+		// replay done.
+		if rj.State == StateFailed || rj.State == StateCanceled {
+			t.Errorf("job %s replayed %s under a log-fault-only run", rj.ID, rj.State)
+		}
+	}
+	if rejected == 0 && mt.LogErrors == 0 {
+		t.Logf("seed %d drew no faults at rate 0.3 (possible but unlikely)", chaosSeed())
+	}
+}

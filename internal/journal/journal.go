@@ -1,0 +1,238 @@
+// Package journal is the shared crash-safe append-log idiom of the
+// durability layers: a file of CRC-framed JSONL lines,
+//
+//	<crc32c-hex> TAB <payload> LF
+//
+// with the CRC computed over the exact payload bytes. A record interrupted
+// mid-write (torn tail, no terminator, truncated payload) fails the frame
+// check on load and is dropped; files are created via temp-file + fsync +
+// rename (+ directory fsync) so a crash during creation never leaves a
+// half-written header behind; every append is a single write followed by
+// fsync, so a record is only ever reported durable once it is on disk.
+//
+// The sweep checkpoint journal (internal/sweep) and the serving layer's
+// job log (internal/jobs) are both instances of this framing; what the
+// payload means — energy records, job transitions — stays with the owner.
+// The owner also decides header semantics: the first line of every journal
+// is a header payload that Create writes atomically and loaders validate.
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// crcTable is Castagnoli CRC-32 (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame renders one journal line for the given payload.
+func Frame(payload []byte) []byte {
+	line := make([]byte, 0, len(payload)+10)
+	line = append(line, fmt.Sprintf("%08x", crc32.Checksum(payload, crcTable))...)
+	line = append(line, '\t')
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line
+}
+
+// Unframe validates one journal line (without its terminator) and returns
+// its payload, or false for a torn/corrupt line.
+func Unframe(line []byte) ([]byte, bool) {
+	if len(line) < 10 || line[8] != '\t' {
+		return nil, false
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, false
+	}
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != uint32(want) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Line is one terminated line of a journal file.
+type Line struct {
+	// Payload is the unframed payload, nil when the frame check failed
+	// (a torn or corrupt line the owner should skip).
+	Payload []byte
+	// End is the byte offset just past the line's terminator; the offset
+	// past the last line the owner accepts is where a torn tail begins.
+	End int64
+}
+
+// Lines splits data into its terminated lines, unframing each. An
+// unterminated tail (a record cut mid-write) is not returned — it has no
+// line of its own, and appending after it would corrupt the next record,
+// so owners truncate at the last accepted Line.End via OpenAppend.
+func Lines(data []byte) []Line {
+	var out []Line
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break
+		}
+		payload, ok := Unframe(data[off : off+nl])
+		end := int64(off + nl + 1)
+		if !ok {
+			payload = nil
+		}
+		out = append(out, Line{Payload: payload, End: end})
+		off = int(end)
+	}
+	return out
+}
+
+// File is an open journal accepting durable appends, serialized across
+// concurrent writers.
+type File struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	// torn is set when the previous write may have left an unterminated
+	// fragment in the file (a failed or chaos-torn append). The next
+	// append first writes a newline to seal the fragment into a line of
+	// its own — the sealed line fails the frame check and is skipped on
+	// load — so the fragment cannot glue onto the next record and destroy
+	// it. Without this, one torn write would also lose the first durable
+	// record appended after it.
+	torn bool
+}
+
+// Create starts a fresh journal at path, overwriting any existing file.
+// The framed header payload is written to a temp file, fsynced, and
+// renamed into place, so the journal either exists with a valid header or
+// not at all.
+//
+//cbs:durable
+func Create(path string, header []byte) (*File, error) {
+	tmp := path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tf.Write(Frame(header)); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	syncDir(path)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: f, path: path}, nil
+}
+
+// OpenAppend reopens an existing journal for appending after its owner
+// validated the contents up to goodEnd. Anything past goodEnd is a torn
+// tail from a crash mid-append and is truncated away first — a fragment
+// has no line terminator, so appending after it would corrupt the next
+// record too — and the truncation is made as durable as the appends.
+//
+//cbs:durable
+func OpenAppend(path string, goodEnd int64) (*File, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	truncated := false
+	if st.Size() > goodEnd {
+		if err := os.Truncate(path, goodEnd); err != nil {
+			return nil, fmt.Errorf("journal: dropping torn tail: %w", err)
+		}
+		truncated = true
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if truncated {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &File{f: f, path: path}, nil
+}
+
+// Path returns the journal's file path.
+func (f *File) Path() string { return f.path }
+
+// Append durably logs one payload: a single framed write followed by
+// fsync. An error means the record may not be on disk; the owner decides
+// whether that is fatal.
+//
+//cbs:durable
+func (f *File) Append(payload []byte) error {
+	line := Frame(payload)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.torn {
+		line = append([]byte{'\n'}, line...)
+	}
+	if _, err := f.f.Write(line); err != nil {
+		f.torn = true // a partial write is a fragment too
+		return err
+	}
+	f.torn = false
+	return f.f.Sync()
+}
+
+// AppendTorn writes only a prefix of the frame and no terminator — the
+// on-disk image of a crash between write and fsync. It exists for the
+// chaos injectors; production code never calls it.
+func (f *File) AppendTorn(payload []byte) {
+	line := Frame(payload)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.f.Write(line[:len(line)/2]) //nolint:errcheck // the fragment models a crash
+	f.f.Sync()                    //cbs:fsyncrelaxed torn-record simulation: the fragment models a crash, its fate is irrelevant
+	f.torn = true
+}
+
+// Close releases the journal file.
+func (f *File) Close() error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.f == nil {
+		return nil
+	}
+	err := f.f.Close()
+	f.f = nil
+	return err
+}
+
+// syncDir fsyncs the directory containing path so the rename that created
+// the journal is itself durable; best-effort (some filesystems refuse).
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	d.Sync() //cbs:fsyncrelaxed best-effort: some filesystems refuse directory fsync
+	d.Close()
+}

@@ -1,0 +1,190 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFrameRoundTrip: Frame then Unframe returns the payload; mutations
+// anywhere in the line fail the frame check.
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte(`{"x":1}`)
+	line := Frame(payload)
+	if line[len(line)-1] != '\n' {
+		t.Fatal("frame is not newline-terminated")
+	}
+	got, ok := Unframe(line[:len(line)-1])
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("unframe = %q, %v", got, ok)
+	}
+	for i := 0; i < len(line)-1; i++ {
+		bad := bytes.Clone(line[:len(line)-1])
+		bad[i] ^= 0x01
+		if _, ok := Unframe(bad); ok {
+			t.Fatalf("corrupt byte %d passed the frame check", i)
+		}
+	}
+	if _, ok := Unframe([]byte("short")); ok {
+		t.Error("short line passed the frame check")
+	}
+}
+
+// TestCreateAppendLines: a created file holds the header plus appended
+// records; Lines returns them in order with advancing offsets.
+func TestCreateAppendLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	f, err := Create(path, []byte("header"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"rec1", "rec2"} {
+		if err := f.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := Lines(data)
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3", len(lines))
+	}
+	want := []string{"header", "rec1", "rec2"}
+	var prev int64
+	for i, l := range lines {
+		if string(l.Payload) != want[i] {
+			t.Errorf("line %d payload %q, want %q", i, l.Payload, want[i])
+		}
+		if l.End <= prev {
+			t.Errorf("line %d end %d does not advance past %d", i, l.End, prev)
+		}
+		prev = l.End
+	}
+	if prev != int64(len(data)) {
+		t.Errorf("last line ends at %d, file is %d bytes", prev, len(data))
+	}
+}
+
+// TestTornTailTruncatedOnOpenAppend: a half-written record is invisible to
+// Lines (no terminator), OpenAppend truncates it, and the next append
+// lands cleanly after the surviving records.
+func TestTornTailTruncatedOnOpenAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	f, err := Create(path, []byte("header"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("rec1")); err != nil {
+		t.Fatal(err)
+	}
+	f.AppendTorn([]byte("rec-that-tears"))
+	f.Close()
+
+	data, _ := os.ReadFile(path)
+	lines := Lines(data)
+	if len(lines) != 2 {
+		t.Fatalf("%d lines with torn tail, want 2 (tail has no terminator)", len(lines))
+	}
+	goodEnd := lines[len(lines)-1].End
+	if goodEnd >= int64(len(data)) {
+		t.Fatal("torn tail left no bytes past goodEnd?")
+	}
+
+	f2, err := OpenAppend(path, goodEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Append([]byte("rec2")); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	data, _ = os.ReadFile(path)
+	lines = Lines(data)
+	if len(lines) != 3 || string(lines[2].Payload) != "rec2" {
+		t.Fatalf("after truncate+append: %d lines, last %q; want 3 ending rec2", len(lines), lines[len(lines)-1].Payload)
+	}
+}
+
+// TestAppendSealsTornFragment: an append after a torn write must not glue
+// onto the fragment — the fragment is sealed into its own (CRC-failing)
+// line and the appended record survives intact. Without the seal, one
+// torn write would also destroy the first durable record after it.
+func TestAppendSealsTornFragment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	f, err := Create(path, []byte("header"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.AppendTorn([]byte("rec-that-tears"))
+	if err := f.Append([]byte("must-survive")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("also-survives")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	lines := Lines(data)
+	// header, sealed fragment (nil payload), and the two live records.
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 4: %v", len(lines), lines)
+	}
+	if lines[1].Payload != nil {
+		t.Errorf("sealed fragment passed the frame check: %q", lines[1].Payload)
+	}
+	if string(lines[2].Payload) != "must-survive" || string(lines[3].Payload) != "also-survives" {
+		t.Fatalf("records after a torn write: %q, %q", lines[2].Payload, lines[3].Payload)
+	}
+}
+
+// TestCorruptMiddleLineSkipped: a corrupt line between valid ones comes
+// back with a nil payload but does not hide its successors.
+func TestCorruptMiddleLineSkipped(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(Frame([]byte("a")))
+	bad := Frame([]byte("b"))
+	bad[2] ^= 0x40 // corrupt the CRC hex
+	buf.Write(bad)
+	buf.Write(Frame([]byte("c")))
+	lines := Lines(buf.Bytes())
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3", len(lines))
+	}
+	if lines[0].Payload == nil || lines[1].Payload != nil || lines[2].Payload == nil {
+		t.Fatalf("corruption detection wrong: %v %v %v", lines[0].Payload, lines[1].Payload, lines[2].Payload)
+	}
+	if string(lines[2].Payload) != "c" {
+		t.Errorf("line after corruption = %q, want c", lines[2].Payload)
+	}
+}
+
+// TestCreateOverwritesAtomically: Create over an existing journal replaces
+// it whole — no stale records survive, and the temp file is gone.
+func TestCreateOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	f, err := Create(path, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Append([]byte("old")) //nolint:errcheck
+	f.Close()
+	f2, err := Create(path, []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	data, _ := os.ReadFile(path)
+	lines := Lines(data)
+	if len(lines) != 1 || string(lines[0].Payload) != "v2" {
+		t.Fatalf("recreated journal = %v, want only the v2 header", lines)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+}

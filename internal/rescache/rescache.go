@@ -46,6 +46,7 @@ type Stats struct {
 	Hits      int64 // lookups served from a stored entry
 	Misses    int64 // lookups that executed a solve
 	Deduped   int64 // lookups that waited on another caller's solve
+	Puts      int64 // direct Put insertions (sweep cross-pollination)
 	Evictions int64 // entries dropped by the LRU bound
 	Entries   int   // live entries
 	InFlight  int   // singleflight calls currently executing
@@ -186,6 +187,7 @@ func (c *Cache) Put(key string, res *core.Result) {
 		return
 	}
 	c.mu.Lock()
+	c.stats.Puts++
 	c.storeLocked(key, res)
 	c.mu.Unlock()
 }

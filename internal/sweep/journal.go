@@ -1,18 +1,14 @@
 package sweep
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
-	"path/filepath"
-	"strconv"
-	"sync"
 
 	"cbs/internal/chaos"
 	"cbs/internal/core"
+	"cbs/internal/journal"
 )
 
 // Typed sentinels of the journal layer.
@@ -142,89 +138,28 @@ func (rj *ResultJSON) Decode() *core.Result {
 }
 
 // Journal is the crash-safe checkpoint log of one sweep: a header line
-// followed by one CRC-framed JSON record per completed energy. Each line is
-//
-//	<crc32c-hex> TAB <json> LF
-//
-// with the CRC computed over the exact JSON bytes, so a record interrupted
-// mid-write (torn tail, no terminator, truncated JSON) fails the frame
-// check on load and is dropped — the energy is simply re-solved. Appends
-// are a single write followed by fsync; the file itself is created via
-// temp-file + rename (after fsync) so a crash during creation never leaves
-// a half-written header behind.
+// (magic, version, fingerprint) followed by one CRC-framed JSON record per
+// completed energy, in the shared internal/journal framing. A record
+// interrupted mid-write fails the frame check on load and is dropped — the
+// energy is simply re-solved. The durability discipline (temp-file +
+// fsync + rename creation, fsynced appends, torn-tail truncation) lives in
+// internal/journal.
 type Journal struct {
-	mu    sync.Mutex
-	f     *os.File
+	f     *journal.File
 	path  string
 	chaos *chaos.Injector
 }
 
-// crcTable is Castagnoli CRC-32 (hardware-accelerated on amd64/arm64).
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
-
-// frame renders one journal line for the given JSON payload.
-func frame(payload []byte) []byte {
-	line := make([]byte, 0, len(payload)+10)
-	line = append(line, fmt.Sprintf("%08x", crc32.Checksum(payload, crcTable))...)
-	line = append(line, '\t')
-	line = append(line, payload...)
-	line = append(line, '\n')
-	return line
-}
-
-// unframe validates one journal line and returns its JSON payload, or
-// false for a torn/corrupt line.
-func unframe(line []byte) ([]byte, bool) {
-	if len(line) < 10 || line[8] != '\t' {
-		return nil, false
-	}
-	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
-	if err != nil {
-		return nil, false
-	}
-	payload := line[9:]
-	if crc32.Checksum(payload, crcTable) != uint32(want) {
-		return nil, false
-	}
-	return payload, true
-}
-
 // Create starts a fresh journal at path, overwriting any existing file.
-// The header (magic, version, fingerprint) is written to a temp file,
-// fsynced, and renamed into place, so the journal either exists with a
-// valid header or not at all.
-//
-//cbs:durable
+// The header is written atomically (internal/journal's temp-file + fsync +
+// rename dance), so the journal either exists with a valid header or not
+// at all.
 func Create(path, fingerprint string) (*Journal, error) {
 	payload, err := json.Marshal(header{Magic: journalMagic, Version: journalVersion, Fingerprint: fingerprint})
 	if err != nil {
 		return nil, err
 	}
-	tmp := path + ".tmp"
-	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := tf.Write(frame(payload)); err != nil {
-		tf.Close()
-		os.Remove(tmp)
-		return nil, err
-	}
-	if err := tf.Sync(); err != nil {
-		tf.Close()
-		os.Remove(tmp)
-		return nil, err
-	}
-	if err := tf.Close(); err != nil {
-		os.Remove(tmp)
-		return nil, err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return nil, err
-	}
-	syncDir(path)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := journal.Create(path, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -235,12 +170,8 @@ func Create(path, fingerprint string) (*Journal, error) {
 // header against the expected fingerprint and loading every intact record.
 // Torn or corrupt lines (a crash mid-append) are dropped — those energies
 // carry no valid record and will be re-solved. A torn tail is truncated
-// away before the journal reopens for appending: a fragment has no line
-// terminator, so appending after it would corrupt the next record too. If
-// the file does not exist a fresh journal is created and no records are
-// returned.
-//
-//cbs:durable
+// away before the journal reopens for appending. If the file does not
+// exist a fresh journal is created and no records are returned.
 func Resume(path, fingerprint string) (*Journal, []Record, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -254,21 +185,9 @@ func Resume(path, fingerprint string) (*Journal, []Record, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if goodEnd < int64(len(data)) {
-		if err := os.Truncate(path, goodEnd); err != nil {
-			return nil, nil, fmt.Errorf("sweep: dropping torn journal tail: %w", err)
-		}
-	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := journal.OpenAppend(path, goodEnd)
 	if err != nil {
-		return nil, nil, err
-	}
-	if goodEnd < int64(len(data)) {
-		// Make the truncation as durable as the appends.
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return nil, nil, err
-		}
+		return nil, nil, fmt.Errorf("sweep: reopening journal: %w", err)
 	}
 	return &Journal{f: f, path: path}, recs, nil
 }
@@ -288,25 +207,16 @@ func Load(path, fingerprint string) ([]Record, error) {
 // the byte offset just past the last valid line — everything after it is a
 // torn tail a Resume may truncate away.
 func parseJournal(data []byte, fingerprint string) ([]Record, int64, error) {
-	off := 0
 	var goodEnd int64
 	sawHeader := false
 	var recs []Record
-	for off < len(data) {
-		nl := bytes.IndexByte(data[off:], '\n')
-		if nl < 0 {
-			break // unterminated tail: a record cut mid-write
-		}
-		line := data[off : off+nl]
-		lineEnd := int64(off + nl + 1)
-		off = int(lineEnd)
-		payload, ok := unframe(line)
+	for _, line := range journal.Lines(data) {
 		if !sawHeader {
-			if !ok {
+			if line.Payload == nil {
 				return nil, 0, fmt.Errorf("%w: corrupt header frame", ErrBadJournal)
 			}
 			var h header
-			if err := json.Unmarshal(payload, &h); err != nil || h.Magic != journalMagic {
+			if err := json.Unmarshal(line.Payload, &h); err != nil || h.Magic != journalMagic {
 				return nil, 0, fmt.Errorf("%w: bad header", ErrBadJournal)
 			}
 			if h.Version != journalVersion {
@@ -316,18 +226,18 @@ func parseJournal(data []byte, fingerprint string) ([]Record, int64, error) {
 				return nil, 0, fmt.Errorf("%w: journal %s, sweep %s", ErrFingerprintMismatch, h.Fingerprint, fingerprint)
 			}
 			sawHeader = true
-			goodEnd = lineEnd
+			goodEnd = line.End
 			continue
 		}
-		if !ok {
+		if line.Payload == nil {
 			continue // torn or corrupt record: drop it, the energy re-solves
 		}
 		var r Record
-		if err := json.Unmarshal(payload, &r); err != nil {
+		if err := json.Unmarshal(line.Payload, &r); err != nil {
 			continue
 		}
 		recs = append(recs, r)
-		goodEnd = lineEnd
+		goodEnd = line.End
 	}
 	if !sawHeader {
 		return nil, 0, fmt.Errorf("%w: empty file", ErrBadJournal)
@@ -346,35 +256,27 @@ func (j *Journal) SetChaos(in *chaos.Injector) {
 func (j *Journal) Path() string { return j.path }
 
 // Append durably logs one energy record: a single framed write followed by
-// fsync, serialized across sweep workers. A failure wraps ErrCheckpoint —
-// the record may not be on disk, so the sweep must stop rather than keep
-// producing results it cannot protect. Under chaos, a CheckpointFault fails
-// the append outright and a TornRecord writes only a prefix of the frame
-// (the on-disk image of a crash between write and fsync) before failing.
-//
-//cbs:durable
+// fsync, serialized across sweep workers inside internal/journal. A failure
+// wraps ErrCheckpoint — the record may not be on disk, so the sweep must
+// stop rather than keep producing results it cannot protect. Under chaos, a
+// CheckpointFault fails the append outright and a TornRecord writes only a
+// prefix of the frame (the on-disk image of a crash between write and
+// fsync) before failing.
 func (j *Journal) Append(rec Record) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("%w: %w", ErrCheckpoint, err)
 	}
-	line := frame(payload)
-	j.mu.Lock()
-	defer j.mu.Unlock()
 	//cbs:chaossite journal.ckpt
 	if err := j.chaos.CheckpointFault(rec.Index); err != nil {
 		return fmt.Errorf("%w: %w", ErrCheckpoint, err)
 	}
 	//cbs:chaossite journal.torn
 	if j.chaos.TornRecord(rec.Index) {
-		j.f.Write(line[:len(line)/2])
-		j.f.Sync() //cbs:fsyncrelaxed torn-record simulation: the fragment models a crash, its fate is irrelevant
+		j.f.AppendTorn(payload)
 		return fmt.Errorf("%w: %w", ErrCheckpoint, chaos.ErrInjected)
 	}
-	if _, err := j.f.Write(line); err != nil {
-		return fmt.Errorf("%w: %w", ErrCheckpoint, err)
-	}
-	if err := j.f.Sync(); err != nil {
+	if err := j.f.Append(payload); err != nil {
 		return fmt.Errorf("%w: %w", ErrCheckpoint, err)
 	}
 	return nil
@@ -388,15 +290,4 @@ func (j *Journal) Close() error {
 	err := j.f.Close()
 	j.f = nil
 	return err
-}
-
-// syncDir fsyncs the directory containing path so the rename that created
-// the journal is itself durable; best-effort (some filesystems refuse).
-func syncDir(path string) {
-	d, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return
-	}
-	d.Sync() //cbs:fsyncrelaxed best-effort: some filesystems refuse directory fsync
-	d.Close()
 }
