@@ -1,7 +1,7 @@
 GO ?= go
 CBSCHECK := bin/cbscheck
 
-.PHONY: all build test race lint cbscheck fuzz-smoke chaos-smoke sweep-smoke serve-smoke serve-chaos bench bench-smoke
+.PHONY: all build test race lint cbscheck fuzz-smoke chaos-smoke sweep-smoke serve-smoke serve-chaos net-smoke net-chaos bench bench-smoke fleet-bench
 
 all: build test
 
@@ -72,6 +72,25 @@ serve-chaos:
 serve-smoke:
 	$(GO) test -count=1 -tags servesmoke -run TestServeSmoke ./cmd/cbsd
 
+# net-smoke exercises the transport stack end to end under -race: wire
+# framing, the reliable link layer (reconnect, backoff, NAK retransmit),
+# channel/TCP parity in dist, and the fleet suite — including the real
+# SIGKILL multi-process kill-and-reshard acceptance test.
+net-smoke:
+	$(GO) test -race -count=1 ./internal/wire ./internal/comm ./internal/dist ./internal/fleet
+
+# net-chaos is the network-fault matrix: the fleet kill-and-reshard
+# acceptance and the comm/dist suites with the net.* chaos sites (drop,
+# delay, reorder, dup, partition, conn) armed across deterministic seeds.
+# The suites arm explicit per-site rates in-test and read the seed from
+# CBS_CHAOS_SEED, so each matrix entry faults a different pattern of
+# writes and dials; -count=2 defeats the test cache.
+net-chaos:
+	for seed in 1 2 3; do \
+		CBS_CHAOS=1 CBS_CHAOS_SEED=$$seed \
+		$(GO) test -race -count=2 ./internal/comm ./internal/fleet || exit 1; \
+	done
+
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzCSRBuild -fuzztime=30s ./internal/sparse
 	$(GO) test -run=NONE -fuzz=FuzzLUSolve -fuzztime=30s ./internal/zlinalg
@@ -93,3 +112,13 @@ bench-smoke:
 	$(GO) run ./cmd/serialperf -bench-json /tmp/cbs_bench_smoke.json -bench-al-n 6 -assert-speedup 1.0
 	$(GO) run ./cmd/serialperf -bench-verify BENCH_PR6.json
 	$(GO) run ./cmd/serialperf -bench-verify BENCH_PR8.json
+	$(GO) run ./cmd/fleetbench -verify BENCH_PR9.json
+
+# fleet-bench reruns the tracked distributed-sweep benchmark — the same
+# small Al(100) sweep single-process and over 2/4 local cbsw worker
+# processes via loopback TCP, with bit-identity enforced against the
+# single-process run — and rewrites the current PR's snapshot (schema
+# cbs-fleetbench/v1, BENCH_PR9.json).
+fleet-bench:
+	$(GO) build -o bin/cbsw ./cmd/cbsw
+	$(GO) run ./cmd/fleetbench -json BENCH_PR9.json

@@ -37,6 +37,7 @@ import (
 	"cbs/internal/bandstructure"
 	"cbs/internal/core"
 	"cbs/internal/fingerprint"
+	"cbs/internal/fleet"
 	"cbs/internal/hamiltonian"
 	"cbs/internal/lattice"
 	"cbs/internal/obm"
@@ -85,6 +86,13 @@ type (
 	SweepStatus = sweep.Status
 	// ScanError wraps a scan failure with the offending energy.
 	ScanError = core.ScanError
+	// FleetCoordinatorConfig tunes the coordinator end of a distributed
+	// multi-process sweep: listen address, worker admission, failure
+	// detection, and the checkpoint journal (see internal/fleet).
+	FleetCoordinatorConfig = fleet.CoordinatorConfig
+	// FleetWorkerConfig tunes one fleet worker process: coordinator
+	// address, stable worker name, and the per-energy retry ladder.
+	FleetWorkerConfig = fleet.WorkerConfig
 	// OBMOptions configures the transfer-matrix baseline.
 	OBMOptions = obm.Options
 	// OBMResult is the baseline's output.
@@ -255,6 +263,35 @@ func (m *Model) SweepCBS(ctx context.Context, es []float64, opts Options, cfg Sw
 		return core.SolveContext(ctx, qep.New(m.Op, e), o)
 	}
 	return sweep.Run(ctx, solve, es, opts, cfg)
+}
+
+// CoordinateFleet runs a durable sweep across OS processes: it listens on
+// cfg.Addr, shards the energies over registered workers by rendezvous
+// hash, re-dispatches the share of any worker that dies or partitions,
+// and journals completed energies exactly like SweepCBS — the report is
+// bit-identical to a single-process sweep of the same energies. If
+// cfg.OperatorDesc is empty it is filled from OperatorDesc; workers whose
+// operator digest differs are refused.
+func (m *Model) CoordinateFleet(ctx context.Context, es []float64, opts Options, cfg FleetCoordinatorConfig) (*SweepReport, error) {
+	if cfg.OperatorDesc == "" {
+		cfg.OperatorDesc = m.OperatorDesc()
+	}
+	return fleet.Coordinate(ctx, es, opts, cfg)
+}
+
+// ServeFleet runs this model as a fleet worker: dial the coordinator at
+// cfg.Addr, register under cfg.Name, and solve assigned energies until
+// the sweep finishes (nil), the context dies, or the link fails typed.
+// If cfg.OperatorDesc is empty it is filled from OperatorDesc — the
+// coordinator verifies the digest before admitting the worker.
+func (m *Model) ServeFleet(ctx context.Context, cfg FleetWorkerConfig) error {
+	if cfg.OperatorDesc == "" {
+		cfg.OperatorDesc = m.OperatorDesc()
+	}
+	solve := func(ctx context.Context, e float64, o Options) (*Result, error) {
+		return core.SolveContext(ctx, qep.New(m.Op, e), o)
+	}
+	return fleet.Work(ctx, solve, cfg)
 }
 
 // SolveOBM runs the transfer-matrix baseline at energy e (hartree).

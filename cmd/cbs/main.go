@@ -12,6 +12,13 @@
 //	cbs -system bundle7 -e 0.1 -top 2 -mid 4 -ndm 2
 //	cbs -system al -scan -ne 50 -checkpoint scan.journal
 //	cbs -system al -scan -ne 50 -checkpoint scan.journal -resume
+//	cbs -system al -scan -ne 50 -fleet-listen :9740 -fleet-min-workers 3
+//
+// With -fleet-listen the scan is served to cbsw worker processes over TCP
+// instead of solved locally: energies shard across the fleet, a worker
+// that dies or partitions has its share re-dispatched to survivors, and
+// the result is identical to the single-process sweep. Per-energy retries
+// then live worker-side (cbsw -retries); -scan-workers is ignored.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"sync/atomic"
 
 	"cbs"
 	"cbs/internal/chaos"
@@ -51,6 +59,9 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from the -checkpoint journal (skip completed energies)")
 	scanWorkers := flag.Int("scan-workers", 1, "concurrent energies in the sweep")
 	retries := flag.Int("retries", 3, "failed solve attempts per energy before it is marked failed")
+
+	fleetListen := flag.String("fleet-listen", "", "coordinate a distributed sweep: listen for cbsw workers on this address (e.g. :9740) and dispatch energies to them instead of solving locally")
+	fleetMin := flag.Int("fleet-min-workers", 1, "hold the first dispatch until this many workers have registered")
 
 	nint := flag.Int("nint", 32, "quadrature points per circle")
 	nmm := flag.Int("nmm", 8, "moment blocks")
@@ -124,15 +135,38 @@ func main() {
 
 	// Every energy runs through the durable sweep engine: a single -e solve
 	// is a one-element sweep, a scan gets per-energy retries, partial
-	// results, and the checkpoint journal.
-	cfg := cbs.SweepConfig{
-		Workers:        *scanWorkers,
-		MaxAttempts:    *retries,
-		CheckpointPath: *checkpoint,
-		Resume:         *resume,
-		Chaos:          opts.Chaos,
+	// results, and the checkpoint journal. With -fleet-listen the same
+	// sweep is served to cbsw worker processes instead: energies shard
+	// over the fleet, dead workers' shares re-dispatch to survivors, and
+	// the checkpoint journal works identically.
+	var (
+		report   *cbs.SweepReport
+		sweepErr error
+	)
+	if *fleetListen != "" {
+		var solved atomic.Int64
+		report, sweepErr = model.CoordinateFleet(ctx, energies, opts, cbs.FleetCoordinatorConfig{
+			Addr: *fleetListen,
+			OnListen: func(addr string) {
+				fmt.Fprintf(os.Stderr, "fleet: coordinating on %s (dispatch begins at %d worker(s))\n", addr, *fleetMin)
+			},
+			MinWorkers:     *fleetMin,
+			CheckpointPath: *checkpoint,
+			Resume:         *resume,
+			OnEnergy: func(er cbs.SweepEnergyResult) {
+				fmt.Fprintf(os.Stderr, "fleet: %d/%d energies complete (E-EF = %+.3f eV: %s)\n",
+					solved.Add(1), len(energies), units.HartreeToEV(er.Energy-ef), er.Status)
+			},
+		})
+	} else {
+		report, sweepErr = model.SweepCBS(ctx, energies, opts, cbs.SweepConfig{
+			Workers:        *scanWorkers,
+			MaxAttempts:    *retries,
+			CheckpointPath: *checkpoint,
+			Resume:         *resume,
+			Chaos:          opts.Chaos,
+		})
 	}
-	report, sweepErr := model.SweepCBS(ctx, energies, opts, cfg)
 
 	// Completed results are printed whatever happened to the rest of the
 	// sweep: a canceled or partly failed scan still delivers every energy

@@ -1,0 +1,151 @@
+// cbsw is the fleet worker: it builds the same model as a coordinating
+// cbs process (same -system and grid flags), dials the coordinator, and
+// solves the energies the rendezvous hash assigns it until the sweep
+// finishes. Every assignment is verified against the coordinator's solve
+// fingerprint before any arithmetic runs, so a worker built with the
+// wrong flags refuses work instead of contributing wrong physics.
+//
+// A worker that loses the coordinator exits with the typed link error;
+// restarting it (same -name) re-registers and wins back its rendezvous
+// share. Killing a worker mid-solve is safe: the coordinator re-dispatches
+// its outstanding energies to the survivors.
+//
+// Example (against `cbs -scan -fleet-listen :9740`):
+//
+//	cbsw -coordinator host:9740 -name w1 -system al
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"cbs"
+	"cbs/internal/chaos"
+	"cbs/internal/comm"
+	"cbs/internal/units"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "", "coordinator address (host:port) — required")
+	name := flag.String("name", "", "stable worker name for the rendezvous hash (default: hostname-pid)")
+
+	sys := flag.String("system", "al", "system: al | cnt | bundle7 | crystalline | bncnt (must match the coordinator)")
+	n := flag.Int("n", 8, "CNT chiral index n")
+	m := flag.Int("m", 0, "CNT chiral index m")
+	cells := flag.Int("cells", 1, "cells stacked along z (supercell)")
+	bnPairs := flag.Int("bn-pairs", 0, "BN dopant pairs (bncnt)")
+	seed := flag.Int64("seed", 2017, "doping seed")
+	nxy := flag.Int("nxy", 16, "transverse grid points")
+	nz := flag.Int("nz", 10, "axial grid points per cell")
+	nf := flag.Int("nf", 4, "finite-difference half-width")
+
+	retries := flag.Int("retries", 3, "failed solve attempts per assigned energy")
+	top := flag.Int("top", 1, "top-layer workers (right-hand sides)")
+	mid := flag.Int("mid", 1, "middle-layer workers (quadrature points)")
+	ndm := flag.Int("ndm", 1, "bottom-layer domains")
+
+	ioTimeout := flag.Duration("io-timeout", 0, "per-read link deadline (0 = transport default)")
+	retryBudget := flag.Int("retry-budget", 0, "link timeouts/reconnects before the coordinator is declared lost (0 = transport default)")
+	flag.Parse()
+
+	if *coordinator == "" {
+		log.Fatal("cbsw: -coordinator is required")
+	}
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// The model must be bit-identical to the coordinator's: the operator
+	// digest is checked at registration, and each assignment's solve
+	// fingerprint (operator + energy + options) is re-derived here before
+	// the solve runs.
+	st := buildSystem(*sys, *n, *m, *cells, *bnPairs, *seed)
+	model, err := cbs.NewModel(st, cbs.GridConfig{Nx: *nxy, Ny: *nxy, Nz: *nz * *cells, Nf: *nf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %s, %d atoms, N = %d grid points\n", *name, st.Name, st.NumAtoms(), model.N())
+
+	cfg := cbs.FleetWorkerConfig{
+		Addr:  *coordinator,
+		Name:  *name,
+		TCP:   comm.TCPOptions{IOTimeout: *ioTimeout, RetryBudget: *retryBudget},
+		Sweep: cbs.SweepConfig{MaxAttempts: *retries},
+		// The coordinator ships the physics options; the parallel layout
+		// is this worker's own (it is scheduling, not identity, so the
+		// per-assignment fingerprint check is unaffected).
+		Parallel: cbs.Parallel{Top: *top, Mid: *mid, Ndm: *ndm},
+		Chaos:    chaos.FromEnv(),
+	}
+
+	start := time.Now()
+	err = model.ServeFleet(ctx, cfg)
+	switch {
+	case err == nil:
+		fmt.Fprintf(os.Stderr, "%s: sweep complete after %s\n", *name, time.Since(start).Round(time.Millisecond))
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "%s: interrupted\n", *name)
+	default:
+		log.Fatalf("%s: %v", *name, err)
+	}
+}
+
+// buildSystem constructs the worker's structure (mirrors cmd/cbs).
+func buildSystem(sys string, n, m, cells, bnPairs int, seed int64) *cbs.Structure {
+	vac := units.AngstromToBohr(3.5)
+	fail := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	switch sys {
+	case "al":
+		st, err := cbs.AlBulk100(cells)
+		fail(err)
+		return st
+	case "cnt":
+		st, err := cbs.CNT(n, m, vac)
+		fail(err)
+		if cells > 1 {
+			st, err = cbs.Repeat(st, cells)
+			fail(err)
+		}
+		return st
+	case "bundle7":
+		tube, err := cbs.CNT(n, m, vac)
+		fail(err)
+		st, err := cbs.Bundle7(tube, vac)
+		fail(err)
+		return st
+	case "crystalline":
+		tube, err := cbs.CNT(n, m, vac)
+		fail(err)
+		st, err := cbs.CrystallineBundle(tube)
+		fail(err)
+		return st
+	case "bncnt":
+		tube, err := cbs.CNT(n, m, vac)
+		fail(err)
+		super, err := cbs.Repeat(tube, cells)
+		fail(err)
+		st, err := cbs.BNDope(super, bnPairs, seed)
+		fail(err)
+		return st
+	default:
+		log.Fatalf("unknown system %q", sys)
+		return nil
+	}
+}

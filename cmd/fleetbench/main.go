@@ -1,0 +1,272 @@
+// fleetbench measures what the TCP fleet costs: the same small Al(100)
+// energy sweep runs single-process and then distributed over 2 and 4
+// local cbsw worker processes, every distributed result is required to be
+// bit-identical to the single-process one, and the wall-clock numbers are
+// written as the tracked BENCH_PR9.json snapshot (schema
+// cbs-fleetbench/v1, continuing the BENCH_PR6/PR8 trajectory).
+//
+//	go build -o bin/cbsw ./cmd/cbsw
+//	go run ./cmd/fleetbench -json BENCH_PR9.json
+//	go run ./cmd/fleetbench -verify BENCH_PR9.json
+//
+// The distributed wall time includes worker startup (each cbsw process
+// rebuilds the model before registering): the snapshot measures the cost
+// of *standing up and running* a fleet sweep, not just its steady state.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"cbs"
+	"cbs/internal/sweep"
+	"cbs/internal/units"
+)
+
+const benchSchema = "cbs-fleetbench/v1"
+
+// benchResult is one sweep configuration's timing.
+type benchResult struct {
+	// Mode is "solo" (in-process sweep engine) or "tcp-<W>" (fleet with W
+	// local worker processes).
+	Mode        string  `json:"mode"`
+	Workers     int     `json:"workers"`
+	Procs       int     `json:"procs"` // OS processes involved, coordinator included
+	WallMs      float64 `json:"wall_ms"`
+	MsPerEnergy float64 `json:"ms_per_energy"`
+}
+
+// benchFile is the snapshot document.
+type benchFile struct {
+	Schema    string             `json:"schema"`
+	GitSHA    string             `json:"git_sha"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	GoVersion string             `json:"go_version"`
+	System    string             `json:"system"`
+	Nxy       int                `json:"nxy"`
+	Nz        int                `json:"nz"`
+	NE        int                `json:"ne"`
+	Nint      int                `json:"nint"`
+	Nmm       int                `json:"nmm"`
+	Nrh       int                `json:"nrh"`
+	Results   []benchResult      `json:"results"`
+	Speedups  map[string]float64 `json:"speedups"` // tcp-W wall vs solo wall
+	// GoldenMatch records that every distributed result compared
+	// bit-identical to the single-process sweep — a snapshot without it is
+	// measuring a broken fleet.
+	GoldenMatch bool `json:"golden_match"`
+}
+
+func main() {
+	jsonPath := flag.String("json", "", "write the benchmark snapshot to this file")
+	verify := flag.String("verify", "", "parse an existing snapshot against the cbs-fleetbench/v1 schema and exit")
+	cbswPath := flag.String("cbsw", "bin/cbsw", "path to the built cbsw worker binary")
+	nxy := flag.Int("nxy", 10, "transverse grid points")
+	nz := flag.Int("nz", 10, "axial grid points")
+	ne := flag.Int("ne", 8, "energies in the sweep")
+	flag.Parse()
+
+	if *verify != "" {
+		if err := verifyBenchFile(*verify); err != nil {
+			log.Fatalf("%s: %v", *verify, err)
+		}
+		fmt.Printf("%s: valid %s snapshot\n", *verify, benchSchema)
+		return
+	}
+
+	ctx := context.Background()
+	st, err := cbs.AlBulk100(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := cbs.NewModel(st, cbs.GridConfig{Nx: *nxy, Ny: *nxy, Nz: *nz, Nf: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ef, err := model.FermiLevel(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := cbs.DefaultOptions()
+	opts.Nint = 8
+	opts.Nmm = 4
+	opts.Nrh = 4
+	es := make([]float64, *ne)
+	for i := range es {
+		f := float64(i) / float64(max(1, *ne-1))
+		es[i] = ef + units.EVToHartree(-0.5+1.0*f)
+	}
+
+	file := benchFile{
+		Schema: benchSchema, GitSHA: gitSHA(),
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, GoVersion: runtime.Version(),
+		System: "al", Nxy: *nxy, Nz: *nz, NE: *ne,
+		Nint: opts.Nint, Nmm: opts.Nmm, Nrh: opts.Nrh,
+		Speedups:    map[string]float64{},
+		GoldenMatch: true,
+	}
+
+	fmt.Fprintf(os.Stderr, "fleetbench: %s, N = %d, %d energies\n", st.Name, model.N(), *ne)
+	t0 := time.Now()
+	goldenRep, err := model.SweepCBS(ctx, es, opts, cbs.SweepConfig{})
+	soloWall := time.Since(t0)
+	if err != nil {
+		log.Fatalf("solo sweep: %v", err)
+	}
+	if goldenRep.OK != len(es) {
+		log.Fatalf("solo sweep: OK=%d of %d", goldenRep.OK, len(es))
+	}
+	file.Results = append(file.Results, result("solo", 1, 1, soloWall, *ne))
+	fmt.Fprintf(os.Stderr, "fleetbench: solo %.0f ms\n", soloWall.Seconds()*1e3)
+
+	for _, w := range []int{2, 4} {
+		wall, rep := fleetSweep(ctx, model, es, opts, *cbswPath, *nxy, *nz, w)
+		file.Results = append(file.Results, result(fmt.Sprintf("tcp-%d", w), w, w+1, wall, *ne))
+		file.Speedups[fmt.Sprintf("tcp-%d_vs_solo", w)] = soloWall.Seconds() / wall.Seconds()
+		if !reportsMatch(goldenRep, rep) {
+			file.GoldenMatch = false
+		}
+		fmt.Fprintf(os.Stderr, "fleetbench: tcp-%d %.0f ms (%.2fx solo), golden match: %v\n",
+			w, wall.Seconds()*1e3, soloWall.Seconds()/wall.Seconds(), file.GoldenMatch)
+	}
+	if !file.GoldenMatch {
+		log.Fatal("fleetbench: distributed sweep diverged from the single-process golden")
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fleetbench: snapshot written to %s\n", *jsonPath)
+	}
+}
+
+// fleetSweep coordinates one distributed sweep over w cbsw processes.
+func fleetSweep(ctx context.Context, model *cbs.Model, es []float64, opts cbs.Options, cbswPath string, nxy, nz, w int) (time.Duration, *cbs.SweepReport) {
+	var procs []*exec.Cmd
+	t0 := time.Now()
+	rep, err := model.CoordinateFleet(ctx, es, opts, cbs.FleetCoordinatorConfig{
+		Addr:       "127.0.0.1:0",
+		MinWorkers: w,
+		OnListen: func(addr string) {
+			for i := 0; i < w; i++ {
+				cmd := exec.Command(cbswPath,
+					"-coordinator", addr, "-name", fmt.Sprintf("bench%d", i),
+					"-system", "al", "-nxy", strconv.Itoa(nxy), "-nz", strconv.Itoa(nz))
+				cmd.Stderr = os.Stderr
+				if err := cmd.Start(); err != nil {
+					log.Fatalf("start %s: %v", cbswPath, err)
+				}
+				procs = append(procs, cmd)
+			}
+		},
+	})
+	wall := time.Since(t0)
+	if err != nil {
+		log.Fatalf("fleet sweep (%d workers): %v", w, err)
+	}
+	for _, p := range procs {
+		if werr := p.Wait(); werr != nil {
+			log.Fatalf("worker exited with %v", werr)
+		}
+	}
+	if rep.OK != len(es) {
+		log.Fatalf("fleet sweep (%d workers): OK=%d of %d (failed %d, skipped %d)", w, rep.OK, len(es), rep.Failed, rep.Skipped)
+	}
+	return wall, rep
+}
+
+// reportsMatch compares two sweep reports energy by energy: same status,
+// bit-identical encoded result.
+func reportsMatch(a, b *cbs.SweepReport) bool {
+	if len(a.Results) != len(b.Results) {
+		return false
+	}
+	for i := range a.Results {
+		ra, rb := a.Results[i], b.Results[i]
+		if ra.Status != rb.Status {
+			return false
+		}
+		ja, _ := json.Marshal(sweep.EncodeResult(ra.Result))
+		jb, _ := json.Marshal(sweep.EncodeResult(rb.Result))
+		if string(ja) != string(jb) {
+			return false
+		}
+	}
+	return true
+}
+
+func result(mode string, workers, procs int, wall time.Duration, ne int) benchResult {
+	ms := wall.Seconds() * 1e3
+	return benchResult{Mode: mode, Workers: workers, Procs: procs, WallMs: ms, MsPerEnergy: ms / float64(ne)}
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// verifyBenchFile parses path against the cbs-fleetbench/v1 schema — the
+// CI tripwire for the committed BENCH_PR9.json.
+func verifyBenchFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f benchFile
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if f.Schema != benchSchema {
+		return fmt.Errorf("schema %q, want %q", f.Schema, benchSchema)
+	}
+	if f.GOARCH == "" || f.GoVersion == "" || f.GitSHA == "" {
+		return fmt.Errorf("missing provenance fields (goarch/go_version/git_sha)")
+	}
+	if f.NE <= 0 || f.Nxy <= 0 || f.Nz <= 0 {
+		return fmt.Errorf("non-positive problem shape ne=%d nxy=%d nz=%d", f.NE, f.Nxy, f.Nz)
+	}
+	want := map[string]bool{"solo": false, "tcp-2": false, "tcp-4": false}
+	for _, r := range f.Results {
+		if _, ok := want[r.Mode]; !ok {
+			return fmt.Errorf("unexpected result mode %q", r.Mode)
+		}
+		if r.WallMs <= 0 || r.MsPerEnergy <= 0 || r.Workers <= 0 {
+			return fmt.Errorf("result %q has non-positive timing", r.Mode)
+		}
+		want[r.Mode] = true
+	}
+	for mode, seen := range want {
+		if !seen {
+			return fmt.Errorf("missing result %q", mode)
+		}
+	}
+	for _, k := range []string{"tcp-2_vs_solo", "tcp-4_vs_solo"} {
+		if f.Speedups[k] <= 0 {
+			return fmt.Errorf("missing or non-positive speedup %q", k)
+		}
+	}
+	if !f.GoldenMatch {
+		return fmt.Errorf("snapshot records a golden mismatch: the fleet was broken when it was taken")
+	}
+	return nil
+}

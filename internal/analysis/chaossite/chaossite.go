@@ -75,6 +75,12 @@ var methodConfigFields = map[string][]string{
 	"CacheFault":      {"CacheFault"},
 	"JobLogFault":     {"JobLogFault"},
 	"AdoptFault":      {"AdoptFault"},
+	"NetDrop":         {"NetDrop"},
+	"NetDelay":        {"NetDelay"},
+	"NetReorder":      {"NetReorder"},
+	"NetDup":          {"NetDup"},
+	"NetPartition":    {"NetPartition"},
+	"NetConn":         {"NetConn"},
 }
 
 // methodEnvKeys maps fault methods to their seed-matrix env keys.
@@ -91,6 +97,12 @@ var methodEnvKeys = map[string]string{
 	"CacheFault":      "CBS_CHAOS_CACHE",
 	"JobLogFault":     "CBS_CHAOS_JOBLOG",
 	"AdoptFault":      "CBS_CHAOS_ADOPT",
+	"NetDrop":         "CBS_CHAOS_NET_DROP",
+	"NetDelay":        "CBS_CHAOS_NET_DELAY",
+	"NetReorder":      "CBS_CHAOS_NET_REORDER",
+	"NetDup":          "CBS_CHAOS_NET_DUP",
+	"NetPartition":    "CBS_CHAOS_NET_PARTITION",
+	"NetConn":         "CBS_CHAOS_NET_CONN",
 }
 
 type site struct {

@@ -98,6 +98,33 @@ type Config struct {
 	// rest of the recovery proceeds.
 	AdoptFault float64
 
+	// NetDrop is the probability that one framed write of a reliable TCP
+	// link is silently discarded instead of hitting the socket. The frame
+	// stays in the sender's outbox, so the link's NAK/retransmit machinery
+	// must recover it losslessly.
+	NetDrop float64
+	// NetDelay is the probability that one framed write is delayed a few
+	// milliseconds before hitting the socket — latency jitter that shakes
+	// out timing assumptions without changing delivery.
+	NetDelay float64
+	// NetReorder is the probability that one framed write is held back and
+	// emitted after the following write, swapping two frames on the wire;
+	// the receiver's sequence numbers must put them back in order.
+	NetReorder float64
+	// NetDup is the probability that one framed write is emitted twice;
+	// the receiver must drop the duplicate by sequence number.
+	NetDup float64
+	// NetPartition is the probability that one link operation starts a
+	// partition window: the connection drops and the next few
+	// dial/attach attempts fail, so the link must heal through its
+	// reconnect backoff (or surface ErrPartition once the budget is
+	// spent).
+	NetPartition float64
+	// NetConn is the probability that one dial attempt of a reliable link
+	// fails outright (connection refused / unreachable stand-in), forcing
+	// a backoff-and-retry round.
+	NetConn float64
+
 	// Columns, when non-empty, restricts the column-scoped injections
 	// (Breakdown, RestartBreakdown, FallbackFail) to the listed probe
 	// columns.
@@ -148,6 +175,12 @@ func (in *Injector) Seed() int64 {
 //	CBS_CHAOS_CACHE=<p>          forced result-cache miss rate (default 0)
 //	CBS_CHAOS_JOBLOG=<p>         torn/failed job-log append rate (default 0)
 //	CBS_CHAOS_ADOPT=<p>          restart re-adoption fault rate (default 0)
+//	CBS_CHAOS_NET_DROP=<p>       dropped frame rate on reliable links (default 0)
+//	CBS_CHAOS_NET_DELAY=<p>      delayed frame rate (default 0)
+//	CBS_CHAOS_NET_REORDER=<p>    reordered frame rate (default 0)
+//	CBS_CHAOS_NET_DUP=<p>        duplicated frame rate (default 0)
+//	CBS_CHAOS_NET_PARTITION=<p>  partition-window start rate (default 0)
+//	CBS_CHAOS_NET_CONN=<p>       failed dial-attempt rate (default 0)
 func FromEnv() *Injector {
 	if os.Getenv("CBS_CHAOS") == "" {
 		return nil
@@ -183,6 +216,12 @@ func FromEnv() *Injector {
 		CacheFault:       rate("CBS_CHAOS_CACHE", 0),
 		JobLogFault:      rate("CBS_CHAOS_JOBLOG", 0),
 		AdoptFault:       rate("CBS_CHAOS_ADOPT", 0),
+		NetDrop:          rate("CBS_CHAOS_NET_DROP", 0),
+		NetDelay:         rate("CBS_CHAOS_NET_DELAY", 0),
+		NetReorder:       rate("CBS_CHAOS_NET_REORDER", 0),
+		NetDup:           rate("CBS_CHAOS_NET_DUP", 0),
+		NetPartition:     rate("CBS_CHAOS_NET_PARTITION", 0),
+		NetConn:          rate("CBS_CHAOS_NET_CONN", 0),
 	})
 }
 
@@ -237,6 +276,12 @@ const (
 	kindRefine    = 0x7266 // "rf"
 	kindJobLog    = 0x6a6c // "jl"
 	kindAdopt     = 0x6164 // "ad"
+	kindNetDrop   = 0x6e64 // "nd"
+	kindNetDelay  = 0x6e6c // "nl"
+	kindNetReord  = 0x6e72 // "nr"
+	kindNetDup    = 0x6e75 // "nu"
+	kindNetPart   = 0x6e70 // "np"
+	kindNetConn   = 0x6e63 // "nc"
 )
 
 // Breakdown reports whether the BiCG solve at s should break down
@@ -418,4 +463,65 @@ func (in *Injector) TornRecord(index int) bool {
 		return false
 	}
 	return in.hit(in.cfg.TornRecord, kindTorn, index, 0, 0)
+}
+
+// The network sites are keyed by (src, dst, op) where op is the link's
+// monotonically increasing operation counter — write index for the frame
+// faults, attempt index for the dial faults — never the data sequence
+// number: a retransmission of the same frame is a fresh write with a fresh
+// draw, so a deterministic injector cannot doom one frame forever.
+
+// NetDrop reports whether the op-th framed write on the (src, dst) link
+// should be discarded instead of written.
+func (in *Injector) NetDrop(src, dst int, op int64) bool {
+	if in == nil {
+		return false
+	}
+	return in.hit(in.cfg.NetDrop, kindNetDrop, src, dst, int(op))
+}
+
+// NetDelay reports whether the op-th framed write on the (src, dst) link
+// should be delayed before hitting the socket.
+func (in *Injector) NetDelay(src, dst int, op int64) bool {
+	if in == nil {
+		return false
+	}
+	return in.hit(in.cfg.NetDelay, kindNetDelay, src, dst, int(op))
+}
+
+// NetReorder reports whether the op-th framed write on the (src, dst) link
+// should be held back and emitted after the following write.
+func (in *Injector) NetReorder(src, dst int, op int64) bool {
+	if in == nil {
+		return false
+	}
+	return in.hit(in.cfg.NetReorder, kindNetReord, src, dst, int(op))
+}
+
+// NetDup reports whether the op-th framed write on the (src, dst) link
+// should be emitted twice.
+func (in *Injector) NetDup(src, dst int, op int64) bool {
+	if in == nil {
+		return false
+	}
+	return in.hit(in.cfg.NetDup, kindNetDup, src, dst, int(op))
+}
+
+// NetPartition reports whether the op-th link operation on (src, dst)
+// should start a partition window (the connection drops and the next few
+// reconnect attempts fail before the link heals).
+func (in *Injector) NetPartition(src, dst int, op int64) bool {
+	if in == nil {
+		return false
+	}
+	return in.hit(in.cfg.NetPartition, kindNetPart, src, dst, int(op))
+}
+
+// NetConn reports whether the attempt-th dial of the (src, dst) link
+// should fail outright.
+func (in *Injector) NetConn(src, dst int, attempt int64) bool {
+	if in == nil {
+		return false
+	}
+	return in.hit(in.cfg.NetConn, kindNetConn, src, dst, int(attempt))
 }

@@ -1,9 +1,11 @@
-// Package comm is an in-process message-passing layer modelled on the MPI
-// subset the paper's code uses for its bottom parallel layer: point-to-point
-// sends between ranks (halo exchange of z-slab boundaries) and allreduce
-// (BiCG inner products, nonlocal projector coefficients). Ranks are
-// goroutines; channels carry the messages. Traffic statistics are recorded
-// so experiments can report communication volume.
+// Package comm is the message-passing layer modelled on the MPI subset the
+// paper's code uses for its bottom parallel layer: point-to-point sends
+// between ranks (halo exchange of z-slab boundaries) and allreduce (BiCG
+// inner products, nonlocal projector coefficients). This file is the
+// reference fabric — ranks are goroutines, channels carry the messages —
+// behind the Transport interface (transport.go); tcp.go carries the same
+// protocol across OS processes. Traffic statistics are recorded so
+// experiments can report communication volume.
 package comm
 
 import (
@@ -14,15 +16,17 @@ import (
 	"cbs/internal/chaos"
 )
 
-// World is a fixed-size group of ranks sharing a communication fabric.
+// World is a fixed-size group of ranks sharing the in-process channel
+// fabric. It implements RankWorld.
 type World struct {
 	size int
 	// p2p[src*size+dst] carries messages from src to dst.
 	p2p []chan []complex128
 
-	// allreduce state: a simple two-phase (gather + broadcast) reducer.
+	// allreduce state: a two-phase (gather + broadcast) reducer that sums
+	// in rank order so the result bits match the TCP fabric's.
 	reduceIn  chan reduceMsg
-	reduceOut []chan []complex128
+	reduceOut []chan reduceResult
 
 	barrierIn  chan struct{}
 	barrierOut []chan struct{}
@@ -45,6 +49,12 @@ type reduceMsg struct {
 	data []complex128
 }
 
+// reduceResult is one rank's share of a finished reduction round.
+type reduceResult struct {
+	data []complex128
+	err  error
+}
+
 // chanDepth buffers point-to-point links so symmetric exchanges do not
 // deadlock.
 const chanDepth = 4
@@ -59,7 +69,7 @@ func NewWorld(size int) (*World, error) {
 		size:       size,
 		p2p:        make([]chan []complex128, size*size),
 		reduceIn:   make(chan reduceMsg, size),
-		reduceOut:  make([]chan []complex128, size),
+		reduceOut:  make([]chan reduceResult, size),
 		barrierIn:  make(chan struct{}, size),
 		barrierOut: make([]chan struct{}, size),
 		sendSeq:    make([]atomic.Int64, size*size),
@@ -69,7 +79,7 @@ func NewWorld(size int) (*World, error) {
 		w.p2p[i] = make(chan []complex128, chanDepth)
 	}
 	for i := range w.reduceOut {
-		w.reduceOut[i] = make(chan []complex128, 1)
+		w.reduceOut[i] = make(chan reduceResult, 1)
 		w.barrierOut[i] = make(chan struct{}, 1)
 	}
 	go w.reducer()
@@ -85,9 +95,11 @@ func NewWorld(size int) (*World, error) {
 // tests observe realistic volumes.
 func (w *World) SetChaos(inj *chaos.Injector) { w.inj = inj }
 
-// Close shuts down the world's coordinators.
-func (w *World) Close() {
+// Close shuts down the world's coordinators; ranks blocked in collectives
+// return ErrClosed.
+func (w *World) Close() error {
 	w.stopOnce.Do(func() { close(w.stop) })
+	return nil
 }
 
 // Size returns the number of ranks.
@@ -99,33 +111,53 @@ func (w *World) Messages() int64 { return w.messages.Load() }
 // Bytes returns the total point-to-point traffic in bytes so far.
 func (w *World) Bytes() int64 { return w.bytes.Load() }
 
+// reducer gathers one contribution per rank, then sums them in rank order
+// — the same fold the TCP fabric's rank-0 star uses, so both fabrics
+// produce bit-identical sums — and broadcasts the result. A length
+// mismatch across the contributions fails the whole round with
+// ErrShapeMismatch on every rank: a remote peer must never be able to
+// panic a worker (this was a panic once; see the regression tests).
 func (w *World) reducer() {
+	slots := make([][]complex128, w.size)
 	for {
-		acc := make([]complex128, 0)
-		got := 0
-		for got < w.size {
+		for i := range slots {
+			slots[i] = nil
+		}
+		for got := 0; got < w.size; {
 			select {
 			case m := <-w.reduceIn:
-				if got == 0 {
-					acc = append(acc[:0], m.data...)
-				} else {
-					if len(m.data) != len(acc) {
-						panic("comm: allreduce length mismatch across ranks")
-					}
-					for i := range acc {
-						acc[i] += m.data[i]
-					}
+				if slots[m.rank] == nil {
+					got++
 				}
-				got++
+				slots[m.rank] = m.data
 			case <-w.stop:
 				return
 			}
 		}
+		var rerr error
+		for r := 1; r < w.size; r++ {
+			if len(slots[r]) != len(slots[0]) {
+				rerr = fmt.Errorf("%w: rank %d contributed %d elements, rank 0 contributed %d",
+					ErrShapeMismatch, r, len(slots[r]), len(slots[0]))
+				break
+			}
+		}
+		var acc []complex128
+		if rerr == nil {
+			acc = append([]complex128(nil), slots[0]...)
+			for r := 1; r < w.size; r++ {
+				for i := range acc {
+					acc[i] += slots[r][i]
+				}
+			}
+		}
 		for r := 0; r < w.size; r++ {
-			out := make([]complex128, len(acc))
-			copy(out, acc)
+			res := reduceResult{err: rerr}
+			if rerr == nil {
+				res.data = append([]complex128(nil), acc...)
+			}
 			select {
-			case w.reduceOut[r] <- out:
+			case w.reduceOut[r] <- res:
 			case <-w.stop:
 				return
 			}
@@ -153,14 +185,14 @@ func (w *World) barrierKeeper() {
 }
 
 // Comm returns the endpoint of one rank.
-func (w *World) Comm(rank int) (*Communicator, error) {
+func (w *World) Comm(rank int) (Transport, error) {
 	if rank < 0 || rank >= w.size {
 		return nil, fmt.Errorf("comm: rank %d out of range [0,%d)", rank, w.size)
 	}
 	return &Communicator{w: w, rank: rank}, nil
 }
 
-// Communicator is one rank's endpoint in a World.
+// Communicator is one rank's endpoint in a channel World.
 type Communicator struct {
 	w    *World
 	rank int
@@ -173,7 +205,7 @@ func (c *Communicator) Rank() int { return c.rank }
 func (c *Communicator) Size() int { return c.w.size }
 
 // Send transmits data to dst (the slice is copied).
-func (c *Communicator) Send(dst int, data []complex128) {
+func (c *Communicator) Send(dst int, data []complex128) error {
 	buf := make([]complex128, len(data))
 	copy(buf, data)
 	link := c.rank*c.w.size + dst
@@ -188,37 +220,72 @@ func (c *Communicator) Send(dst int, data []complex128) {
 	}
 	c.w.messages.Add(1)
 	c.w.bytes.Add(int64(len(data) * 16))
-	c.w.p2p[link] <- buf
+	select {
+	case c.w.p2p[link] <- buf:
+		return nil
+	case <-c.w.stop:
+		return ErrClosed
+	}
 }
 
 // Recv blocks until a message from src arrives.
-func (c *Communicator) Recv(src int) []complex128 {
-	return <-c.w.p2p[src*c.w.size+c.rank]
+func (c *Communicator) Recv(src int) ([]complex128, error) {
+	select {
+	case buf := <-c.w.p2p[src*c.w.size+c.rank]:
+		return buf, nil
+	case <-c.w.stop:
+		return nil, ErrClosed
+	}
 }
 
 // SendRecv performs a deadlock-free paired exchange: send to dst, receive
 // from src. (The buffered links make send-first safe for ring exchanges.)
-func (c *Communicator) SendRecv(dst int, data []complex128, src int) []complex128 {
-	c.Send(dst, data)
+func (c *Communicator) SendRecv(dst int, data []complex128, src int) ([]complex128, error) {
+	if err := c.Send(dst, data); err != nil {
+		return nil, err
+	}
 	return c.Recv(src)
 }
 
-// AllreduceSum sums the data element-wise across all ranks; every rank
-// receives the result. All ranks must call it with equal lengths.
-func (c *Communicator) AllreduceSum(data []complex128) []complex128 {
+// AllreduceSum sums the data element-wise across all ranks in rank order;
+// every rank receives the result. All ranks must call it with equal
+// lengths or every rank receives ErrShapeMismatch.
+func (c *Communicator) AllreduceSum(data []complex128) ([]complex128, error) {
 	in := make([]complex128, len(data))
 	copy(in, data)
-	c.w.reduceIn <- reduceMsg{rank: c.rank, data: in}
-	return <-c.w.reduceOut[c.rank]
+	select {
+	case c.w.reduceIn <- reduceMsg{rank: c.rank, data: in}:
+	case <-c.w.stop:
+		return nil, ErrClosed
+	}
+	select {
+	case res := <-c.w.reduceOut[c.rank]:
+		return res.data, res.err
+	case <-c.w.stop:
+		return nil, ErrClosed
+	}
 }
 
 // AllreduceSumScalar is AllreduceSum for a single value.
-func (c *Communicator) AllreduceSumScalar(v complex128) complex128 {
-	return c.AllreduceSum([]complex128{v})[0]
+func (c *Communicator) AllreduceSumScalar(v complex128) (complex128, error) {
+	out, err := c.AllreduceSum([]complex128{v})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
 }
 
 // Barrier blocks until every rank has reached it.
-func (c *Communicator) Barrier() {
-	c.w.barrierIn <- struct{}{}
-	<-c.w.barrierOut[c.rank]
+func (c *Communicator) Barrier() error {
+	select {
+	case c.w.barrierIn <- struct{}{}:
+	case <-c.w.stop:
+		return ErrClosed
+	}
+	select {
+	case <-c.w.barrierOut[c.rank]:
+		return nil
+	case <-c.w.stop:
+		return ErrClosed
+	}
 }

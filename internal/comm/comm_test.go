@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -18,13 +19,19 @@ func TestSendRecv(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		got := c1.Recv(0)
+		got, err := c1.Recv(0)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
 		if len(got) != 3 || got[0] != 1 || got[2] != 3i {
 			t.Errorf("recv got %v", got)
 		}
 	}()
 	data := []complex128{1, 2, 3i}
-	c0.Send(1, data)
+	if err := c0.Send(1, data); err != nil {
+		t.Fatal(err)
+	}
 	data[0] = 99 // mutation after send must not affect the message
 	<-done
 	if w.Messages() != 1 || w.Bytes() != 48 {
@@ -49,7 +56,11 @@ func TestRingExchange(t *testing.T) {
 			c, _ := w.Comm(rank)
 			up := (rank + 1) % p
 			down := (rank - 1 + p) % p
-			got := c.SendRecv(up, []complex128{complex(float64(rank), 0)}, down)
+			got, err := c.SendRecv(up, []complex128{complex(float64(rank), 0)}, down)
+			if err != nil {
+				t.Errorf("rank %d: %v", rank, err)
+				return
+			}
 			if got[0] != complex(float64(down), 0) {
 				t.Errorf("rank %d received %v, want %d", rank, got[0], down)
 			}
@@ -72,17 +83,123 @@ func TestAllreduceSum(t *testing.T) {
 			defer wg.Done()
 			c, _ := w.Comm(rank)
 			// Two consecutive reductions must stay ordered.
-			got := c.AllreduceSum([]complex128{complex(float64(rank), 0), 1})
+			got, err := c.AllreduceSum([]complex128{complex(float64(rank), 0), 1})
+			if err != nil {
+				t.Errorf("rank %d: %v", rank, err)
+				return
+			}
 			if got[0] != complex(0+1+2+3+4, 0) || got[1] != 5 {
 				t.Errorf("rank %d: first reduce got %v", rank, got)
 			}
-			got2 := c.AllreduceSumScalar(complex(0, float64(rank)))
+			got2, err := c.AllreduceSumScalar(complex(0, float64(rank)))
+			if err != nil {
+				t.Errorf("rank %d: %v", rank, err)
+				return
+			}
 			if got2 != complex(0, 10) {
 				t.Errorf("rank %d: second reduce got %v", rank, got2)
 			}
 		}(r)
 	}
 	wg.Wait()
+}
+
+// TestAllreduceShapeMismatch: ranks disagreeing about the reduction length
+// must every one receive a typed ErrShapeMismatch — never a panic, never a
+// hang. Regression test for the panic that used to live in the reducer: a
+// remote peer must not be able to kill a worker process.
+func TestAllreduceShapeMismatch(t *testing.T) {
+	const p = 3
+	w, err := NewWorld(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, _ := w.Comm(rank)
+			data := make([]complex128, 2+rank) // every rank a different length
+			_, errs[rank] = c.AllreduceSum(data)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if !errors.Is(err, ErrShapeMismatch) {
+			t.Errorf("rank %d: err = %v, want ErrShapeMismatch", r, err)
+		}
+	}
+	// The world must survive the failed round: a well-shaped reduction
+	// still completes.
+	var wg2 sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg2.Add(1)
+		go func(rank int) {
+			defer wg2.Done()
+			c, _ := w.Comm(rank)
+			got, err := c.AllreduceSumScalar(1)
+			if err != nil || got != p {
+				t.Errorf("rank %d after mismatch: got %v, err %v", rank, got, err)
+			}
+		}(r)
+	}
+	wg2.Wait()
+}
+
+// TestAllreduceRankOrderDeterminism: the reducer must fold contributions
+// in rank order regardless of arrival order, so repeated runs (and the TCP
+// fabric) produce bit-identical sums of non-associative float data.
+func TestAllreduceRankOrderDeterminism(t *testing.T) {
+	const p = 4
+	contrib := [][]complex128{
+		{complex(1e16, 0), 1},
+		{complex(1, 0), 1},
+		{complex(-1e16, 0), 1},
+		{complex(3, 0), 1},
+	}
+	run := func() []complex128 {
+		w, err := NewWorld(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		var wg sync.WaitGroup
+		out := make([][]complex128, p)
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				c, _ := w.Comm(rank)
+				got, err := c.AllreduceSum(contrib[rank])
+				if err != nil {
+					t.Errorf("rank %d: %v", rank, err)
+				}
+				out[rank] = got
+			}(r)
+		}
+		wg.Wait()
+		for r := 1; r < p; r++ {
+			if out[r][0] != out[0][0] {
+				t.Fatalf("ranks disagree: %v vs %v", out[r], out[0])
+			}
+		}
+		return out[0]
+	}
+	// Rank-order fold: ((1e16 + 1) + -1e16) + 3 == 3 exactly in float64
+	// (1e16+1 rounds back to 1e16); any other order gives different bits.
+	// Computed through a variable so the fold happens at runtime, not in
+	// exact constant arithmetic.
+	big := complex(1e16, 0)
+	want := ((big + 1) - big) + 3
+	for i := 0; i < 10; i++ {
+		got := run()
+		if got[0] != want || got[1] != p {
+			t.Fatalf("run %d: got %v, want [%v %v]", i, got, want, p)
+		}
+	}
 }
 
 func TestBarrier(t *testing.T) {
@@ -100,7 +217,10 @@ func TestBarrier(t *testing.T) {
 			defer wg.Done()
 			c, _ := w.Comm(rank)
 			phase[rank] = 1
-			c.Barrier()
+			if err := c.Barrier(); err != nil {
+				t.Errorf("rank %d: %v", rank, err)
+				return
+			}
 			// After the barrier every rank must have set phase.
 			for i := 0; i < p; i++ {
 				if phase[i] != 1 {
@@ -133,10 +253,34 @@ func TestSingleRankWorld(t *testing.T) {
 	}
 	defer w.Close()
 	c, _ := w.Comm(0)
-	if got := c.AllreduceSumScalar(7); got != 7 {
-		t.Errorf("self reduce got %v", got)
+	if got, err := c.AllreduceSumScalar(7); err != nil || got != 7 {
+		t.Errorf("self reduce got %v, err %v", got, err)
 	}
-	c.Barrier()
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClosedWorld: ranks blocked in collectives of a closed world must
+// unblock with a typed ErrClosed instead of hanging.
+func TestClosedWorld(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := w.Comm(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c0.AllreduceSum([]complex128{1}) // rank 1 never joins
+		done <- err
+	}()
+	w.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if _, err := c0.Recv(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv on closed world: err = %v, want ErrClosed", err)
+	}
 }
 
 // TestChaosCorruptsPayloadDeterministically: with an injector installed,
@@ -156,8 +300,14 @@ func TestChaosCorruptsPayloadDeterministically(t *testing.T) {
 		c1, _ := w.Comm(1)
 		var got [][]complex128
 		for i := 0; i < nmsg; i++ {
-			c0.Send(1, payload)
-			got = append(got, c1.Recv(0))
+			if err := c0.Send(1, payload); err != nil {
+				t.Fatal(err)
+			}
+			msg, err := c1.Recv(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, msg)
 		}
 		return got
 	}

@@ -1,0 +1,400 @@
+// tcp.go carries the rank protocol of the bottom parallel layer across OS
+// processes: a full mesh of reliable links (rconn.go), one listener per
+// rank, rank i dialing every lower-ranked peer so each unordered pair owns
+// exactly one conn and reconnection has exactly one owner. The collectives
+// mirror the channel fabric bit for bit — AllreduceSum is a rank-0 star
+// that folds contributions in rank order, the same fold the channel
+// reducer uses, so the non-associative float sums of the two fabrics are
+// identical and pinned so by parity tests.
+//
+// Payloads here are the slab halos and reduction vectors of the paper's
+// BiCG layer: small next to socket buffers. A symmetric exchange relies on
+// that — both ends may write before reading, which cannot stall unless a
+// single frame outgrows the combined kernel buffers (bounded by MaxFrame,
+// and even then the IOTimeout/retransmit cycle unwedges it).
+package comm
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"cbs/internal/chaos"
+	"cbs/internal/wire"
+)
+
+// Channel tags multiplexed over one link. The SPMD protocols are lockstep,
+// so a link never carries two tags concurrently; the tag is a cheap
+// protocol-confusion check.
+const (
+	chP2P        byte = 1 // halo exchange point-to-point payloads
+	chReduce     byte = 2 // allreduce contributions toward rank 0
+	chResult     byte = 3 // allreduce results (status byte + payload)
+	chBarrier    byte = 4 // barrier arrivals toward rank 0
+	chBarrierAck byte = 5 // barrier releases from rank 0
+	// ChApp tags application protocols riding a raw RConn — the fleet's
+	// coordinator/worker messages.
+	ChApp byte = 9
+)
+
+// maxTCPRanks is the mesh size limit: rank identities ride in one wire byte.
+const maxTCPRanks = 256
+
+// TCPRank is one rank's endpoint of a TCP world — the process-local object
+// in a multi-process run (JoinTCP), or one of size endpoints in an
+// in-process TCPWorld. It implements Transport.
+type TCPRank struct {
+	rank, size int
+	opts       TCPOptions
+	ln         net.Listener
+	links      []*RConn // by peer rank; nil at self
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// JoinTCP joins a multi-process world as one rank. addrs[i] is rank i's
+// listen address; the endpoint listens on addrs[rank], dials every lower
+// rank lazily on first use, and accepts connections from higher ranks.
+// Ranks resynchronize automatically after conn loss, so workers may join
+// in any order.
+func JoinTCP(rank int, addrs []string, opts TCPOptions) (*TCPRank, error) {
+	if len(addrs) < 1 || len(addrs) > maxTCPRanks {
+		return nil, fmt.Errorf("comm: world size %d outside [1,%d]", len(addrs), maxTCPRanks)
+	}
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("comm: rank %d out of range [0,%d)", rank, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d listen: %w", rank, err)
+	}
+	return newTCPRank(rank, ln, addrs, opts), nil
+}
+
+func newTCPRank(rank int, ln net.Listener, addrs []string, opts TCPOptions) *TCPRank {
+	opts = opts.WithDefaults()
+	t := &TCPRank{
+		rank:  rank,
+		size:  len(addrs),
+		opts:  opts,
+		ln:    ln,
+		links: make([]*RConn, len(addrs)),
+	}
+	for peer := range addrs {
+		switch {
+		case peer == rank:
+		case peer < rank:
+			addr := addrs[peer]
+			t.links[peer] = newDialerRConn(byte(rank), byte(peer), opts, func() (net.Conn, error) {
+				d := net.Dialer{Timeout: opts.ConnectTimeout}
+				return d.Dial("tcp", addr)
+			})
+		default:
+			t.links[peer] = newAcceptorRConn(byte(rank), byte(peer), opts)
+		}
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t
+}
+
+// acceptLoop routes incoming conns to the acceptor link the opening hello
+// names. It exits when the listener closes.
+func (t *TCPRank) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go func(c net.Conn) {
+			defer t.wg.Done()
+			peer, expected, err := AcceptHello(c, t.opts.ConnectTimeout, t.opts.MaxFrame)
+			if err != nil || int(peer) <= t.rank || int(peer) >= t.size {
+				c.Close() // corrupt hello or impossible identity: let them redial
+				return
+			}
+			t.links[peer].Attach(c, expected) // closes c itself on error
+		}(c)
+	}
+}
+
+// Close tears the endpoint down: the listener stops, every link closes,
+// blocked peers and local callers unblock with errors.
+func (t *TCPRank) Close() error {
+	t.closeOnce.Do(func() {
+		t.ln.Close()
+		for _, l := range t.links {
+			if l != nil {
+				l.Close()
+			}
+		}
+	})
+	t.wg.Wait()
+	return nil
+}
+
+// SetChaos installs a deterministic fault injector on every link (nil
+// disables). Call before traffic starts.
+func (t *TCPRank) SetChaos(inj *chaos.Injector) {
+	for _, l := range t.links {
+		if l != nil {
+			l.SetChaos(inj)
+		}
+	}
+}
+
+// Messages returns the point-to-point message count sent by this rank.
+func (t *TCPRank) Messages() int64 { return t.messages.Load() }
+
+// Bytes returns the point-to-point bytes sent by this rank.
+func (t *TCPRank) Bytes() int64 { return t.bytes.Load() }
+
+// Rank returns this endpoint's rank.
+func (t *TCPRank) Rank() int { return t.rank }
+
+// Size returns the world size.
+func (t *TCPRank) Size() int { return t.size }
+
+func (t *TCPRank) peerLink(peer int) (*RConn, error) {
+	if peer < 0 || peer >= t.size || peer == t.rank {
+		return nil, fmt.Errorf("comm: rank %d has no link to peer %d", t.rank, peer)
+	}
+	return t.links[peer], nil
+}
+
+// Send transmits data to dst (the slice is encoded before return).
+func (t *TCPRank) Send(dst int, data []complex128) error {
+	l, err := t.peerLink(dst)
+	if err != nil {
+		return err
+	}
+	t.messages.Add(1)
+	t.bytes.Add(int64(16 * len(data)))
+	return l.Send(chP2P, wire.AppendComplex(nil, data))
+}
+
+// Recv blocks until the next message from src arrives.
+func (t *TCPRank) Recv(src int) ([]complex128, error) {
+	l, err := t.peerLink(src)
+	if err != nil {
+		return nil, err
+	}
+	body, err := l.Recv(chP2P)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeComplex(body)
+}
+
+// SendRecv performs a deadlock-free paired exchange: the send runs
+// concurrently so the exchange cannot stall even when src == dst and the
+// peer also sends first.
+func (t *TCPRank) SendRecv(dst int, data []complex128, src int) ([]complex128, error) {
+	errc := make(chan error, 1)
+	go func() { errc <- t.Send(dst, data) }()
+	got, rerr := t.Recv(src)
+	serr := <-errc
+	if serr != nil {
+		return nil, serr
+	}
+	if rerr != nil {
+		return nil, rerr
+	}
+	return got, nil
+}
+
+// AllreduceSum sums data element-wise across all ranks and returns the
+// result to every rank. Rank 0 gathers the contributions and folds them in
+// rank order — exactly the channel reducer's fold, so the two fabrics are
+// bit-identical — then broadcasts the result with a status byte. A length
+// disagreement fails the round with ErrShapeMismatch on every rank; the
+// world survives for the next round.
+func (t *TCPRank) AllreduceSum(data []complex128) ([]complex128, error) {
+	if t.size == 1 {
+		return append([]complex128(nil), data...), nil
+	}
+	if t.rank != 0 {
+		if err := t.links[0].Send(chReduce, wire.AppendComplex(nil, data)); err != nil {
+			return nil, err
+		}
+		body, err := t.links[0].Recv(chResult)
+		if err != nil {
+			return nil, err
+		}
+		if len(body) < 1 {
+			return nil, fmt.Errorf("comm: rank %d: malformed reduce reply", t.rank)
+		}
+		if body[0] != 0 {
+			return nil, fmt.Errorf("%w: reduction failed on rank 0", ErrShapeMismatch)
+		}
+		return wire.DecodeComplex(body[1:])
+	}
+	contribs := make([][]complex128, t.size)
+	contribs[0] = data
+	var shapeErr error
+	for r := 1; r < t.size; r++ {
+		body, err := t.links[r].Recv(chReduce)
+		if err != nil {
+			return nil, err
+		}
+		c, err := wire.DecodeComplex(body)
+		if err != nil {
+			return nil, err
+		}
+		contribs[r] = c
+		if len(c) != len(data) && shapeErr == nil {
+			shapeErr = fmt.Errorf("%w: rank %d contributed %d elements, rank 0 contributed %d",
+				ErrShapeMismatch, r, len(c), len(data))
+		}
+	}
+	if shapeErr != nil {
+		for r := 1; r < t.size; r++ {
+			t.links[r].Send(chResult, []byte{1}) // best effort: they all learn the round failed
+		}
+		return nil, shapeErr
+	}
+	acc := append([]complex128(nil), contribs[0]...)
+	for r := 1; r < t.size; r++ {
+		for i := range acc {
+			acc[i] += contribs[r][i]
+		}
+	}
+	reply := append([]byte{0}, wire.AppendComplex(nil, acc)...)
+	for r := 1; r < t.size; r++ {
+		if err := t.links[r].Send(chResult, reply); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// AllreduceSumScalar is AllreduceSum for a single value.
+func (t *TCPRank) AllreduceSumScalar(v complex128) (complex128, error) {
+	out, err := t.AllreduceSum([]complex128{v})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// Barrier blocks until every rank has reached it (a rank-0 star, like the
+// reduction).
+func (t *TCPRank) Barrier() error {
+	if t.size == 1 {
+		return nil
+	}
+	if t.rank != 0 {
+		if err := t.links[0].Send(chBarrier, nil); err != nil {
+			return err
+		}
+		_, err := t.links[0].Recv(chBarrierAck)
+		return err
+	}
+	for r := 1; r < t.size; r++ {
+		if _, err := t.links[r].Recv(chBarrier); err != nil {
+			return err
+		}
+	}
+	for r := 1; r < t.size; r++ {
+		if err := t.links[r].Send(chBarrierAck, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TCPWorld is an in-process world whose ranks nevertheless talk through
+// real loopback sockets — the parity and chaos test bed for the
+// multi-process fabric, and a drop-in RankWorld for the solvers.
+type TCPWorld struct {
+	size  int
+	ranks []*TCPRank
+}
+
+// NewTCPWorld builds a world of size ranks on loopback listeners.
+func NewTCPWorld(size int, opts TCPOptions) (*TCPWorld, error) {
+	if size < 1 || size > maxTCPRanks {
+		return nil, fmt.Errorf("comm: world size %d outside [1,%d]", size, maxTCPRanks)
+	}
+	listeners := make([]net.Listener, size)
+	addrs := make([]string, size)
+	for r := 0; r < size; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:r] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("comm: rank %d listen: %w", r, err)
+		}
+		listeners[r] = ln
+		addrs[r] = ln.Addr().String()
+	}
+	w := &TCPWorld{size: size, ranks: make([]*TCPRank, size)}
+	for r := 0; r < size; r++ {
+		w.ranks[r] = newTCPRank(r, listeners[r], addrs, opts)
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *TCPWorld) Size() int { return w.size }
+
+// Comm returns the endpoint of one rank.
+func (w *TCPWorld) Comm(rank int) (Transport, error) {
+	if rank < 0 || rank >= w.size {
+		return nil, fmt.Errorf("comm: rank %d out of range [0,%d)", rank, w.size)
+	}
+	return w.ranks[rank], nil
+}
+
+// Messages returns the total point-to-point message count across ranks.
+func (w *TCPWorld) Messages() int64 {
+	var n int64
+	for _, r := range w.ranks {
+		n += r.Messages()
+	}
+	return n
+}
+
+// Bytes returns the total point-to-point traffic in bytes across ranks.
+func (w *TCPWorld) Bytes() int64 {
+	var n int64
+	for _, r := range w.ranks {
+		n += r.Bytes()
+	}
+	return n
+}
+
+// SetChaos installs a deterministic fault injector on every link of every
+// rank (nil disables). Call before any rank starts communicating.
+func (w *TCPWorld) SetChaos(inj *chaos.Injector) {
+	for _, r := range w.ranks {
+		r.SetChaos(inj)
+	}
+}
+
+// Close tears all endpoints down; blocked ranks unblock with errors.
+func (w *TCPWorld) Close() error {
+	for _, r := range w.ranks {
+		r.Close()
+	}
+	return nil
+}
+
+// TCPFabric builds TCP worlds for the solvers: set it with SetFabric to run
+// the unchanged SPMD protocol over real sockets.
+type TCPFabric struct {
+	Opts TCPOptions
+}
+
+// NewWorld builds a loopback TCP world of the given size.
+func (f TCPFabric) NewWorld(size int) (RankWorld, error) {
+	return NewTCPWorld(size, f.Opts)
+}

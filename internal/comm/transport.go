@@ -1,0 +1,104 @@
+// transport.go defines the fabric abstraction of the bottom parallel
+// layer: the SPMD rank code in internal/dist speaks to a Transport and
+// never learns whether its peers are goroutines wired by channels (the
+// reference implementation in this package) or OS processes behind TCP
+// sockets (tcp.go). The two implementations are pinned bit-identical by
+// parity tests: every collective sums in rank order, so the non-associative
+// float arithmetic of an allreduce gives the same bits on both fabrics.
+package comm
+
+import (
+	"errors"
+
+	"cbs/internal/chaos"
+	"cbs/internal/wire"
+)
+
+// Typed sentinels of the communication layer. The sweep escalation ladder
+// classifies each of them: a shape mismatch is terminal (a peer that
+// disagrees about the problem shape will disagree again), the link
+// failures are retryable (the fleet re-dispatches the energy).
+var (
+	// ErrShapeMismatch means the ranks of one allreduce disagreed about
+	// the vector length. A remote peer must never be able to panic a
+	// worker, so the mismatch surfaces as an error on every rank of the
+	// collective instead of killing the process.
+	ErrShapeMismatch = errors.New("comm: allreduce length mismatch across ranks")
+	// ErrPeerLost means a peer is gone for good: its process died, or the
+	// link lost frames the retransmit outbox no longer holds. Only a
+	// higher layer (the fleet coordinator) can recover, by re-dispatching
+	// the dead rank's work.
+	ErrPeerLost = errors.New("comm: peer lost")
+	// ErrPartition means a link stayed down past the reconnect retry
+	// budget: the peer may still be alive on the far side of a network
+	// partition, but this world cannot make progress.
+	ErrPartition = errors.New("comm: link partitioned past retry budget")
+	// ErrClosed means the world was shut down while a rank was blocked in
+	// a communication call — the usual aftermath of another rank failing
+	// first; the rank that observed the original error speaks for the
+	// group.
+	ErrClosed = errors.New("comm: world closed")
+	// ErrFrameCorrupt re-exports the wire framing sentinel: a frame
+	// failed its CRC and the link had to reset. Surfaces only when
+	// corruption persists past the link's recovery budget.
+	ErrFrameCorrupt = wire.ErrFrameCorrupt
+)
+
+// Transport is one rank's endpoint on a communication fabric: the MPI
+// subset the paper's bottom layer uses. All methods are called from the
+// rank's own goroutine (SPMD discipline: one in-flight call per rank).
+type Transport interface {
+	// Rank returns this endpoint's rank.
+	Rank() int
+	// Size returns the world size.
+	Size() int
+	// Send transmits data to dst (the slice is copied before return).
+	Send(dst int, data []complex128) error
+	// Recv blocks until the next message from src arrives.
+	Recv(src int) ([]complex128, error)
+	// SendRecv performs a deadlock-free paired exchange: send to dst,
+	// receive from src.
+	SendRecv(dst int, data []complex128, src int) ([]complex128, error)
+	// AllreduceSum sums data element-wise across all ranks, in rank
+	// order (deterministic bits), and returns the result to every rank.
+	// All ranks must call it with equal lengths or every rank of the
+	// collective receives ErrShapeMismatch.
+	AllreduceSum(data []complex128) ([]complex128, error)
+	// AllreduceSumScalar is AllreduceSum for a single value.
+	AllreduceSumScalar(v complex128) (complex128, error)
+	// Barrier blocks until every rank has reached it.
+	Barrier() error
+}
+
+// RankWorld is a connected fabric of ranks for one distributed solve.
+type RankWorld interface {
+	// Size returns the number of ranks.
+	Size() int
+	// Comm returns the endpoint of one rank.
+	Comm(rank int) (Transport, error)
+	// Messages returns the point-to-point message count so far.
+	Messages() int64
+	// Bytes returns the point-to-point traffic in bytes so far.
+	Bytes() int64
+	// SetChaos installs a deterministic fault injector (nil disables
+	// injection); call before any rank starts communicating.
+	SetChaos(inj *chaos.Injector)
+	// Close tears the fabric down; ranks blocked in calls return
+	// ErrClosed (or a link error).
+	Close() error
+}
+
+// Fabric builds rank worlds: the solver-facing seam that picks channels
+// or TCP without the SPMD code changing.
+type Fabric interface {
+	NewWorld(size int) (RankWorld, error)
+}
+
+// ChannelFabric is the in-process reference fabric (goroutine ranks wired
+// by channels), the default of every solver.
+type ChannelFabric struct{}
+
+// NewWorld builds a channel world of the given size.
+func (ChannelFabric) NewWorld(size int) (RankWorld, error) {
+	return NewWorld(size)
+}

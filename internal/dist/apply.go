@@ -34,8 +34,9 @@ func newApplyCtx(s *Solver, rank int) *applyCtx {
 
 // apply computes out = P(z) v for the local slab, exchanging halos with the
 // ring neighbours (Bloch twist z at the cell seam) and allreducing the
-// nonlocal projector coefficients.
-func (a *applyCtx) apply(c *comm.Communicator, z complex128, v, out []complex128) {
+// nonlocal projector coefficients. A transport failure aborts the
+// application; out is unspecified then.
+func (a *applyCtx) apply(c comm.Transport, z complex128, v, out []complex128) error {
 	s := a.s
 	op := s.Q.Op
 	g := op.G
@@ -61,8 +62,14 @@ func (a *applyCtx) apply(c *comm.Communicator, z complex128, v, out []complex128
 		// the bottom planes of the rank above. Both ranks issue the sends
 		// in the same order, which keeps the channel pairing consistent
 		// even when up == down (two domains).
-		lowerHalo := c.SendRecv(up, v[n-a.halo:], down) // send my top up, recv down's top
-		upperHalo := c.SendRecv(down, v[:a.halo], up)   // send my bottom down, recv up's bottom
+		lowerHalo, err := c.SendRecv(up, v[n-a.halo:], down) // send my top up, recv down's top
+		if err != nil {
+			return err
+		}
+		upperHalo, err := c.SendRecv(down, v[:a.halo], up) // send my bottom down, recv up's bottom
+		if err != nil {
+			return err
+		}
 		copy(a.ext[:a.halo], lowerHalo)
 		copy(a.ext[a.halo+n:], upperHalo)
 		if a.rank == ndm-1 {
@@ -131,7 +138,10 @@ func (a *applyCtx) apply(c *comm.Communicator, z complex128, v, out []complex128
 		}
 		a.csum[3*seg.proj+seg.off] += sum
 	}
-	coefs := c.AllreduceSum(a.csum)
+	coefs, err := c.AllreduceSum(a.csum)
+	if err != nil {
+		return err
+	}
 	zi := 1 / z
 	for _, seg := range a.rs.segs {
 		j := seg.off - 1 // cell offset of the row-side support
@@ -151,12 +161,13 @@ func (a *applyCtx) apply(c *comm.Communicator, z complex128, v, out []complex128
 			out[idx] += coef * complex(seg.val[i], 0)
 		}
 	}
+	return nil
 }
 
 // applyDagger computes out = P(z)^dagger v = P(1/conj(z)) v; zd must be
 // 1/conj(z).
-func (a *applyCtx) applyDagger(c *comm.Communicator, zd complex128, v, out []complex128) {
-	a.apply(c, zd, v, out)
+func (a *applyCtx) applyDagger(c comm.Transport, zd complex128, v, out []complex128) error {
+	return a.apply(c, zd, v, out)
 }
 
 func scale(v []complex128, f complex128) {

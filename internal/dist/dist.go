@@ -1,15 +1,19 @@
 // Package dist implements the bottom layer of the paper's hierarchical
 // parallelism: the BiCG solve of one quadrature-point system P(z) Y = V is
-// domain-decomposed into z-slabs, one SPMD goroutine ("rank") per domain,
-// communicating through the comm package exactly as the MPI code does --
-// ring halo exchange of the stencil boundary planes with a Bloch phase
-// twist at the cell seam, and allreduce for the BiCG inner products and the
-// nonlocal projector coefficients (the global communication the paper
-// identifies as the large-scale bottleneck).
+// domain-decomposed into z-slabs, one SPMD rank per domain, communicating
+// through a comm.Transport exactly as the MPI code does -- ring halo
+// exchange of the stencil boundary planes with a Bloch phase twist at the
+// cell seam, and allreduce for the BiCG inner products and the nonlocal
+// projector coefficients (the global communication the paper identifies as
+// the large-scale bottleneck). The fabric behind the Transport is
+// pluggable: the in-process channel world by default, TCP sockets via
+// comm.TCPFabric — the SPMD body is identical and the results are
+// bit-identical (both fabrics reduce in rank order).
 package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -24,11 +28,12 @@ import (
 
 // Solver holds the per-domain precomputation for one QEP.
 type Solver struct {
-	Q     *qep.Problem
-	Ndm   int
-	slabs []grid.Slab
-	ranks []*rankState
-	inj   *chaos.Injector
+	Q      *qep.Problem
+	Ndm    int
+	slabs  []grid.Slab
+	ranks  []*rankState
+	inj    *chaos.Injector
+	fabric comm.Fabric
 }
 
 // SetChaos installs a deterministic fault injector (nil disables it). Every
@@ -36,6 +41,25 @@ type Solver struct {
 // become corruptible test subjects. Not safe to change concurrently with a
 // running solve.
 func (s *Solver) SetChaos(inj *chaos.Injector) { s.inj = inj }
+
+// SetFabric selects the communication fabric of subsequent solves (nil
+// restores the in-process channel default). Not safe to change
+// concurrently with a running solve.
+func (s *Solver) SetFabric(f comm.Fabric) { s.fabric = f }
+
+// newWorld builds one solve's rank world on the configured fabric.
+func (s *Solver) newWorld() (comm.RankWorld, error) {
+	fab := s.fabric
+	if fab == nil {
+		fab = comm.ChannelFabric{}
+	}
+	world, err := fab.NewWorld(s.Ndm)
+	if err != nil {
+		return nil, err
+	}
+	world.SetChaos(s.inj)
+	return world, nil
+}
 
 // rankState is the static per-rank data.
 type rankState struct {
@@ -104,6 +128,22 @@ type Stats struct {
 	Bytes    int64
 }
 
+// groupErr picks the error that speaks for a failed world: rank 0's when
+// it carries more than the shutdown echo, else the first rank that saw the
+// original fault. ErrClosed alone is the aftermath of another rank's
+// failure, never the cause.
+func groupErr(errs []error) error {
+	if errs[0] != nil && !errors.Is(errs[0], comm.ErrClosed) {
+		return errs[0]
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, comm.ErrClosed) {
+			return err
+		}
+	}
+	return errs[0]
+}
+
 // SolveDual runs the distributed dual BiCG: P(z) x = b and P(z)^dagger
 // xd = bd. b, bd, x, xd are full-length (N) vectors; x and xd are
 // overwritten (zero initial guess).
@@ -112,6 +152,11 @@ type Stats struct {
 // along with the inner-product allreduce, so every rank leaves the
 // iteration loop at the same step (no rank is left blocked in a
 // collective). On cancellation the returned error wraps ctx.Err().
+//
+// Fault propagation: a rank whose transport fails (ErrShapeMismatch,
+// ErrPeerLost, ErrPartition, a corrupt frame past the link's recovery
+// budget) closes the world, so every other rank unblocks with ErrClosed;
+// the originating error is the one returned.
 func (s *Solver) SolveDual(ctx context.Context, z complex128, b, bd, x, xd []complex128, opts linsolve.Options) (linsolve.Result, Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -123,12 +168,11 @@ func (s *Solver) SolveDual(ctx context.Context, z complex128, b, bd, x, xd []com
 	if err := ctx.Err(); err != nil {
 		return linsolve.Result{}, Stats{}, fmt.Errorf("dist: solve not started: %w", err)
 	}
-	world, err := comm.NewWorld(s.Ndm)
+	world, err := s.newWorld()
 	if err != nil {
 		return linsolve.Result{}, Stats{}, err
 	}
 	defer world.Close()
-	world.SetChaos(s.inj)
 	results := make([]linsolve.Result, s.Ndm)
 	errs := make([]error, s.Ndm)
 	var wg sync.WaitGroup
@@ -136,12 +180,22 @@ func (s *Solver) SolveDual(ctx context.Context, z complex128, b, bd, x, xd []com
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			c, _ := world.Comm(rank)
+			c, cerr := world.Comm(rank)
+			if cerr != nil {
+				errs[rank] = cerr
+				world.Close()
+				return
+			}
 			results[rank], errs[rank] = s.rankSolve(ctx, c, rank, z, b, bd, x, xd, opts)
+			if errs[rank] != nil {
+				// Unblock the surviving ranks: without the failed rank the
+				// collectives can never complete.
+				world.Close()
+			}
 		}(r)
 	}
 	wg.Wait()
-	return results[0], Stats{Messages: world.Messages(), Bytes: world.Bytes()}, errs[0]
+	return results[0], Stats{Messages: world.Messages(), Bytes: world.Bytes()}, groupErr(errs)
 }
 
 // ApplyOnce performs one distributed operator application out = P(z) v on
@@ -152,24 +206,36 @@ func (s *Solver) ApplyOnce(z complex128, v []complex128) ([]complex128, error) {
 	if len(v) != n {
 		return nil, fmt.Errorf("dist: ApplyOnce length mismatch")
 	}
-	world, err := comm.NewWorld(s.Ndm)
+	world, err := s.newWorld()
 	if err != nil {
 		return nil, err
 	}
 	defer world.Close()
 	out := make([]complex128, n)
+	errs := make([]error, s.Ndm)
 	var wg sync.WaitGroup
 	for r := 0; r < s.Ndm; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			c, _ := world.Comm(rank)
+			c, cerr := world.Comm(rank)
+			if cerr != nil {
+				errs[rank] = cerr
+				world.Close()
+				return
+			}
 			rs := s.ranks[rank]
 			ax := newApplyCtx(s, rank)
-			ax.apply(c, z, v[rs.offset:rs.offset+rs.n], out[rs.offset:rs.offset+rs.n])
+			errs[rank] = ax.apply(c, z, v[rs.offset:rs.offset+rs.n], out[rs.offset:rs.offset+rs.n])
+			if errs[rank] != nil {
+				world.Close()
+			}
 		}(r)
 	}
 	wg.Wait()
+	if err := groupErr(errs); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -181,10 +247,11 @@ const (
 	flagCanceled
 )
 
-// rankSolve is the SPMD body executed by every rank. A non-nil error is
-// reported only by rank 0 (the ranks agree on the outcome; rank 0 speaks
-// for the group).
-func (s *Solver) rankSolve(ctx context.Context, c *comm.Communicator, rank int, z complex128, b, bd, x, xd []complex128, opts linsolve.Options) (linsolve.Result, error) {
+// rankSolve is the SPMD body executed by every rank. Solver-outcome errors
+// (cancellation) are reported only by rank 0 — the ranks agree on the
+// outcome and rank 0 speaks for the group; transport errors are reported
+// by whichever rank observed them.
+func (s *Solver) rankSolve(ctx context.Context, c comm.Transport, rank int, z complex128, b, bd, x, xd []complex128, opts linsolve.Options) (linsolve.Result, error) {
 	rs := s.ranks[rank]
 	n := rs.n
 	res := linsolve.Result{}
@@ -212,11 +279,14 @@ func (s *Solver) rankSolve(ctx context.Context, c *comm.Communicator, rank int, 
 	ax := newApplyCtx(s, rank)
 
 	// Initial reductions: rho, |b|^2, |bd|^2.
-	init := c.AllreduceSum([]complex128{
+	init, err := c.AllreduceSum([]complex128{
 		zlinalg.Dot(rd, r),
 		complex(norm2sq(r), 0),
 		complex(norm2sq(rd), 0),
 	})
+	if err != nil {
+		return res, fmt.Errorf("dist: rank %d initial reduction: %w", rank, err)
+	}
 	rho := init[0]
 	//cbs:chaossite dist.breakdown
 	if opts.Chaos.Breakdown(opts.ChaosSite) {
@@ -265,10 +335,17 @@ func (s *Solver) rankSolve(ctx context.Context, c *comm.Communicator, rank int, 
 				stopFlag += flagCanceled
 			}
 		}
-		ax.apply(c, z, p, q)
-		ax.applyDagger(c, zd, pd, qd)
+		if err := ax.apply(c, z, p, q); err != nil {
+			return res, fmt.Errorf("dist: rank %d apply at iteration %d: %w", rank, res.Iterations, err)
+		}
+		if err := ax.applyDagger(c, zd, pd, qd); err != nil {
+			return res, fmt.Errorf("dist: rank %d dagger apply at iteration %d: %w", rank, res.Iterations, err)
+		}
 		res.MatVecApplied += 2
-		out := c.AllreduceSum([]complex128{zlinalg.Dot(pd, q), stopFlag})
+		out, err := c.AllreduceSum([]complex128{zlinalg.Dot(pd, q), stopFlag})
+		if err != nil {
+			return res, fmt.Errorf("dist: rank %d inner-product reduction: %w", rank, err)
+		}
 		den := out[0]
 		flags := int(real(out[1]) + 0.5)
 		if flags&flagCanceled != 0 {
@@ -291,11 +368,14 @@ func (s *Solver) rankSolve(ctx context.Context, c *comm.Communicator, rank int, 
 			r[i] -= alpha * q[i]
 			rd[i] -= alphaC * qd[i]
 		}
-		red := c.AllreduceSum([]complex128{
+		red, err := c.AllreduceSum([]complex128{
 			zlinalg.Dot(rd, r),
 			complex(norm2sq(r), 0),
 			complex(norm2sq(rd), 0),
 		})
+		if err != nil {
+			return res, fmt.Errorf("dist: rank %d residual reduction: %w", rank, err)
+		}
 		rhoNew := red[0]
 		beta := rhoNew / rho
 		betaC := conj(beta)

@@ -1,0 +1,537 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cbs/internal/chaos"
+	"cbs/internal/comm"
+	"cbs/internal/core"
+	"cbs/internal/sweep"
+)
+
+const testOperator = "fleet-test-op: Al(100) stand-in"
+
+// fleetTCP tunes links for fast in-test failure detection: the horizon
+// (IOTimeout*RetryBudget) is ~360ms.
+func fleetTCP() comm.TCPOptions {
+	return comm.TCPOptions{
+		ConnectTimeout: 500 * time.Millisecond,
+		IOTimeout:      60 * time.Millisecond,
+		RetryBudget:    6,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     10 * time.Millisecond,
+	}
+}
+
+// procTCP relaxes the failure horizon to ~10s for the multi-process test:
+// race-instrumented worker processes start slowly and contend for CPU, so
+// the in-process horizon (~360ms) misreads startup lag as a partition.
+func procTCP() comm.TCPOptions {
+	return comm.TCPOptions{
+		ConnectTimeout: 2 * time.Second,
+		IOTimeout:      250 * time.Millisecond,
+		RetryBudget:    40,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
+	}
+}
+
+// fleetResult derives a deterministic fake solve result from the energy
+// and the options, so a fleet sweep and a single-process sweep agree iff
+// the options crossed the wire intact.
+func fleetResult(e float64, opts core.Options) *core.Result {
+	res := &core.Result{
+		Energy:  e,
+		Rank:    1,
+		Sigma:   []float64{1, 0.5 + e},
+		MatVecs: opts.Nint * opts.Nrh,
+	}
+	res.Diagnostics = core.Diagnostics{Nint: opts.Nint, Nrh: opts.Nrh}
+	p := core.Eigenpair{
+		Lambda:   complex(0.7+e, -0.1*float64(opts.Seed%7)),
+		K:        complex(0.3*e, 0.02),
+		Residual: 1e-9,
+	}
+	for i := 0; i < 3; i++ {
+		p.Psi = append(p.Psi, complex(float64(i)*0.125, e))
+	}
+	res.Pairs = append(res.Pairs, p)
+	return res
+}
+
+// fleetSolve returns a SolveFunc producing fleetResult after delay.
+func fleetSolve(delay time.Duration) sweep.SolveFunc {
+	return func(ctx context.Context, e float64, opts core.Options) (*core.Result, error) {
+		if delay > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+		return fleetResult(e, opts), nil
+	}
+}
+
+func fleetEnergies(n int) []float64 {
+	es := make([]float64, n)
+	for i := range es {
+		es[i] = -0.3 + 0.05*float64(i)
+	}
+	return es
+}
+
+func fleetOptions() core.Options {
+	o := core.DefaultOptions()
+	o.Nint = 6
+	o.Nmm = 3
+	o.Nrh = 4
+	o.Seed = 11
+	return o
+}
+
+// golden runs the same sweep single-process; the fleet must match it.
+func golden(t *testing.T, es []float64, opts core.Options) *sweep.Report {
+	t.Helper()
+	rep, err := sweep.Run(context.Background(), fleetSolve(0), es, opts, sweep.Config{})
+	if err != nil {
+		t.Fatalf("golden sweep: %v", err)
+	}
+	return rep
+}
+
+// assertGolden compares a fleet report against the single-process golden,
+// energy by energy: same status, bit-identical encoded result.
+func assertGolden(t *testing.T, got, want *sweep.Report) {
+	t.Helper()
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("got %d results, want %d", len(got.Results), len(want.Results))
+	}
+	for i := range want.Results {
+		g, w := got.Results[i], want.Results[i]
+		if g.Status != w.Status {
+			t.Errorf("energy %d: status %q, want %q (err %v)", i, g.Status, w.Status, g.Err)
+			continue
+		}
+		gb, _ := json.Marshal(sweep.EncodeResult(g.Result))
+		wb, _ := json.Marshal(sweep.EncodeResult(w.Result))
+		if !bytes.Equal(gb, wb) {
+			t.Errorf("energy %d: fleet result diverges from single-process golden\n fleet: %s\n  solo: %s", i, gb, wb)
+		}
+	}
+}
+
+// startCoordinator runs Coordinate in a goroutine and returns the bound
+// address plus a join function.
+func startCoordinator(ctx context.Context, es []float64, opts core.Options, cfg CoordinatorConfig) (string, func() (*sweep.Report, error)) {
+	addrCh := make(chan string, 1)
+	prev := cfg.OnListen
+	cfg.OnListen = func(a string) {
+		addrCh <- a
+		if prev != nil {
+			prev(a)
+		}
+	}
+	var (
+		rep  *sweep.Report
+		err  error
+		done = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		rep, err = Coordinate(ctx, es, opts, cfg)
+	}()
+	return <-addrCh, func() (*sweep.Report, error) {
+		<-done
+		return rep, err
+	}
+}
+
+func TestFleetSweepMatchesSingleProcess(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	es := fleetEnergies(12)
+	opts := fleetOptions()
+
+	addr, join := startCoordinator(ctx, es, opts, CoordinatorConfig{
+		Addr:         "127.0.0.1:0",
+		MinWorkers:   3,
+		TCP:          fleetTCP(),
+		OperatorDesc: testOperator,
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := Work(ctx, fleetSolve(0), WorkerConfig{
+				Addr:         addr,
+				Name:         fmt.Sprintf("w%d", i),
+				OperatorDesc: testOperator,
+				TCP:          fleetTCP(),
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+
+	rep, err := join()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("coordinate: %v", err)
+	}
+	if rep.OK != len(es) || rep.Skipped != 0 {
+		t.Fatalf("report: OK=%d Skipped=%d Failed=%d, want all %d OK", rep.OK, rep.Skipped, rep.Failed, len(es))
+	}
+	assertGolden(t, rep, golden(t, es, opts))
+}
+
+// chaosSeed reads the CI chaos seed matrix (CBS_CHAOS_SEED, default 0) so
+// each matrix entry draws a different fault pattern on the links.
+func chaosSeed() int64 {
+	if s := os.Getenv("CBS_CHAOS_SEED"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
+// TestFleetKillAndReshard is the self-healing acceptance: three workers,
+// network chaos armed on both link ends, one worker killed mid-sweep. The
+// coordinator must detect the death, re-dispatch the dead worker's
+// energies to the survivors, and converge to the single-process golden.
+// Survivors whose links the chaos kills outright rejoin like restarted
+// processes — under any seed the sweep must still finish golden.
+func TestFleetKillAndReshard(t *testing.T) {
+	for _, seed := range []int64{3, 11, 42} {
+		seed += chaosSeed() * 1000
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			es := fleetEnergies(10)
+			opts := fleetOptions()
+
+			linkChaos := func(s int64) *chaos.Injector {
+				return chaos.New(s, chaos.Config{
+					NetDrop:      0.05,
+					NetReorder:   0.05,
+					NetDup:       0.05,
+					NetPartition: 0.002,
+					NetConn:      0.05,
+				})
+			}
+
+			var solved atomic.Int32
+			addr, join := startCoordinator(ctx, es, opts, CoordinatorConfig{
+				Addr:         "127.0.0.1:0",
+				MinWorkers:   3,
+				TCP:          fleetTCP(),
+				OperatorDesc: testOperator,
+				Chaos:        linkChaos(seed),
+				OnEnergy:     func(sweep.EnergyResult) { solved.Add(1) },
+			})
+
+			victimCtx, kill := context.WithCancel(ctx)
+			defer kill()
+			var swept atomic.Bool
+			var wg sync.WaitGroup
+			errs := make([]error, 3)
+			for i := 0; i < 3; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					wctx := ctx
+					if i == 0 {
+						wctx = victimCtx
+					}
+					// A survivor whose link dies under chaos rejoins with a
+					// fresh registration (same name, so it wins back its
+					// rendezvous share) — the test's stand-in for a process
+					// supervisor restarting a crashed worker.
+					attempt := int64(0)
+					for {
+						errs[i] = Work(wctx, fleetSolve(10*time.Millisecond), WorkerConfig{
+							Addr:         addr,
+							Name:         fmt.Sprintf("w%d", i),
+							OperatorDesc: testOperator,
+							TCP:          fleetTCP(),
+							Chaos:        linkChaos(seed + int64(i) + 1 + 97*attempt),
+						})
+						if errs[i] == nil || wctx.Err() != nil || swept.Load() {
+							return
+						}
+						attempt++
+						time.Sleep(10 * time.Millisecond)
+					}
+				}(i)
+			}
+
+			// Kill worker 0 once the sweep is demonstrably mid-flight.
+			for solved.Load() < 2 {
+				select {
+				case <-ctx.Done():
+					t.Fatal("sweep stalled before the kill point")
+				case <-time.After(time.Millisecond):
+				}
+			}
+			kill()
+
+			rep, err := join()
+			swept.Store(true)
+			wg.Wait()
+			if err != nil {
+				t.Fatalf("coordinate: %v", err)
+			}
+			if !errors.Is(errs[0], context.Canceled) {
+				t.Errorf("killed worker returned %v, want context.Canceled", errs[0])
+			}
+			// Survivors either saw the sweep out (nil) or were last cut
+			// down by a typed link failure mid-rejoin; anything untyped is
+			// a transport bug.
+			for i := 1; i < 3; i++ {
+				if errs[i] == nil {
+					continue
+				}
+				if !errors.Is(errs[i], comm.ErrPartition) && !errors.Is(errs[i], comm.ErrPeerLost) &&
+					!errors.Is(errs[i], comm.ErrClosed) && !errors.Is(errs[i], comm.ErrFrameCorrupt) {
+					t.Errorf("survivor %d: error not typed: %v", i, errs[i])
+				}
+			}
+			if rep.OK != len(es) || rep.Skipped != 0 {
+				t.Fatalf("report after kill: OK=%d Skipped=%d Failed=%d, want all %d OK", rep.OK, rep.Skipped, rep.Failed, len(es))
+			}
+			assertGolden(t, rep, golden(t, es, opts))
+		})
+	}
+}
+
+// TestFleetOperatorMismatch: a worker solving different physics must be
+// refused at registration and fail typed, and the sweep must complete on
+// the workers that match.
+func TestFleetOperatorMismatch(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	es := fleetEnergies(4)
+	opts := fleetOptions()
+
+	addr, join := startCoordinator(ctx, es, opts, CoordinatorConfig{
+		Addr:         "127.0.0.1:0",
+		TCP:          fleetTCP(),
+		OperatorDesc: testOperator,
+	})
+
+	imposterErr := make(chan error, 1)
+	go func() {
+		imposterErr <- Work(ctx, fleetSolve(0), WorkerConfig{
+			Addr:         addr,
+			Name:         "imposter",
+			OperatorDesc: "a different crystal entirely",
+			TCP:          fleetTCP(),
+		})
+	}()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := Work(ctx, fleetSolve(0), WorkerConfig{
+			Addr:         addr,
+			Name:         "honest",
+			OperatorDesc: testOperator,
+			TCP:          fleetTCP(),
+		}); err != nil {
+			t.Errorf("honest worker: %v", err)
+		}
+	}()
+
+	rep, err := join()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("coordinate: %v", err)
+	}
+	if rep.OK != len(es) {
+		t.Fatalf("report: OK=%d, want %d", rep.OK, len(es))
+	}
+	select {
+	case werr := <-imposterErr:
+		if werr == nil {
+			t.Fatal("imposter worker completed; want a typed refusal")
+		}
+		if !errors.Is(werr, comm.ErrPartition) && !errors.Is(werr, comm.ErrPeerLost) && !errors.Is(werr, comm.ErrClosed) {
+			t.Errorf("imposter error not typed: %v", werr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("imposter worker never returned")
+	}
+}
+
+// TestFleetResume: a completed fleet journal restores without any workers.
+func TestFleetResume(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	es := fleetEnergies(6)
+	opts := fleetOptions()
+	path := filepath.Join(t.TempDir(), "fleet.journal")
+
+	addr, join := startCoordinator(ctx, es, opts, CoordinatorConfig{
+		Addr:           "127.0.0.1:0",
+		TCP:            fleetTCP(),
+		OperatorDesc:   testOperator,
+		CheckpointPath: path,
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := Work(ctx, fleetSolve(0), WorkerConfig{
+			Addr: addr, Name: "w0", OperatorDesc: testOperator, TCP: fleetTCP(),
+		}); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	rep, err := join()
+	wg.Wait()
+	if err != nil || rep.OK != len(es) {
+		t.Fatalf("first run: OK=%d err=%v", rep.OK, err)
+	}
+
+	// Second run: everything restores from the journal; no worker ever
+	// dials, no listener is even opened past the restore.
+	rep2, err := Coordinate(ctx, es, opts, CoordinatorConfig{
+		Addr:           "127.0.0.1:0",
+		TCP:            fleetTCP(),
+		OperatorDesc:   testOperator,
+		CheckpointPath: path,
+		Resume:         true,
+	})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if rep2.Restored != len(es) || rep2.OK != len(es) || rep2.Attempts != 0 {
+		t.Fatalf("resume report: Restored=%d OK=%d Attempts=%d, want %d restored", rep2.Restored, rep2.OK, rep2.Attempts, len(es))
+	}
+	assertGolden(t, rep2, golden(t, es, opts))
+}
+
+// --- multi-process acceptance ---------------------------------------------
+
+// TestMain doubles as the worker executable: when CBS_FLEET_WORKER_ADDR is
+// set, the test binary runs one fleet worker and exits, so the SIGKILL
+// acceptance below can kill a real OS process mid-sweep.
+func TestMain(m *testing.M) {
+	addr := os.Getenv("CBS_FLEET_WORKER_ADDR")
+	if addr == "" {
+		os.Exit(m.Run())
+	}
+	delay, _ := time.ParseDuration(os.Getenv("CBS_FLEET_SOLVE_DELAY"))
+	var inj *chaos.Injector
+	if s := os.Getenv("CBS_FLEET_CHAOS_SEED"); s != "" {
+		seed, _ := strconv.ParseInt(s, 10, 64)
+		inj = chaos.New(seed, chaos.Config{NetDrop: 0.05, NetReorder: 0.05, NetPartition: 0.002, NetConn: 0.05})
+	}
+	err := Work(context.Background(), fleetSolve(delay), WorkerConfig{
+		Addr:         addr,
+		Name:         os.Getenv("CBS_FLEET_WORKER_NAME"),
+		OperatorDesc: testOperator,
+		TCP:          procTCP(),
+		Chaos:        inj,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestFleetProcessKillAndReshard is the end-to-end acceptance from the
+// issue: three worker OS processes over real localhost TCP with network
+// chaos armed, one of them SIGKILLed mid-sweep; the surviving processes
+// absorb the re-dispatched energies and the report is identical to the
+// single-process golden.
+func TestFleetProcessKillAndReshard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	es := fleetEnergies(12)
+	opts := fleetOptions()
+
+	var solved atomic.Int32
+	addr, join := startCoordinator(ctx, es, opts, CoordinatorConfig{
+		Addr:         "127.0.0.1:0",
+		MinWorkers:   3,
+		TCP:          procTCP(),
+		OperatorDesc: testOperator,
+		Chaos:        chaos.New(42, chaos.Config{NetDrop: 0.05, NetReorder: 0.05, NetDup: 0.05}),
+		OnEnergy:     func(sweep.EnergyResult) { solved.Add(1) },
+	})
+
+	procs := make([]*exec.Cmd, 3)
+	for i := range procs {
+		cmd := exec.Command(exe, "-test.run=^$")
+		cmd.Env = append(os.Environ(),
+			"CBS_FLEET_WORKER_ADDR="+addr,
+			fmt.Sprintf("CBS_FLEET_WORKER_NAME=proc%d", i),
+			"CBS_FLEET_SOLVE_DELAY=20ms",
+			fmt.Sprintf("CBS_FLEET_CHAOS_SEED=%d", 100+i),
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start worker %d: %v", i, err)
+		}
+		procs[i] = cmd
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Process.Kill()
+			p.Wait()
+		}
+	}()
+
+	for solved.Load() < 2 {
+		select {
+		case <-ctx.Done():
+			t.Fatal("sweep stalled before the kill point")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// kill -9: the process gets no chance to say goodbye.
+	if err := procs[0].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procs[0].Wait()
+
+	rep, err := join()
+	if err != nil {
+		t.Fatalf("coordinate: %v", err)
+	}
+	if rep.OK != len(es) || rep.Skipped != 0 {
+		t.Fatalf("report after SIGKILL: OK=%d Skipped=%d Failed=%d, want all %d OK", rep.OK, rep.Skipped, rep.Failed, len(es))
+	}
+	assertGolden(t, rep, golden(t, es, opts))
+
+	for i, p := range procs[1:] {
+		if err := p.Wait(); err != nil {
+			t.Errorf("surviving worker %d exited with %v", i+1, err)
+		}
+	}
+}

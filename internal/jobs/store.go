@@ -146,11 +146,79 @@ func OpenStore(path, operator string) (*Store, []ReplayedJob, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Startup compaction: finished jobs never emit again, so their
+	// progress ticks (the bulk of a long-lived log) are dead weight — only
+	// their state transitions still matter, for SSE replay and restart
+	// folding. Rewrite the log without them (atomic: temp + fsync +
+	// rename), keeping every record's original per-job seq so a client
+	// resuming with Last-Event-ID still lands in the right place. A
+	// rewrite failure is not fatal: the uncompacted log is still correct,
+	// just bigger.
+	if header, kept, dropped := compactPayloads(data, replayed); dropped > 0 {
+		if rerr := journal.Rewrite(path, header, kept); rerr == nil {
+			if data, err = os.ReadFile(path); err != nil {
+				return nil, nil, fmt.Errorf("jobs: rereading compacted job log: %w", err)
+			}
+			if replayed, goodEnd, err = parseLog(data, operator); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
 	f, err := journal.OpenAppend(path, goodEnd)
 	if err != nil {
 		return nil, nil, fmt.Errorf("jobs: reopening job log: %w", err)
 	}
 	return newStore(f, path), replayed, nil
+}
+
+// compactPayloads splits the log into its header payload and the record
+// payloads that survive compaction. Torn or unparseable lines are dropped,
+// and for terminal jobs — which will never emit again — every progress
+// tick except the last collapses away; the surviving records keep their
+// bytes, order, and per-job seqs, so folding and Last-Event-ID replay see
+// the same final state. dropped counts the discarded records.
+func compactPayloads(data []byte, replayed []ReplayedJob) (header []byte, kept [][]byte, dropped int) {
+	terminal := make(map[string]bool, len(replayed))
+	for _, rj := range replayed {
+		terminal[rj.ID] = rj.State.Terminal()
+	}
+	lines := journal.Lines(data)
+	// Last progress seq per terminal job: the one tick worth keeping (it
+	// carries the job's final Done/Total).
+	lastProgress := make(map[string]int64)
+	for i, line := range lines {
+		if i == 0 || line.Payload == nil {
+			continue
+		}
+		var rec logRecord
+		if err := json.Unmarshal(line.Payload, &rec); err != nil {
+			continue
+		}
+		if rec.Ev == evProgress && terminal[rec.Job] && rec.Seq > lastProgress[rec.Job] {
+			lastProgress[rec.Job] = rec.Seq
+		}
+	}
+	for i, line := range lines {
+		if i == 0 {
+			header = line.Payload // parseLog already validated it
+			continue
+		}
+		if line.Payload == nil {
+			dropped++ // a sealed torn fragment: dead weight
+			continue
+		}
+		var rec logRecord
+		if err := json.Unmarshal(line.Payload, &rec); err != nil || rec.Job == "" {
+			dropped++
+			continue
+		}
+		if rec.Ev == evProgress && terminal[rec.Job] && rec.Seq != lastProgress[rec.Job] {
+			dropped++
+			continue
+		}
+		kept = append(kept, line.Payload)
+	}
+	return header, kept, dropped
 }
 
 // createStore writes a fresh log header (atomic: temp + fsync + rename

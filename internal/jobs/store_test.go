@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync/atomic"
 	"testing"
@@ -445,5 +446,174 @@ func TestChaosJobLogSeedMatrix(t *testing.T) {
 	}
 	if rejected == 0 && mt.LogErrors == 0 {
 		t.Logf("seed %d drew no faults at rate 0.3 (possible but unlikely)", chaosSeed())
+	}
+}
+
+// logSize returns the job log's on-disk size.
+func logSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+// TestStoreCompaction: reopening a log whose finished jobs carry many
+// progress ticks rewrites it through the atomic temp+fsync+rename path —
+// the file shrinks, each terminal job keeps its state transitions plus
+// the last tick with their original per-job seqs, every record of a
+// still-running job survives untouched, and a second reopen finds
+// nothing left to drop.
+func TestStoreCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	st, _ := openStore(t, path, "op-v1")
+	m := New(Config{Workers: 2, QueueDepth: 8, Store: st})
+
+	const ticks = 50
+	doneID, err := submit(m, KindSweep, func(ctx context.Context, progress func(int, int)) (Outcome, error) {
+		for i := 1; i <= ticks; i++ {
+			progress(i, ticks)
+		}
+		return Outcome{Result: &core.Result{Energy: 1}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, doneID, StateDone)
+
+	// A job still mid-run at "crash" time: compaction must not touch it.
+	release := make(chan struct{})
+	defer close(release)
+	ticked := make(chan struct{})
+	liveID, err := submit(m, KindSolve, func(ctx context.Context, progress func(int, int)) (Outcome, error) {
+		progress(1, 4)
+		progress(2, 4)
+		close(ticked)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return Outcome{}, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ticked
+
+	// Reopen without draining — the crash leaves the running job's
+	// records ending mid-stream.
+	before := logSize(t, path)
+	st2, replayed := openStore(t, path, "op-v1")
+	defer st2.Close()
+	after := logSize(t, path)
+	if after >= before {
+		t.Fatalf("log did not shrink: %d -> %d bytes", before, after)
+	}
+
+	done := findReplayed(t, replayed, doneID)
+	if done.State != StateDone || done.Done != ticks || done.Total != ticks {
+		t.Errorf("done job replayed %+v, want done %d/%d", done, ticks, ticks)
+	}
+	// queued, running, last tick, done — with the seqs they were born with.
+	wantSeqs := []int64{1, 2, ticks + 2, ticks + 3}
+	if len(done.Events) != len(wantSeqs) {
+		t.Fatalf("done job kept %d events, want %d: %+v", len(done.Events), len(wantSeqs), done.Events)
+	}
+	for i, ev := range done.Events {
+		if ev.Seq != wantSeqs[i] {
+			t.Errorf("event %d seq %d, want %d", i, ev.Seq, wantSeqs[i])
+		}
+	}
+	if tick := done.Events[2]; tick.Ev != evProgress || tick.Done != ticks {
+		t.Errorf("surviving tick %+v, want progress %d/%d", tick, ticks, ticks)
+	}
+	if fin := done.Events[3]; !fin.Final || fin.State != StateDone {
+		t.Errorf("final event %+v, want terminal done", fin)
+	}
+
+	live := findReplayed(t, replayed, liveID)
+	if live.State != StateRunning || live.Done != 2 || live.Total != 4 {
+		t.Errorf("running job replayed %+v, want running 2/4", live)
+	}
+	if len(live.Events) != 4 { // queued, running, two ticks: all kept
+		t.Errorf("running job kept %d events, want 4: %+v", len(live.Events), live.Events)
+	}
+
+	// Idempotent: a compacted log has nothing to drop, so the next open
+	// must not rewrite it.
+	st2.Close()
+	st3, _ := openStore(t, path, "op-v1")
+	defer st3.Close()
+	if again := logSize(t, path); again != after {
+		t.Errorf("second open changed the log: %d -> %d bytes", after, again)
+	}
+}
+
+// TestSSEReplaySurvivesCompaction: a client that watched a job live and
+// reconnects after a restart sends Last-Event-ID pointing into the
+// compacted-away ticks; the replayed suffix must still land it gaplessly
+// on the terminal event.
+func TestSSEReplaySurvivesCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	st, _ := openStore(t, path, "op-v1")
+	m := New(Config{Workers: 1, QueueDepth: 8, Store: st})
+
+	const ticks = 30
+	id, err := submit(m, KindSweep, func(ctx context.Context, progress func(int, int)) (Outcome, error) {
+		for i := 1; i <= ticks; i++ {
+			progress(i, ticks)
+		}
+		return Outcome{Result: &core.Result{Energy: 1}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, id, StateDone)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Restart: the reopen compacts, the manager re-adopts the log.
+	st2, replayed := openStore(t, path, "op-v1")
+	defer st2.Close()
+	m2 := New(Config{Workers: 1, QueueDepth: 8, Store: st2})
+	m2.Adopt(replayed, func(rj ReplayedJob) (Task, error) {
+		return nil, errors.New("terminal jobs are restored, not rebuilt")
+	})
+
+	const last = 10 // a mid-run tick seq that compaction dropped
+	past, liveCh, cancelW, err := m2.Watch(id, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cancelW != nil {
+		defer cancelW()
+	}
+	if liveCh != nil {
+		t.Error("terminal job handed out a live event channel")
+	}
+	if len(past) == 0 {
+		t.Fatal("no events replayed past Last-Event-ID")
+	}
+	prev := int64(last)
+	sawTick := false
+	for _, ev := range past {
+		if ev.Seq <= prev {
+			t.Errorf("replayed seq %d out of order after %d", ev.Seq, prev)
+		}
+		prev = ev.Seq
+		if ev.Ev == evProgress && ev.Done == ticks && ev.Total == ticks {
+			sawTick = true
+		}
+	}
+	if !sawTick {
+		t.Errorf("final tick %d/%d missing from replayed suffix: %+v", ticks, ticks, past)
+	}
+	if fin := past[len(past)-1]; !fin.Final || fin.State != StateDone {
+		t.Errorf("suffix ends with %+v, want terminal done", fin)
 	}
 }

@@ -144,6 +144,48 @@ func Create(path string, header []byte) (*File, error) {
 	return &File{f: f, path: path}, nil
 }
 
+// Rewrite atomically replaces the journal at path with a new image: the
+// framed header followed by each framed payload. The image is written to
+// a temp file, fsynced, and renamed over path, then the directory entry
+// is synced — a crash at any point leaves either the old journal or the
+// complete new one, never a mix. Owners use it to compact a log on
+// startup before reopening it for appends.
+//
+//cbs:durable
+func Rewrite(path string, header []byte, payloads [][]byte) error {
+	tmp := path + ".rewrite.tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := tf.Write(Frame(header)); err != nil {
+		return fail(err)
+	}
+	for _, p := range payloads {
+		if _, err := tf.Write(Frame(p)); err != nil {
+			return fail(err)
+		}
+	}
+	if err := tf.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(path)
+	return nil
+}
+
 // OpenAppend reopens an existing journal for appending after its owner
 // validated the contents up to goodEnd. Anything past goodEnd is a torn
 // tail from a crash mid-append and is truncated away first — a fragment

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"cbs/internal/chaos"
+	"cbs/internal/comm"
 	"cbs/internal/contour"
 	"cbs/internal/core"
 	"cbs/internal/linsolve"
@@ -224,18 +225,9 @@ func Run(ctx context.Context, solve SolveFunc, es []float64, opts core.Options, 
 			if cfg.RetryFailed && rec.Status == StatusFailed {
 				continue
 			}
-			er := EnergyResult{
-				Index:       rec.Index,
-				Energy:      rec.Energy,
-				Status:      rec.Status,
-				Attempts:    0,
-				Escalations: rec.Escalations,
-				FromJournal: true,
-				Result:      rec.Result.Decode(),
-			}
-			if rec.Error != "" {
-				er.Err = errors.New(rec.Error)
-			}
+			er := rec.Restore()
+			er.Attempts = 0 // restored, not re-solved
+			er.FromJournal = true
 			report.Results[rec.Index] = er
 			if cfg.OnEnergy != nil {
 				cfg.OnEnergy(er)
@@ -282,7 +274,7 @@ func Run(ctx context.Context, solve SolveFunc, es []float64, opts core.Options, 
 					cfg.OnEnergy(er)
 				}
 				if journal != nil && er.Status != StatusSkipped {
-					if err := journal.Append(recordOf(er)); err != nil {
+					if err := journal.Append(RecordOf(er)); err != nil {
 						mu.Lock()
 						if ckptErr == nil {
 							ckptErr = err
@@ -323,8 +315,9 @@ func Run(ctx context.Context, solve SolveFunc, es []float64, opts core.Options, 
 	return report, nil
 }
 
-// recordOf projects an energy outcome into its journal record.
-func recordOf(er EnergyResult) Record {
+// RecordOf projects an energy outcome into its journal (and fleet wire)
+// record.
+func RecordOf(er EnergyResult) Record {
 	rec := Record{
 		Index:       er.Index,
 		Energy:      er.Energy,
@@ -339,12 +332,31 @@ func recordOf(er EnergyResult) Record {
 	return rec
 }
 
+// Restore is the inverse of RecordOf: it rebuilds an energy outcome from
+// its serialized record. The original error chain is flattened to an
+// opaque message — sentinels do not survive the journal or the fleet wire,
+// by design (a restored failure is terminal, never re-classified).
+func (rec Record) Restore() EnergyResult {
+	er := EnergyResult{
+		Index:       rec.Index,
+		Energy:      rec.Energy,
+		Status:      rec.Status,
+		Attempts:    rec.Attempts,
+		Escalations: rec.Escalations,
+		Result:      rec.Result.Decode(),
+	}
+	if rec.Error != "" {
+		er.Err = errors.New(rec.Error)
+	}
+	return er
+}
+
 // runEnergy drives one energy through the retry policy. It is the repo's
 // error-classification ladder: every sentinel the solver stack can surface
 // must be mapped to a retry, an escalation, or a terminal failure here.
 //
 //cbs:cancellable
-//cbs:errladder core linsolve contour
+//cbs:errladder core linsolve contour comm
 func runEnergy(ctx context.Context, solve SolveFunc, i int, e float64, base core.Options, cfg Config) EnergyResult {
 	er := EnergyResult{Index: i, Energy: e}
 	aopts := base
@@ -446,6 +458,22 @@ func runEnergy(ctx context.Context, solve SolveFunc, i int, e float64, base core
 		case errors.Is(err, linsolve.ErrBreakdown):
 			er.Escalations = append(er.Escalations, fmt.Sprintf("probe reseed %d (breakdown)", er.Attempts))
 			aopts.Seed = base.Seed + int64(er.Attempts)*1_000_003
+		case errors.Is(err, comm.ErrShapeMismatch):
+			// The ranks of a distributed fabric disagreed about the
+			// problem shape. The decomposition is deterministic, so a
+			// retry reproduces the same disagreement: terminal.
+			return fail(err)
+		case errors.Is(err, comm.ErrPeerLost),
+			errors.Is(err, comm.ErrPartition),
+			errors.Is(err, comm.ErrFrameCorrupt),
+			errors.Is(err, comm.ErrClosed):
+			// Transport failures. The rank world is rebuilt from scratch
+			// on every attempt, so a lost peer, a partitioned or
+			// persistently corrupt link, or a world torn down under us
+			// are all plain retries here; process-level re-dispatch (a
+			// fleet coordinator moving the energy to a surviving worker)
+			// happens above this ladder, not in it.
+			er.Escalations = append(er.Escalations, fmt.Sprintf("fabric rebuilt, attempt %d (transport failure)", er.Attempts))
 		default:
 			// Unclassified (chaos faults, operator errors): plain retry.
 		}
@@ -466,6 +494,19 @@ func runEnergy(ctx context.Context, solve SolveFunc, i int, e float64, base core
 		return finish(saturated, true)
 	}
 	return fail(fmt.Errorf("sweep: energy %d (E = %g hartree) failed after %d attempts: %w", i, e, er.Attempts, lastErr))
+}
+
+// SolveOne drives a single energy through the full escalation ladder and
+// returns its terminal outcome. It is the unit of work a fleet worker
+// executes per assignment: the coordinator owns scheduling, journaling and
+// re-dispatch; the worker owns exactly this — one energy, solved with the
+// same retry policy a single-process sweep would apply. cfg is normalized
+// the same way Run normalizes it.
+func SolveOne(ctx context.Context, solve SolveFunc, index int, e float64, base core.Options, cfg Config) EnergyResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return runEnergy(ctx, solve, index, e, base, cfg.normalize())
 }
 
 // sleepCtx waits d or until the context dies; it reports whether the full

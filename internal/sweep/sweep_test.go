@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"cbs/internal/chaos"
+	"cbs/internal/comm"
 	"cbs/internal/contour"
 	"cbs/internal/core"
 	"cbs/internal/linsolve"
@@ -581,5 +582,55 @@ func TestSweepOnEnergyProgress(t *testing.T) {
 	}
 	if restored != 3 || fresh != 1 {
 		t.Errorf("resume reported %d restored + %d fresh, want 3 + 1", restored, fresh)
+	}
+}
+
+// TestSweepTransportRetry: the transport sentinels (ErrPeerLost,
+// ErrPartition, ErrFrameCorrupt, ErrClosed) mean the distributed fabric
+// died under the solve, not that the physics failed — the ladder retries
+// plainly (the caller rebuilds the fabric between attempts) and a clean
+// second attempt is OK, not Degraded.
+func TestSweepTransportRetry(t *testing.T) {
+	for _, transient := range []error{comm.ErrPeerLost, comm.ErrPartition, comm.ErrFrameCorrupt, comm.ErrClosed} {
+		var calls atomic.Int64
+		solve := func(ctx context.Context, e float64, opts core.Options) (*core.Result, error) {
+			if calls.Add(1) == 1 {
+				return nil, fmt.Errorf("halo exchange: %w", transient)
+			}
+			return okResult(e, opts), nil
+		}
+		report, err := Run(context.Background(), solve, testEnergies(1), testOptions(), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		er := report.Results[0]
+		if er.Status != StatusOK || er.Attempts != 2 {
+			t.Errorf("%v: status %s after %d attempts (err %v), want OK on the retry", transient, er.Status, er.Attempts, er.Err)
+		}
+		if len(er.Escalations) != 1 {
+			t.Errorf("%v: escalations %v, want the one fabric-rebuilt rung", transient, er.Escalations)
+		}
+	}
+}
+
+// TestSweepShapeMismatchTerminal: comm.ErrShapeMismatch is a protocol bug
+// (ranks disagree about vector lengths), not a transient fault — retrying
+// would fail identically, so the energy fails immediately and typed.
+func TestSweepShapeMismatchTerminal(t *testing.T) {
+	var calls atomic.Int64
+	solve := func(ctx context.Context, e float64, opts core.Options) (*core.Result, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("allreduce: %w", comm.ErrShapeMismatch)
+	}
+	report, err := Run(context.Background(), solve, testEnergies(1), testOptions(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := report.Results[0]
+	if er.Status != StatusFailed || !errors.Is(er.Err, comm.ErrShapeMismatch) {
+		t.Errorf("status %s err %v, want immediate typed failure", er.Status, er.Err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("solver called %d times, want 1 (terminal)", calls.Load())
 	}
 }

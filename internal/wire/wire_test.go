@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// TestFrameRoundTrip: every header field and the payload survive
+// Write/Read unchanged, including empty payloads and max sequence numbers.
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Kind: KindHello, Src: 1, Dst: 2, Seq: 0, Payload: nil},
+		{Kind: KindData, Src: 0, Dst: 255, Seq: 1, Payload: []byte("halo slab")},
+		{Kind: KindNak, Src: 7, Dst: 7, Seq: math.MaxUint64, Payload: []byte{0}},
+		{Kind: KindLost, Src: 255, Dst: 0, Seq: 1 << 40, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := Write(&buf, f); err != nil {
+			t.Fatalf("write %+v: %v", f, err)
+		}
+	}
+	for i, want := range frames {
+		got, err := Read(&buf, 1<<16)
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Src != want.Src || got.Dst != want.Dst || got.Seq != want.Seq {
+			t.Errorf("frame %d header: got %+v, want %+v", i, got, want)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("frame %d payload: %d bytes, want %d", i, len(got.Payload), len(want.Payload))
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("%d trailing bytes after reading all frames", buf.Len())
+	}
+}
+
+// TestFrameCorruption: a bit flip anywhere in the frame — length, kind,
+// sequence, payload, or CRC — surfaces as ErrFrameCorrupt, never as a
+// silently wrong frame. (A length flip may also read as a short stream;
+// both are failures, neither is silent.)
+func TestFrameCorruption(t *testing.T) {
+	base := Append(nil, Frame{Kind: KindData, Src: 3, Dst: 4, Seq: 99, Payload: []byte("payload bytes")})
+	for bit := 0; bit < len(base)*8; bit++ {
+		corrupt := append([]byte(nil), base...)
+		corrupt[bit/8] ^= 1 << (bit % 8)
+		f, err := Read(bytes.NewReader(corrupt), 1<<16)
+		if err == nil {
+			t.Fatalf("bit flip at %d accepted: %+v", bit, f)
+		}
+		// Flips in the length field can leave the reader waiting for bytes
+		// that never come (io errors); everything else must be typed.
+		if bit >= 32 && !errors.Is(err, ErrFrameCorrupt) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+			t.Fatalf("bit flip at %d: error not typed: %v", bit, err)
+		}
+	}
+}
+
+// TestFrameLengthBound: a frame whose length field exceeds maxPayload is
+// refused before any allocation, typed ErrFrameCorrupt.
+func TestFrameLengthBound(t *testing.T) {
+	big := Append(nil, Frame{Kind: KindData, Payload: make([]byte, 2048)})
+	if _, err := Read(bytes.NewReader(big), 1024); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("oversized frame: got %v, want ErrFrameCorrupt", err)
+	}
+	// At the bound it must pass.
+	if _, err := Read(bytes.NewReader(big), 2048); err != nil {
+		t.Fatalf("frame at the bound refused: %v", err)
+	}
+}
+
+// TestFrameTruncation: a stream cut mid-frame (crash or half-close) reads
+// as an io error, not a corrupt-but-accepted frame.
+func TestFrameTruncation(t *testing.T) {
+	full := Append(nil, Frame{Kind: KindData, Seq: 5, Payload: []byte("truncate me")})
+	for cut := 0; cut < len(full); cut++ {
+		_, err := Read(bytes.NewReader(full[:cut]), 1<<16)
+		if err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+		if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncation at %d: %v, want io error", cut, err)
+		}
+	}
+}
+
+// TestComplexCodec: IEEE-754 bits round-trip exactly, including zeros,
+// negative zero, denormals, infinities, and NaN payloads — the transport
+// must be bit-transparent for the halo exchange to stay deterministic.
+func TestComplexCodec(t *testing.T) {
+	vals := []complex128{
+		0,
+		complex(math.Copysign(0, -1), 0),
+		complex(1.5, -2.25),
+		complex(math.SmallestNonzeroFloat64, math.MaxFloat64),
+		complex(math.Inf(1), math.Inf(-1)),
+		complex(math.NaN(), 42),
+	}
+	buf := AppendComplex(nil, vals)
+	got, err := DecodeComplex(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		gr, gi := math.Float64bits(real(got[i])), math.Float64bits(imag(got[i]))
+		wr, wi := math.Float64bits(real(vals[i])), math.Float64bits(imag(vals[i]))
+		if gr != wr || gi != wi {
+			t.Errorf("value %d: bits (%x,%x), want (%x,%x)", i, gr, gi, wr, wi)
+		}
+	}
+	if _, err := DecodeComplex(buf[:len(buf)-1]); !errors.Is(err, ErrFrameCorrupt) {
+		t.Errorf("ragged complex payload: got %v, want ErrFrameCorrupt", err)
+	}
+}
