@@ -1,7 +1,7 @@
 GO ?= go
 CBSCHECK := bin/cbscheck
 
-.PHONY: all build test race lint cbscheck fuzz-smoke chaos-smoke sweep-smoke serve-smoke serve-chaos net-smoke net-chaos bench bench-smoke fleet-bench
+.PHONY: all build test race lint cbscheck fuzz-smoke chaos-smoke sweep-smoke serve-smoke serve-chaos net-smoke net-chaos negf-smoke bench bench-smoke fleet-bench negf-bench
 
 all: build test
 
@@ -91,6 +91,23 @@ net-chaos:
 		$(GO) test -race -count=2 ./internal/comm ./internal/fleet || exit 1; \
 	done
 
+# negf-smoke is the transport subsystem's acceptance gate: the NEGF and
+# tight-binding suites plus the end-to-end /v1/transport goldens (quantized
+# plateaus, barrier tunneling, cache hit on resubmission, restart resume)
+# and the backend-isolation pins, all under -race; then the negf.selfenergy
+# chaos site across a deterministic seed matrix. The chaos suite arms the
+# explicit rate in-test and derives its injector seed from CBS_CHAOS_SEED,
+# so each entry faults a different subset of energies; -count=2 defeats
+# the test cache.
+negf-smoke:
+	$(GO) test -race -count=1 ./internal/negf ./internal/tb
+	$(GO) test -race -count=1 -run 'TestTransport' ./cmd/cbsd
+	$(GO) test -race -count=1 -run 'TestTB|TestBackend' .
+	for seed in 1 2 3; do \
+		CBS_CHAOS=1 CBS_CHAOS_SEED=$$seed CBS_CHAOS_NEGF=0.5 \
+		$(GO) test -count=2 -run TestTransportChaosMatrix ./internal/negf || exit 1; \
+	done
+
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzCSRBuild -fuzztime=30s ./internal/sparse
 	$(GO) test -run=NONE -fuzz=FuzzLUSolve -fuzztime=30s ./internal/zlinalg
@@ -113,6 +130,8 @@ bench-smoke:
 	$(GO) run ./cmd/serialperf -bench-verify BENCH_PR6.json
 	$(GO) run ./cmd/serialperf -bench-verify BENCH_PR8.json
 	$(GO) run ./cmd/fleetbench -verify BENCH_PR9.json
+	$(GO) run ./cmd/negfbench -ne 16
+	$(GO) run ./cmd/negfbench -verify BENCH_PR10.json
 
 # fleet-bench reruns the tracked distributed-sweep benchmark — the same
 # small Al(100) sweep single-process and over 2/4 local cbsw worker
@@ -122,3 +141,11 @@ bench-smoke:
 fleet-bench:
 	$(GO) build -o bin/cbsw ./cmd/cbsw
 	$(GO) run ./cmd/fleetbench -json BENCH_PR9.json
+
+# negf-bench reruns the tracked CBS→NEGF transport benchmark — the same
+# in-band tight-binding grid as a plain CBS sweep and through the full
+# transmission pipeline, with the quantization gate enforced — and
+# rewrites the current PR's snapshot (schema cbs-negfbench/v1,
+# BENCH_PR10.json).
+negf-bench:
+	$(GO) run ./cmd/negfbench -json BENCH_PR10.json

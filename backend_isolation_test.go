@@ -1,0 +1,157 @@
+// backend_isolation_test.go pins the identity boundary between operator
+// backends: FD-grid and tight-binding models must never share a
+// fingerprint — and therefore never share result-cache entries or resume
+// each other's sweep journals. The descriptor byte-pins are load-bearing
+// the same way the fingerprint goldens are: existing TB journals embed
+// them.
+package cbs_test
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cbs"
+	"cbs/internal/sweep"
+
+	"context"
+)
+
+// tbChain4 is the canonical test lead: 4 sites, eps=0, t=-1, a=4 bohr.
+func tbChain4(t *testing.T) *cbs.Model {
+	t.Helper()
+	m, err := cbs.NewTBChain(cbs.TBChainConfig{Sites: 4, Onsite: 0, Hopping: -1, A: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTBDescriptorGoldens byte-pins the tight-binding operator
+// descriptors. A change orphans every deployed TB journal and job log —
+// if the descriptor material must change, treat it like a fingerprint
+// domain bump.
+func TestTBDescriptorGoldens(t *testing.T) {
+	chain := tbChain4(t)
+	if got, want := chain.OperatorDesc(), "tb-chain|sites=4|eps=0|t=-1|a=4"; got != want {
+		t.Errorf("chain descriptor %q, want %q (STABILITY BREAK)", got, want)
+	}
+	slab, err := cbs.NewTBSlab(cbs.TBSlabConfig{Nx: 2, Ny: 2, Onsite: 0, Hopping: -1, A: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := slab.OperatorDesc(), "tb-slab|nx=2|ny=2|eps=0|t=-1|a=1"; got != want {
+		t.Errorf("slab descriptor %q, want %q (STABILITY BREAK)", got, want)
+	}
+
+	opts := cbs.DefaultOptions()
+	goldens := []struct {
+		name string
+		got  string
+		want string
+	}{
+		{"chain solve", chain.SolveFingerprint(0.5, opts), "ef2302494a8c9867"},
+		{"slab solve", slab.SolveFingerprint(0.5, opts), "a90d608d6bcf7b0d"},
+		{"chain transport", chain.TransportFingerprint(cbs.TransportSpec{
+			Energies: []float64{-0.25, 0, 0.25},
+			Device:   cbs.TransportDevice{Cells: 3},
+		}, opts), "6f9c3f50d5d907d8"},
+		{"chain transport with barrier", chain.TransportFingerprint(cbs.TransportSpec{
+			Energies: []float64{-0.25, 0, 0.25},
+			Device:   cbs.TransportDevice{Cells: 3, Barrier: []float64{0, 1.5, 0}},
+		}, opts), "f60c97d04b19e90c"},
+	}
+	for _, g := range goldens {
+		if g.got != g.want {
+			t.Errorf("%s fingerprint %s, want %s (STABILITY BREAK: existing journals will refuse to resume)", g.name, g.got, g.want)
+		}
+	}
+}
+
+// TestBackendFingerprintsDisjoint: the same (energy, options) on different
+// backends must produce different fingerprints — backends may never share
+// cache or journal identity. The "tb-" descriptor prefix guarantees this
+// against every FD-grid descriptor (which always starts with the
+// structure name and a "|grid=" field).
+func TestBackendFingerprintsDisjoint(t *testing.T) {
+	chain := tbChain4(t)
+	slab, err := cbs.NewTBSlab(cbs.TBSlabConfig{Nx: 2, Ny: 2, Onsite: 0, Hopping: -1, A: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cbs.AlBulk100(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := cbs.NewModel(st, cbs.GridConfig{Nx: 6, Ny: 6, Nz: 8, Nf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !strings.HasPrefix(chain.OperatorDesc(), "tb-") || !strings.HasPrefix(slab.OperatorDesc(), "tb-") {
+		t.Fatalf("tb descriptors lost their namespace prefix: %q, %q", chain.OperatorDesc(), slab.OperatorDesc())
+	}
+	if strings.HasPrefix(fd.OperatorDesc(), "tb-") {
+		t.Fatalf("FD descriptor entered the tb namespace: %q", fd.OperatorDesc())
+	}
+
+	opts := cbs.DefaultOptions()
+	es := []float64{-0.1, 0.3}
+	fps := map[string]string{
+		fd.SweepFingerprint(es, opts):    "fd",
+		chain.SweepFingerprint(es, opts): "tb-chain",
+		slab.SweepFingerprint(es, opts):  "tb-slab",
+	}
+	if len(fps) != 3 {
+		t.Fatalf("backend fingerprints collided: %v", fps)
+	}
+}
+
+// TestTBJournalRefusesFDResume: a checkpoint journal written by a
+// tight-binding sweep is refused — typed, before any solve — when an
+// FD-grid model tries to resume it, and vice versa. This is the
+// enforcement half of the descriptor disjointness above.
+func TestTBJournalRefusesFDResume(t *testing.T) {
+	chain := tbChain4(t)
+	opts := cbs.DefaultOptions()
+	opts.Nrh, opts.Nmm = 2, 2
+
+	path := filepath.Join(t.TempDir(), "tb.journal")
+	es := []float64{0.5}
+	rep, err := chain.SweepCBS(context.Background(), es, opts, cbs.SweepConfig{CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 1 {
+		t.Fatalf("TB sweep: %d ok, want 1", rep.OK)
+	}
+
+	st, err := cbs.AlBulk100(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := cbs.NewModel(st, cbs.GridConfig{Nx: 6, Ny: 6, Nz: 8, Nf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refusal happens at journal open — the FD model never solves.
+	_, err = fd.SweepCBS(context.Background(), es, opts, cbs.SweepConfig{
+		CheckpointPath: path, Resume: true,
+	})
+	if !errors.Is(err, sweep.ErrFingerprintMismatch) {
+		t.Fatalf("FD resume of TB journal: err = %v, want ErrFingerprintMismatch", err)
+	}
+
+	// And the TB model itself resumes its own journal cleanly (restored,
+	// no second solve).
+	rep, err = chain.SweepCBS(context.Background(), es, opts, cbs.SweepConfig{
+		CheckpointPath: path, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restored != 1 {
+		t.Fatalf("TB self-resume restored %d, want 1", rep.Restored)
+	}
+}

@@ -40,10 +40,13 @@ import (
 	"cbs/internal/fleet"
 	"cbs/internal/hamiltonian"
 	"cbs/internal/lattice"
+	"cbs/internal/negf"
 	"cbs/internal/obm"
+	"cbs/internal/operator"
 	"cbs/internal/qep"
 	"cbs/internal/scf"
 	"cbs/internal/sweep"
+	"cbs/internal/tb"
 	"cbs/internal/transport"
 )
 
@@ -101,6 +104,37 @@ type (
 	SCFOptions = scf.Options
 	// SCFResult is its outcome.
 	SCFResult = scf.Result
+	// OperatorBackend is the operator contract a CBS solve needs: the
+	// cell-periodic block applies H0/H+/H- plus identity metadata (see
+	// internal/operator). The FD-grid Hamiltonian and the tight-binding
+	// backends both satisfy it.
+	OperatorBackend = operator.Backend
+	// TBChainConfig parameterizes the 1D nearest-neighbor tight-binding
+	// chain backend (analytic dispersion E = eps + 2t cos ka).
+	TBChainConfig = tb.ChainConfig
+	// TBSlabConfig parameterizes the simple-cubic tight-binding slab
+	// backend (Nx x Ny hard-wall transverse sites per principal layer).
+	TBSlabConfig = tb.SlabConfig
+	// TransportSpec describes one CBS->NEGF transport run: energy grid,
+	// device, NEGF options.
+	TransportSpec = negf.Spec
+	// TransportDevice is the scattering region (principal-layer count and
+	// optional per-cell barrier shifts).
+	TransportDevice = negf.Device
+	// TransportOptions tunes the NEGF post-processing (broadening eta,
+	// propagating-channel tolerance).
+	TransportOptions = negf.Options
+	// TransportPoint is T(E) at one energy with channel diagnostics.
+	TransportPoint = negf.Point
+	// TransportCurve is a transmission sweep's outcome.
+	TransportCurve = negf.Curve
+	// BiasSpec parameterizes the Landauer current integration.
+	BiasSpec = negf.BiasSpec
+	// IVPoint is one point of the Landauer I-V characteristic.
+	IVPoint = negf.IVPoint
+	// DecayOptions tunes the decay-profile reduction (propagating-channel
+	// tolerance).
+	DecayOptions = transport.Options
 )
 
 // DefaultOptions returns the paper's parameter set (Nint=32, Nmm=8,
@@ -116,6 +150,12 @@ const (
 	SweepDegraded = sweep.StatusDegraded
 	SweepFailed   = sweep.StatusFailed
 	SweepSkipped  = sweep.StatusSkipped
+)
+
+// Re-exported transport point statuses.
+const (
+	TransportOK     = negf.PointOK
+	TransportFailed = negf.PointFailed
 )
 
 // Structure generators (see internal/lattice for details).
@@ -148,32 +188,75 @@ func CrystallineBundle(tube *Structure) (*Structure, error) {
 	return lattice.CrystallineBundle(tube)
 }
 
-// Model is a discretized system: the Kohn-Sham Hamiltonian blocks of one
-// unit cell, ready for CBS, band-structure and baseline calculations.
+// Model is a discretized system ready for CBS, band-structure, transport
+// and baseline calculations. B is the operator backend every solve goes
+// through; Op is non-nil only for FD-grid models and gates the
+// grid-specific methods (SCF, OBM, conventional bands, domain
+// decomposition).
 type Model struct {
 	Op *hamiltonian.Operator
+	B  operator.Backend
 }
 
 // NewModel discretizes the structure on the requested grid, building the
-// local potential and Kleinman-Bylander projectors.
+// local potential and Kleinman-Bylander projectors (the FD-grid backend).
 func NewModel(st *Structure, cfg GridConfig) (*Model, error) {
 	op, err := hamiltonian.Build(st, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Model{Op: op}, nil
+	return &Model{Op: op, B: op}, nil
 }
 
-// N returns the Hamiltonian dimension (grid points per unit cell).
-func (m *Model) N() int { return m.Op.N() }
+// NewTBChain builds a model on the 1D nearest-neighbor tight-binding
+// backend: an analytically solvable lead whose complex bands satisfy
+// lambda + 1/lambda = (E - eps)/t per primitive cell.
+func NewTBChain(cfg TBChainConfig) (*Model, error) {
+	b, err := tb.NewChain(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{B: b}, nil
+}
+
+// NewTBSlab builds a model on the simple-cubic tight-binding slab backend:
+// Nx x Ny decoupled transverse modes, each a cosine band.
+func NewTBSlab(cfg TBSlabConfig) (*Model, error) {
+	b, err := tb.NewSlab(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{B: b}, nil
+}
+
+// Backend exposes the model's operator backend (for callers composing the
+// lower-level pipelines, e.g. the serving layer's cached transport sweep).
+func (m *Model) Backend() OperatorBackend { return m.B }
+
+// errFDOnly is the typed refusal of a grid-specific method on a non-grid
+// backend.
+func (m *Model) errFDOnly(what string) error {
+	return fmt.Errorf("%s requires the FD-grid backend (this model runs on %q)", what, m.B.Descriptor())
+}
+
+// N returns the Hamiltonian dimension (grid points or orbitals per unit
+// cell).
+func (m *Model) N() int { return m.B.N() }
 
 // CellLength returns the 1D lattice constant a (bohr).
-func (m *Model) CellLength() float64 { return m.Op.G.Lz() }
+func (m *Model) CellLength() float64 { return m.B.CellLength() }
 
-// FermiLevel estimates the Fermi energy (hartree) from an nk-point band
-// sum.
+// FermiLevel estimates the Fermi energy (hartree): an nk-point band sum
+// for FD-grid models, the analytic band center for tight-binding backends
+// (exact at half filling for the particle-hole-symmetric chain/slab).
 func (m *Model) FermiLevel(nk int) (float64, error) {
-	return bandstructure.FermiLevel(m.Op, nk)
+	if m.Op != nil {
+		return bandstructure.FermiLevel(m.Op, nk)
+	}
+	if fg, ok := m.B.(interface{ FermiGuess() float64 }); ok {
+		return fg.FermiGuess(), nil
+	}
+	return 0, m.errFDOnly("FermiLevel")
 }
 
 // Bands returns the conventional band structure: nk wave vectors in
@@ -181,6 +264,9 @@ func (m *Model) FermiLevel(nk int) (float64, error) {
 // with a band cap use the sparse (Chebyshev-filtered) eigensolver; small
 // cells or nbands <= 0 (all bands) diagonalize densely.
 func (m *Model) Bands(nk, nbands int) ([]float64, [][]float64, error) {
+	if m.Op == nil {
+		return nil, nil, m.errFDOnly("Bands")
+	}
 	ks := bandstructure.UniformK(m.Op, nk)
 	if nbands > 0 && m.Op.N() > 1200 {
 		bs, err := bandstructure.LowestBands(m.Op, ks, nbands)
@@ -193,14 +279,14 @@ func (m *Model) Bands(nk, nbands int) ([]float64, [][]float64, error) {
 // SolveCBS computes the complex band structure at energy e (hartree) with
 // the Sakurai-Sugiura method.
 func (m *Model) SolveCBS(e float64, opts Options) (*Result, error) {
-	return core.Solve(qep.New(m.Op, e), opts)
+	return core.Solve(qep.NewBackend(m.B, e), opts)
 }
 
 // SolveCBSContext is SolveCBS under a context: cancellation or a deadline
 // stops the contour solve promptly across all parallel layers, and the
 // returned error wraps ctx.Err().
 func (m *Model) SolveCBSContext(ctx context.Context, e float64, opts Options) (*Result, error) {
-	return core.SolveContext(ctx, qep.New(m.Op, e), opts)
+	return core.SolveContext(ctx, qep.NewBackend(m.B, e), opts)
 }
 
 // ScanCBS runs SolveCBS over a list of energies (hartree). On failure the
@@ -208,7 +294,7 @@ func (m *Model) SolveCBSContext(ctx context.Context, e float64, opts Options) (*
 // energy — callers should surface the partial results, not discard them.
 // For restartable production sweeps use SweepCBS instead.
 func (m *Model) ScanCBS(es []float64, opts Options) ([]*Result, error) {
-	return core.EnergyScan(qep.New(m.Op, 0), es, opts)
+	return core.EnergyScan(qep.NewBackend(m.B, 0), es, opts)
 }
 
 // ScanCBSParallel runs the energy scan with concurrent energies -- the
@@ -217,20 +303,16 @@ func (m *Model) ScanCBS(es []float64, opts Options) ([]*Result, error) {
 // completed results come back alongside the *ScanError (nil holes for
 // energies that never finished).
 func (m *Model) ScanCBSParallel(es []float64, opts Options, workers int) ([]*Result, error) {
-	return core.EnergyScanParallel(qep.New(m.Op, 0), es, opts, workers)
+	return core.EnergyScanParallel(qep.NewBackend(m.B, 0), es, opts, workers)
 }
 
 // OperatorDesc identifies this model's operator for the sweep journal
-// fingerprint: the structure, the grid, and the cell length pin down the
-// physics a checkpoint was computed under.
-func (m *Model) OperatorDesc() string {
-	name := ""
-	if m.Op.Structure != nil {
-		name = m.Op.Structure.Name
-	}
-	g := m.Op.G
-	return fmt.Sprintf("%s|grid=%dx%dx%d|N=%d|a=%.12g", name, g.Nx, g.Ny, g.Nz, g.N(), g.Lz())
-}
+// fingerprint: for FD-grid models the structure, grid and cell length; for
+// other backends their Descriptor. Backends keep descriptor namespaces
+// disjoint (tight-binding descriptors carry a "tb-" prefix no structure
+// name uses), so two different backends can never share cache entries or
+// resume each other's journals.
+func (m *Model) OperatorDesc() string { return m.B.Descriptor() }
 
 // SolveFingerprint returns the identity key of one solve: the shared
 // FNV-1a digest (internal/fingerprint) over this model's operator
@@ -260,7 +342,7 @@ func (m *Model) SweepCBS(ctx context.Context, es []float64, opts Options, cfg Sw
 		cfg.OperatorDesc = m.OperatorDesc()
 	}
 	solve := func(ctx context.Context, e float64, o Options) (*Result, error) {
-		return core.SolveContext(ctx, qep.New(m.Op, e), o)
+		return core.SolveContext(ctx, qep.NewBackend(m.B, e), o)
 	}
 	return sweep.Run(ctx, solve, es, opts, cfg)
 }
@@ -289,29 +371,40 @@ func (m *Model) ServeFleet(ctx context.Context, cfg FleetWorkerConfig) error {
 		cfg.OperatorDesc = m.OperatorDesc()
 	}
 	solve := func(ctx context.Context, e float64, o Options) (*Result, error) {
-		return core.SolveContext(ctx, qep.New(m.Op, e), o)
+		return core.SolveContext(ctx, qep.NewBackend(m.B, e), o)
 	}
 	return fleet.Work(ctx, solve, cfg)
 }
 
 // SolveOBM runs the transfer-matrix baseline at energy e (hartree).
+// FD-grid only: the baseline slices the grid into principal layers.
 func (m *Model) SolveOBM(e float64, opts OBMOptions) (*OBMResult, error) {
+	if m.Op == nil {
+		return nil, m.errFDOnly("SolveOBM")
+	}
 	return obm.Solve(m.Op, e, opts)
 }
 
 // RunSCF iterates the model's local potential to self-consistency (small
-// cells only; see the scf package).
+// FD-grid cells only; see the scf package).
 func (m *Model) RunSCF(opts SCFOptions) (*SCFResult, error) {
+	if m.Op == nil {
+		return nil, m.errFDOnly("RunSCF")
+	}
 	return scf.Run(m.Op, opts)
 }
 
 // CBSMemoryBytes estimates the Sakurai-Sugiura solve's memory footprint.
 func (m *Model) CBSMemoryBytes(opts Options) int64 {
-	return core.MemoryEstimate(qep.New(m.Op, 0), opts)
+	return core.MemoryEstimate(qep.NewBackend(m.B, 0), opts)
 }
 
-// OBMMemoryBytes estimates the baseline's memory footprint.
+// OBMMemoryBytes estimates the baseline's memory footprint (FD-grid only;
+// 0 for other backends).
 func (m *Model) OBMMemoryBytes() int64 {
+	if m.Op == nil {
+		return 0
+	}
 	return obm.MemoryEstimate(m.Op)
 }
 
@@ -325,6 +418,42 @@ type (
 // dominant tunneling decay constant (the complex-band loop of Fig. 11).
 func DecayProfile(results []*Result) []DecayPoint {
 	return transport.DecayProfile(results)
+}
+
+// DecayProfileWith is DecayProfile with an explicit propagating-channel
+// tolerance; Beta reports the smallest evanescent decay even at energies
+// where propagating channels coexist with evanescent ones.
+func DecayProfileWith(results []*Result, opts DecayOptions) []DecayPoint {
+	return transport.DecayProfileWith(results, opts)
+}
+
+// LandauerIV integrates a transmission curve's OK points into the
+// spin-degenerate Landauer current at each bias (see internal/negf).
+func LandauerIV(points []TransportPoint, bias BiasSpec) []IVPoint {
+	return negf.LandauerIV(points, bias)
+}
+
+// TransportCBS runs the full CBS -> NEGF pipeline: a durable sweep solves
+// spec.Energies, each completed energy is classified into lead channels,
+// wave-matched into retarded self-energies, and traced into T(E) through
+// spec.Device (Caroli/Fisher-Lee). Per-energy failures land in the point
+// statuses; cfg works exactly as in SweepCBS (retries, checkpoint
+// journal, resume).
+func (m *Model) TransportCBS(ctx context.Context, spec TransportSpec, opts Options, cfg SweepConfig) (*TransportCurve, error) {
+	if cfg.OperatorDesc == "" {
+		cfg.OperatorDesc = m.OperatorDesc()
+	}
+	solve := func(ctx context.Context, e float64, o Options) (*Result, error) {
+		return core.SolveContext(ctx, qep.NewBackend(m.B, e), o)
+	}
+	return negf.TransmissionSweep(ctx, m.B, solve, spec, opts, cfg)
+}
+
+// TransportFingerprint is the identity key of a transport run: the sweep
+// fingerprint material plus the NEGF post-processing descriptor. The
+// serving layer's /v1/transport cache and journals key on it.
+func (m *Model) TransportFingerprint(spec TransportSpec, opts Options) string {
+	return fingerprint.Transport(m.OperatorDesc(), spec.Energies, opts, spec.PostDesc())
 }
 
 // Transmission estimates the WKB tunneling transmission exp(-2*beta*d)

@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	sys := flag.String("system", "al", "system: al | cnt | bundle7 | crystalline | bncnt")
+	sys := flag.String("system", "al", "system: al | cnt | bundle7 | crystalline | bncnt | tb-chain | tb-slab")
 	n := flag.Int("n", 8, "CNT chiral index n")
 	m := flag.Int("m", 0, "CNT chiral index m")
 	cells := flag.Int("cells", 1, "cells stacked along z (supercell)")
@@ -48,6 +48,20 @@ func main() {
 	nxy := flag.Int("nxy", 16, "transverse grid points")
 	nz := flag.Int("nz", 10, "axial grid points per cell")
 	nf := flag.Int("nf", 4, "finite-difference half-width")
+
+	tbSites := flag.Int("tb-sites", 4, "tb-chain: sites per principal layer (supercell)")
+	tbNx := flag.Int("tb-nx", 2, "tb-slab: transverse sites along x")
+	tbNy := flag.Int("tb-ny", 2, "tb-slab: transverse sites along y")
+	tbOnsite := flag.Float64("tb-onsite", 0, "tight-binding onsite energy eps (hartree)")
+	tbHop := flag.Float64("tb-hop", -1, "tight-binding nearest-neighbor hopping t (hartree)")
+	tbA := flag.Float64("tb-a", 1, "tight-binding lattice constant a (bohr)")
+
+	transportFlag := flag.Bool("transport", false, "run the CBS->NEGF transport pipeline over the energy window: T(E) instead of complex bands")
+	devCells := flag.Int("device-cells", 2, "transport: device length in principal layers")
+	barrierCells := flag.Int("barrier-cells", 0, "transport: barrier thickness in device cells (centered)")
+	barrierEV := flag.Float64("barrier", 0, "transport: diagonal barrier shift on the barrier cells (eV)")
+	nBias := flag.Int("nbias", 0, "transport: Landauer I-V points over [0, bias-max] (0 = skip)")
+	biasMax := flag.Float64("bias-max", 0.5, "transport: maximum bias (V = eV window around EF)")
 
 	eFlag := flag.Float64("e", math.NaN(), "energy relative to EF (eV); NaN = scan")
 	scanFlag := flag.Bool("scan", false, "scan the energy window (overrides -e)")
@@ -90,12 +104,30 @@ func main() {
 		defer cancel()
 	}
 
-	st := buildSystem(*sys, *n, *m, *cells, *bnPairs, *seed)
-	model, err := cbs.NewModel(st, cbs.GridConfig{Nx: *nxy, Ny: *nxy, Nz: *nz * *cells, Nf: *nf})
+	var (
+		model *cbs.Model
+		err   error
+	)
+	switch *sys {
+	case "tb-chain":
+		model, err = cbs.NewTBChain(cbs.TBChainConfig{
+			Sites: *tbSites, Onsite: *tbOnsite, Hopping: *tbHop, A: *tbA,
+		})
+	case "tb-slab":
+		model, err = cbs.NewTBSlab(cbs.TBSlabConfig{
+			Nx: *tbNx, Ny: *tbNy, Onsite: *tbOnsite, Hopping: *tbHop, A: *tbA,
+		})
+	default:
+		st := buildSystem(*sys, *n, *m, *cells, *bnPairs, *seed)
+		model, err = cbs.NewModel(st, cbs.GridConfig{Nx: *nxy, Ny: *nxy, Nz: *nz * *cells, Nf: *nf})
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "%s: %d atoms\n", st.Name, st.NumAtoms())
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "%s: %d atoms, N = %d grid points\n", st.Name, st.NumAtoms(), model.N())
+	fmt.Fprintf(os.Stderr, "%s: N = %d\n", model.OperatorDesc(), model.N())
 	if *scfFlag {
 		res, err := model.RunSCF(cbs.SCFOptions{})
 		if err != nil {
@@ -131,6 +163,16 @@ func main() {
 			f := float64(i) / math.Max(1, float64(*nE-1))
 			energies = append(energies, ef+units.EVToHartree(*emin+(*emax-*emin)*f))
 		}
+	}
+
+	if *transportFlag {
+		runTransport(ctx, model, energies, opts, ef, transportRun{
+			devCells: *devCells, barrierCells: *barrierCells, barrierEV: *barrierEV,
+			nBias: *nBias, biasMax: *biasMax,
+			checkpoint: *checkpoint, resume: *resume,
+			workers: *scanWorkers, retries: *retries,
+		})
+		return
 	}
 
 	// Every energy runs through the durable sweep engine: a single -e solve
@@ -307,6 +349,74 @@ func writeDiagnostics(path string, report *diagReport) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// transportRun carries the -transport flag group.
+type transportRun struct {
+	devCells, barrierCells int
+	barrierEV              float64
+	nBias                  int
+	biasMax                float64
+	checkpoint             string
+	resume                 bool
+	workers, retries       int
+}
+
+// runTransport drives the CBS -> NEGF pipeline over the energy window and
+// prints T(E) (and, with -nbias, the Landauer I-V). The barrier is a
+// diagonal shift on the centered -barrier-cells device cells; outside it
+// the device is the pristine lead cell.
+func runTransport(ctx context.Context, model *cbs.Model, energies []float64, opts cbs.Options, ef float64, run transportRun) {
+	dev := cbs.TransportDevice{Cells: run.devCells}
+	if run.barrierCells > 0 {
+		if run.barrierCells > run.devCells {
+			log.Fatalf("-barrier-cells %d exceeds -device-cells %d", run.barrierCells, run.devCells)
+		}
+		dev.Barrier = make([]float64, run.devCells)
+		start := (run.devCells - run.barrierCells) / 2
+		for i := 0; i < run.barrierCells; i++ {
+			dev.Barrier[start+i] = units.EVToHartree(run.barrierEV)
+		}
+	}
+	spec := cbs.TransportSpec{Energies: energies, Device: dev, Chaos: opts.Chaos}
+	curve, err := model.TransportCBS(ctx, spec, opts, cbs.SweepConfig{
+		Workers: run.workers, MaxAttempts: run.retries,
+		CheckpointPath: run.checkpoint, Resume: run.resume,
+		Chaos: opts.Chaos,
+	})
+	if err != nil {
+		if ctx.Err() != nil && run.checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "interrupted: journal %s flushed, rerun with -resume to continue\n", run.checkpoint)
+			return
+		}
+		log.Fatal(err)
+	}
+	failed := 0
+	fmt.Printf("# E-EF(eV)\tT\tn_open\tbeta(1/bohr)\tstatus\n")
+	for _, p := range curve.Points {
+		fmt.Printf("%.6f\t%.6f\t%d\t%.6f\t%s\n",
+			units.HartreeToEV(p.E-ef), p.T, p.NOpen, p.Beta, p.Status)
+		if p.Status != cbs.TransportOK {
+			failed++
+			fmt.Fprintf(os.Stderr, "E-EF = %+.3f eV: FAILED: %s\n", units.HartreeToEV(p.E-ef), p.Err)
+		}
+	}
+	if run.nBias > 0 {
+		biases := make([]float64, run.nBias)
+		for i := range biases {
+			f := float64(i) / math.Max(1, float64(run.nBias-1))
+			biases[i] = units.EVToHartree(run.biasMax * f)
+		}
+		iv := cbs.LandauerIV(curve.OK(), cbs.BiasSpec{EFermi: ef, Biases: biases})
+		fmt.Printf("# V(V)\tI(G0*hartree)\n")
+		for _, p := range iv {
+			fmt.Printf("%.6f\t%.8g\n", units.HartreeToEV(p.V), p.I)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "transport: %d/%d energies ok\n", len(curve.Points)-failed, len(curve.Points))
+	if failed > 0 {
+		os.Exit(1)
+	}
 }
 
 func buildSystem(sys string, n, m, cells, bnPairs int, seed int64) *cbs.Structure {

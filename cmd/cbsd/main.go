@@ -11,6 +11,7 @@
 //	POST   /v1/solve           {"energy_ev": 0.25, "options": {"nint": 8}}   -> 202 {id, status_url, fingerprint}
 //	POST   /v1/sweep           {"emin_ev": -1, "emax_ev": 1, "ne": 21}       -> 202 {id, status_url, fingerprint}
 //	POST   /v1/bands           {"emin_ev": -1, "emax_ev": 1, "ne": 21, "kmax_im": 0.5} -> 202 (batch band structure)
+//	POST   /v1/transport       {"emin_ev": -1, "emax_ev": 1, "ne": 21, "cells": 3}     -> 202 (NEGF transmission T(E))
 //	GET    /v1/jobs/{id}       (?vectors=1 to include eigenvectors)          -> job state, progress, results
 //	GET    /v1/jobs/{id}/events  SSE stream: state transitions + per-energy progress, Last-Event-ID replay
 //	DELETE /v1/jobs/{id}       cancel; idempotent on finished jobs (200 + terminal state)
@@ -42,12 +43,15 @@ import (
 
 	"cbs"
 	"cbs/internal/chaos"
+	"cbs/internal/core"
+	"cbs/internal/negf"
+	"cbs/internal/sweep"
 	"cbs/internal/units"
 )
 
 func main() {
 	addr := flag.String("addr", ":8344", "listen address")
-	sys := flag.String("system", "al", "system: al | cnt | bundle7 | crystalline | bncnt")
+	sys := flag.String("system", "al", "system: al | cnt | bundle7 | crystalline | bncnt | tb-chain | tb-slab")
 	n := flag.Int("n", 8, "CNT chiral index n")
 	m := flag.Int("m", 0, "CNT chiral index m")
 	cells := flag.Int("cells", 1, "cells stacked along z (supercell)")
@@ -56,6 +60,13 @@ func main() {
 	nxy := flag.Int("nxy", 16, "transverse grid points")
 	nz := flag.Int("nz", 10, "axial grid points per cell")
 	nf := flag.Int("nf", 4, "finite-difference half-width")
+
+	tbSites := flag.Int("tb-sites", 4, "tb-chain: sites per principal layer (supercell)")
+	tbNx := flag.Int("tb-nx", 2, "tb-slab: transverse sites along x")
+	tbNy := flag.Int("tb-ny", 2, "tb-slab: transverse sites along y")
+	tbOnsite := flag.Float64("tb-onsite", 0, "tight-binding onsite energy eps (hartree)")
+	tbHop := flag.Float64("tb-hop", -1, "tight-binding nearest-neighbor hopping t (hartree)")
+	tbA := flag.Float64("tb-a", 1, "tight-binding lattice constant a (bohr)")
 
 	workers := flag.Int("workers", 2, "concurrent jobs (worker pool size)")
 	queueDepth := flag.Int("queue-depth", 16, "accepted-but-unstarted job bound (overflow returns 429)")
@@ -69,8 +80,23 @@ func main() {
 	ndm := flag.Int("ndm", 1, "bottom-layer domains per solve")
 	flag.Parse()
 
-	st := buildSystem(*sys, *n, *m, *cells, *bnPairs, *dopeSeed)
-	model, err := cbs.NewModel(st, cbs.GridConfig{Nx: *nxy, Ny: *nxy, Nz: *nz * *cells, Nf: *nf})
+	var (
+		model *cbs.Model
+		err   error
+	)
+	switch *sys {
+	case "tb-chain":
+		model, err = cbs.NewTBChain(cbs.TBChainConfig{
+			Sites: *tbSites, Onsite: *tbOnsite, Hopping: *tbHop, A: *tbA,
+		})
+	case "tb-slab":
+		model, err = cbs.NewTBSlab(cbs.TBSlabConfig{
+			Nx: *tbNx, Ny: *tbNy, Onsite: *tbOnsite, Hopping: *tbHop, A: *tbA,
+		})
+	default:
+		st := buildSystem(*sys, *n, *m, *cells, *bnPairs, *dopeSeed)
+		model, err = cbs.NewModel(st, cbs.GridConfig{Nx: *nxy, Ny: *nxy, Nz: *nz * *cells, Nf: *nf})
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,8 +104,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("%s: %d atoms, N = %d grid points, EF = %.4f hartree (%.3f eV)",
-		st.Name, st.NumAtoms(), model.N(), ef, units.HartreeToEV(ef))
+	log.Printf("%s: N = %d, EF = %.4f hartree (%.3f eV)",
+		model.OperatorDesc(), model.N(), ef, units.HartreeToEV(ef))
 
 	if *checkpointDir != "" {
 		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
@@ -137,6 +163,8 @@ func main() {
 }
 
 // modelBackend adapts the public cbs.Model API to the server's backend.
+// Transport composes the low-level NEGF sweep around the model's backend
+// so the server can thread its cache-wrapped solve through it.
 func modelBackend(model *cbs.Model, ef float64) backend {
 	return backend{
 		desc:  model.OperatorDesc(),
@@ -144,6 +172,12 @@ func modelBackend(model *cbs.Model, ef float64) backend {
 		a:     model.CellLength(),
 		solve: model.SolveCBSContext,
 		sweep: model.SweepCBS,
+		transport: func(ctx context.Context, solve sweep.SolveFunc, spec negf.Spec, opts core.Options, cfg sweep.Config) (*negf.Curve, error) {
+			if cfg.OperatorDesc == "" {
+				cfg.OperatorDesc = model.OperatorDesc()
+			}
+			return negf.TransmissionSweep(ctx, model.Backend(), solve, spec, opts, cfg)
+		},
 	}
 }
 

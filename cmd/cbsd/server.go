@@ -23,6 +23,7 @@ import (
 	"cbs/internal/core"
 	"cbs/internal/fingerprint"
 	"cbs/internal/jobs"
+	"cbs/internal/negf"
 	"cbs/internal/rescache"
 	"cbs/internal/sweep"
 	"cbs/internal/units"
@@ -45,6 +46,12 @@ type backend struct {
 	solve func(ctx context.Context, e float64, opts core.Options) (*core.Result, error)
 	// sweep is cbs.Model.SweepCBS (or a test fake).
 	sweep func(ctx context.Context, es []float64, opts core.Options, cfg sweep.Config) (*sweep.Report, error)
+	// transport runs the CBS -> NEGF pipeline with the supplied per-energy
+	// solve — the server passes a cache-wrapped solve so a repeated
+	// transport request (or a later /v1/solve at a shared energy) never
+	// recomputes. nil disables POST /v1/transport (404-free: 400 with a
+	// typed message).
+	transport func(ctx context.Context, solve sweep.SolveFunc, spec negf.Spec, opts core.Options, cfg sweep.Config) (*negf.Curve, error)
 }
 
 // serverConfig parameterizes one cbsd instance.
@@ -149,6 +156,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/bands", s.handleBands)
+	s.mux.HandleFunc("POST /v1/transport", s.handleTransport)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
@@ -305,16 +313,51 @@ type bandsRequest struct {
 	Options    *optionsJSON `json:"options,omitempty"`
 }
 
+// transportRequest is POST /v1/transport: a T(E) curve through a device —
+// an energy window (or explicit list) swept through the CBS -> NEGF
+// pipeline. The device is cells principal layers of the lead cell with
+// optional per-cell diagonal barrier shifts (hartree). bias_hartree, when
+// present, additionally integrates the Landauer I-V at those biases
+// (presentation-time: it does not change the computation's fingerprint).
+type transportRequest struct {
+	EnergiesEV     []float64    `json:"energies_ev,omitempty"`
+	EminEV         *float64     `json:"emin_ev,omitempty"`
+	EmaxEV         *float64     `json:"emax_ev,omitempty"`
+	NE             int          `json:"ne,omitempty"`
+	Cells          int          `json:"cells,omitempty"`
+	BarrierHartree []float64    `json:"barrier_hartree,omitempty"`
+	Eta            float64      `json:"eta,omitempty"`
+	PropagatingTol float64      `json:"propagating_tol,omitempty"`
+	BiasHartree    []float64    `json:"bias_hartree,omitempty"`
+	KTHartree      float64      `json:"kt_hartree,omitempty"`
+	Options        *optionsJSON `json:"options,omitempty"`
+}
+
 // jobSpec is the journaled form of a request: everything needed to
 // rebuild the job's task after a restart, in server units (hartree) with
 // the client's option overlay — the overlay is replayed onto the current
 // defaults, and the fingerprint guard catches any drift.
 type jobSpec struct {
-	Type            string       `json:"type"` // solve | sweep | bands
+	Type            string       `json:"type"` // solve | sweep | bands | transport
 	EnergyHartree   float64      `json:"energy_hartree,omitempty"`
 	EnergiesHartree []float64    `json:"energies_hartree,omitempty"`
 	KmaxIm          float64      `json:"kmax_im,omitempty"`
+	Cells           int          `json:"cells,omitempty"`
+	BarrierHartree  []float64    `json:"barrier_hartree,omitempty"`
+	Eta             float64      `json:"eta,omitempty"`
+	PropagatingTol  float64      `json:"propagating_tol,omitempty"`
+	BiasHartree     []float64    `json:"bias_hartree,omitempty"`
+	KTHartree       float64      `json:"kt_hartree,omitempty"`
 	Options         *optionsJSON `json:"options,omitempty"`
+}
+
+// negfSpec reconstructs the NEGF half of a transport job spec.
+func (js jobSpec) negfSpec(es []float64) negf.Spec {
+	return negf.Spec{
+		Energies: es,
+		Device:   negf.Device{Cells: js.Cells, Barrier: js.BarrierHartree},
+		Options:  negf.Options{Eta: js.Eta, PropagatingTol: js.PropagatingTol},
+	}
 }
 
 // submitResponse acknowledges an accepted job (HTTP 202).
@@ -374,6 +417,30 @@ type bandsJSON struct {
 	Rows   []bandRowJSON `json:"rows"`
 }
 
+// transportPointJSON is T(E) at one energy of a transport job.
+type transportPointJSON struct {
+	EnergyEV float64 `json:"energy_ev"`
+	T        float64 `json:"t"`
+	NOpen    int     `json:"n_open"`
+	Beta     float64 `json:"beta,omitempty"`
+	NFill    int     `json:"n_fill,omitempty"`
+	Status   string  `json:"status"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// ivPointJSON is one Landauer I-V point.
+type ivPointJSON struct {
+	VHartree float64 `json:"v_hartree"`
+	I        float64 `json:"i"`
+}
+
+// transportJSON is the curve of a finished transport job, plus the
+// Landauer I-V if the request asked for biases.
+type transportJSON struct {
+	Points []transportPointJSON `json:"points"`
+	IV     []ivPointJSON        `json:"iv,omitempty"`
+}
+
 // jobJSON is GET /v1/jobs/{id}.
 type jobJSON struct {
 	ID           string            `json:"id"`
@@ -392,6 +459,7 @@ type jobJSON struct {
 	Result       *sweep.ResultJSON `json:"result,omitempty"`
 	Sweep        *sweepJSON        `json:"sweep,omitempty"`
 	Bands        *bandsJSON        `json:"bands,omitempty"`
+	Transport    *transportJSON    `json:"transport,omitempty"`
 }
 
 // --- handlers ---
@@ -557,6 +625,47 @@ func (s *server) sweepTask(es []float64, opts core.Options, fp string) jobs.Task
 	}
 }
 
+// cachedSolve wraps the backend solve in the fingerprint-keyed result
+// cache with singleflight: the per-energy unit of a transport sweep is a
+// one-element sweep by fingerprint construction, so a repeated transport
+// request — or a plain /v1/solve at one of its energies — costs no new
+// solves. Only cache misses touch the solve timers.
+func (s *server) cachedSolve(ctx context.Context, e float64, o core.Options) (*core.Result, error) {
+	res, _, err := s.cache.Do(ctx, fingerprint.Solve(s.cfg.backend.desc, e, o), func(ctx context.Context) (*core.Result, error) {
+		t0 := time.Now()
+		res, err := s.cfg.backend.solve(ctx, e, o)
+		s.solveCount.Add(1)
+		s.solveNanos.Add(int64(time.Since(t0)))
+		return res, err
+	})
+	return res, err
+}
+
+// transportTask builds the task of a transport job: the CBS sweep runs
+// through the cache-wrapped solve, then the NEGF post-processing turns
+// each energy into T(E). fp keys the checkpoint journal exactly like a
+// sweep job's.
+func (s *server) transportTask(spec negf.Spec, opts core.Options, fp string) jobs.Task {
+	return func(ctx context.Context, progress func(int, int)) (jobs.Outcome, error) {
+		var done atomic.Int64
+		spec.Chaos = s.cfg.chaos
+		scfg := sweep.Config{
+			Workers:      s.cfg.sweepWorkers,
+			OperatorDesc: s.cfg.backend.desc,
+			Chaos:        s.cfg.chaos,
+			OnEnergy: func(er sweep.EnergyResult) {
+				progress(int(done.Add(1)), len(spec.Energies))
+			},
+		}
+		if s.cfg.checkpointDir != "" {
+			scfg.CheckpointPath = filepath.Join(s.cfg.checkpointDir, fp+".journal")
+			scfg.Resume = true
+		}
+		curve, err := s.cfg.backend.transport(ctx, s.cachedSolve, spec, opts, scfg)
+		return jobs.Outcome{Curve: curve}, err
+	}
+}
+
 // rebuildTask reconstructs a replayed job's task from its journaled spec
 // (the restart re-adoption path). The option overlay replays onto the
 // *current* defaults; sweeps resume against the journaled fingerprint, so
@@ -577,6 +686,14 @@ func (s *server) rebuildTask(rj jobs.ReplayedJob) (jobs.Task, error) {
 			return nil, errors.New("job spec has no energies")
 		}
 		return s.sweepTask(spec.EnergiesHartree, opts, rj.Fingerprint), nil
+	case "transport":
+		if len(spec.EnergiesHartree) == 0 {
+			return nil, errors.New("job spec has no energies")
+		}
+		if s.cfg.backend.transport == nil {
+			return nil, errors.New("this server has no transport backend")
+		}
+		return s.transportTask(spec.negfSpec(spec.EnergiesHartree), opts, rj.Fingerprint), nil
 	default:
 		return nil, fmt.Errorf("unknown job spec type %q", spec.Type)
 	}
@@ -667,6 +784,49 @@ func (s *server) handleBands(w http.ResponseWriter, r *http.Request) {
 	s.submit(w, r, jobs.KindBands, fp, spec, s.sweepTask(es, opts, fp))
 }
 
+// handleTransport is the CBS -> NEGF endpoint: one request sweeps an
+// energy window and comes back as a transmission curve T(E) (plus the
+// Landauer I-V when biases are given). The fingerprint covers the sweep
+// identity and the device/NEGF options, so identical transport requests
+// share their journal, and the per-energy solves share the result cache
+// with /v1/solve and repeated transport submissions.
+func (s *server) handleTransport(w http.ResponseWriter, r *http.Request) {
+	var req transportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if s.cfg.backend.transport == nil {
+		writeError(w, errors.New("this server has no transport backend"))
+		return
+	}
+	es, err := s.sweepEnergies(sweepRequest{
+		EnergiesEV: req.EnergiesEV, EminEV: req.EminEV, EmaxEV: req.EmaxEV, NE: req.NE,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Cells < 1 {
+		req.Cells = 1
+	}
+	spec := jobSpec{
+		Type: "transport", EnergiesHartree: es,
+		Cells: req.Cells, BarrierHartree: req.BarrierHartree,
+		Eta: req.Eta, PropagatingTol: req.PropagatingTol,
+		BiasHartree: req.BiasHartree, KTHartree: req.KTHartree,
+		Options: req.Options,
+	}
+	nspec := spec.negfSpec(es)
+	if err := nspec.Device.Validate(); err != nil {
+		writeError(w, err)
+		return
+	}
+	opts := req.Options.apply(s.cfg.defaults)
+	fp := fingerprint.Transport(s.cfg.backend.desc, es, opts, nspec.PostDesc())
+	s.submit(w, r, jobs.KindTransport, fp, spec, s.transportTask(nspec, opts, fp))
+}
+
 // stripVectors drops the eigenvector payload (the dominant weight of a
 // result) unless the client asked for it.
 func stripVectors(rj *sweep.ResultJSON) *sweep.ResultJSON {
@@ -744,7 +904,36 @@ func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 			out.Bands = s.bandsProjection(snap, rep)
 		}
 	}
+	if snap.Outcome.Curve != nil {
+		out.Transport = s.transportProjection(snap, snap.Outcome.Curve)
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// transportProjection converts a transport curve to response units and,
+// when the journaled spec carries biases, integrates the Landauer I-V
+// around the server's Fermi level (presentation-time, like the bands
+// kmax_im filter).
+func (s *server) transportProjection(snap jobs.Snapshot, curve *negf.Curve) *transportJSON {
+	tj := &transportJSON{}
+	for _, p := range curve.Points {
+		tj.Points = append(tj.Points, transportPointJSON{
+			EnergyEV: units.HartreeToEV(p.E - s.cfg.backend.ef),
+			T:        p.T, NOpen: p.NOpen, Beta: p.Beta, NFill: p.NFill,
+			Status: string(p.Status), Error: p.Err,
+		})
+	}
+	var spec jobSpec
+	json.Unmarshal(snap.Spec, &spec) //nolint:errcheck // the spec was journaled by us; no biases just skips the I-V
+	if len(spec.BiasHartree) > 0 {
+		iv := negf.LandauerIV(curve.OK(), negf.BiasSpec{
+			EFermi: s.cfg.backend.ef, KT: spec.KTHartree, Biases: spec.BiasHartree,
+		})
+		for _, p := range iv {
+			tj.IV = append(tj.IV, ivPointJSON{VHartree: p.V, I: p.I})
+		}
+	}
+	return tj
 }
 
 // bandsProjection flattens a bands job's sweep report into (E, k) rows

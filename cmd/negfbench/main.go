@@ -1,0 +1,226 @@
+// negfbench measures what the CBS→NEGF transport pipeline costs on the
+// tight-binding backend: the same in-band energy grid runs once as a plain
+// CBS sweep (contour solves only) and once through the full transmission
+// pipeline (solves + lead self-energies + device Green function + Caroli
+// trace), and the wall-clock numbers are written as the tracked
+// BENCH_PR10.json snapshot (schema cbs-negfbench/v1, continuing the
+// BENCH_PR6/PR8/PR9 trajectory).
+//
+//	go run ./cmd/negfbench -json BENCH_PR10.json
+//	go run ./cmd/negfbench -verify BENCH_PR10.json
+//
+// The snapshot only counts if the physics held: every in-band point must
+// transmit its quantized single open channel (|T-1| <= 1e-6), so a
+// recorded timing can never come from a silently broken pipeline — the
+// same role GoldenMatch plays in the fleet benchmark.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"cbs"
+)
+
+const benchSchema = "cbs-negfbench/v1"
+
+// benchResult is one pipeline configuration's timing.
+type benchResult struct {
+	// Mode is "solve" (plain CBS sweep, contour solves only) or
+	// "transport" (full NEGF pipeline on the same energies).
+	Mode        string  `json:"mode"`
+	WallMs      float64 `json:"wall_ms"`
+	MsPerEnergy float64 `json:"ms_per_energy"`
+}
+
+// benchFile is the snapshot document.
+type benchFile struct {
+	Schema    string        `json:"schema"`
+	GitSHA    string        `json:"git_sha"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	GoVersion string        `json:"go_version"`
+	System    string        `json:"system"` // operator descriptor, e.g. tb-chain|sites=4|...
+	Sites     int           `json:"sites"`
+	Cells     int           `json:"cells"`
+	NE        int           `json:"ne"`
+	Nint      int           `json:"nint"`
+	Nmm       int           `json:"nmm"`
+	Nrh       int           `json:"nrh"`
+	Results   []benchResult `json:"results"`
+	// NEGFOverhead is transport wall over solve wall: how much the
+	// self-energy/Green-function stage adds on top of the contour solves.
+	NEGFOverhead float64 `json:"negf_overhead"`
+	// Quantized records that every in-band point transmitted its integer
+	// open-channel count — a snapshot without it timed a broken pipeline.
+	Quantized bool `json:"quantized"`
+}
+
+func main() {
+	jsonPath := flag.String("json", "", "write the benchmark snapshot to this file")
+	verify := flag.String("verify", "", "parse an existing snapshot against the cbs-negfbench/v1 schema and exit")
+	sites := flag.Int("sites", 4, "tight-binding chain supercell sites")
+	cells := flag.Int("cells", 4, "device length in supercells")
+	ne := flag.Int("ne", 64, "energies in the sweep")
+	flag.Parse()
+
+	if *verify != "" {
+		if err := verifyBenchFile(*verify); err != nil {
+			log.Fatalf("%s: %v", *verify, err)
+		}
+		fmt.Printf("%s: valid %s snapshot\n", *verify, benchSchema)
+		return
+	}
+
+	ctx := context.Background()
+	model, err := cbs.NewTBChain(cbs.TBChainConfig{
+		Sites: *sites, Onsite: 0, Hopping: -1, A: float64(*sites),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := cbs.DefaultOptions()
+	opts.Nrh = 2
+	opts.Nmm = 2
+
+	// Uniform in-band grid, clear of the ±2|t| band edges so every energy
+	// carries exactly one propagating channel (E=0's folding degeneracy
+	// included — the velocity classifier resolves it).
+	es := make([]float64, *ne)
+	for i := range es {
+		f := float64(i) / float64(max(1, *ne-1))
+		es[i] = -1.8 + 3.6*f
+	}
+
+	file := benchFile{
+		Schema: benchSchema, GitSHA: gitSHA(),
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, GoVersion: runtime.Version(),
+		System: model.OperatorDesc(), Sites: *sites, Cells: *cells, NE: *ne,
+		Nint: opts.Nint, Nmm: opts.Nmm, Nrh: opts.Nrh,
+		Quantized: true,
+	}
+
+	fmt.Fprintf(os.Stderr, "negfbench: %s, %d energies, %d-cell device\n", model.OperatorDesc(), *ne, *cells)
+	t0 := time.Now()
+	rep, err := model.SweepCBS(ctx, es, opts, cbs.SweepConfig{})
+	solveWall := time.Since(t0)
+	if err != nil {
+		log.Fatalf("CBS sweep: %v", err)
+	}
+	if rep.OK != len(es) {
+		log.Fatalf("CBS sweep: OK=%d of %d", rep.OK, len(es))
+	}
+	file.Results = append(file.Results, result("solve", solveWall, *ne))
+	fmt.Fprintf(os.Stderr, "negfbench: solve %.0f ms\n", solveWall.Seconds()*1e3)
+
+	t0 = time.Now()
+	curve, err := model.TransportCBS(ctx, cbs.TransportSpec{
+		Energies: es,
+		Device:   cbs.TransportDevice{Cells: *cells},
+	}, opts, cbs.SweepConfig{})
+	transportWall := time.Since(t0)
+	if err != nil {
+		log.Fatalf("transport sweep: %v", err)
+	}
+	for _, p := range curve.Points {
+		if p.Status != cbs.TransportOK || p.NOpen != 1 || abs(p.T-1) > 1e-6 {
+			fmt.Fprintf(os.Stderr, "negfbench: E=%g T=%g n_open=%d status=%v\n", p.E, p.T, p.NOpen, p.Status)
+			file.Quantized = false
+		}
+	}
+	file.Results = append(file.Results, result("transport", transportWall, *ne))
+	file.NEGFOverhead = transportWall.Seconds() / solveWall.Seconds()
+	fmt.Fprintf(os.Stderr, "negfbench: transport %.0f ms (%.2fx solve), quantized: %v\n",
+		transportWall.Seconds()*1e3, file.NEGFOverhead, file.Quantized)
+	if !file.Quantized {
+		log.Fatal("negfbench: transmission lost quantization — refusing to record a broken pipeline")
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "negfbench: snapshot written to %s\n", *jsonPath)
+	}
+}
+
+func result(mode string, wall time.Duration, ne int) benchResult {
+	ms := wall.Seconds() * 1e3
+	return benchResult{Mode: mode, WallMs: ms, MsPerEnergy: ms / float64(ne)}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// verifyBenchFile parses path against the cbs-negfbench/v1 schema — the
+// CI tripwire for the committed BENCH_PR10.json.
+func verifyBenchFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f benchFile
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if f.Schema != benchSchema {
+		return fmt.Errorf("schema %q, want %q", f.Schema, benchSchema)
+	}
+	if f.GOARCH == "" || f.GoVersion == "" || f.GitSHA == "" {
+		return fmt.Errorf("missing provenance fields (goarch/go_version/git_sha)")
+	}
+	if f.NE <= 0 || f.Sites <= 0 || f.Cells <= 0 {
+		return fmt.Errorf("non-positive problem shape ne=%d sites=%d cells=%d", f.NE, f.Sites, f.Cells)
+	}
+	if !strings.HasPrefix(f.System, "tb-") {
+		return fmt.Errorf("system %q is not a tight-binding descriptor", f.System)
+	}
+	want := map[string]bool{"solve": false, "transport": false}
+	for _, r := range f.Results {
+		if _, ok := want[r.Mode]; !ok {
+			return fmt.Errorf("unexpected result mode %q", r.Mode)
+		}
+		if r.WallMs <= 0 || r.MsPerEnergy <= 0 {
+			return fmt.Errorf("result %q has non-positive timing", r.Mode)
+		}
+		want[r.Mode] = true
+	}
+	for mode, seen := range want {
+		if !seen {
+			return fmt.Errorf("missing result %q", mode)
+		}
+	}
+	if f.NEGFOverhead < 1 {
+		return fmt.Errorf("negf_overhead %.3f < 1: transport cannot be cheaper than its own solves", f.NEGFOverhead)
+	}
+	if !f.Quantized {
+		return fmt.Errorf("snapshot recorded a non-quantized pipeline")
+	}
+	return nil
+}

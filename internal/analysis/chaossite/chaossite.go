@@ -75,6 +75,7 @@ var methodConfigFields = map[string][]string{
 	"CacheFault":      {"CacheFault"},
 	"JobLogFault":     {"JobLogFault"},
 	"AdoptFault":      {"AdoptFault"},
+	"NEGFFault":       {"NEGFFault"},
 	"NetDrop":         {"NetDrop"},
 	"NetDelay":        {"NetDelay"},
 	"NetReorder":      {"NetReorder"},
@@ -97,6 +98,7 @@ var methodEnvKeys = map[string]string{
 	"CacheFault":      "CBS_CHAOS_CACHE",
 	"JobLogFault":     "CBS_CHAOS_JOBLOG",
 	"AdoptFault":      "CBS_CHAOS_ADOPT",
+	"NEGFFault":       "CBS_CHAOS_NEGF",
 	"NetDrop":         "CBS_CHAOS_NET_DROP",
 	"NetDelay":        "CBS_CHAOS_NET_DELAY",
 	"NetReorder":      "CBS_CHAOS_NET_REORDER",

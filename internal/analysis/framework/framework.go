@@ -76,10 +76,13 @@ const HotPathDirective = "//cbs:hotpath"
 // HasHotPathDirective reports whether the function declaration carries the
 // //cbs:hotpath annotation in its doc comment group.
 func HasHotPathDirective(decl *ast.FuncDecl) bool {
-	if decl.Doc == nil {
-		return false
-	}
-	for _, c := range decl.Doc.List {
+	return decl.Doc != nil && hasHotPathDoc(decl.Doc)
+}
+
+// hasHotPathDoc reports whether a doc comment group contains the
+// //cbs:hotpath directive on its own line.
+func hasHotPathDoc(doc *ast.CommentGroup) bool {
+	for _, c := range doc.List {
 		if strings.TrimSpace(c.Text) == HotPathDirective {
 			return true
 		}
@@ -210,6 +213,45 @@ func HotFuncs(files []*ast.File, info *types.Info) map[string]*ast.FuncDecl {
 				continue
 			}
 			out[FuncKey(obj)] = decl
+		}
+	}
+	return out
+}
+
+// HotIfaceMethods collects interface methods annotated //cbs:hotpath in
+// their interface declaration, keyed by FuncKey. An annotated interface
+// method is a hot-path *contract*: calls through it are permitted inside
+// hot kernels, and every implementation is expected to carry its own
+// //cbs:hotpath annotation (which is where the body rules are enforced —
+// an interface method has no body to check).
+func HotIfaceMethods(files []*ast.File, info *types.Info) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gen, ok := d.(*ast.GenDecl)
+			if !ok || gen.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				iface, ok := ts.Type.(*ast.InterfaceType)
+				if !ok || iface.Methods == nil {
+					continue
+				}
+				for _, m := range iface.Methods.List {
+					if m.Doc == nil || !hasHotPathDoc(m.Doc) {
+						continue
+					}
+					for _, name := range m.Names {
+						if obj, ok := info.Defs[name].(*types.Func); ok {
+							out[FuncKey(obj)] = true
+						}
+					}
+				}
+			}
 		}
 	}
 	return out

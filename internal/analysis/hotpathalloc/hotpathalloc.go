@@ -60,6 +60,16 @@ var purePackages = map[string]bool{
 
 func run(pass *framework.Pass) error {
 	hot := framework.HotFuncs(pass.Files, pass.TypesInfo)
+	// Interface methods annotated //cbs:hotpath are hot-path contracts:
+	// they join the fact set (and the local set) so calls through the
+	// interface are vetted by name, while the body rules apply at each
+	// implementation's own annotation. A nil decl is fine — only the keys
+	// are consulted below and encoded into the fact blob.
+	for key := range framework.HotIfaceMethods(pass.Files, pass.TypesInfo) {
+		if _, ok := hot[key]; !ok {
+			hot[key] = nil
+		}
+	}
 	if pass.WriteFact != nil {
 		pass.WriteFact(FactKey, framework.EncodeSet(hot))
 	}

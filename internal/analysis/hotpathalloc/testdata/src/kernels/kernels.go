@@ -94,3 +94,19 @@ func dispatch[F float32 | float64](dst []F) bool {
 func unannotated(n int) []float64 {
 	return make([]float64, n)
 }
+
+// Applier models an operator-backend contract: a method annotated
+// //cbs:hotpath in the interface declaration is a hot-path contract, so a
+// hot kernel may dispatch through it; an unannotated method stays cold and
+// calls to it are flagged by name.
+type Applier interface {
+	//cbs:hotpath
+	ApplyBlock(v []float64)
+	Setup(n int)
+}
+
+//cbs:hotpath
+func viaContract(a Applier, v []float64) {
+	a.ApplyBlock(v)
+	a.Setup(len(v)) // want `hot path calls Setup, which is not //cbs:hotpath`
+}

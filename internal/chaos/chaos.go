@@ -98,6 +98,13 @@ type Config struct {
 	// rest of the recovery proceeds.
 	AdoptFault float64
 
+	// NEGFFault is the probability that the lead self-energy construction
+	// for one transport energy fails hard (an ill-conditioned mode-matrix
+	// inversion stand-in): the per-energy NEGF post-processing must report
+	// a typed injected error for that energy while the rest of the
+	// transmission sweep completes.
+	NEGFFault float64
+
 	// NetDrop is the probability that one framed write of a reliable TCP
 	// link is silently discarded instead of hitting the socket. The frame
 	// stays in the sender's outbox, so the link's NAK/retransmit machinery
@@ -175,6 +182,7 @@ func (in *Injector) Seed() int64 {
 //	CBS_CHAOS_CACHE=<p>          forced result-cache miss rate (default 0)
 //	CBS_CHAOS_JOBLOG=<p>         torn/failed job-log append rate (default 0)
 //	CBS_CHAOS_ADOPT=<p>          restart re-adoption fault rate (default 0)
+//	CBS_CHAOS_NEGF=<p>           lead self-energy construction fault rate (default 0)
 //	CBS_CHAOS_NET_DROP=<p>       dropped frame rate on reliable links (default 0)
 //	CBS_CHAOS_NET_DELAY=<p>      delayed frame rate (default 0)
 //	CBS_CHAOS_NET_REORDER=<p>    reordered frame rate (default 0)
@@ -216,6 +224,7 @@ func FromEnv() *Injector {
 		CacheFault:       rate("CBS_CHAOS_CACHE", 0),
 		JobLogFault:      rate("CBS_CHAOS_JOBLOG", 0),
 		AdoptFault:       rate("CBS_CHAOS_ADOPT", 0),
+		NEGFFault:        rate("CBS_CHAOS_NEGF", 0),
 		NetDrop:          rate("CBS_CHAOS_NET_DROP", 0),
 		NetDelay:         rate("CBS_CHAOS_NET_DELAY", 0),
 		NetReorder:       rate("CBS_CHAOS_NET_REORDER", 0),
@@ -276,6 +285,7 @@ const (
 	kindRefine    = 0x7266 // "rf"
 	kindJobLog    = 0x6a6c // "jl"
 	kindAdopt     = 0x6164 // "ad"
+	kindNEGF      = 0x6e67 // "ng"
 	kindNetDrop   = 0x6e64 // "nd"
 	kindNetDelay  = 0x6e6c // "nl"
 	kindNetReord  = 0x6e72 // "nr"
@@ -453,6 +463,21 @@ func (in *Injector) AdoptFault(seq int) error {
 		return nil
 	}
 	return fmt.Errorf("%w: re-adoption fault at job %d", ErrInjected, seq)
+}
+
+// NEGFFault returns a typed injected error when the lead self-energy
+// construction for the transport energy at index should fail hard, nil
+// otherwise. The site is the energy index (shared with the sweep-scoped
+// Energies targeting), so the decision is independent of how the
+// transmission sweep schedules its workers.
+func (in *Injector) NEGFFault(index int) error {
+	if in == nil || !in.energyTargeted(index) {
+		return nil
+	}
+	if !in.hit(in.cfg.NEGFFault, kindNEGF, index, 0, 0) {
+		return nil
+	}
+	return fmt.Errorf("%w: lead self-energy fault at transport energy %d", ErrInjected, index)
 }
 
 // TornRecord reports whether the journal append for the energy record at

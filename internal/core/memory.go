@@ -17,7 +17,7 @@ func MemoryEstimate(q *qep.Problem, opts Options) int64 {
 	m := nrh * nmm
 
 	var b int64
-	b += q.Op.MemoryBytes()     // operator (potential + projectors + tables)
+	b += q.B.MemoryBytes()      // operator (potential + projectors + tables)
 	b += 2 * nmm * n * nrh * 16 // moment accumulator
 	b += n * nrh * 16           // probe block V
 	b += 3 * m * m * 16         // Hankel pair + SVD work

@@ -53,7 +53,7 @@ func EnergyScanContext(ctx context.Context, q *qep.Problem, es []float64, opts O
 		if err := opts.Chaos.EnergyFault(i); err != nil {
 			return out, &ScanError{Index: i, Energy: e, Err: err}
 		}
-		qe := qep.New(q.Op, e)
+		qe := qep.NewBackend(q.B, e)
 		r, err := SolveContext(ctx, qe, opts)
 		if err != nil {
 			return out, &ScanError{Index: i, Energy: e, Err: err}
@@ -115,7 +115,7 @@ func EnergyScanParallelContext(ctx context.Context, q *qep.Problem, es []float64
 					cancel()
 					return
 				}
-				qe := qep.New(q.Op, es[i])
+				qe := qep.NewBackend(q.B, es[i])
 				out[i], errs[i] = SolveContext(cctx, qe, opts)
 				if errs[i] != nil {
 					cancel()

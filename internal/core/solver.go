@@ -262,6 +262,9 @@ func solveOnce(ctx context.Context, q *qep.Problem, opts Options) (*Result, erro
 		if opts.Parallel.Ndm > 1 {
 			return nil, fmt.Errorf("%w: Precision \"mixed\" requires the single-domain blocked path (Ndm = 1)", ErrBadOptions)
 		}
+		if q.Op == nil {
+			return nil, fmt.Errorf("%w: Precision \"mixed\" requires the FD-grid backend (this backend has no SoA tables)", ErrBadOptions)
+		}
 	}
 	tSetup := time.Now()
 	ring, err := contour.NewRing(opts.LambdaMin, opts.Nint)
@@ -304,7 +307,7 @@ func solveOnce(ctx context.Context, q *qep.Problem, opts Options) (*Result, erro
 	}
 	res.Rank = ext.Rank
 	res.Sigma = ext.SingularValues
-	a := q.Op.G.Lz()
+	a := q.CellLength()
 	for j, lam := range ext.Lambdas {
 		psi := ext.Vectors.Col(j)
 		pair := Eigenpair{
@@ -388,7 +391,10 @@ func solveAll(ctx context.Context, q *qep.Problem, ring *contour.Ring, v *zlinal
 		go func(c0, c1 int) {
 			defer topWG.Done()
 			nb := c1 - c0
-			useSoA := distSolver == nil && opts.kernels() == KernelsSoA
+			// The SoA planes are an FD-grid specialization (the coefficient
+			// tables live on the concrete operator); every other backend
+			// takes the portable interleaved AoS path, which is bit-identical.
+			useSoA := distSolver == nil && opts.kernels() == KernelsSoA && q.Op != nil
 			// The block's right-hand sides, shared read-only by this block's
 			// workers: interleaved row-major for the blocked solver, plain
 			// columns for the distributed per-column path; the SoA path packs

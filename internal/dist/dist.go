@@ -79,6 +79,9 @@ type projSeg struct {
 
 // NewSolver prepares an ndm-domain decomposition of the QEP.
 func NewSolver(q *qep.Problem, ndm int) (*Solver, error) {
+	if q.Op == nil {
+		return nil, fmt.Errorf("dist: the Ndm > 1 domain decomposition requires the FD-grid backend (backend %q has no slab geometry)", q.B.Descriptor())
+	}
 	g := q.Op.G
 	if ndm < 1 {
 		return nil, fmt.Errorf("dist: ndm = %d < 1", ndm)

@@ -65,6 +65,19 @@ func Solve(operatorDesc string, e float64, opts core.Options) string {
 	return Key(operatorDesc, []float64{e}, opts)
 }
 
+// Transport digests a transport request: the sweep identity (operator,
+// energies, solver options — via Key, so the CBS half of the fingerprint
+// is shared with plain sweeps) plus the NEGF post-processing descriptor
+// (negf.Spec.PostDesc: device geometry, broadening, classification
+// tolerance). The serving layer keys /v1/transport jobs and their
+// checkpoint journals with it. Same stability contract as Key: pinned by
+// golden test, bump the domain string on any incompatible change.
+func Transport(operatorDesc string, es []float64, opts core.Options, postDesc string) string {
+	h := fnv.New64a()
+	h.Write([]byte("cbs-transport/v1\x00" + Key(operatorDesc, es, opts) + "\x00" + postDesc))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // Operator digests the operator descriptor alone: the identity of the
 // served physics independent of any particular request. The job log
 // (internal/jobs) stamps this into its header so a restarted server

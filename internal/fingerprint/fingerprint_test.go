@@ -34,6 +34,15 @@ func TestGoldenFingerprints(t *testing.T) {
 			want: "9d7d68e62ec8b1ad",
 		},
 		{
+			// /v1/transport jobs and their checkpoint journals key on this;
+			// the postDesc literal is negf.Spec.PostDesc for a bare 3-cell
+			// device under default NEGF options.
+			name: "transport",
+			got: Transport(desc, []float64{-0.25, 0, 0.25}, core.DefaultOptions(),
+				"cells=3 eta=1.0000000000000001e-09 ptol=0.0001"),
+			want: "ed49fdec11246dfb",
+		},
+		{
 			// Job logs stamp this into their header; a change orphans every
 			// deployed job log on restart.
 			name: "operator identity",

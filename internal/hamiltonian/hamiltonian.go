@@ -101,6 +101,24 @@ func Build(st *lattice.Structure, cfg Config) (*Operator, error) {
 //cbs:hotpath
 func (op *Operator) N() int { return op.G.N() }
 
+// CellLength returns the 1D lattice constant a (bohr): the z extent of the
+// periodic cell, lambda = e^{ika}.
+func (op *Operator) CellLength() float64 { return op.G.Lz() }
+
+// Descriptor is the FD-grid backend's fingerprint identity: the structure,
+// the grid, and the cell length pin down the physics a checkpoint or cache
+// entry was computed under. The format is load-bearing — existing sweep
+// journals and job logs hash it — so any change orphans deployed state
+// (see internal/fingerprint's stability contract).
+func (op *Operator) Descriptor() string {
+	name := ""
+	if op.Structure != nil {
+		name = op.Structure.Name
+	}
+	g := op.G
+	return fmt.Sprintf("%s|grid=%dx%dx%d|N=%d|a=%.12g", name, g.Nx, g.Ny, g.Nz, g.N(), g.Lz())
+}
+
 func (op *Operator) initKinetic() {
 	nf := op.St.Nf
 	op.kx = make([]float64, nf+1)

@@ -39,6 +39,7 @@ import (
 
 	"cbs/internal/chaos"
 	"cbs/internal/core"
+	"cbs/internal/negf"
 	"cbs/internal/rescache"
 	"cbs/internal/sweep"
 )
@@ -59,9 +60,10 @@ var (
 type Kind string
 
 const (
-	KindSolve Kind = "solve"
-	KindSweep Kind = "sweep"
-	KindBands Kind = "bands"
+	KindSolve     Kind = "solve"
+	KindSweep     Kind = "sweep"
+	KindBands     Kind = "bands"
+	KindTransport Kind = "transport"
 )
 
 // State is one rung of the job lifecycle.
@@ -80,11 +82,13 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
-// Outcome is what a finished task produced: exactly one of Result (solve)
-// or Report (sweep/bands), plus how the result cache was involved.
+// Outcome is what a finished task produced: exactly one of Result
+// (solve), Report (sweep/bands) or Curve (transport), plus how the result
+// cache was involved.
 type Outcome struct {
 	Result *core.Result
 	Report *sweep.Report
+	Curve  *negf.Curve
 	// CacheOutcome is the rescache path a solve took ("" for sweeps and
 	// unfinished jobs).
 	CacheOutcome rescache.Outcome

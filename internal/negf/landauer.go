@@ -1,0 +1,82 @@
+// landauer.go integrates a transmission curve into current: the
+// spin-degenerate Landauer formula in atomic units,
+//
+//	I(V) = (1/pi) Integral T(E) [ f(E - mu_L) - f(E - mu_R) ] dE,
+//
+// with mu_{L,R} = E_F +- V/2 (the bias window split symmetrically) and f
+// the Fermi function at temperature kT. 1/pi is the conductance quantum
+// G0 = 2 e^2/h expressed in atomic units; energies and biases are in
+// hartree, so I comes out in units of e E_h / hbar / pi-per-channel —
+// dimensionless multiples of G0 * (1 hartree).
+package negf
+
+import (
+	"math"
+	"sort"
+)
+
+// BiasSpec describes the Landauer integration.
+type BiasSpec struct {
+	EFermi float64   // equilibrium Fermi level (hartree)
+	KT     float64   // thermal broadening (hartree); 0 = zero temperature
+	Biases []float64 // bias voltages (hartree; E = e*V)
+}
+
+// IVPoint is one point of the current-voltage characteristic.
+type IVPoint struct {
+	V float64 `json:"v"` // bias (hartree)
+	I float64 `json:"i"` // current (units of G0 * hartree)
+}
+
+// fermi is the Fermi-Dirac occupation at energy x above the chemical
+// potential; kT = 0 gives the sharp step.
+func fermi(x, kT float64) float64 {
+	if kT <= 0 {
+		switch {
+		case x < 0:
+			return 1
+		case x > 0:
+			return 0
+		default:
+			return 0.5
+		}
+	}
+	return 1 / (1 + math.Exp(x/kT))
+}
+
+// LandauerIV integrates the OK points of a transmission curve over each
+// bias. The curve's energy grid must cover the bias windows — T is assumed
+// zero outside the sampled range, so pick the grid to span
+// [EF - Vmax/2 - few kT, EF + Vmax/2 + few kT].
+func LandauerIV(points []Point, bias BiasSpec) []IVPoint {
+	es := make([]float64, 0, len(points))
+	ts := make([]float64, 0, len(points))
+	for _, p := range points {
+		if p.Status == PointOK {
+			es = append(es, p.E)
+			ts = append(ts, p.T)
+		}
+	}
+	idx := make([]int, len(es))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return es[idx[i]] < es[idx[j]] })
+
+	out := make([]IVPoint, 0, len(bias.Biases))
+	for _, v := range bias.Biases {
+		muL := bias.EFermi + v/2
+		muR := bias.EFermi - v/2
+		integrand := func(k int) float64 {
+			e := es[idx[k]]
+			return ts[idx[k]] * (fermi(e-muL, bias.KT) - fermi(e-muR, bias.KT))
+		}
+		var integral float64
+		for k := 0; k+1 < len(idx); k++ {
+			h := es[idx[k+1]] - es[idx[k]]
+			integral += 0.5 * h * (integrand(k) + integrand(k+1))
+		}
+		out = append(out, IVPoint{V: v, I: integral / math.Pi})
+	}
+	return out
+}

@@ -1,0 +1,512 @@
+// Package negf turns complex band structure into quantum transport: the
+// CBS eigenpairs at one energy are exactly the lead modes of a
+// non-equilibrium Green function (NEGF) device calculation. The pipeline
+// is
+//
+//	CBS eigenpairs -> channel classification (propagating/evanescent,
+//	left/right-going) -> lead surface response F± (wave matching / Ando)
+//	-> retarded self-energies Sigma_L/Sigma_R -> device Green function
+//	-> transmission T(E) (Caroli / Fisher-Lee) -> Landauer I-V.
+//
+// The wave-matching construction: with Phi_+ the matrix of right-going
+// mode vectors and Lambda_+ their Bloch factors, F_+ = Phi_+ Lambda_+
+// Phi_+^{-1} propagates a surface amplitude one cell into the right lead,
+// and
+//
+//	Sigma_R = H+ F_+,   Sigma_L = H- F_-^{-1 form} (left-going, Lambda^{-1}),
+//	Gamma   = i (Sigma - Sigma^dagger),
+//	T(E)    = Tr[ Gamma_L G_{1,nd} Gamma_R G_{1,nd}^dagger ].
+//
+// The contour solver only returns modes in its annulus, so the mode basis
+// is completed before inversion: the lambda -> 0 modes of the quadratic
+// eigenproblem are exactly the null space of H- (and the lambda -> inf
+// modes the null space of H+) — for rank-deficient coupling blocks this
+// completion is exact, not an approximation. Any deep-evanescent modes a
+// full-rank coupling hides below the annulus get an orthogonal-complement
+// fill at lambda = 0, an O(lambda_min) approximation counted in
+// Leads.NFill.
+package negf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"cbs/internal/core"
+	"cbs/internal/operator"
+	"cbs/internal/transport"
+	"cbs/internal/zlinalg"
+)
+
+// ErrDeficientBasis is wrapped when a lead's mode basis cannot be
+// completed to full rank (more annulus modes than the cell dimension, or a
+// numerically singular mode matrix).
+var ErrDeficientBasis = errors.New("negf: lead mode basis is deficient")
+
+// Options tunes the NEGF construction.
+type Options struct {
+	// Eta is the retarded broadening added to the device energy
+	// (E + i*eta); default 1e-9. The lead self-energies carry the real
+	// physics of irreversibility, eta only guards isolated device
+	// resonances from exact singularity.
+	Eta float64
+	// PropagatingTol is the ||lambda|-1| classification margin; 0 means
+	// transport.DefaultPropagatingTol.
+	PropagatingTol float64
+}
+
+func (o Options) eta() float64 {
+	if o.Eta > 0 {
+		return o.Eta
+	}
+	return 1e-9
+}
+
+func (o Options) tol() float64 {
+	if o.PropagatingTol > 0 {
+		return o.PropagatingTol
+	}
+	return transport.DefaultPropagatingTol
+}
+
+// Channel is one classified lead mode.
+type Channel struct {
+	Lambda      complex128
+	K           complex128
+	Psi         []complex128
+	Velocity    float64 // group velocity dE/dk (bohr * hartree); 0 for evanescent
+	Propagating bool
+	Right       bool // carries amplitude toward +z (v > 0, or decaying |lambda| < 1)
+}
+
+// Blocks extracts the dense H0, H+, H- blocks of a backend by applying it
+// to unit vectors: O(N) applies, O(N^2) storage. Transport cells are small
+// (tight-binding leads, or one FD cell), so dense assembly is the right
+// tool for the wave matching and the device Green function.
+func Blocks(b operator.Backend) (h0, hp, hm *zlinalg.Matrix) {
+	n := b.N()
+	h0 = zlinalg.NewMatrix(n, n)
+	hp = zlinalg.NewMatrix(n, n)
+	hm = zlinalg.NewMatrix(n, n)
+	e := make([]complex128, n)
+	out := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		b.ApplyH0(e, out)
+		for i := 0; i < n; i++ {
+			h0.Set(i, j, out[i])
+		}
+		b.ApplyHp(e, out)
+		for i := 0; i < n; i++ {
+			hp.Set(i, j, out[i])
+		}
+		b.ApplyHm(e, out)
+		for i := 0; i < n; i++ {
+			hm.Set(i, j, out[i])
+		}
+		e[j] = 0
+	}
+	return h0, hp, hm
+}
+
+// lambdaGroupTol clusters propagating Bloch factors into degenerate
+// subspaces: band folding puts counter-moving states on the same lambda
+// (e.g. a supercell at k a = pi/2 folds e^{+-i k a nc} onto one point), and
+// within such a subspace the solver's eigenvectors are arbitrary mixtures
+// of left and right movers.
+const lambdaGroupTol = 1e-6
+
+// Classify separates the CBS eigenpairs of one energy into left/right-going
+// propagating and evanescent channels. A mode is propagating when
+// ||lambda| - 1| < tol; its direction is the sign of the group velocity
+//
+//	v = -2 a Im(lambda psi^dagger H+ psi),
+//
+// (the expectation of the current operator; equals dE/dk for Bloch
+// states). Evanescent modes go right when |lambda| < 1 (decaying toward
+// +z) and left otherwise.
+//
+// Degenerate propagating subspaces (equal lambda) are resolved the Ando
+// way: the velocity operator v(k) = i a (lambda H+ - conj(lambda) H-) is
+// diagonalized within the subspace, and the rotated eigenvectors — pure
+// movers with definite velocity — replace the solver's arbitrary mixtures.
+func Classify(b operator.Backend, r *core.Result, tol float64) []Channel {
+	a := b.CellLength()
+	n := b.N()
+	scratch := make([]complex128, n)
+	out := make([]Channel, 0, len(r.Pairs))
+	var propIdx []int
+	for _, p := range r.Pairs {
+		c := Channel{Lambda: p.Lambda, K: p.K, Psi: p.Psi}
+		mag := cmplx.Abs(p.Lambda)
+		if math.Abs(mag-1) < tol {
+			c.Propagating = true
+			propIdx = append(propIdx, len(out))
+		} else {
+			c.Right = mag < 1
+		}
+		out = append(out, c)
+	}
+	// Cluster propagating channels by lambda and resolve each group.
+	for len(propIdx) > 0 {
+		group := []int{propIdx[0]}
+		rest := propIdx[:0]
+		for _, j := range propIdx[1:] {
+			if cmplx.Abs(out[j].Lambda-out[group[0]].Lambda) < lambdaGroupTol {
+				group = append(group, j)
+			} else {
+				rest = append(rest, j)
+			}
+		}
+		propIdx = rest
+		if len(group) == 1 {
+			c := &out[group[0]]
+			b.ApplyHp(c.Psi, scratch)
+			c.Velocity = -2 * a * imag(c.Lambda*zlinalg.Dot(c.Psi, scratch))
+			c.Right = c.Velocity > 0
+			continue
+		}
+		resolveDegenerate(b, a, out, group)
+	}
+	return out
+}
+
+// resolveDegenerate rotates a degenerate propagating subspace into
+// velocity eigenstates. The subspace is first orthonormalized (the
+// solver's degenerate eigenvectors need not be orthogonal), then the
+// Hermitian velocity matrix V_ij = i a (lambda A_ij - conj(lambda A_ji)),
+// A_ij = psi_i^dagger H+ psi_j, is diagonalized.
+func resolveDegenerate(b operator.Backend, a float64, chans []Channel, group []int) {
+	n := b.N()
+	m := len(group)
+	span := zlinalg.NewMatrix(n, m)
+	for j, gi := range group {
+		span.SetCol(j, chans[gi].Psi)
+	}
+	q, err := zlinalg.OrthonormalizeColumns(span)
+	if err != nil {
+		// Dependent columns: fall back to the scalar classification.
+		scalarVelocity(b, a, chans, group)
+		return
+	}
+	lambda := chans[group[0]].Lambda
+	hpq := zlinalg.NewMatrix(n, m)
+	scratch := make([]complex128, n)
+	for j := 0; j < m; j++ {
+		b.ApplyHp(q.Col(j), scratch)
+		hpq.SetCol(j, scratch)
+	}
+	v := zlinalg.NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		qi := q.Col(i)
+		for j := 0; j < m; j++ {
+			aij := zlinalg.Dot(qi, hpq.Col(j))
+			aji := zlinalg.Dot(q.Col(j), hpq.Col(i))
+			v.Set(i, j, complex(0, a)*(lambda*aij-cmplx.Conj(lambda*aji)))
+		}
+	}
+	vals, vecs, err := zlinalg.EigHermitian(v)
+	if err != nil {
+		scalarVelocity(b, a, chans, group)
+		return
+	}
+	for k, gi := range group {
+		psi := make([]complex128, n)
+		for i := 0; i < m; i++ {
+			zlinalg.Axpy(vecs.At(i, k), q.Col(i), psi)
+		}
+		c := &chans[gi]
+		c.Psi = psi
+		c.Velocity = vals[k]
+		c.Right = c.Velocity > 0
+	}
+}
+
+// scalarVelocity is the non-degenerate per-mode classification.
+func scalarVelocity(b operator.Backend, a float64, chans []Channel, group []int) {
+	scratch := make([]complex128, b.N())
+	for _, gi := range group {
+		c := &chans[gi]
+		b.ApplyHp(c.Psi, scratch)
+		c.Velocity = -2 * a * imag(c.Lambda*zlinalg.Dot(c.Psi, scratch))
+		c.Right = c.Velocity > 0
+	}
+}
+
+// Leads holds the retarded lead self-energies of one energy and the
+// channel bookkeeping behind them.
+type Leads struct {
+	SigmaL, SigmaR *zlinalg.Matrix
+	GammaL, GammaR *zlinalg.Matrix // i (Sigma - Sigma^dagger)
+	NOpen          int             // open (propagating) channels per direction
+	NEvanescent    int             // evanescent annulus modes used
+	NNull          int             // exact lambda->0 / lambda->inf completion vectors
+	NFill          int             // orthogonal-complement fills (O(lambda_min) approximation)
+}
+
+// LeadSelfEnergies builds Sigma_L and Sigma_R from one CBS result via wave
+// matching. Both leads are the same periodic crystal (the backend), as in
+// a two-probe junction with identical contacts.
+func LeadSelfEnergies(b operator.Backend, r *core.Result, opts Options) (*Leads, error) {
+	n := b.N()
+	_, hp, hm := Blocks(b)
+	chans := Classify(b, r, opts.tol())
+
+	l := &Leads{}
+	var rightPsi, leftPsi [][]complex128
+	var rightL, leftLinv []complex128
+	for _, c := range chans {
+		if c.Propagating {
+			if c.Right {
+				l.NOpen++
+			}
+		} else {
+			l.NEvanescent++
+		}
+		if c.Right {
+			rightPsi = append(rightPsi, c.Psi)
+			rightL = append(rightL, c.Lambda)
+		} else {
+			leftPsi = append(leftPsi, c.Psi)
+			leftLinv = append(leftLinv, 1/c.Lambda)
+		}
+	}
+
+	// Right lead: complete with the exact lambda -> 0 modes (null(H-)),
+	// then orthogonal fill. F_+ = Phi Lambda Phi^{-1}, Sigma_R = H+ F_+.
+	fPlus, nullR, fillR, err := surfaceResponse(n, rightPsi, rightL, hm)
+	if err != nil {
+		return nil, fmt.Errorf("right lead: %w", err)
+	}
+	// Left lead: lambda -> inf modes are null(H+), entering at
+	// Lambda^{-1} = 0. F_-^{-} = Phi Lambda^{-1} Phi^{-1}, Sigma_L = H- F_-^{-}.
+	fMinus, nullL, fillL, err := surfaceResponse(n, leftPsi, leftLinv, hp)
+	if err != nil {
+		return nil, fmt.Errorf("left lead: %w", err)
+	}
+	l.NNull = nullR + nullL
+	l.NFill = fillR + fillL
+
+	l.SigmaR = zlinalg.Mul(hp, fPlus)
+	l.SigmaL = zlinalg.Mul(hm, fMinus)
+	l.GammaL = broadening(l.SigmaL)
+	l.GammaR = broadening(l.SigmaR)
+	return l, nil
+}
+
+// surfaceResponse assembles Phi diag(factors) Phi^{-1} from the matched
+// modes, completing the basis with the null space of the opposite coupling
+// block (exact factor-0 modes) and, as a last resort, the orthogonal
+// complement of the collected columns.
+func surfaceResponse(n int, psis [][]complex128, factors []complex128, nullOf *zlinalg.Matrix) (f *zlinalg.Matrix, nNull, nFill int, err error) {
+	if len(psis) > n {
+		return nil, 0, 0, fmt.Errorf("%w: %d matched modes exceed cell dimension %d", ErrDeficientBasis, len(psis), n)
+	}
+	phi := zlinalg.NewMatrix(n, n)
+	lam := make([]complex128, 0, n)
+	col := 0
+	for i, psi := range psis {
+		phi.SetCol(col, psi)
+		lam = append(lam, factors[i])
+		col++
+	}
+	if col < n {
+		nulls, err := nullSpace(nullOf)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		for _, v := range nulls {
+			if col == n {
+				break
+			}
+			phi.SetCol(col, v)
+			lam = append(lam, 0)
+			col++
+			nNull++
+		}
+	}
+	if col < n {
+		fills := orthogonalFill(phi, col)
+		for _, v := range fills {
+			phi.SetCol(col, v)
+			lam = append(lam, 0)
+			col++
+			nFill++
+		}
+	}
+	if col < n {
+		return nil, 0, 0, fmt.Errorf("%w: completed only %d of %d columns", ErrDeficientBasis, col, n)
+	}
+	lu, err := zlinalg.FactorLU(phi)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("%w: mode matrix is singular: %w", ErrDeficientBasis, err)
+	}
+	phiInv := lu.Inverse()
+	// F = Phi diag(lam) Phi^{-1}: scale the rows of Phi^{-1} by lam, then
+	// one matrix product.
+	scaled := zlinalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		li := lam[i]
+		for j := 0; j < n; j++ {
+			scaled.Set(i, j, li*phiInv.At(i, j))
+		}
+	}
+	return zlinalg.Mul(phi, scaled), nNull, nFill, nil
+}
+
+// nullTol is the relative singular-value threshold below which a direction
+// counts as null space of a coupling block.
+const nullTol = 1e-10
+
+// nullSpace returns an orthonormal basis of the (right) null space of a.
+func nullSpace(a *zlinalg.Matrix) ([][]complex128, error) {
+	svd, err := zlinalg.SVD(a)
+	if err != nil {
+		return nil, fmt.Errorf("negf: null-space SVD failed: %w", err)
+	}
+	rank := svd.Rank(nullTol)
+	var out [][]complex128
+	for j := rank; j < len(svd.S); j++ {
+		out = append(out, svd.V.Col(j))
+	}
+	return out, nil
+}
+
+// orthogonalFill returns vectors completing the first `have` columns of
+// phi to a basis of C^n: candidate unit vectors are orthogonalized against
+// the existing columns (and each other) and kept when anything survives.
+func orthogonalFill(phi *zlinalg.Matrix, have int) [][]complex128 {
+	n := phi.Rows
+	var out [][]complex128
+	basis := make([][]complex128, 0, have)
+	for j := 0; j < have; j++ {
+		v := phi.Col(j)
+		// Orthonormalize the existing (generally non-orthogonal) columns
+		// for projection purposes only.
+		for _, b := range basis {
+			zlinalg.Axpy(-zlinalg.Dot(b, v), b, v)
+		}
+		if zlinalg.Norm2(v) > 1e-12 {
+			zlinalg.Normalize(v)
+			basis = append(basis, v)
+		}
+	}
+	for cand := 0; cand < n && have+len(out) < n; cand++ {
+		v := make([]complex128, n)
+		v[cand] = 1
+		for _, b := range basis {
+			zlinalg.Axpy(-zlinalg.Dot(b, v), b, v)
+		}
+		if zlinalg.Norm2(v) > 1e-6 {
+			zlinalg.Normalize(v)
+			basis = append(basis, v)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// broadening returns Gamma = i (Sigma - Sigma^dagger).
+func broadening(sigma *zlinalg.Matrix) *zlinalg.Matrix {
+	g := zlinalg.Sub(sigma, sigma.ConjTranspose())
+	return zlinalg.Scale(complex(0, 1), g)
+}
+
+// Device describes the scattering region: Cells principal layers of the
+// lead crystal, with an optional per-cell onsite shift (a barrier or bias
+// ramp). A nil Barrier is a pristine device — the ballistic limit whose
+// transmission is the integer open-channel count.
+type Device struct {
+	Cells   int
+	Barrier []float64 // per-cell onsite shift (hartree); nil or len == Cells
+}
+
+// Validate checks the device geometry.
+func (d Device) Validate() error {
+	if d.Cells < 1 {
+		return fmt.Errorf("negf: device needs at least 1 cell, got %d", d.Cells)
+	}
+	if d.Barrier != nil && len(d.Barrier) != d.Cells {
+		return fmt.Errorf("negf: barrier profile has %d entries for %d cells", len(d.Barrier), d.Cells)
+	}
+	return nil
+}
+
+// Transmission computes the Caroli / Fisher-Lee transmission
+// T(E) = Tr[Gamma_L G_{1,nd} Gamma_R G_{1,nd}^dagger] for the device at
+// the result's energy, with leads described by the backend. The device
+// Green function block G_{1,nd} comes from one dense block-tridiagonal LU
+// solve on the last-block columns.
+func Transmission(b operator.Backend, r *core.Result, dev Device, leads *Leads, opts Options) (float64, error) {
+	if err := dev.Validate(); err != nil {
+		return 0, err
+	}
+	n := b.N()
+	nd := dev.Cells
+	h0, hp, hm := Blocks(b)
+
+	// A = (E + i eta) I - H_device - Sigma.
+	dim := nd * n
+	a := zlinalg.NewMatrix(dim, dim)
+	z := complex(r.Energy, opts.eta())
+	for c := 0; c < nd; c++ {
+		shift := 0.0
+		if dev.Barrier != nil {
+			shift = dev.Barrier[c]
+		}
+		r0 := c * n
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := -h0.At(i, j)
+				if i == j {
+					v += z - complex(shift, 0)
+				}
+				a.Set(r0+i, r0+j, v)
+			}
+		}
+		if c+1 < nd {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					a.Set(r0+i, r0+n+j, -hp.At(i, j))
+					a.Set(r0+n+i, r0+j, -hm.At(i, j))
+				}
+			}
+		}
+	}
+	last := (nd - 1) * n
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, a.At(i, j)-leads.SigmaL.At(i, j))
+			a.Set(last+i, last+j, a.At(last+i, last+j)-leads.SigmaR.At(i, j))
+		}
+	}
+
+	lu, err := zlinalg.FactorLU(a)
+	if err != nil {
+		return 0, fmt.Errorf("negf: device Green function is singular at E = %g: %w", r.Energy, err)
+	}
+	// G_{1,nd}: first-block rows of the solves against last-block columns.
+	g1n := zlinalg.NewMatrix(n, n)
+	rhs := make([]complex128, dim)
+	for j := 0; j < n; j++ {
+		rhs[last+j] = 1
+		x := lu.SolveVec(rhs)
+		for i := 0; i < n; i++ {
+			g1n.Set(i, j, x[i])
+		}
+		rhs[last+j] = 0
+	}
+
+	// T = Re Tr[Gamma_L G Gamma_R G^dagger].
+	m := zlinalg.Mul(zlinalg.Mul(leads.GammaL, g1n), zlinalg.Mul(leads.GammaR, g1n.ConjTranspose()))
+	var tr complex128
+	for i := 0; i < n; i++ {
+		tr += m.At(i, i)
+	}
+	t := real(tr)
+	if t < 0 && t > -1e-12 {
+		t = 0 // clamp roundoff
+	}
+	return t, nil
+}

@@ -1,0 +1,162 @@
+// pipeline.go batches the NEGF post-processing over an energy grid through
+// the sweep engine, so a transmission curve inherits the solver retry
+// ladder, checkpoint journaling and fleet sharding that band sweeps
+// already have: the expensive part of T(E) is the CBS solve per energy,
+// and that part IS a sweep.
+package negf
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cbs/internal/chaos"
+	"cbs/internal/core"
+	"cbs/internal/operator"
+	"cbs/internal/sweep"
+	"cbs/internal/transport"
+)
+
+// Spec describes one transport run: the energy grid, the device, and the
+// NEGF options.
+type Spec struct {
+	Energies []float64
+	Device   Device
+	Options  Options
+
+	// Chaos optionally injects per-energy self-energy construction faults
+	// (see chaos.Config.NEGFFault); nil in production.
+	Chaos *chaos.Injector
+}
+
+// PostDesc canonically describes the post-processing half of a transport
+// request — everything beyond the CBS sweep that changes T(E): the device
+// geometry and the resolved NEGF options. fingerprint.Transport hashes it
+// next to the sweep key, so two transport requests share identity exactly
+// when both the solves and the post-processing agree. Same stability
+// contract as the fingerprint domains: pinned by golden test.
+func (s Spec) PostDesc() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cells=%d eta=%.17g ptol=%.17g",
+		s.Device.Cells, s.Options.eta(), s.Options.tol())
+	if len(s.Device.Barrier) > 0 {
+		sb.WriteString(" barrier=")
+		for _, v := range s.Device.Barrier {
+			fmt.Fprintf(&sb, "%.17g,", v)
+		}
+	}
+	return sb.String()
+}
+
+// PointStatus is the terminal state of one transport energy.
+type PointStatus string
+
+const (
+	PointOK     PointStatus = "ok"
+	PointFailed PointStatus = "failed"
+)
+
+// Point is T(E) at one energy with its channel diagnostics.
+type Point struct {
+	E      float64     `json:"e"`
+	T      float64     `json:"t"`
+	NOpen  int         `json:"n_open"`           // open lead channels per direction
+	Beta   float64     `json:"beta"`             // smallest evanescent lead decay (1/bohr); 0 if none
+	NFill  int         `json:"n_fill,omitempty"` // approximate basis completions (see Leads.NFill)
+	Status PointStatus `json:"status"`
+	Err    string      `json:"err,omitempty"`
+}
+
+// Curve is a transmission sweep: T(E) in energy order plus the underlying
+// solver report (retry/restore/failure bookkeeping per energy).
+type Curve struct {
+	Points []Point
+	Report *sweep.Report
+}
+
+// OK returns the successfully transmitted points in energy order.
+func (c *Curve) OK() []Point {
+	out := make([]Point, 0, len(c.Points))
+	for _, p := range c.Points {
+		if p.Status == PointOK {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TransmissionSweep drives the full CBS -> T(E) pipeline: sweep.Run solves
+// (or restores) every energy under the retry policy, then each completed
+// energy is classified, wave-matched into lead self-energies, and traced
+// into a transmission value. Per-energy failures — solver or NEGF — land
+// in the point's status, never sink the sweep; the returned error is
+// reserved for sweep infrastructure failures (journal, fingerprint
+// mismatch, cancellation), mirroring sweep.Run.
+//
+//cbs:cancellable
+func TransmissionSweep(ctx context.Context, b operator.Backend, solve sweep.SolveFunc, spec Spec, coreOpts core.Options, cfg sweep.Config) (*Curve, error) {
+	if err := spec.Device.Validate(); err != nil {
+		return nil, err
+	}
+	rep, err := sweep.Run(ctx, solve, spec.Energies, coreOpts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	curve := &Curve{Report: rep, Points: make([]Point, 0, len(rep.Results))}
+	for i, er := range rep.Results {
+		// The post-processing is dense per-energy algebra (self-energies +
+		// a device LU); honor cancellation between energies.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		curve.Points = append(curve.Points, transmissionPoint(b, i, er, spec))
+	}
+	sort.Slice(curve.Points, func(i, j int) bool { return curve.Points[i].E < curve.Points[j].E })
+	return curve, nil
+}
+
+// transmissionPoint post-processes one terminal energy outcome.
+func transmissionPoint(b operator.Backend, index int, er sweep.EnergyResult, spec Spec) Point {
+	p := Point{E: er.Energy, Status: PointFailed}
+	if er.Result == nil {
+		if er.Err != nil {
+			p.Err = er.Err.Error()
+		} else {
+			p.Err = "energy " + string(er.Status)
+		}
+		return p
+	}
+	//cbs:chaossite negf.selfenergy
+	if err := spec.Chaos.NEGFFault(index); err != nil {
+		p.Err = err.Error()
+		return p
+	}
+	t, leads, err := transmitOne(b, er.Result, spec)
+	if err != nil {
+		p.Err = err.Error()
+		return p
+	}
+	p.Status = PointOK
+	p.T = t
+	p.NOpen = leads.NOpen
+	p.NFill = leads.NFill
+	prof := transport.DecayProfileWith([]*core.Result{er.Result},
+		transport.Options{PropagatingTol: spec.Options.PropagatingTol})
+	if len(prof) == 1 {
+		p.Beta = prof[0].Beta
+	}
+	return p
+}
+
+func transmitOne(b operator.Backend, r *core.Result, spec Spec) (float64, *Leads, error) {
+	leads, err := LeadSelfEnergies(b, r, spec.Options)
+	if err != nil {
+		return 0, nil, err
+	}
+	t, err := Transmission(b, r, spec.Device, leads, spec.Options)
+	if err != nil {
+		return 0, nil, err
+	}
+	return t, leads, nil
+}

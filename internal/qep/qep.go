@@ -15,22 +15,42 @@ import (
 	"math/cmplx"
 
 	"cbs/internal/hamiltonian"
+	"cbs/internal/operator"
 	"cbs/internal/zlinalg"
 )
 
-// Problem is the QEP at one fixed real energy E (hartree).
+// Problem is the QEP at one fixed real energy E (hartree). B is the
+// operator backend every solve path drives; Op is the concrete FD-grid
+// operator when (and only when) B is one — the handle the FD-only fast
+// paths (SoA kernel tables, the Ndm > 1 domain decomposition) need, nil
+// for any other backend.
 type Problem struct {
+	B  operator.Backend
 	Op *hamiltonian.Operator
 	E  float64
 }
 
-// New builds the QEP for the Hamiltonian at energy E.
+// New builds the QEP for the FD-grid Hamiltonian at energy E.
 func New(op *hamiltonian.Operator, e float64) *Problem {
-	return &Problem{Op: op, E: e}
+	return &Problem{B: op, Op: op, E: e}
+}
+
+// NewBackend builds the QEP for any operator backend at energy E. An
+// FD-grid backend keeps its concrete handle so the SoA and distributed
+// fast paths stay reachable.
+func NewBackend(b operator.Backend, e float64) *Problem {
+	p := &Problem{B: b, E: e}
+	if op, ok := b.(*hamiltonian.Operator); ok {
+		p.Op = op
+	}
+	return p
 }
 
 // Dim returns the problem dimension N.
-func (p *Problem) Dim() int { return p.Op.N() }
+func (p *Problem) Dim() int { return p.B.N() }
+
+// CellLength returns the backend's 1D lattice constant a (bohr).
+func (p *Problem) CellLength() float64 { return p.B.CellLength() }
 
 // Apply computes out = P(z) v, using scratch (length N).
 func (p *Problem) Apply(z complex128, v, out, scratch []complex128) {
@@ -38,15 +58,15 @@ func (p *Problem) Apply(z complex128, v, out, scratch []complex128) {
 		panic("qep: Apply length mismatch")
 	}
 	// out = (E - H0) v
-	p.Op.ApplyH0(v, out)
+	p.B.ApplyH0(v, out)
 	for i := range out {
 		out[i] = complex(p.E, 0)*v[i] - out[i]
 	}
 	// out -= z H+ v
-	p.Op.ApplyHp(v, scratch)
+	p.B.ApplyHp(v, scratch)
 	zlinalg.Axpy(-z, scratch, out)
 	// out -= z^{-1} H- v
-	p.Op.ApplyHm(v, scratch)
+	p.B.ApplyHm(v, scratch)
 	zlinalg.Axpy(-1/z, scratch, out)
 }
 
@@ -65,9 +85,9 @@ func (p *Problem) ApplyDagger(z complex128, v, out, scratch []complex128) {
 //
 //cbs:hotpath
 func (p *Problem) ApplyBlock(z complex128, v, out []complex128, nb int) {
-	p.Op.ApplyShiftedH0Block(p.E, v, out, nb)
-	p.Op.AccumHpBlock(-z, v, out, nb)
-	p.Op.AccumHmBlock(-1/z, v, out, nb)
+	p.B.ApplyShiftedH0Block(p.E, v, out, nb)
+	p.B.AccumHpBlock(-z, v, out, nb)
+	p.B.AccumHmBlock(-1/z, v, out, nb)
 }
 
 // ApplyDaggerBlock computes out = P(z)^dagger V = P(1/conj(z)) V on a

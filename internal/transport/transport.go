@@ -14,30 +14,56 @@ import (
 	"cbs/internal/core"
 )
 
-// propagatingTol classifies |(|lambda|)-1| below this as a propagating
-// state.
-const propagatingTol = 1e-4
+// DefaultPropagatingTol is the default classification margin: a Bloch
+// factor with ||lambda| - 1| below it counts as a propagating state.
+// Exported so downstream consumers of the classification (internal/negf's
+// lead-mode separation) share one convention.
+const DefaultPropagatingTol = 1e-4
+
+// Options tunes the decay-profile classification.
+type Options struct {
+	// PropagatingTol is the ||lambda| - 1| margin below which a state is
+	// propagating; 0 means DefaultPropagatingTol. Solves with loose
+	// residual targets put numerically-on-shell states slightly off the
+	// unit circle, and a barrier NEGF run may want a tighter margin so
+	// slow evanescent branches are not misread as open channels.
+	PropagatingTol float64
+}
+
+func (o Options) tol() float64 {
+	if o.PropagatingTol > 0 {
+		return o.PropagatingTol
+	}
+	return DefaultPropagatingTol
+}
 
 // Point is the decay profile at one energy.
 type Point struct {
 	E           float64 // energy (hartree)
-	Beta        float64 // smallest decay constant min |Im k| (1/bohr); 0 if none
+	Beta        float64 // smallest evanescent decay constant min |Im k| (1/bohr); 0 if no evanescent states
 	NPropagate  int     // propagating channels
 	NEvanescent int     // evanescent states in the annulus
 }
 
 // DecayProfile reduces a CBS energy scan to the slowest-decay constant
-// beta(E): the dominant tunneling channel. Energies with propagating
-// channels report Beta = 0 via the convention that transport there is
-// ballistic.
+// beta(E) with the default classification margin: the dominant tunneling
+// channel. Beta reports the slowest evanescent decay even at energies that
+// also carry propagating channels — NEGF needs the tunneling branch under
+// an open band, and NPropagate already tells ballistic energies apart.
 func DecayProfile(results []*core.Result) []Point {
+	return DecayProfileWith(results, Options{})
+}
+
+// DecayProfileWith is DecayProfile with explicit classification options.
+func DecayProfileWith(results []*core.Result, o Options) []Point {
+	tol := o.tol()
 	out := make([]Point, 0, len(results))
 	for _, r := range results {
 		p := Point{E: r.Energy}
 		minBeta := math.Inf(1)
 		for _, pair := range r.Pairs {
 			mag := math.Hypot(real(pair.Lambda), imag(pair.Lambda))
-			if math.Abs(mag-1) < propagatingTol {
+			if math.Abs(mag-1) < tol {
 				p.NPropagate++
 				continue
 			}
@@ -46,7 +72,7 @@ func DecayProfile(results []*core.Result) []Point {
 				minBeta = beta
 			}
 		}
-		if p.NPropagate == 0 && !math.IsInf(minBeta, 1) {
+		if !math.IsInf(minBeta, 1) {
 			p.Beta = minBeta
 		}
 		out = append(out, p)

@@ -35,13 +35,32 @@ func TestDecayProfileClassification(t *testing.T) {
 	if prof[0].E != -0.1 || prof[2].E != 0.1 {
 		t.Fatalf("profile not sorted: %+v", prof)
 	}
-	// Energy 0.0: open channel, Beta = 0 convention.
-	if prof[1].NPropagate != 1 || prof[1].Beta != 0 {
+	// Energy 0.0: one open channel, and Beta still reports the coexisting
+	// evanescent branch (Im k = 0.5) — the tunneling information NEGF needs.
+	if prof[1].NPropagate != 1 || prof[1].NEvanescent != 1 || math.Abs(prof[1].Beta-0.5) > 1e-12 {
 		t.Errorf("open-channel point wrong: %+v", prof[1])
 	}
 	// Energy 0.1: gap with min decay 0.25.
 	if prof[2].NPropagate != 0 || math.Abs(prof[2].Beta-0.25) > 1e-12 {
 		t.Errorf("gap point wrong: %+v", prof[2])
+	}
+	// Energy -0.1: nothing in the annulus, Beta stays 0.
+	if prof[0].Beta != 0 || prof[0].NPropagate != 0 || prof[0].NEvanescent != 0 {
+		t.Errorf("empty point wrong: %+v", prof[0])
+	}
+}
+
+func TestDecayProfileConfigurableTol(t *testing.T) {
+	// A state at |lambda| = e^{-1e-3}: evanescent under the default margin,
+	// propagating under a loose 1e-2 margin.
+	results := []*core.Result{synth(0.0, complex(0.4, 1e-3))}
+	strict := DecayProfileWith(results, Options{})
+	if strict[0].NPropagate != 0 || strict[0].NEvanescent != 1 || math.Abs(strict[0].Beta-1e-3) > 1e-15 {
+		t.Errorf("default margin misclassified: %+v", strict[0])
+	}
+	loose := DecayProfileWith(results, Options{PropagatingTol: 1e-2})
+	if loose[0].NPropagate != 1 || loose[0].NEvanescent != 0 || loose[0].Beta != 0 {
+		t.Errorf("loose margin misclassified: %+v", loose[0])
 	}
 }
 
